@@ -1,0 +1,273 @@
+(* The benchmark harness.
+
+   Two layers:
+   1. The paper-figure suite: regenerates the rows/series of every table
+      and figure in the paper's evaluation (Sec. 6) from the experiment
+      registry — this is the reproduction artifact.
+   2. Bechamel microbenchmarks of the engine's core operations (memory
+      B+-tree, Bloom filters, disk B+-tree search paths, LSM writes,
+      per-strategy upserts), measuring real host-CPU cost.
+
+   Usage:
+     dune exec bench/main.exe                 # figures (small) + micro
+     dune exec bench/main.exe -- figures tiny # figures only, given scale
+     dune exec bench/main.exe -- micro        # microbenches only *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks *)
+
+module Mbt = Lsm_btree.Mem_btree.Make (Lsm_util.Keys.Int_key)
+module Dbt = Lsm_btree.Disk_btree.Make (Lsm_util.Keys.Int_key)
+module L = Lsm_tree.Make (Lsm_util.Keys.Int_key) (Lsm_util.Keys.Int_value)
+open Lsm_harness.Setup
+
+let quiet_env () =
+  (* Costs are simulated anyway — bechamel measures the host CPU driving
+     the engine. *)
+  Lsm_sim.Env.create ~cache_bytes:(4 * 1024 * 1024) Lsm_harness.Scale.hdd_device
+
+let test_mem_btree_put =
+  Test.make ~name:"mem_btree.put(1k)"
+    (Staged.stage (fun () ->
+         let t = Mbt.create () in
+         for i = 0 to 999 do
+           ignore (Mbt.put t ((i * 7919) land 0xfffff) i)
+         done))
+
+let test_mem_btree_find =
+  let t = Mbt.create () in
+  let () =
+    for i = 0 to 9_999 do
+      ignore (Mbt.put t ((i * 7919) land 0xfffff) i)
+    done
+  in
+  Test.make ~name:"mem_btree.find(10k)"
+    (Staged.stage (fun () -> ignore (Mbt.find t ((4242 * 7919) land 0xfffff))))
+
+let test_bloom_std =
+  let f = Lsm_bloom.Bloom.create ~expected:100_000 ~fpr:0.01 in
+  let () =
+    for i = 0 to 99_999 do
+      Lsm_bloom.Bloom.add f (Lsm_bloom.Hashing.mix64 i)
+    done
+  in
+  let i = ref 0 in
+  Test.make ~name:"bloom.contains(std)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Lsm_bloom.Bloom.contains f (Lsm_bloom.Hashing.mix64 !i))))
+
+let test_bloom_blocked =
+  let f = Lsm_bloom.Blocked_bloom.create ~expected:100_000 ~fpr:0.01 in
+  let () =
+    for i = 0 to 99_999 do
+      Lsm_bloom.Blocked_bloom.add f (Lsm_bloom.Hashing.mix64 i)
+    done
+  in
+  let i = ref 0 in
+  Test.make ~name:"bloom.contains(blocked)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Lsm_bloom.Blocked_bloom.contains f (Lsm_bloom.Hashing.mix64 !i))))
+
+let disk_tree () =
+  let env = quiet_env () in
+  let rows = Array.init 100_000 (fun i -> (i * 2, i)) in
+  (env, Dbt.build env ~key_of:fst ~size_of:(fun _ -> 24) rows)
+
+let test_dbt_find =
+  let env, t = disk_tree () in
+  let i = ref 0 in
+  Test.make ~name:"disk_btree.find(100k)"
+    (Staged.stage (fun () ->
+         i := (!i + 7919) mod 100_000;
+         ignore (Dbt.find env t (!i * 2))))
+
+let test_dbt_cursor =
+  let env, t = disk_tree () in
+  let c = Dbt.Cursor.create t in
+  let i = ref 0 in
+  Test.make ~name:"disk_btree.cursor_find(ascending)"
+    (Staged.stage (fun () ->
+         i := (!i + 3) mod 100_000;
+         ignore (Dbt.Cursor.find env c (!i * 2))))
+
+let test_lsm_write =
+  Test.make ~name:"lsm.write+flush(1k)"
+    (Staged.stage (fun () ->
+         let env = quiet_env () in
+         let t =
+           L.create env
+             (Lsm_tree.Config.make ~bloom:(Some Lsm_tree.Config.default_bloom)
+                "bench")
+         in
+         for i = 1 to 1000 do
+           L.write t ~key:(i * 17 mod 1009) ~ts:i (Lsm_tree.Entry.Put i)
+         done;
+         L.flush t))
+
+let upsert_bench name strategy =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let env = quiet_env () in
+         let d =
+           dataset ~strategy ~mem_budget:(64 * 1024) env Lsm_harness.Scale.tiny
+         in
+         let stream =
+           Streams.upsert_stream ~seed:1 ~update_ratio:0.5
+             ~distribution:`Uniform ()
+         in
+         for _ = 1 to 2_000 do
+           apply_op d (Streams.next stream)
+         done))
+
+let test_lsm_scan =
+  let env = quiet_env () in
+  let t =
+    L.create env
+      (Lsm_tree.Config.make ~bloom:(Some Lsm_tree.Config.default_bloom) "bench")
+  in
+  let () =
+    for i = 1 to 10_000 do
+      L.write t ~key:i ~ts:i (Lsm_tree.Entry.Put i);
+      if i mod 2_500 = 0 then L.flush t
+    done;
+    L.flush t
+  in
+  Test.make ~name:"lsm.reconciling_scan(10k,4comps)"
+    (Staged.stage (fun () ->
+         let n = ref 0 in
+         L.scan t L.full_scan_spec ~f:(fun _ ~src_repaired:_ -> incr n)))
+
+let test_lsm_merge =
+  Test.make ~name:"lsm.merge(2x2.5k)"
+    (Staged.stage (fun () ->
+         let env = quiet_env () in
+         let t =
+           L.create env
+             (Lsm_tree.Config.make ~bloom:(Some Lsm_tree.Config.default_bloom)
+                "bench")
+         in
+         for i = 1 to 5_000 do
+           L.write t ~key:i ~ts:i (Lsm_tree.Entry.Put i);
+           if i = 2_500 then L.flush t
+         done;
+         L.flush t;
+         ignore (L.merge t ~first:0 ~last:1)))
+
+(* Query-plan benches share one prepared update-heavy dataset. *)
+let query_fixture =
+  lazy
+    (let env = quiet_env () in
+     let d =
+       dataset ~strategy:Strategy.validation ~mem_budget:(256 * 1024) env
+         Lsm_harness.Scale.tiny
+     in
+     let stream =
+       Streams.upsert_stream ~seed:3 ~update_ratio:0.5 ~distribution:`Uniform ()
+     in
+     for _ = 1 to 20_000 do
+       apply_op d (Streams.next stream)
+     done;
+     d)
+
+let query_bench name mode =
+  let rng = Lsm_util.Rng.create 9 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let d = Lazy.force query_fixture in
+         let lo = Lsm_util.Rng.int rng 99_000 in
+         ignore (D.query_secondary d ~sec:"user_id" ~lo ~hi:(lo + 100) ~mode ())))
+
+let test_standalone_repair =
+  Test.make ~name:"dataset.standalone_repair(10k,50%upd)"
+    (Staged.stage (fun () ->
+         let env = quiet_env () in
+         let d =
+           dataset ~strategy:Strategy.validation_no_repair
+             ~mem_budget:(128 * 1024) env Lsm_harness.Scale.tiny
+         in
+         let stream =
+           Streams.upsert_stream ~seed:5 ~update_ratio:0.5
+             ~distribution:`Uniform ()
+         in
+         for _ = 1 to 10_000 do
+           apply_op d (Streams.next stream)
+         done;
+         D.standalone_repair d))
+
+let micro_tests =
+  Test.make_grouped ~name:"lsm-repro"
+    [
+      test_mem_btree_put;
+      test_mem_btree_find;
+      test_bloom_std;
+      test_bloom_blocked;
+      test_dbt_find;
+      test_dbt_cursor;
+      test_lsm_write;
+      test_lsm_scan;
+      test_lsm_merge;
+      upsert_bench "dataset.upsert(eager,2k)" Strategy.eager;
+      upsert_bench "dataset.upsert(validation,2k)" Strategy.validation;
+      upsert_bench "dataset.upsert(mutable-bitmap,2k)" Strategy.mutable_bitmap;
+      query_bench "dataset.query(ts-validation,0.1%)" `Timestamp;
+      query_bench "dataset.query(direct,0.1%)" `Direct;
+      query_bench "dataset.query(assume-valid,0.1%)" `Assume_valid;
+      test_standalone_repair;
+    ]
+
+let run_micro () =
+  print_endline "\n===== Bechamel microbenchmarks (host CPU time / run) =====";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      List.iter
+        (fun (name, ols) ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Printf.sprintf "%12.1f ns/run" e
+            | _ -> "(no estimate)"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "r²=%.3f" r
+            | None -> ""
+          in
+          Printf.printf "%-44s %s  %s\n" name est r2)
+        (List.sort compare rows))
+    merged;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let mode, scale =
+    match argv with
+    | _ :: "micro" :: _ -> (`Micro, Lsm_harness.Scale.small)
+    | _ :: "figures" :: s :: _ -> (`Figures, Lsm_harness.Scale.of_string s)
+    | _ :: "figures" :: _ -> (`Figures, Lsm_harness.Scale.small)
+    | _ -> (`Both, Lsm_harness.Scale.small)
+  in
+  (match mode with
+  | `Micro -> ()
+  | `Figures | `Both ->
+      Printf.printf
+        "===== Paper figure suite (scale %s: %d records; simulated time) =====\n"
+        scale.Lsm_harness.Scale.name scale.Lsm_harness.Scale.records;
+      Lsm_harness.Registry.run_all scale);
+  match mode with `Figures -> () | `Micro | `Both -> run_micro ()

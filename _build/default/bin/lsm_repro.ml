@@ -1,0 +1,65 @@
+(* Command-line driver for the reproduction experiments.
+
+   lsm_repro list                 — show every experiment
+   lsm_repro run fig14 [-s tiny]  — run one experiment
+   lsm_repro all [-s medium]      — run the full suite *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Experiment scale: tiny, small, medium, or large." in
+  Arg.(value & opt string "small" & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %s\n" e.Lsm_harness.Registry.id
+          e.Lsm_harness.Registry.description)
+      Lsm_harness.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all experiments") Term.(const run $ const ())
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let run scale id =
+    let scale = Lsm_harness.Scale.of_string scale in
+    match Lsm_harness.Registry.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %s (try `lsm_repro list`)\n" id;
+        exit 1
+    | Some e ->
+        Printf.printf "running %s (%s) at scale %s...\n%!" e.Lsm_harness.Registry.id
+          e.Lsm_harness.Registry.description scale.Lsm_harness.Scale.name;
+        List.iter Lsm_harness.Report.print (e.Lsm_harness.Registry.run scale)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment by id (e.g. fig14)")
+    Term.(const run $ scale_arg $ id_arg)
+
+let csv_arg =
+  let doc = "Also write one plot-ready CSV per table into $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let all_cmd =
+  let run scale csv_dir =
+    let scale = Lsm_harness.Scale.of_string scale in
+    Lsm_harness.Registry.run_all ?csv_dir scale
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run the full experiment suite")
+    Term.(const run $ scale_arg $ csv_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Efficient Data Ingestion and Query Processing for \
+     LSM-Based Storage Systems' (Luo & Carey, VLDB 2019)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "lsm_repro" ~version:"1.0.0" ~doc)
+          [ list_cmd; run_cmd; all_cmd ]))

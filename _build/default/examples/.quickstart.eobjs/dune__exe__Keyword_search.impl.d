@@ -1,0 +1,1 @@
+examples/keyword_search.ml: Format List Lsm_bloom Lsm_core Lsm_harness Lsm_sim Printf String

@@ -1,0 +1,1 @@
+examples/keyword_search.mli:

@@ -1,0 +1,1 @@
+examples/partitioned_cluster.ml: Float List Lsm_core Lsm_harness Lsm_sim Lsm_workload Printf

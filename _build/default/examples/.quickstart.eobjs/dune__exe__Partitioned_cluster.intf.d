@@ -1,0 +1,1 @@
+examples/partitioned_cluster.mli:

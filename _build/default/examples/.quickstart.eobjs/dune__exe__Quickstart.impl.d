@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Lsm_core Lsm_sim

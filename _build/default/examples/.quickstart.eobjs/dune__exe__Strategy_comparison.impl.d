@@ -1,0 +1,1 @@
+examples/strategy_comparison.ml: D Float List Lsm_harness Lsm_workload Printf Strategy Streams

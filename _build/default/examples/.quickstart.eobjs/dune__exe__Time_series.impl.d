@@ -1,0 +1,1 @@
+examples/time_series.ml: Format List Lsm_core Lsm_harness Lsm_sim Lsm_tree Lsm_util Printf

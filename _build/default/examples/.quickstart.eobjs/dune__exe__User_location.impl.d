@@ -1,0 +1,1 @@
+examples/user_location.ml: Format List Lsm_bloom Lsm_core Lsm_sim String

@@ -1,0 +1,1 @@
+examples/user_location.mli:

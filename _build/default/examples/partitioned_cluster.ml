@@ -1,0 +1,82 @@
+(* A "cluster in a box": hash-partitioned ingestion across simulated
+   nodes (Sec. 2.2's shared-nothing architecture), fan-out secondary
+   queries, and the transactional layer with a crash in the middle.
+
+   Run with: dune exec examples/partitioned_cluster.exe *)
+
+module Tweet = Lsm_workload.Tweet
+module D = Lsm_core.Dataset.Make (Tweet.Record)
+module P = Lsm_core.Partitioned.Make (Tweet.Record)
+module T = Lsm_core.Txn_dataset.Make (Tweet.Record) (D)
+
+let mk_env _i =
+  Lsm_sim.Env.create ~cache_bytes:(2 * 1024 * 1024) Lsm_harness.Scale.hdd_device
+
+let () =
+  (* ---- Part 1: a 4-partition dataset ---- *)
+  let p =
+    P.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      ~mk_env ~partitions:4
+      {
+        D.default_config with
+        strategy = Lsm_core.Strategy.validation;
+        mem_budget = 256 * 1024;
+      }
+  in
+  let stream =
+    Lsm_workload.Streams.upsert_stream ~seed:8 ~update_ratio:0.2
+      ~distribution:`Zipf_latest ()
+  in
+  let n = 40_000 in
+  for _ = 1 to n do
+    match Lsm_workload.Streams.next stream with
+    | Lsm_workload.Streams.Upsert r -> P.upsert p r
+    | _ -> ()
+  done;
+  Printf.printf "ingested %d tweets over %d partitions\n" n (P.partitions p);
+  Printf.printf "  parallel completion: %.3f simulated s (%.0f rec/s)\n"
+    (P.sim_time_s p)
+    (Float.of_int n /. P.sim_time_s p);
+  Printf.printf "  aggregate machine time: %.3f simulated s\n"
+    (P.sim_time_total_s p);
+
+  (* Fan-out secondary query: user_ids 1000-1100 across all partitions. *)
+  let hits =
+    P.query_secondary p ~sec:"user_id" ~lo:1000 ~hi:1100 ~mode:`Timestamp ()
+  in
+  Printf.printf "  fan-out query over users [1000,1100]: %d tweets\n"
+    (List.length hits);
+  Printf.printf "  total on-disk: %.1f MB\n\n"
+    (Float.of_int (P.total_disk_bytes p) /. 1e6);
+
+  (* ---- Part 2: transactions + crash recovery on one node ---- *)
+  let env = mk_env 0 in
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      env
+      { D.default_config with strategy = Lsm_core.Strategy.mutable_bitmap }
+  in
+  let t = T.create d in
+  let tw id user =
+    { Tweet.id; user_id = user; location = 0; created_at = id; msg_len = 100 }
+  in
+  T.upsert_auto t (tw 1 10);
+  T.upsert_auto t (tw 2 20);
+  T.flush t;
+  T.upsert_auto t (tw 1 11) (* flips a validity bit in the flushed component *);
+  (* An in-flight transaction that will not survive the crash: *)
+  let doomed = T.begin_txn t in
+  T.upsert t doomed (tw 2 99);
+  print_endline "simulating a crash with one committed and one in-flight update...";
+  T.crash t;
+  T.recover t;
+  let show id =
+    match D.point_query d id with
+    | Some r -> Printf.printf "  tweet %d -> user %d\n" id r.Tweet.user_id
+    | None -> Printf.printf "  tweet %d -> (missing)\n" id
+  in
+  show 1 (* 11: committed update replayed, bitmap bit re-set *);
+  show 2 (* 20: uncommitted update discarded *);
+  print_endline "recovery replayed exactly the committed work."

@@ -1,0 +1,77 @@
+(* The paper's running example (Figs. 2-4): a UserLocation dataset with
+   attributes (UserID, Location, Time), a secondary index on Location, and
+   a range filter on Time.  We replay the upsert of (101, NY, 2018) over
+   (101, CA, 2015) under each maintenance strategy and show that queries
+   Q1 (location = CA) and Q2 (time < 2017) give the same, correct answers
+   while the *work* each strategy performs differs.
+
+   Run with: dune exec examples/user_location.exe *)
+
+module UserLocation = struct
+  type t = { user_id : int; location : string; time : int }
+
+  let primary_key u = u.user_id
+  let byte_size _ = 32
+  let pp fmt u =
+    Format.fprintf fmt "(%d, %s, %d)" u.user_id u.location u.time
+end
+
+module D = Lsm_core.Dataset.Make (UserLocation)
+
+let location_code u = Lsm_bloom.Hashing.hash_string u.UserLocation.location land 0xffff
+
+let run strategy =
+  let env = Lsm_sim.Env.create ~cache_bytes:(1024 * 1024) Lsm_sim.Device.hdd in
+  let d =
+    D.create
+      ~filter_key:(fun u -> u.UserLocation.time)
+      ~secondaries:[ Lsm_core.Record.secondary "location" location_code ]
+      env
+      { D.default_config with strategy }
+  in
+  D.set_auto_maintenance d false;
+
+  (* Initial state of Fig. 2: two records on disk, one in memory. *)
+  D.upsert d { UserLocation.user_id = 101; location = "CA"; time = 2015 };
+  D.upsert d { UserLocation.user_id = 102; location = "CA"; time = 2016 };
+  D.flush_now d;
+  D.upsert d { UserLocation.user_id = 103; location = "MA"; time = 2017 };
+
+  (* The upsert of Figs. 3/4/9: user 101 moves to NY in 2018. *)
+  D.upsert d { UserLocation.user_id = 101; location = "NY"; time = 2018 };
+
+  (* Q1: all users currently in CA — must be exactly user 102. *)
+  let ca = Lsm_bloom.Hashing.hash_string "CA" land 0xffff in
+  let mode =
+    match strategy with Lsm_core.Strategy.Eager -> `Assume_valid | _ -> `Timestamp
+  in
+  let q1 = D.query_secondary d ~sec:"location" ~lo:ca ~hi:ca ~mode () in
+
+  (* Q2: all records with Time < 2017 — must be exactly (102, CA, 2016).
+     This is where filter maintenance matters: the Eager strategy widened
+     the memory filter to cover the deleted 2015 value; Validation must
+     read all newer components; Mutable-bitmap pruned the old version via
+     its bitmap. *)
+  let q2 = ref [] in
+  let _ = D.query_time_range d ~tlo:0 ~thi:2016 ~f:(fun u -> q2 := u :: !q2) in
+
+  Format.printf "%-18s Q1(CA) = [%s]   Q2(time<2017) = [%s]@."
+    (Lsm_core.Strategy.name strategy)
+    (String.concat "; "
+       (List.map (fun u -> Format.asprintf "%a" UserLocation.pp u) q1))
+    (String.concat "; "
+       (List.map (fun u -> Format.asprintf "%a" UserLocation.pp u) !q2))
+
+let () =
+  print_endline
+    "Running example of Figs. 2-4: upsert (101, NY, 2018) over (101, CA, 2015)";
+  List.iter run
+    [
+      Lsm_core.Strategy.eager;
+      Lsm_core.Strategy.validation;
+      Lsm_core.Strategy.mutable_bitmap;
+      Lsm_core.Strategy.deleted_key_btree;
+    ];
+  print_endline
+    "All strategies return identical answers; they differ in ingestion work \
+     (see `lsm_repro run fig14`)."

@@ -1,0 +1,1 @@
+lib/bloom/blocked_bloom.ml: Bloom Hashing Lsm_util

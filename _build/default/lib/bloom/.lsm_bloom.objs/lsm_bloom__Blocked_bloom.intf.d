@@ -1,0 +1,1 @@
+lib/bloom/blocked_bloom.mli:

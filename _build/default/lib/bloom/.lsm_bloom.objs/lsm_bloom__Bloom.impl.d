@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Float Hashing Lsm_util

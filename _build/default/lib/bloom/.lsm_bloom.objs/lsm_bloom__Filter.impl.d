@@ -1,0 +1,1 @@
+lib/bloom/filter.ml: Blocked_bloom Bloom

@@ -1,0 +1,1 @@
+lib/bloom/filter.mli: Blocked_bloom Bloom

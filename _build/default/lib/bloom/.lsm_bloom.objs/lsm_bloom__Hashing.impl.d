@@ -1,0 +1,1 @@
+lib/bloom/hashing.ml: Char Int64 String

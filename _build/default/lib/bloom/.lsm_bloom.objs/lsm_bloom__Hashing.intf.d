@@ -1,0 +1,1 @@
+lib/bloom/hashing.mli:

@@ -1,0 +1,49 @@
+(** Cache-friendly blocked Bloom filters (Putze et al., JEA 2010; paper
+    Sec. 3.2).
+
+    The bit space is divided into cache-line-sized blocks (512 bits).  The
+    first hash picks a block; the remaining hashes test bits within that
+    block only, so a probe costs one CPU cache miss instead of [k].  The
+    price is roughly one extra bit per key for the same false-positive
+    rate, which [create] adds on top of the standard sizing. *)
+
+let block_bits = 512 (* one 64-byte cache line *)
+
+type t = {
+  bits : Lsm_util.Bitset.t;
+  nblocks : int;
+  k : int;
+}
+
+let create ~expected ~fpr =
+  let m, k = Bloom.params ~expected ~fpr in
+  (* One extra bit per key compensates for block-occupancy variance. *)
+  let m = m + max expected 1 in
+  let nblocks = max 1 ((m + block_bits - 1) / block_bits) in
+  { bits = Lsm_util.Bitset.create (nblocks * block_bits); nblocks; k }
+
+let block_of t h = Hashing.mix64 h land max_int mod t.nblocks
+
+let position t h i =
+  let base = block_of t h * block_bits in
+  base + (Hashing.double_hash h (i + 1) land max_int mod block_bits)
+
+(** [add t h] inserts a key by its hash. *)
+let add t h =
+  for i = 0 to t.k - 1 do
+    Lsm_util.Bitset.set t.bits (position t h i)
+  done
+
+(** [contains t h] is [false] only if the key was never added. *)
+let contains t h =
+  let rec go i = i >= t.k || (Lsm_util.Bitset.get t.bits (position t h i) && go (i + 1)) in
+  go 0
+
+let k t = t.k
+let bit_count t = t.nblocks * block_bits
+let byte_size t = Lsm_util.Bitset.byte_size t.bits
+
+(** The whole point: one cache line per probe. *)
+let cache_lines_per_probe _t = 1
+
+let hashes_per_probe _t = 2

@@ -1,0 +1,37 @@
+(** A Bloom filter of either flavour behind one interface.
+
+    Components are built with whichever variant the engine configuration
+    selects (the "bBF" toggle of Sec. 6.2), and probe-cost accounting asks
+    the filter how many cache lines and hashes a probe touches. *)
+
+type t = Standard of Bloom.t | Blocked of Blocked_bloom.t
+
+type kind = [ `Standard | `Blocked ]
+
+let create (kind : kind) ~expected ~fpr =
+  match kind with
+  | `Standard -> Standard (Bloom.create ~expected ~fpr)
+  | `Blocked -> Blocked (Blocked_bloom.create ~expected ~fpr)
+
+let add t h =
+  match t with Standard b -> Bloom.add b h | Blocked b -> Blocked_bloom.add b h
+
+let contains t h =
+  match t with
+  | Standard b -> Bloom.contains b h
+  | Blocked b -> Blocked_bloom.contains b h
+
+let cache_lines_per_probe t =
+  match t with
+  | Standard b -> Bloom.cache_lines_per_probe b
+  | Blocked b -> Blocked_bloom.cache_lines_per_probe b
+
+let hashes_per_probe t =
+  match t with
+  | Standard b -> Bloom.hashes_per_probe b
+  | Blocked b -> Blocked_bloom.hashes_per_probe b
+
+let byte_size t =
+  match t with
+  | Standard b -> Bloom.byte_size b
+  | Blocked b -> Blocked_bloom.byte_size b

@@ -1,0 +1,13 @@
+(** Either Bloom filter flavour behind one interface (the "bBF" toggle of
+    Sec. 6.2 is a component build-time choice). *)
+
+type t = Standard of Bloom.t | Blocked of Blocked_bloom.t
+
+type kind = [ `Standard | `Blocked ]
+
+val create : kind -> expected:int -> fpr:float -> t
+val add : t -> int -> unit
+val contains : t -> int -> bool
+val cache_lines_per_probe : t -> int
+val hashes_per_probe : t -> int
+val byte_size : t -> int

@@ -1,0 +1,14 @@
+(** 64-bit hash mixing for Bloom filters and hash partitioning. *)
+
+val mix64 : int -> int
+(** The SplitMix64 finalizer: a strong bijective mixer. *)
+
+val combine : int -> int -> int
+(** Order-sensitive combination of two hashes (composite keys). *)
+
+val hash_string : string -> int
+(** FNV-1a over bytes, then mixed. *)
+
+val double_hash : int -> int -> int
+(** [double_hash h i]: the i-th probe seed under Kirsch-Mitzenmacher
+    double hashing ([h1 + i*h2], [h2] odd). *)

@@ -1,0 +1,1 @@
+lib/btree/disk_btree.ml: Array List Lsm_sim Lsm_util

@@ -1,0 +1,1 @@
+lib/btree/disk_btree.mli: Lsm_sim Lsm_util

@@ -1,0 +1,1 @@
+lib/btree/mem_btree.ml: Array Option

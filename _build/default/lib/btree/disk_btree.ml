@@ -1,0 +1,261 @@
+(** Immutable disk-resident B+-trees, the structure inside every LSM disk
+    component.
+
+    A tree is bulk-loaded once from a sorted row array and never modified.
+    Rows live in leaf pages laid out contiguously in a phantom file
+    ({!Lsm_sim.Sfile}); leaf boundaries are computed from serialized row
+    sizes against the device page size, so page counts — and therefore all
+    I/O costs — reflect real entry sizes.
+
+    Interior levels are represented by the per-leaf fence-key array.
+    Searching charges key comparisons for the interior descent but no page
+    I/O for interior nodes: they are a fraction of a percent of the data
+    and pinned in any real cache.  Interior pages *are* written (and
+    charged) at build time.
+
+    Three access paths mirror Sec. 3.2:
+    - [find]: stateless root-to-leaf search (the "naive" baseline);
+    - [Cursor]: a stateful search cursor that resumes from the last leaf
+      and uses exponential search ("sLookup");
+    - [Scan]: sequential leaf-order iteration for range scans and merges. *)
+
+module Make (K : Lsm_util.Intf.ORDERED) = struct
+  type 'row t = {
+    file : Lsm_sim.Sfile.t;
+    keys : K.t array;  (** key of each row, ascending (duplicates allowed) *)
+    rows : 'row array;
+    leaf_starts : int array;  (** leaf [l] holds rows [starts.(l), starts.(l+1)) *)
+    fences : K.t array;  (** first key of each leaf *)
+    leaf_pages : int;
+    interior_pages : int;
+  }
+
+  let nrows t = Array.length t.rows
+  let is_empty t = Array.length t.rows = 0
+  let file t = t.file
+  let leaf_pages t = t.leaf_pages
+  let interior_pages t = t.interior_pages
+  let rows t = t.rows
+  let keys t = t.keys
+
+  let min_key t = if is_empty t then None else Some t.keys.(0)
+  let max_key t = if is_empty t then None else Some t.keys.(Array.length t.keys - 1)
+
+  (** [size_bytes env t] is the on-disk footprint. *)
+  let size_bytes env t = Lsm_sim.Sfile.size_bytes env t.file
+
+  (** [build env ~key_of ~size_of rows] bulk-loads a tree from rows already
+      sorted by [key_of] (ascending; verified in debug runs by tests).
+      Charges sequential writes for leaf and interior pages. *)
+  let build env ~key_of ~size_of rows =
+    let n = Array.length rows in
+    let page_size = Lsm_sim.Env.page_size env in
+    let keys = Array.map key_of rows in
+    (* Cut leaves by accumulated serialized size. *)
+    let starts = ref [ 0 ] in
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      let s = size_of rows.(i) in
+      if !acc > 0 && !acc + s > page_size then begin
+        starts := i :: !starts;
+        acc := s
+      end
+      else acc := !acc + s
+    done;
+    let leaf_starts = Array.of_list (List.rev (n :: !starts)) in
+    let nleaves = Array.length leaf_starts - 1 in
+    let nleaves = if n = 0 then 0 else nleaves in
+    let leaf_starts = if n = 0 then [| 0 |] else leaf_starts in
+    let fences = Array.init nleaves (fun l -> keys.(leaf_starts.(l))) in
+    (* Interior size: one (key, child pointer) pair per leaf, packed. *)
+    let interior_bytes =
+      Array.fold_left (fun a k -> a + K.byte_size k + 8) 0 fences
+    in
+    let interior_pages =
+      if nleaves <= 1 then 0 else (interior_bytes + page_size - 1) / page_size
+    in
+    let file = Lsm_sim.Sfile.create env in
+    Lsm_sim.Sfile.append_pages env file (nleaves + interior_pages);
+    { file; keys; rows; leaf_starts; fences; leaf_pages = nleaves; interior_pages }
+
+  (** [delete env t] releases the underlying file. *)
+  let delete env t = Lsm_sim.Sfile.delete env t.file
+
+  (* Leaf that may contain [key]: the last leaf whose fence is <= key. *)
+  let leaf_for env t key =
+    let cost = ref 0 in
+    let i =
+      Lsm_util.Search.upper_bound ~cmp:K.compare ~cost t.fences ~lo:0
+        ~hi:(Array.length t.fences) key
+    in
+    Lsm_sim.Env.charge_comparisons env !cost;
+    if i = 0 then 0 else i - 1
+
+  let read_leaf env t l = Lsm_sim.Sfile.read_page env t.file l
+
+  (** [lower_bound_row env t key] is the index of the first row with key >=
+      [key] (or [nrows]); charges the interior descent and one leaf read. *)
+  let lower_bound_row env t key =
+    if is_empty t then 0
+    else begin
+      let l = leaf_for env t key in
+      read_leaf env t l;
+      let cost = ref 0 in
+      let i =
+        Lsm_util.Search.lower_bound ~cmp:K.compare ~cost t.keys
+          ~lo:t.leaf_starts.(l) ~hi:t.leaf_starts.(l + 1) key
+      in
+      Lsm_sim.Env.charge_comparisons env !cost;
+      (* The lower bound may equal leaf_starts.(l+1): the first row of the
+         next leaf, or nrows when [l] was the last leaf — both correct. *)
+      i
+    end
+
+  (** [find env t key] is the first row equal to [key] with its row index,
+      if any — the stateless ("naive") point lookup. *)
+  let find env t key =
+    if is_empty t then None
+    else begin
+      let l = leaf_for env t key in
+      read_leaf env t l;
+      let cost = ref 0 in
+      let i =
+        Lsm_util.Search.lower_bound ~cmp:K.compare ~cost t.keys
+          ~lo:t.leaf_starts.(l) ~hi:t.leaf_starts.(l + 1) key
+      in
+      incr cost;
+      let res =
+        if i < t.leaf_starts.(l + 1) && K.compare t.keys.(i) key = 0 then begin
+          Lsm_sim.Env.charge_entry_visits env 1;
+          Some (i, t.rows.(i))
+        end
+        else None
+      in
+      Lsm_sim.Env.charge_comparisons env !cost;
+      res
+    end
+
+  (** Stateful search cursors (the "sLookup" optimization, Sec. 3.2): the
+      cursor remembers the last leaf and row position; the next search
+      gallops from there with exponential search instead of descending from
+      the root, so sorted key batches cost O(log gap) per key. *)
+  module Cursor = struct
+    type 'row cur = { tree : 'row t; mutable leaf : int; mutable pos : int }
+
+    let create tree = { tree; leaf = 0; pos = 0 }
+
+    let find env c key =
+      let t = c.tree in
+      if is_empty t then None
+      else begin
+        let cost = ref 0 in
+        (* Gallop over fences from the current leaf. *)
+        let fhi = Array.length t.fences in
+        let fidx =
+          Lsm_util.Search.exponential_lower_bound ~cmp:K.compare ~cost t.fences
+            ~lo:0 ~hi:fhi ~start:(min c.leaf (fhi - 1)) key
+        in
+        (* fidx = first fence > or = key; the leaf is the one before unless
+           the fence equals the key exactly. *)
+        let l =
+          if fidx < fhi && (incr cost; K.compare t.fences.(fidx) key = 0) then fidx
+          else max 0 (fidx - 1)
+        in
+        if l <> c.leaf then c.pos <- t.leaf_starts.(l);
+        c.leaf <- l;
+        read_leaf env t l;
+        let i =
+          Lsm_util.Search.exponential_lower_bound ~cmp:K.compare ~cost t.keys
+            ~lo:t.leaf_starts.(l) ~hi:t.leaf_starts.(l + 1)
+            ~start:(max c.pos t.leaf_starts.(l)) key
+        in
+        c.pos <- i;
+        incr cost;
+        let res =
+          if i < t.leaf_starts.(l + 1) && K.compare t.keys.(i) key = 0 then begin
+            Lsm_sim.Env.charge_entry_visits env 1;
+            Some (i, t.rows.(i))
+          end
+          else None
+        in
+        Lsm_sim.Env.charge_comparisons env !cost;
+        res
+      end
+  end
+
+  (** Sequential scans in leaf order.  Scans prefetch
+      [Env.read_ahead_pages] leaves per device request (the paper's 4MB
+      read-ahead), so interleaving many scan streams — reconciling scans
+      open one per component — does not degrade to a seek per page.  Each
+      returned row is charged one entry visit. *)
+  module Scan = struct
+    type 'row s = {
+      tree : 'row t;
+      mutable i : int;  (** next row index *)
+      mutable leaf : int;  (** leaf of [i], fetched already *)
+      mutable prefetched_until : int;  (** last leaf in the RA window *)
+    }
+
+    (* Fetch leaf [l]: free if inside the current read-ahead window,
+       otherwise issue a read of the next window. *)
+    let fetch_leaf env s l =
+      if l <= s.prefetched_until then Lsm_sim.Env.charge_page_hit env
+      else begin
+        let t = s.tree in
+        let last = min (t.leaf_pages - 1) (l + Lsm_sim.Env.read_ahead_pages env - 1) in
+        Lsm_sim.Sfile.read_range env t.file ~first:l ~count:(last - l + 1);
+        s.prefetched_until <- last
+      end
+
+    let leaf_of_row t i =
+      (* Largest l with leaf_starts.(l) <= i. *)
+      let cost = ref 0 in
+      let l =
+        Lsm_util.Search.upper_bound ~cmp:compare ~cost t.leaf_starts ~lo:0
+          ~hi:(Array.length t.leaf_starts) i
+      in
+      l - 1
+
+    (** [seek env t key] positions at the first row with key >= [key]
+        ([None] = start of tree). *)
+    let seek env t key =
+      if is_empty t then { tree = t; i = 0; leaf = -1; prefetched_until = -1 }
+      else
+        match key with
+        | None ->
+            let s = { tree = t; i = 0; leaf = 0; prefetched_until = -1 } in
+            fetch_leaf env s 0;
+            s
+        | Some k ->
+            let i = lower_bound_row env t k in
+            if i >= nrows t then
+              { tree = t; i; leaf = -1; prefetched_until = -1 }
+            else begin
+              let l = leaf_of_row t i in
+              let s = { tree = t; i; leaf = l; prefetched_until = -1 } in
+              fetch_leaf env s l;
+              s
+            end
+
+    let has_next s = s.i < nrows s.tree
+
+    (** [peek_key s] is the key of the next row without consuming it. *)
+    let peek_key s = if has_next s then Some s.tree.keys.(s.i) else None
+
+    (** [next env s] consumes and returns the next row (index and row). *)
+    let next env s =
+      if not (has_next s) then None
+      else begin
+        let t = s.tree in
+        let i = s.i in
+        if s.leaf < 0 || i >= t.leaf_starts.(s.leaf + 1) then begin
+          let l = leaf_of_row t i in
+          fetch_leaf env s l;
+          s.leaf <- l
+        end;
+        Lsm_sim.Env.charge_entry_visits env 1;
+        s.i <- i + 1;
+        Some (i, t.rows.(i))
+      end
+  end
+end

@@ -1,0 +1,46 @@
+(** Mutable in-memory B+-trees — the data structure of LSM *memory
+    components* (Sec. 2.2).  Insert-or-replace, point lookup, leaf-linked
+    in-order iteration, and a rollback-only removal (LSM deletion inserts
+    anti-matter values; physical removal exists solely for transaction
+    rollback, Sec. 5.2).
+
+    Key comparisons are counted per tree; the LSM layer drains the counter
+    into the simulated clock after each operation. *)
+
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+
+  val take_comparisons : 'v t -> int
+  (** Return and reset the comparison counter. *)
+
+  val put : 'v t -> K.t -> 'v -> 'v option
+  (** Insert or replace; returns the previous binding, if any. *)
+
+  val remove : 'v t -> K.t -> 'v option
+  (** Remove a binding (transaction rollback only).  Leaves may underflow;
+      search correctness is unaffected. *)
+
+  val find : 'v t -> K.t -> 'v option
+  val mem : 'v t -> K.t -> bool
+
+  val iter : 'v t -> (K.t -> 'v -> unit) -> unit
+  (** Ascending key order. *)
+
+  val to_sorted_array : 'v t -> (K.t * 'v) array
+  (** Materialize all bindings in key order (flush). *)
+
+  val iter_from : 'v t -> K.t -> (K.t -> 'v -> bool) -> unit
+  (** Bindings with key >= the bound, in order, while the callback returns
+      [true]. *)
+
+  val min_binding : 'v t -> (K.t * 'v) option
+  val max_binding : 'v t -> (K.t * 'v) option
+end

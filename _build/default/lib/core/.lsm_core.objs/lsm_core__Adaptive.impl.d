@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Dataset Float List Log Record Strategy

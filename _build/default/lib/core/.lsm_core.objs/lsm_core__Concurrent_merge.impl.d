@@ -1,0 +1,1 @@
+lib/core/concurrent_merge.ml: Array Dataset Float Hashtbl List Lsm_sim Lsm_tree Lsm_txn Lsm_util Option Record

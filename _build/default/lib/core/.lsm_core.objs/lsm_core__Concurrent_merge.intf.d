@@ -1,0 +1,1 @@
+lib/core/concurrent_merge.mli: Dataset Record

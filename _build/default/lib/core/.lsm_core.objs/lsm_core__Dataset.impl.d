@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Hashtbl List Log Lsm_sim Lsm_tree Lsm_util Option Record Strategy

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Format Lsm_sim Lsm_tree Lsm_util Record Strategy

@@ -1,0 +1,1 @@
+lib/core/partitioned.ml: Array Dataset List Lsm_bloom Lsm_sim Record

@@ -1,0 +1,1 @@
+lib/core/partitioned.mli: Dataset Lsm_sim Record

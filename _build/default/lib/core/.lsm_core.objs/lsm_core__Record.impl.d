@@ -1,0 +1,1 @@
+lib/core/record.ml: Format List

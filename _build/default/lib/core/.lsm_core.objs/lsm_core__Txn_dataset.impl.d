@@ -1,0 +1,1 @@
+lib/core/txn_dataset.ml: Array Dataset List Lsm_tree Lsm_txn Lsm_util Option Printf Record Strategy

@@ -1,0 +1,1 @@
+lib/core/txn_dataset.mli: Dataset Record

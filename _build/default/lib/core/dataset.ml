@@ -1,0 +1,1113 @@
+(** The LSM storage architecture of Sec. 3 (Fig. 1): per dataset, a primary
+    index, an optional primary key index, and a set of secondary indexes —
+    all LSM-trees sharing one memory budget, flushed together, with
+    Bloom filters on primary/primary-key components and an optional range
+    filter on the primary index.
+
+    Ingestion ([insert] / [delete] / [upsert]) follows the configured
+    {!Strategy.t}; queries live in the [Query] section below; background
+    index repair in the [Repair] section. *)
+
+module Entry = Lsm_tree.Entry
+
+module Make (R : Record.S) = struct
+  module Rv = struct
+    type t = R.t
+
+    let byte_size = R.byte_size
+    let pp = R.pp
+  end
+
+  module Prim = Lsm_tree.Make (Lsm_util.Keys.Int_key) (Rv)
+  module Pk = Lsm_tree.Make (Lsm_util.Keys.Int_key) (Lsm_util.Keys.Unit_value)
+  module Sec = Lsm_tree.Make (Lsm_util.Keys.Int_pair_key) (Lsm_util.Keys.Unit_value)
+
+  type sec_index = {
+    sec_name : string;
+    extract_all : R.t -> int list;  (** all secondary keys of a record *)
+    tree : Sec.t;
+    del_tree : Pk.t option;
+        (** deleted-key structure (Deleted_key_btree strategy only) *)
+  }
+
+  type config = {
+    strategy : Strategy.t;
+    mem_budget : int;  (** shared across all the dataset's memory components *)
+    merge_policy : Lsm_tree.Merge_policy.t;
+    use_pk_index : bool;  (** Fig. 13 evaluates inserts without one *)
+    bloom : Lsm_tree.Config.bloom option;
+        (** Bloom settings for primary / primary-key / deleted-key
+            components (secondary indexes are range-scanned, no filter) *)
+  }
+
+  let default_config =
+    {
+      strategy = Strategy.eager;
+      mem_budget = 4 * 1024 * 1024;
+      merge_policy = Lsm_tree.Merge_policy.tiering ~size_ratio:1.2 ();
+      use_pk_index = true;
+      bloom = Some Lsm_tree.Config.default_bloom;
+    }
+
+  type stats = {
+    mutable n_inserts : int;
+    mutable n_upserts : int;
+    mutable n_deletes : int;
+    mutable n_duplicates : int;  (** inserts rejected by the uniqueness check *)
+    mutable n_flushes : int;
+    mutable n_merges : int;
+    mutable n_repairs : int;  (** component repair operations *)
+    mutable flush_us : float;  (** simulated time inside flushes *)
+    mutable merge_us : float;
+        (** simulated time inside the merge scheduler (includes any merge
+            repairs, which {!repair_us} also counts separately) *)
+    mutable repair_us : float;  (** simulated time inside repair operations *)
+  }
+
+  type t = {
+    env : Lsm_sim.Env.t;
+    cfg : config;
+    filter_key : (R.t -> int) option;
+    primary : Prim.t;
+    pk_index : Pk.t option;
+    secondaries : sec_index array;
+    mutable clock : int;  (** logical ingestion timestamp (Sec. 4.1) *)
+    stats : stats;
+    mutable auto_maintenance : bool;
+        (** flush/merge when the budget fills; disable to drive manually *)
+  }
+
+  let create ?filter_key ?(secondaries = []) env cfg =
+    let bitmap = Strategy.uses_primary_bitmap cfg.strategy in
+    let primary =
+      Prim.create ?filter_of:filter_key env
+        (Lsm_tree.Config.make ~bloom:cfg.bloom ~validity_bitmap:bitmap "primary")
+    in
+    let pk_index =
+      if cfg.use_pk_index then
+        Some
+          (Pk.create env
+             (Lsm_tree.Config.make ~bloom:cfg.bloom ~validity_bitmap:bitmap
+                "pk-index"))
+      else None
+    in
+    let mk_sec (s : R.t Record.secondary) =
+      {
+        sec_name = s.Record.sec_name;
+        extract_all = s.Record.extract_all;
+        tree =
+          Sec.create env
+            (Lsm_tree.Config.make ~bloom:None ~validity_bitmap:false
+               ("sec:" ^ s.Record.sec_name));
+        del_tree =
+          (match cfg.strategy with
+          | Strategy.Deleted_key_btree ->
+              Some
+                (Pk.create env
+                   (Lsm_tree.Config.make ~bloom:cfg.bloom ~validity_bitmap:false
+                      ("del:" ^ s.Record.sec_name)))
+          | _ -> None);
+      }
+    in
+    {
+      env;
+      cfg;
+      filter_key;
+      primary;
+      pk_index;
+      secondaries = Array.of_list (List.map mk_sec secondaries);
+      clock = 0;
+      stats =
+        {
+          n_inserts = 0;
+          n_upserts = 0;
+          n_deletes = 0;
+          n_duplicates = 0;
+          n_flushes = 0;
+          n_merges = 0;
+          n_repairs = 0;
+          flush_us = 0.0;
+          merge_us = 0.0;
+          repair_us = 0.0;
+        };
+      auto_maintenance = true;
+    }
+
+  let env t = t.env
+  let stats t = t.stats
+  let strategy t = t.cfg.strategy
+  let secondary t name =
+    match Array.find_opt (fun s -> s.sec_name = name) t.secondaries with
+    | Some s -> s
+    | None -> invalid_arg ("Dataset: no secondary index named " ^ name)
+
+  let next_ts t =
+    t.clock <- t.clock + 1;
+    t.clock
+
+  let now_ts t = t.clock
+
+  (** [next_timestamp t] hands out a fresh ingestion timestamp — for
+      machinery (like the concurrent-merge writers of Sec. 5.3) that
+      bypasses the regular ingestion entry points. *)
+  let next_timestamp = next_ts
+
+  (* ------------------------------------------------------------------ *)
+  (* Shared flush and merge scheduling *)
+
+  let total_mem_bytes t =
+    Prim.mem_bytes t.primary
+    + (match t.pk_index with Some pk -> Pk.mem_bytes pk | None -> 0)
+    + Array.fold_left
+        (fun acc s ->
+          acc + Sec.mem_bytes s.tree
+          + (match s.del_tree with Some d -> Pk.mem_bytes d | None -> 0))
+        0 t.secondaries
+
+  (* Unify the newest primary / primary-key components' bitmaps so that a
+     bit set through either index is seen by both (their entries align
+     positionally: same keys, same order; Sec. 5.1). *)
+  let unify_newest_bitmaps t =
+    match t.pk_index with
+    | Some pk when Strategy.uses_primary_bitmap t.cfg.strategy ->
+        let pcs = Prim.components t.primary and kcs = Pk.components pk in
+        if Array.length pcs > 0 && Array.length kcs > 0 then
+          kcs.(0).Pk.bitmap <- pcs.(0).Prim.bitmap
+    | _ -> ()
+
+  let flush_all t =
+    let t0 = Lsm_sim.Env.now_us t.env in
+    let flushed = Prim.mem_count t.primary > 0 in
+    Prim.flush t.primary;
+    (match t.pk_index with Some pk -> Pk.flush pk | None -> ());
+    Array.iter
+      (fun s ->
+        Sec.flush s.tree;
+        match s.del_tree with Some d -> Pk.flush d | None -> ())
+      t.secondaries;
+    if flushed then begin
+      t.stats.n_flushes <- t.stats.n_flushes + 1;
+      unify_newest_bitmaps t;
+      Log.debug (fun m ->
+          m "flush #%d: %d primary components, %d disk bytes"
+            t.stats.n_flushes
+            (Prim.component_count t.primary)
+            (Prim.disk_size_bytes t.primary))
+    end;
+    t.stats.flush_us <- t.stats.flush_us +. (Lsm_sim.Env.now_us t.env -. t0)
+
+  (* Forward declaration: repair of a secondary component (defined below,
+     needs validation machinery). *)
+  let repair_hook :
+      (t -> sec_index -> Sec.disk_component -> piggyback:bool -> unit) ref =
+    ref (fun _ _ _ ~piggyback:_ -> ())
+
+  (* Merge the components of [tree] whose IDs fall inside [lo, hi]
+     (a contiguous run, by the disjointness of component IDs). *)
+  let merge_id_range (type dc) ~(components : unit -> dc array)
+      ~(id : dc -> int * int) ~(merge : first:int -> last:int -> dc) ~lo ~hi =
+    let comps = components () in
+    let first = ref (-1) and last = ref (-1) in
+    Array.iteri
+      (fun i c ->
+        let cmin, cmax = id c in
+        if cmin >= lo && cmax <= hi then begin
+          if !first < 0 then first := i;
+          last := i
+        end)
+      comps;
+    if !first >= 0 && !last > !first then Some (merge ~first:!first ~last:!last)
+    else None
+
+  (* Secondary entries validate lazily against the primary key index, so a
+     pk-index bottom merge must not drop a delete tombstone until every
+     secondary component's repairedTS has passed it — otherwise an obsolete
+     secondary entry for the deleted key would validate as live.  Memory
+     components need no barrier: they always flush together with the
+     tombstones that concern them. *)
+  let update_tombstone_barrier t =
+    match t.pk_index with
+    | None -> ()
+    | Some pkt -> (
+        match t.cfg.strategy with
+        | Strategy.Validation _ | Strategy.Mutable_bitmap _ ->
+            let barrier = ref max_int in
+            Array.iter
+              (fun s ->
+                Array.iter
+                  (fun c -> barrier := min !barrier c.Sec.repaired_ts)
+                  (Sec.components s.tree))
+              t.secondaries;
+            Pk.set_tombstone_drop_ts pkt !barrier;
+            (* Under Mutable-bitmap, primary and pk-index components share
+               validity bitmaps and must keep identical row sequences, so
+               the primary observes the same barrier. *)
+            if Strategy.uses_primary_bitmap t.cfg.strategy then
+              Prim.set_tombstone_drop_ts t.primary !barrier
+        | Strategy.Eager | Strategy.Deleted_key_btree ->
+            (* Eager secondaries are always valid; the deleted-key strategy
+               validates against its own per-index structures (whose merges
+               only ever keep the newest deletion record per key). *)
+            ())
+
+  (** Run the merge scheduler to a fixpoint.  Depending on the strategy,
+      the primary pair (and possibly the secondaries) merge under a
+      correlated policy — same component ID ranges everywhere — while the
+      rest merge independently (Sec. 4.4, Sec. 5.1). *)
+  let run_merges t =
+    let t0 = Lsm_sim.Env.now_us t.env in
+    let policy = t.cfg.merge_policy in
+    let repair_after_merge s sc =
+      match t.cfg.strategy with
+      | Strategy.Validation { repair_on_merge = true; _ }
+      | Strategy.Mutable_bitmap { secondary_repair = true }
+      | Strategy.Deleted_key_btree ->
+          !repair_hook t s sc ~piggyback:true
+      | _ -> ()
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      update_tombstone_barrier t;
+      let bump () =
+        progress := true;
+        t.stats.n_merges <- t.stats.n_merges + 1
+      in
+      (* Primary index: merges independently, except under Mutable-bitmap
+         where the primary key index must follow in lockstep to keep the
+         shared bitmaps positionally aligned (Sec. 5.1). *)
+      (match Prim.maybe_merge t.primary policy with
+      | Some pc -> (
+          bump ();
+          match t.pk_index with
+          | Some pk when Strategy.correlates_primary_pair t.cfg.strategy -> (
+              let lo, hi = Prim.component_id pc in
+              match
+                merge_id_range
+                  ~components:(fun () -> Pk.components pk)
+                  ~id:Pk.component_id
+                  ~merge:(fun ~first ~last -> Pk.merge pk ~first ~last)
+                  ~lo ~hi
+              with
+              | Some kc ->
+                  if Strategy.uses_primary_bitmap t.cfg.strategy then
+                    kc.Pk.bitmap <- pc.Prim.bitmap
+              | None -> ())
+          | _ -> ())
+      | None -> ());
+      (* Primary key index: under the Bloom-opt validation strategy its
+         merges drive every secondary (Sec. 4.4); under Mutable-bitmap it
+         is slaved to the primary above; otherwise independent. *)
+      (match t.pk_index with
+      | Some pk when not (Strategy.correlates_primary_pair t.cfg.strategy) ->
+          if Strategy.correlates_secondaries t.cfg.strategy then begin
+            (* Decide the merge on the primary key index, but *repair
+               first, merge after*: the merge repair must validate against
+               the pre-merge pk components — once they merge, the combined
+               Bloom filter answers positive for every key of the merged
+               range and the strictly-newer pruning is lost (Sec. 4.4's
+               motivating example, Fig. 1). *)
+            let comps = Pk.components pk in
+            let n = Array.length comps in
+            let sizes =
+              Array.init n (fun i -> Pk.component_size_bytes pk comps.(n - 1 - i))
+            in
+            match Lsm_tree.Merge_policy.pick policy ~sizes with
+            | Some (f_old, l_old) ->
+                bump ();
+                let first = n - 1 - l_old and last = n - 1 - f_old in
+                let lo = fst (Pk.component_id comps.(last)) in
+                let hi = snd (Pk.component_id comps.(first)) in
+                Array.iter
+                  (fun s ->
+                    match
+                      merge_id_range
+                        ~components:(fun () -> Sec.components s.tree)
+                        ~id:Sec.component_id
+                        ~merge:(fun ~first ~last -> Sec.merge s.tree ~first ~last)
+                        ~lo ~hi
+                    with
+                    | Some sc -> !repair_hook t s sc ~piggyback:true
+                    | None -> ())
+                  t.secondaries;
+                ignore (Pk.merge pk ~first ~last)
+            | None -> ()
+          end
+          else begin
+            match Pk.maybe_merge pk policy with
+            | Some _ -> bump ()
+            | None -> ()
+          end
+      | _ -> ());
+      (* Secondaries (and deleted-key trees) merge independently unless
+         the Bloom-opt strategy correlated them above. *)
+      if not (Strategy.correlates_secondaries t.cfg.strategy) then
+        Array.iter
+          (fun s ->
+            (match Sec.maybe_merge s.tree policy with
+            | Some sc ->
+                bump ();
+                repair_after_merge s sc
+            | None -> ());
+            match s.del_tree with
+            | Some d -> (
+                match Pk.maybe_merge d policy with
+                | Some _ -> bump ()
+                | None -> ())
+            | None -> ())
+          t.secondaries
+    done;
+    t.stats.merge_us <- t.stats.merge_us +. (Lsm_sim.Env.now_us t.env -. t0)
+
+  (** [flush_now t] forces a flush of all memory components and runs the
+      merge scheduler. *)
+  let flush_now t =
+    flush_all t;
+    run_merges t
+
+  (** [flush_memory t] flushes without merging (experiments that need a
+      specific component layout drive merges themselves). *)
+  let flush_memory t = flush_all t
+
+  let maybe_flush t =
+    if t.auto_maintenance && total_mem_bytes t >= t.cfg.mem_budget then
+      flush_now t
+
+  (* ------------------------------------------------------------------ *)
+  (* Ingestion (Secs. 3.1, 4.2, 5.2) *)
+
+  (* Anti-matter the old record's secondary entries, skipping indexes whose
+     key did not change (the Eager upsert optimization of Sec. 3.1; also
+     used by the memory-component optimization of Sec. 4.2). *)
+  let cleanup_secondaries t ~old_r ~new_r ~ts =
+    Array.iter
+      (fun s ->
+        let new_keys =
+          match new_r with None -> [] | Some r -> s.extract_all r
+        in
+        (* Anti-matter only the keys the record no longer has: keys that
+           persist are superseded by the new same-composite-key entry. *)
+        List.iter
+          (fun sko ->
+            if not (List.mem sko new_keys) then
+              Sec.write s.tree ~key:(sko, R.primary_key old_r) ~ts Entry.Del)
+          (s.extract_all old_r))
+      t.secondaries
+
+  let write_new_record t r ~ts =
+    let pk = R.primary_key r in
+    Prim.write t.primary ~key:pk ~ts (Entry.Put r);
+    (match t.pk_index with
+    | Some pkt -> Pk.write pkt ~key:pk ~ts (Entry.Put ())
+    | None -> ());
+    Array.iter
+      (fun s ->
+        List.iter
+          (fun sk -> Sec.write s.tree ~key:(sk, pk) ~ts (Entry.Put ()))
+          (s.extract_all r))
+      t.secondaries
+
+  (* The memory-component optimization (Sec. 4.2): deleting/upserting must
+     search the primary memory component anyway to place the new entry; if
+     the old record happens to live there, clean up secondaries for free. *)
+  let mem_cleanup_opportunity t pk ~new_r ~ts =
+    match Prim.mem_find t.primary pk with
+    | Some { Prim.value = Entry.Put old_r; _ } ->
+        cleanup_secondaries t ~old_r ~new_r ~ts
+    | _ -> ()
+
+  (* Mutable-bitmap strategy: mark the old version of [pk] (if on disk)
+     deleted by flipping its validity bit, located via the primary key
+     index (Sec. 5.2). *)
+  let mark_old_deleted t pk =
+    match t.pk_index with
+    | None -> invalid_arg "Mutable-bitmap strategy requires the primary key index"
+    | Some pkt -> (
+        match Pk.mem_find pkt pk with
+        | Some _ ->
+            (* Newest version is in memory: the same-key write replaces it;
+               no bitmap involved. *)
+            ()
+        | None -> (
+            match Pk.disk_find pkt pk with
+            | Some (c, pos, row)
+              when Entry.is_put row.Pk.value && Pk.component_row_valid c pos ->
+                (* The shared bitmap makes the primary component see it. *)
+                Pk.invalidate c pos
+            | _ -> ()))
+
+  (** [key_exists t pk] is the insert-time uniqueness check, against the
+      primary key index when available (the optimization Fig. 13
+      measures), else the primary index. *)
+  let key_exists t pk =
+    match t.pk_index with
+    | Some pkt -> (
+        match Pk.lookup_one pkt pk with
+        | Some row -> Entry.is_put row.Pk.value
+        | None -> false)
+    | None -> (
+        match Prim.lookup_one t.primary pk with
+        | Some row -> Entry.is_put row.Prim.value
+        | None -> false)
+
+  (** [insert t r] ingests a new record; duplicates (by primary key) are
+      rejected.  All strategies insert identically (Sec. 4.2). *)
+  let insert t r =
+    let pk = R.primary_key r in
+    if key_exists t pk then begin
+      t.stats.n_duplicates <- t.stats.n_duplicates + 1;
+      maybe_flush t;
+      `Duplicate
+    end
+    else begin
+      let ts = next_ts t in
+      write_new_record t r ~ts;
+      t.stats.n_inserts <- t.stats.n_inserts + 1;
+      maybe_flush t;
+      `Inserted
+    end
+
+  (** [upsert t r] inserts [r], superseding any existing record with the
+      same primary key.  This is where the strategies differ (Fig. 14). *)
+  let upsert t r =
+    let pk = R.primary_key r in
+    let ts = next_ts t in
+    (match t.cfg.strategy with
+    | Strategy.Eager -> (
+        (* Point lookup for the old record; anti-matter its secondary
+           entries; widen memory filters to cover its filter key. *)
+        match Prim.lookup_one t.primary pk with
+        | Some { Prim.value = Entry.Put old_r; _ } ->
+            cleanup_secondaries t ~old_r ~new_r:(Some r) ~ts;
+            Option.iter
+              (fun fk -> Prim.widen_filter t.primary (fk old_r))
+              t.filter_key
+        | _ -> ())
+    | Strategy.Validation _ -> mem_cleanup_opportunity t pk ~new_r:(Some r) ~ts
+    | Strategy.Deleted_key_btree ->
+        mem_cleanup_opportunity t pk ~new_r:(Some r) ~ts;
+        (* Record "pk superseded as of ts" in every secondary's deleted-key
+           structure. *)
+        Array.iter
+          (fun s ->
+            match s.del_tree with
+            | Some d -> Pk.write d ~key:pk ~ts (Entry.Put ())
+            | None -> ())
+          t.secondaries
+    | Strategy.Mutable_bitmap _ ->
+        mark_old_deleted t pk;
+        mem_cleanup_opportunity t pk ~new_r:(Some r) ~ts);
+    write_new_record t r ~ts;
+    t.stats.n_upserts <- t.stats.n_upserts + 1;
+    maybe_flush t
+
+  (** [delete t ~pk] removes the record with key [pk] (a no-op for the
+      Eager strategy if it does not exist; blind for the others). *)
+  let delete t ~pk =
+    let ts = next_ts t in
+    (match t.cfg.strategy with
+    | Strategy.Eager -> (
+        match Prim.lookup_one t.primary pk with
+        | Some { Prim.value = Entry.Put old_r; _ } ->
+            cleanup_secondaries t ~old_r ~new_r:None ~ts;
+            Option.iter
+              (fun fk -> Prim.widen_filter t.primary (fk old_r))
+              t.filter_key;
+            Prim.write t.primary ~key:pk ~ts Entry.Del;
+            (match t.pk_index with
+            | Some pkt -> Pk.write pkt ~key:pk ~ts Entry.Del
+            | None -> ());
+            t.stats.n_deletes <- t.stats.n_deletes + 1
+        | _ -> () (* nonexistent key: ignored *))
+    | Strategy.Validation _ | Strategy.Deleted_key_btree ->
+        mem_cleanup_opportunity t pk ~new_r:None ~ts;
+        (match t.cfg.strategy with
+        | Strategy.Deleted_key_btree ->
+            Array.iter
+              (fun s ->
+                match s.del_tree with
+                | Some d -> Pk.write d ~key:pk ~ts (Entry.Put ())
+                | None -> ())
+              t.secondaries
+        | _ -> ());
+        Prim.write t.primary ~key:pk ~ts Entry.Del;
+        (match t.pk_index with
+        | Some pkt -> Pk.write pkt ~key:pk ~ts Entry.Del
+        | None -> ());
+        t.stats.n_deletes <- t.stats.n_deletes + 1
+    | Strategy.Mutable_bitmap _ ->
+        mark_old_deleted t pk;
+        mem_cleanup_opportunity t pk ~new_r:None ~ts;
+        (* The anti-matter key is still added: bitmaps are an auxiliary
+           structure that must not change LSM semantics (Sec. 5.2). *)
+        Prim.write t.primary ~key:pk ~ts Entry.Del;
+        (match t.pk_index with
+        | Some pkt -> Pk.write pkt ~key:pk ~ts Entry.Del
+        | None -> ());
+        t.stats.n_deletes <- t.stats.n_deletes + 1);
+    maybe_flush t
+
+  (* ------------------------------------------------------------------ *)
+  (* Validation machinery (Secs. 4.3, 4.4) *)
+
+  (* Is a (pk, ts) pair still current according to validation index [vt]
+     (the primary key index, or a deleted-key tree)?  Components with
+     maxTS <= threshold are pruned; [threshold] is at least the entry's own
+     timestamp and its source component's repairedTS. *)
+  let entry_is_valid (vt : Pk.t) ?cursors ~pk ~ts ~threshold () =
+    match Pk.mem_find vt pk with
+    | Some row -> row.Pk.ts <= ts
+    | None ->
+        let comps = Pk.components vt in
+        let rec go i =
+          if i >= Array.length comps then true
+          else begin
+            let c = comps.(i) in
+            if c.Pk.cmax_ts <= threshold then true
+            else if Pk.probe_bloom vt c pk then begin
+              let hit =
+                match cursors with
+                | Some cs -> Pk.Dbt.Cursor.find (Pk.env vt) cs.(i) pk
+                | None -> Pk.Dbt.find (Pk.env vt) c.Pk.tree pk
+              in
+              match hit with
+              | Some (_, row) -> row.Pk.ts <= ts
+              | None -> go (i + 1)
+            end
+            else go (i + 1)
+          end
+        in
+        go 0
+
+  (* The validation index for a secondary: its own deleted-key tree under
+     the Deleted-key strategy, else the dataset's primary key index. *)
+  let validation_index t sec =
+    match sec.del_tree with
+    | Some d -> Some d
+    | None -> t.pk_index
+
+  (* ------------------------------------------------------------------ *)
+  (* Index repair (Sec. 4.4) *)
+
+  (* One (pk, ts, position) item streamed to the repair sorter (Fig. 7).
+     [?bloom_opt] overrides the strategy's setting (ablation benches
+     compare repair with and without it on identical datasets). *)
+  let repair_component ?bloom_opt t sec (comp : Sec.disk_component) ~piggyback =
+    match validation_index t sec with
+    | None -> ()
+    | Some vt ->
+        let t0 = Lsm_sim.Env.now_us t.env in
+        let bloom_opt =
+          match bloom_opt with
+          | Some b -> b
+          | None -> (
+              match t.cfg.strategy with
+              | Strategy.Validation { bloom_opt; _ } -> bloom_opt
+              | _ -> false)
+        in
+        let threshold = comp.Sec.repaired_ts in
+        if not piggyback then Sec.charge_component_scan sec.tree comp;
+        let rows = Sec.rows_of comp in
+        (* Gather still-valid entries as (pk, ts, position). *)
+        let items = ref [] in
+        let n_items = ref 0 in
+        Array.iteri
+          (fun pos (r : Sec.row) ->
+            if Sec.component_row_valid comp pos then begin
+              let _, pk = r.Sec.key in
+              items := (pk, r.Sec.ts, pos) :: !items;
+              incr n_items
+            end)
+          rows;
+        let items = Array.of_list !items in
+        (* Bloom-filter optimization: a key whose probes on all unpruned
+           primary-key components are negative (and which misses the pk
+           memory component) cannot have been superseded — exclude it from
+           sorting and validation entirely (Sec. 4.4). *)
+        (* Under the Bloom-opt strategy's regime — correlated merges with
+           repair at every merge, plus the memory-cleanup optimization of
+           Sec. 4.2 — a component whose ID range *contains* an entry's
+           timestamp cannot hold its superseding entry (same-era staleness
+           never reaches disk; cross-era staleness was repaired when the
+           eras merged).  So only components *strictly newer* than the
+           entry need probing, which is the paper's "the unpruned primary
+           key index components are always strictly newer than the keys in
+           the repairing component".  Outside that regime (the ablation
+           override), the conservative overlap rule applies. *)
+        let strict_regime =
+          match t.cfg.strategy with
+          | Strategy.Validation { bloom_opt = true; _ } -> true
+          | _ -> false
+        in
+        let could_supersede c ts =
+          if strict_regime then c.Pk.cmin_ts > max threshold ts
+          else c.Pk.cmax_ts > max threshold ts
+        in
+        (* Sort grant (Fig. 7 line 9): key volumes beyond a quarter of the
+           dataset memory budget spill through scratch storage — I/O that
+           the Bloom-filter optimization avoids by excluding never-updated
+           keys from the sort (Sec. 6.5). *)
+        let spill_grant =
+          Lsm_sim.Spill_sort.grant ~memory_bytes:(t.cfg.mem_budget / 4)
+            ~row_bytes:24
+        in
+        let relevant_comps =
+          List.filter
+            (fun c -> c.Pk.cmax_ts > threshold)
+            (Array.to_list (Pk.components vt))
+        in
+        (if bloom_opt then begin
+           (* Streaming skip pass: an item whose probes on every component
+              that could supersede it are negative (and which misses the
+              pk memory component) is valid and never sorted or validated.
+              Survivors remember their first positive component so the
+              validation pass does not re-probe it. *)
+           let comps = Pk.components vt in
+           let cands = ref [] in
+           Array.iter
+             (fun (pk, ts, pos) ->
+               match Pk.mem_find vt pk with
+               | Some row ->
+                   if row.Pk.ts > ts then cands := (pk, ts, pos, -1) :: !cands
+               | None ->
+                   let fp = ref (-2) in
+                   Array.iteri
+                     (fun i c ->
+                       if !fp = -2 && could_supersede c ts && Pk.probe_bloom vt c pk
+                       then fp := i)
+                     comps;
+                   if !fp >= 0 then cands := (pk, ts, pos, !fp) :: !cands)
+             items;
+           let cands = Array.of_list !cands in
+           Lsm_sim.Spill_sort.sort t.env spill_grant
+             ~cmp:(fun (a, _, _, _) (b, _, _, _) -> compare (a : int) b)
+             cands;
+           let cursors =
+             Array.map (fun c -> Pk.Dbt.Cursor.create c.Pk.tree) comps
+           in
+           Array.iter
+             (fun (pk, ts, pos, fp) ->
+               let stale =
+                 if fp < 0 then true (* memory entry, strictly newer *)
+                 else begin
+                   (* Search newest-first from the memoized component; the
+                      first hit is the newest entry and decides. *)
+                   let rec go i =
+                     if i >= Array.length comps then false
+                     else begin
+                       let c = comps.(i) in
+                       if not (could_supersede c ts) then false
+                       else if
+                         (i = fp || Pk.probe_bloom vt c pk)
+                       then
+                         match Pk.Dbt.Cursor.find (Pk.env vt) cursors.(i) pk with
+                         | Some (_, row) -> row.Pk.ts > ts
+                         | None -> go (i + 1)
+                       else go (i + 1)
+                     end
+                   in
+                   go fp
+                 end
+               in
+               if stale then Sec.invalidate comp pos)
+             cands
+         end
+         else begin
+           (* Baseline Fig. 7: sort everything, then validate.  If more
+              keys than recently-ingested primary-key entries, merge-scan
+              the primary key index instead of point lookups (the
+              optimization below Fig. 7). *)
+           Lsm_sim.Spill_sort.sort t.env spill_grant
+             ~cmp:(fun (a, _, _) (b, _, _) -> compare (a : int) b)
+             items;
+           let recent_rows =
+             Pk.mem_count vt
+             + List.fold_left (fun a c -> a + Pk.component_rows c) 0 relevant_comps
+           in
+           if Array.length items > recent_rows then begin
+             (* Merge-scan join: both sides sorted by pk. *)
+             let newest : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+             Pk.scan vt
+               { Pk.full_scan_spec with only = Some relevant_comps; emit_del = true }
+               ~f:(fun row ~src_repaired:_ ->
+                 match Hashtbl.find_opt newest row.Pk.key with
+                 | Some ts0 when ts0 >= row.Pk.ts -> ()
+                 | _ -> Hashtbl.replace newest row.Pk.key row.Pk.ts);
+             Array.iter
+               (fun (pk, ts, pos) ->
+                 match Hashtbl.find_opt newest pk with
+                 | Some ts' when ts' > ts -> Sec.invalidate comp pos
+                 | _ -> ())
+               items
+           end
+           else begin
+             let cursors =
+               Array.map (fun c -> Pk.Dbt.Cursor.create c.Pk.tree)
+                 (Pk.components vt)
+             in
+             (* The pruning bound is the component-level repairedTS,
+                exactly as Sec. 4.4 describes — not each entry's own
+                timestamp (a refinement that would erase the effect the
+                Bloom-filter optimization exists to provide). *)
+             Array.iter
+               (fun (pk, ts, pos) ->
+                 if not (entry_is_valid vt ~cursors ~pk ~ts ~threshold ()) then
+                   Sec.invalidate comp pos)
+               items
+           end
+         end);
+        (* Advance the repaired timestamp to the newest *disk* component
+           boundary consulted — never into the memory component's range.
+           Memory entries were validated against, but crediting them would
+           place repairedTS mid-era: when that memory later flushes, its
+           component's ID range straddles the threshold, and the strict
+           "strictly newer" pruning (cmin > repairedTS) would skip the very
+           component holding superseding entries.  Keeping repairedTS on
+           era boundaries keeps component ranges cleanly on one side or the
+           other.  (Found by the mid-stream interleaving property.) *)
+        let new_repaired =
+          List.fold_left
+            (fun acc c -> max acc c.Pk.cmax_ts)
+            threshold relevant_comps
+        in
+        Sec.set_repaired_ts comp new_repaired;
+        Log.debug (fun m ->
+            m "repaired %s component (%d, %d): repairedTS %d -> %d%s"
+              sec.sec_name (fst (Sec.component_id comp))
+              (snd (Sec.component_id comp))
+              threshold new_repaired
+              (if bloom_opt then " [bf]" else ""));
+        t.stats.n_repairs <- t.stats.n_repairs + 1;
+        t.stats.repair_us <- t.stats.repair_us +. (Lsm_sim.Env.now_us t.env -. t0)
+
+  let () =
+    repair_hook := fun t s c ~piggyback -> repair_component t s c ~piggyback
+
+  (** [standalone_repair t] repairs every disk component of every
+      secondary index in place (new bitmaps only, no merging). *)
+  let standalone_repair ?bloom_opt t =
+    Array.iter
+      (fun s ->
+        Array.iter
+          (fun comp -> repair_component ?bloom_opt t s comp ~piggyback:false)
+          (Sec.components s.tree))
+      t.secondaries
+
+  (** [primary_repair t ~with_merge] is the DELI baseline (Tang et al.):
+      repair secondary indexes by scanning the *primary index* components,
+      detecting superseded record versions, and inserting anti-matter for
+      them — full records are read, which is exactly the cost our
+      secondary repair avoids.  [with_merge] additionally merges the
+      primary components (DELI's merge-repair flavour). *)
+  let primary_repair t ~with_merge =
+    let comps = Prim.components t.primary in
+    if Array.length comps > 0 then begin
+      (* K-way scan over all disk components, newest-first priority. *)
+      let scans =
+        Array.map (fun c -> Prim.Dbt.Scan.seek t.env c.Prim.tree None) comps
+      in
+      let cmp (k1, p1, _) (k2, p2, _) =
+        Lsm_sim.Env.charge_comparisons t.env 1;
+        let c = compare (k1 : int) k2 in
+        if c <> 0 then c else compare (p1 : int) p2
+      in
+      let heap = Lsm_util.Heap.create cmp in
+      let push p =
+        match Prim.Dbt.Scan.next t.env scans.(p) with
+        | Some (_, row) -> Lsm_util.Heap.push heap (row.Prim.key, p, row)
+        | None -> ()
+      in
+      Array.iteri (fun p _ -> push p) comps;
+      (* Group same-pk versions; the newest of a group is current unless
+         the memory component holds an even newer one. *)
+      let process_group pk (versions : Prim.row list) =
+        let newest_mem = Prim.mem_find t.primary pk in
+        let current =
+          match (newest_mem, versions) with
+          | Some m, _ -> m
+          | None, v :: _ -> v
+          | None, [] -> assert false
+        in
+        let obsolete =
+          match newest_mem with Some _ -> versions | None -> List.tl versions
+        in
+        List.iter
+          (fun (v : Prim.row) ->
+            match v.Prim.value with
+            | Entry.Put old_r ->
+                Array.iter
+                  (fun s ->
+                    let cur_keys =
+                      match current.Prim.value with
+                      | Entry.Put cur_r -> s.extract_all cur_r
+                      | Entry.Del -> []
+                    in
+                    List.iter
+                      (fun sko ->
+                        if not (List.mem sko cur_keys) then
+                          Sec.write s.tree ~key:(sko, pk) ~ts:(next_ts t)
+                            Entry.Del)
+                      (s.extract_all old_r))
+                  t.secondaries
+            | Entry.Del -> ())
+          obsolete
+      in
+      let cur_pk = ref min_int in
+      let group = ref [] in
+      let flush_group () =
+        if !group <> [] then process_group !cur_pk (List.rev !group)
+      in
+      while not (Lsm_util.Heap.is_empty heap) do
+        let pk, p, row = Lsm_util.Heap.pop heap in
+        push p;
+        if pk <> !cur_pk then begin
+          flush_group ();
+          cur_pk := pk;
+          group := [ row ]
+        end
+        else group := row :: !group
+      done;
+      flush_group ();
+      if with_merge && Array.length comps >= 2 then begin
+        ignore (Prim.merge t.primary ~first:0 ~last:(Array.length comps - 1));
+        t.stats.n_merges <- t.stats.n_merges + 1
+      end;
+      t.stats.n_repairs <- t.stats.n_repairs + 1
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Query processing (Secs. 3.2, 4.3, 6.2, 6.4) *)
+
+  (** One secondary-index search result before validation. *)
+  type sec_entry = {
+    e_sk : int;
+    e_pk : int;
+    e_ts : int;
+    e_src_repaired : int;  (** repairedTS of the source component *)
+  }
+
+  (** How a secondary-index query deals with possibly-obsolete entries:
+      [`Assume_valid] (Eager datasets), [`Direct] validation (fetch then
+      re-check, Fig. 5a), or [`Timestamp] validation via the primary key
+      index (Fig. 5b). *)
+  type validation_mode = [ `Assume_valid | `Direct | `Timestamp ]
+
+  (** [search_secondary t sec ~lo ~hi] runs the index search itself,
+      returning matching entries (reconciled, bitmap-respected). *)
+  let search_secondary _t sec ~lo ~hi =
+    let out = ref [] in
+    Sec.scan sec.tree
+      {
+        Sec.full_scan_spec with
+        lo = Some (lo, min_int);
+        hi = Some (hi, max_int);
+      }
+      ~f:(fun row ~src_repaired ->
+        let sk, pk = row.Sec.key in
+        out := { e_sk = sk; e_pk = pk; e_ts = row.Sec.ts; e_src_repaired = src_repaired } :: !out);
+    List.rev !out
+
+  let sort_entries_by_pk t entries =
+    let arr = Array.of_list entries in
+    let cmps = ref 0 in
+    Lsm_util.Sorter.sort ~cmp:(fun a b -> compare a.e_pk b.e_pk) ~cost:cmps arr;
+    Lsm_sim.Env.charge_comparisons t.env !cmps;
+    arr
+
+  (* Timestamp validation (Fig. 5b): filter out entries superseded in the
+     primary key index (or deleted-key tree). *)
+  let timestamp_validate t sec entries_sorted =
+    match validation_index t sec with
+    | None -> Array.to_list entries_sorted
+    | Some vt ->
+        let cursors =
+          Array.map (fun c -> Pk.Dbt.Cursor.create c.Pk.tree) (Pk.components vt)
+        in
+        List.filter
+          (fun e ->
+            entry_is_valid vt ~cursors ~pk:e.e_pk ~ts:e.e_ts
+              ~threshold:(max e.e_src_repaired e.e_ts) ())
+          (Array.to_list entries_sorted)
+
+  (* Fetch records for (already sorted) query keys via batched point
+     lookups; emission order is fetch order. *)
+  let fetch_records t ?(lookup = Prim.default_lookup_opts) qkeys =
+    let out = ref [] in
+    Prim.lookup_batch t.primary lookup qkeys ~emit:(fun _ row ->
+        match row with
+        | Some { Prim.value = Entry.Put r; _ } -> out := r :: !out
+        | _ -> ());
+    List.rev !out
+
+  (** [query_secondary t ~sec ~lo ~hi ~mode ?lookup ()] returns the records
+      whose secondary key (index [sec]) lies in [lo, hi] — the
+      non-index-only query of Fig. 16. *)
+  let query_secondary t ~sec ~lo ~hi ~(mode : validation_mode)
+      ?(lookup = Prim.default_lookup_opts) () =
+    let s = secondary t sec in
+    let entries = search_secondary t s ~lo ~hi in
+    match mode with
+    | `Assume_valid ->
+        let sorted = sort_entries_by_pk t entries in
+        let qkeys =
+          Array.map
+            (fun e ->
+              { Prim.qkey = e.e_pk; hint_ts = (if lookup.Prim.use_hints then e.e_ts else 0) })
+            sorted
+        in
+        fetch_records t ~lookup qkeys
+    | `Direct ->
+        (* Sort-distinct, fetch, re-check the predicate (Fig. 5a). *)
+        let sorted = sort_entries_by_pk t entries in
+        let pks =
+          Lsm_util.Sorter.dedup_sorted
+            ~eq:(fun a b -> a.e_pk = b.e_pk)
+            sorted
+        in
+        let qkeys =
+          Array.map
+            (fun e ->
+              { Prim.qkey = e.e_pk; hint_ts = 0 })
+            pks
+        in
+        let records = fetch_records t ~lookup qkeys in
+        List.filter
+          (fun r -> List.exists (fun sk -> sk >= lo && sk <= hi) (s.extract_all r))
+          records
+    | `Timestamp ->
+        let sorted = sort_entries_by_pk t entries in
+        let valid = timestamp_validate t s sorted in
+        let qkeys =
+          Array.map
+            (fun e ->
+              { Prim.qkey = e.e_pk; hint_ts = (if lookup.Prim.use_hints then e.e_ts else 0) })
+            (Array.of_list valid)
+        in
+        fetch_records t ~lookup qkeys
+
+  (** [query_secondary_keys t ~sec ~lo ~hi ~mode ()] is the index-only
+      variant (Fig. 17): returns (secondary key, primary key) pairs without
+      touching the primary index records.  [`Direct] is not offered — it
+      must fetch records, which defeats index-only processing (Sec. 4.3). *)
+  let query_secondary_keys t ~sec ~lo ~hi
+      ~(mode : [ `Assume_valid | `Timestamp ]) () =
+    let s = secondary t sec in
+    let entries = search_secondary t s ~lo ~hi in
+    match mode with
+    | `Assume_valid -> List.map (fun e -> (e.e_sk, e.e_pk)) entries
+    | `Timestamp ->
+        let sorted = sort_entries_by_pk t entries in
+        let valid = timestamp_validate t s sorted in
+        List.map (fun e -> (e.e_sk, e.e_pk)) valid
+
+  (** [full_scan t ~f] streams every live record (reconciled); returns the
+      record count.  The fallback plan secondary indexes compete against
+      (Fig. 12b). *)
+  let full_scan t ~f =
+    let n = ref 0 in
+    Prim.scan t.primary Prim.full_scan_spec ~f:(fun row ~src_repaired:_ ->
+        match row.Prim.value with
+        | Entry.Put r ->
+            incr n;
+            f r
+        | Entry.Del -> ());
+    !n
+
+  (** [query_time_range t ~tlo ~thi ~f] scans the primary index with
+      component-level range-filter pruning (Sec. 6.4.2), applying [f] to
+      records whose filter key lies in [tlo, thi]; returns the match count.
+      Pruning power depends on the strategy:
+      - Eager: prune any component whose (old-value-widened) filter is
+        disjoint from the query;
+      - Validation: all components newer than the oldest overlapping one
+        must also be read;
+      - Mutable-bitmap: prune freely and skip reconciliation — bitmaps
+        already removed superseded versions. *)
+  let query_time_range t ~tlo ~thi ~f =
+    let fk =
+      match t.filter_key with
+      | Some fk -> fk
+      | None -> invalid_arg "query_time_range: dataset has no filter key"
+    in
+    let comps = Array.to_list (Prim.components t.primary) in
+    let overlaps c =
+      match c.Prim.range_filter with
+      | None -> true
+      | Some (a, b) -> not (b < tlo || a > thi)
+    in
+    (* The memory filter bounds cover every Put value (plus, under Eager,
+       the old values of deleted/updated records, via widening); an empty
+       or disjoint memory component is prunable. *)
+    let mem_overlaps =
+      match Prim.mem_filter t.primary with
+      | None -> false
+      | Some (a, b) -> not (b < tlo || a > thi)
+    in
+    let n = ref 0 in
+    let visit r =
+      let v = fk r in
+      if v >= tlo && v <= thi then begin
+        incr n;
+        f r
+      end
+    in
+    (match t.cfg.strategy with
+    | Strategy.Mutable_bitmap _ ->
+        let only = List.filter overlaps comps in
+        Prim.scan t.primary
+          {
+            Prim.full_scan_spec with
+            reconcile = false;
+            include_mem = mem_overlaps;
+            only = Some only;
+          }
+          ~f:(fun row ~src_repaired:_ ->
+            match row.Prim.value with Entry.Put r -> visit r | Entry.Del -> ())
+    | Strategy.Eager ->
+        let only = List.filter overlaps comps in
+        Prim.scan t.primary
+          { Prim.full_scan_spec with include_mem = mem_overlaps; only = Some only }
+          ~f:(fun row ~src_repaired:_ ->
+            match row.Prim.value with Entry.Put r -> visit r | Entry.Del -> ())
+    | Strategy.Validation _ | Strategy.Deleted_key_btree ->
+        (* Find the oldest overlapping component; everything newer must be
+           read too, to not miss overriding updates (Sec. 4.2). *)
+        let arr = Array.of_list comps in
+        let oldest = ref (-1) in
+        Array.iteri (fun i c -> if overlaps c then oldest := i) arr;
+        let only =
+          if !oldest < 0 then []
+          else Array.to_list (Array.sub arr 0 (!oldest + 1))
+        in
+        let include_mem = mem_overlaps || !oldest >= 0 in
+        Prim.scan t.primary
+          { Prim.full_scan_spec with include_mem; only = Some only }
+          ~f:(fun row ~src_repaired:_ ->
+            match row.Prim.value with Entry.Put r -> visit r | Entry.Del -> ()));
+    !n
+
+  (** [point_query t pk] is a primary-key point query. *)
+  let point_query t pk =
+    match Prim.lookup_one t.primary pk with
+    | Some { Prim.value = Entry.Put r; _ } -> Some r
+    | _ -> None
+
+  (* ------------------------------------------------------------------ *)
+  (* Introspection for tests and benches *)
+
+  let primary t = t.primary
+  let pk_index t = t.pk_index
+  let secondaries t = t.secondaries
+  let filter_key_fn t = t.filter_key
+
+  let set_auto_maintenance t v = t.auto_maintenance <- v
+
+  let total_disk_bytes t =
+    Prim.disk_size_bytes t.primary
+    + (match t.pk_index with Some pk -> Pk.disk_size_bytes pk | None -> 0)
+    + Array.fold_left
+        (fun acc s ->
+          acc + Sec.disk_size_bytes s.tree
+          + (match s.del_tree with Some d -> Pk.disk_size_bytes d | None -> 0))
+        0 t.secondaries
+end

@@ -1,0 +1,181 @@
+(** The LSM storage architecture of Sec. 3 (Fig. 1): per dataset, a
+    primary index, an optional primary key index, and a set of secondary
+    indexes — all LSM-trees sharing one memory budget, flushed together,
+    with Bloom filters on primary / primary-key components and an optional
+    range filter on the primary index.
+
+    Ingestion follows the configured {!Strategy.t}; query plans implement
+    Secs. 3.2 and 4.3; background index repair implements Sec. 4.4. *)
+
+module Entry = Lsm_tree.Entry
+
+module Make (R : Record.S) : sig
+  (** The record type as an LSM value. *)
+  module Rv : sig
+    type t = R.t
+
+    val byte_size : t -> int
+    val pp : Format.formatter -> t -> unit
+  end
+
+  (** The three index families (Fig. 1): records by primary key, primary
+      keys alone, and (secondary key, primary key) composites. *)
+  module Prim : module type of Lsm_tree.Make (Lsm_util.Keys.Int_key) (Rv)
+
+  module Pk :
+      module type of Lsm_tree.Make (Lsm_util.Keys.Int_key)
+                       (Lsm_util.Keys.Unit_value)
+
+  module Sec :
+      module type of Lsm_tree.Make (Lsm_util.Keys.Int_pair_key)
+                       (Lsm_util.Keys.Unit_value)
+
+  type sec_index = {
+    sec_name : string;
+    extract_all : R.t -> int list;  (** all secondary keys of a record *)
+    tree : Sec.t;
+    del_tree : Pk.t option;
+        (** deleted-key structure (Deleted_key_btree strategy only) *)
+  }
+
+  type config = {
+    strategy : Strategy.t;
+    mem_budget : int;  (** shared across all the dataset's memory components *)
+    merge_policy : Lsm_tree.Merge_policy.t;
+    use_pk_index : bool;  (** Fig. 13 evaluates inserts without one *)
+    bloom : Lsm_tree.Config.bloom option;
+        (** Bloom settings for primary / primary-key / deleted-key
+            components *)
+  }
+
+  val default_config : config
+
+  type stats = {
+    mutable n_inserts : int;
+    mutable n_upserts : int;
+    mutable n_deletes : int;
+    mutable n_duplicates : int;
+    mutable n_flushes : int;
+    mutable n_merges : int;
+    mutable n_repairs : int;
+    mutable flush_us : float;
+    mutable merge_us : float;
+    mutable repair_us : float;
+  }
+
+  type t
+
+  val create :
+    ?filter_key:(R.t -> int) ->
+    ?secondaries:R.t Record.secondary list ->
+    Lsm_sim.Env.t ->
+    config ->
+    t
+
+  val env : t -> Lsm_sim.Env.t
+  val stats : t -> stats
+  val strategy : t -> Strategy.t
+
+  val secondary : t -> string -> sec_index
+  (** @raise Invalid_argument for unknown index names. *)
+
+  val now_ts : t -> int
+
+  val next_timestamp : t -> int
+  (** Fresh ingestion timestamp, for machinery that bypasses the regular
+      ingestion entry points (e.g. concurrent-merge writers). *)
+
+  (** {1 Ingestion (Secs. 3.1, 4.2, 5.2)} *)
+
+  val insert : t -> R.t -> [ `Inserted | `Duplicate ]
+  (** Rejects duplicates by primary key (via the primary key index when
+      present — the Fig. 13 optimization). *)
+
+  val upsert : t -> R.t -> unit
+  (** Insert, superseding any record with the same key — where the
+      strategies differ (Fig. 14). *)
+
+  val delete : t -> pk:int -> unit
+
+  val key_exists : t -> int -> bool
+
+  (** {1 Maintenance} *)
+
+  val total_mem_bytes : t -> int
+
+  val flush_now : t -> unit
+  (** Flush all memory components and run the merge scheduler. *)
+
+  val flush_memory : t -> unit
+  (** Flush without merging. *)
+
+  val set_auto_maintenance : t -> bool -> unit
+  (** Default [true]: flush/merge when the shared budget fills. *)
+
+  val standalone_repair : ?bloom_opt:bool -> t -> unit
+  (** Repair every disk component of every secondary index in place
+      (Sec. 4.4; [bloom_opt] overrides the strategy's setting). *)
+
+  val primary_repair : t -> with_merge:bool -> unit
+  (** The DELI baseline: repair secondaries by scanning primary
+      components and anti-mattering superseded versions — reading full
+      records, the cost secondary repair avoids. *)
+
+  (** {1 Query processing (Secs. 3.2, 4.3)} *)
+
+  type sec_entry = {
+    e_sk : int;
+    e_pk : int;
+    e_ts : int;
+    e_src_repaired : int;
+  }
+
+  type validation_mode = [ `Assume_valid | `Direct | `Timestamp ]
+  (** [`Assume_valid] for Eager-maintained indexes; [`Direct] fetches then
+      re-checks (Fig. 5a); [`Timestamp] validates against the primary key
+      index (Fig. 5b). *)
+
+  val search_secondary : t -> sec_index -> lo:int -> hi:int -> sec_entry list
+
+  val query_secondary :
+    t ->
+    sec:string ->
+    lo:int ->
+    hi:int ->
+    mode:validation_mode ->
+    ?lookup:Prim.lookup_opts ->
+    unit ->
+    R.t list
+  (** Records whose secondary key lies in [lo, hi] (Fig. 16's
+      non-index-only query). *)
+
+  val query_secondary_keys :
+    t ->
+    sec:string ->
+    lo:int ->
+    hi:int ->
+    mode:[ `Assume_valid | `Timestamp ] ->
+    unit ->
+    (int * int) list
+  (** Index-only variant (Fig. 17): (secondary key, primary key) pairs,
+      never touching records.  [`Direct] is not offered — it must fetch
+      records (Sec. 4.3). *)
+
+  val full_scan : t -> f:(R.t -> unit) -> int
+  (** Every live record (reconciled); returns the count. *)
+
+  val query_time_range : t -> tlo:int -> thi:int -> f:(R.t -> unit) -> int
+  (** Primary scan with component-level range-filter pruning
+      (Sec. 6.4.2); pruning power depends on the strategy.
+      @raise Invalid_argument if the dataset has no filter key. *)
+
+  val point_query : t -> int -> R.t option
+
+  (** {1 Introspection} *)
+
+  val primary : t -> Prim.t
+  val pk_index : t -> Pk.t option
+  val secondaries : t -> sec_index array
+  val filter_key_fn : t -> (R.t -> int) option
+  val total_disk_bytes : t -> int
+end

@@ -1,0 +1,10 @@
+(** Logging source for the storage core.  Quiet unless the application
+    enables it, e.g.:
+    {[
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.Src.set_level Lsm_core.Log.src (Some Logs.Debug)
+    ]} *)
+
+let src = Logs.Src.create "lsm_core" ~doc:"LSM storage engine core"
+
+include (val Logs.src_log src : Logs.LOG)

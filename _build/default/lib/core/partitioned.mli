@@ -1,0 +1,68 @@
+(** Hash-partitioned datasets — the shared-nothing architecture of
+    Sec. 2.2.  Each partition has its own full set of local LSM indexes
+    and its own storage environment ("node"); primary-key operations route
+    to one partition, secondary queries fan out to all.  System wall-clock
+    under partition parallelism is the slowest partition's clock. *)
+
+module Make (R : Record.S) : sig
+  module D : module type of Dataset.Make (R)
+
+  type t
+
+  val create :
+    ?filter_key:(R.t -> int) ->
+    ?secondaries:R.t Record.secondary list ->
+    mk_env:(int -> Lsm_sim.Env.t) ->
+    partitions:int ->
+    D.config ->
+    t
+
+  val partitions : t -> int
+  val partition : t -> int -> D.t
+  val route : t -> int -> int
+
+  (** {1 Ingestion (routed)} *)
+
+  val insert : t -> R.t -> [ `Inserted | `Duplicate ]
+  val upsert : t -> R.t -> unit
+  val delete : t -> pk:int -> unit
+
+  (** {1 Queries} *)
+
+  val point_query : t -> int -> R.t option
+  (** Touches exactly the owning partition. *)
+
+  val query_secondary :
+    t ->
+    sec:string ->
+    lo:int ->
+    hi:int ->
+    mode:D.validation_mode ->
+    ?lookup:D.Prim.lookup_opts ->
+    unit ->
+    R.t list
+  (** Fan-out to all partitions, concatenated. *)
+
+  val query_secondary_keys :
+    t ->
+    sec:string ->
+    lo:int ->
+    hi:int ->
+    mode:[ `Assume_valid | `Timestamp ] ->
+    unit ->
+    (int * int) list
+
+  val query_time_range : t -> tlo:int -> thi:int -> f:(R.t -> unit) -> int
+  val full_scan : t -> f:(R.t -> unit) -> int
+
+  (** {1 Timing and maintenance} *)
+
+  val sim_time_s : t -> float
+  (** Parallel completion time: the slowest partition's clock. *)
+
+  val sim_time_total_s : t -> float
+  (** Aggregate machine time across partitions. *)
+
+  val flush_now : t -> unit
+  val total_disk_bytes : t -> int
+end

@@ -1,0 +1,32 @@
+(** Dataset record descriptions.
+
+    A dataset stores records of one type.  The storage architecture needs
+    only: a 63-bit integer primary key, a serialized size, and integer
+    attribute extractors for secondary keys and the filter key (string
+    attributes are indexed by hashing into the integer domain; the paper's
+    evaluation keys — tweet id, user id, creation time — are all
+    integers). *)
+
+module type S = sig
+  type t
+
+  val primary_key : t -> int
+  val byte_size : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A named secondary-key extractor.  Single-valued indexes (e.g.
+    "user_id") yield one key per record; multi-valued ones (AsterixDB's
+    keyword / inverted indexes, Sec. 2.2) yield several — e.g. every token
+    of a message.  The engine stores one (key, primary key) entry per
+    yielded key. *)
+type 'r secondary = { sec_name : string; extract_all : 'r -> int list }
+
+(** [secondary name f]: a single-valued index on attribute [f]. *)
+let secondary sec_name extract =
+  { sec_name; extract_all = (fun r -> [ extract r ]) }
+
+(** [secondary_multi name f]: a multi-valued (keyword-style) index;
+    duplicate keys within one record are deduplicated. *)
+let secondary_multi sec_name extract_all =
+  { sec_name; extract_all = (fun r -> List.sort_uniq compare (extract_all r)) }

@@ -1,0 +1,22 @@
+(** Dataset record descriptions: a 63-bit integer primary key, a
+    serialized size, and integer attribute extractors for secondary keys
+    and the filter key (string attributes index by hashing). *)
+
+module type S = sig
+  type t
+
+  val primary_key : t -> int
+  val byte_size : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+type 'r secondary = { sec_name : string; extract_all : 'r -> int list }
+(** A named secondary-key extractor; multi-valued extractors model
+    keyword / inverted indexes (Sec. 2.2). *)
+
+val secondary : string -> ('r -> int) -> 'r secondary
+(** A single-valued index on one attribute. *)
+
+val secondary_multi : string -> ('r -> int list) -> 'r secondary
+(** A multi-valued (keyword-style) index; duplicate keys within one
+    record are deduplicated. *)

@@ -1,0 +1,79 @@
+(** Maintenance strategies for LSM auxiliary structures — the heart of the
+    paper.
+
+    How should secondary indexes and filters be kept consistent with the
+    primary index as records are inserted, updated, and deleted?
+
+    - {b Eager} (Sec. 3.1): every upsert/delete performs a point lookup to
+      fetch the old record, then inserts anti-matter into each secondary
+      index whose key changed and widens memory-component filters to cover
+      the old record.  Queries get always-up-to-date structures; ingestion
+      pays a point lookup per write.  (AsterixDB, MyRocks, Phoenix.)
+
+    - {b Validation} (Sec. 4): writes insert new entries only; secondary
+      indexes may return obsolete keys, and queries run an extra validation
+      step (Direct or Timestamp, Fig. 5).  Obsolete entries are cleaned up
+      by background index repair driven by the primary key index.
+
+    - {b Mutable_bitmap} (Sec. 5): each disk component of the primary
+      index carries a mutable validity bitmap, maintained by searching the
+      primary key index (never full records).  Filters keep their full
+      pruning power and ingestion avoids record-sized point lookups.
+      Secondary indexes are maintained with the Validation scheme.
+
+    - {b Deleted_key_btree} (Sec. 4.1, baseline): AsterixDB's alternative —
+      each secondary index carries its own deleted-key structure recording
+      the keys deleted in each component's time window; duplicated per
+      secondary index. *)
+
+type validation_opts = {
+  repair_on_merge : bool;
+      (** run merge repair (Fig. 7) whenever a secondary component merge
+          happens; [false] = "validation (no repair)" in the figures *)
+  bloom_opt : bool;
+      (** the Bloom-filter repair optimization of Sec. 4.4: requires the
+          correlated merge policy across all indexes, and lets repair skip
+          keys whose Bloom probes on the newer primary-key components are
+          all negative *)
+}
+
+type t =
+  | Eager
+  | Validation of validation_opts
+  | Mutable_bitmap of { secondary_repair : bool }
+  | Deleted_key_btree
+
+let eager = Eager
+let validation = Validation { repair_on_merge = true; bloom_opt = false }
+let validation_no_repair = Validation { repair_on_merge = false; bloom_opt = false }
+let validation_bloom_opt = Validation { repair_on_merge = true; bloom_opt = true }
+let mutable_bitmap = Mutable_bitmap { secondary_repair = false }
+let deleted_key_btree = Deleted_key_btree
+
+(** Does this strategy keep a validity bitmap on primary / primary-key
+    components? *)
+let uses_primary_bitmap = function Mutable_bitmap _ -> true | _ -> false
+
+(** Must primary and primary-key index merges be synchronized?  Required
+    for shared bitmaps (Sec. 5.1). *)
+let correlates_primary_pair = function Mutable_bitmap _ -> true | _ -> false
+
+(** Must secondary-index merges be synchronized *with the primary key
+    index*?  The Bloom-repair optimization needs this (Sec. 4.4: "use a
+    correlated merge policy to synchronize the merge of all secondary
+    indexes with the primary key index") so that the unpruned primary-key
+    components a repair consults are always strictly newer than the
+    repairing component's keys. *)
+let correlates_secondaries = function
+  | Validation { bloom_opt = true; _ } -> true
+  | _ -> false
+
+let name = function
+  | Eager -> "eager"
+  | Validation { repair_on_merge = false; _ } -> "validation(no-repair)"
+  | Validation { bloom_opt = true; _ } -> "validation(bf)"
+  | Validation _ -> "validation"
+  | Mutable_bitmap _ -> "mutable-bitmap"
+  | Deleted_key_btree -> "deleted-key-btree"
+
+let pp fmt t = Fmt.string fmt (name t)

@@ -1,0 +1,333 @@
+(** Record-level transactions over a Mutable-bitmap dataset, with
+    write-ahead logging, aborts, checkpoints, and crash recovery —
+    Sec. 5.2's protocol, end to end:
+
+    - every delete/upsert log record carries an *update bit* saying whether
+      the operation flipped a validity bit in a disk component (and which
+      one);
+    - {b abort} applies inverse operations: memory-component writes are
+      rolled back logically, and if the update bit is set, a primary-key
+      index lookup locates the bit to unset (1 -> 0 — the only time bits
+      are cleared);
+    - no-steal / no-force: disk components hold only committed data;
+      bitmap pages dirtied by live transactions are held back until
+      {!checkpoint} flushes them;
+    - {b crash} loses memory components and post-checkpoint bitmap flips;
+      {b recover} replays committed transactions — memory redo from the
+      maximum flushed LSN (the paper's "maximum component LSN"), bitmap
+      redo from the checkpoint LSN.  No undo is ever needed.
+
+    Restrictions (documented, asserted): flushes and merges must happen at
+    transaction-quiescent points, and recovery applies to the component
+    layout as of the crash (components are durable via shadowing). *)
+
+module Entry = Lsm_tree.Entry
+module Wal = Lsm_txn.Wal
+
+module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
+  type op = Op_upsert of R.t | Op_delete of int
+
+  (* One logged operation with everything needed for redo and undo. *)
+  type log_op = {
+    lsn : int;
+    txn_id : int;
+    op : op;
+    ts : int;  (** ingestion timestamp consumed by the operation *)
+    update : (int * int) option;  (** (component seq, position) bit set *)
+    prior_prim : (int * R.t Entry.t) option;  (** replaced memory bindings *)
+    prior_pk : (int * unit Entry.t) option;
+    prior_sec : (string * int * (int * unit Entry.t) option) list;
+        (** per secondary: (name, secondary key, replaced binding) *)
+  }
+
+  type txn = { id : int; mutable ops : log_op list (* newest first *) }
+
+  type t = {
+    d : D.t;
+    wal : Wal.t;
+    mutable redo : log_op list;  (** all logged ops, newest first *)
+    mutable flushed_lsn : int;  (** ops up to here live in disk components *)
+    mutable checkpoint_lsn : int;  (** bitmap pages durable up to here *)
+    mutable checkpoint_bitmaps : (int * Lsm_util.Bitset.t) list;
+        (** durable copies, keyed by pk-index component seq *)
+    mutable live_txns : int;
+  }
+
+  let create d =
+    (match D.strategy d with
+    | Strategy.Mutable_bitmap _ | Strategy.Validation _ -> ()
+    | _ ->
+        invalid_arg
+          "Txn_dataset.create: requires the Mutable-bitmap or Validation \
+           strategy (Eager's read-modify-write path needs old-record \
+           logging this layer does not provide)");
+    D.set_auto_maintenance d false;
+    {
+      d;
+      wal = Wal.create ();
+      redo = [];
+      flushed_lsn = 0;
+      checkpoint_lsn = 0;
+      checkpoint_bitmaps = [];
+      live_txns = 0;
+    }
+
+  let dataset t = t.d
+
+  let pk_index t = Option.get (D.pk_index t.d)
+
+  (* ------------------------------------------------------------------ *)
+  (* The write path (Mutable-bitmap ingestion, Sec. 5.2) with capture of
+     everything an abort needs. *)
+
+  let capture_prim t pk =
+    match D.Prim.mem_find (D.primary t.d) pk with
+    | Some r -> Some (r.D.Prim.ts, r.D.Prim.value)
+    | None -> None
+
+  let capture_pk t pk =
+    match D.Pk.mem_find (pk_index t) pk with
+    | Some r -> Some (r.D.Pk.ts, r.D.Pk.value)
+    | None -> None
+
+  let capture_sec t pk r_opt =
+    match r_opt with
+    | None -> []
+    | Some r ->
+        List.concat_map
+          (fun s ->
+            List.map
+              (fun sk ->
+                let prior =
+                  match D.Sec.mem_find s.D.tree (sk, pk) with
+                  | Some row -> Some (row.D.Sec.ts, row.D.Sec.value)
+                  | None -> None
+                in
+                (s.D.sec_name, sk, prior))
+              (s.D.extract_all r))
+          (Array.to_list (D.secondaries t.d))
+
+  (* Flip the old version's bit, reporting which bit was flipped. *)
+  let mark_old t pk =
+    let pkt = pk_index t in
+    match D.Pk.mem_find pkt pk with
+    | Some _ -> None
+    | None -> (
+        match D.Pk.disk_find pkt pk with
+        | Some (c, pos, row)
+          when Entry.is_put row.D.Pk.value && D.Pk.component_row_valid c pos ->
+            D.Pk.invalidate c pos;
+            Some (c.D.Pk.seq, pos)
+        | _ -> None)
+
+  let apply t txn op =
+    let d = t.d in
+    let pkt = pk_index t in
+    let pk, r_opt =
+      match op with
+      | Op_upsert r -> (R.primary_key r, Some r)
+      | Op_delete pk -> (pk, None)
+    in
+    let prior_prim = capture_prim t pk in
+    let prior_pk = capture_pk t pk in
+    let prior_sec = capture_sec t pk r_opt in
+    let ts = D.next_timestamp d in
+    (* Only the Mutable-bitmap strategy flips validity bits at write time;
+       Validation datasets write new entries only (Sec. 4.2). *)
+    let update =
+      if Strategy.uses_primary_bitmap (D.strategy t.d) then mark_old t pk
+      else None
+    in
+    (match r_opt with
+    | Some r ->
+        D.Prim.write (D.primary d) ~key:pk ~ts (Entry.Put r);
+        D.Pk.write pkt ~key:pk ~ts (Entry.Put ());
+        Array.iter
+          (fun s ->
+            List.iter
+              (fun sk -> D.Sec.write s.D.tree ~key:(sk, pk) ~ts (Entry.Put ()))
+              (s.D.extract_all r))
+          (D.secondaries d)
+    | None ->
+        D.Prim.write (D.primary d) ~key:pk ~ts Entry.Del;
+        D.Pk.write pkt ~key:pk ~ts Entry.Del);
+    let lsn =
+      Wal.log t.wal ~txn:txn.id
+        ~kind:(match op with Op_upsert _ -> Wal.Upsert | Op_delete _ -> Wal.Delete)
+        ~pk ~update
+    in
+    let lop =
+      { lsn; txn_id = txn.id; op; ts; update; prior_prim; prior_pk; prior_sec }
+    in
+    txn.ops <- lop :: txn.ops;
+    t.redo <- lop :: t.redo
+
+  (* ------------------------------------------------------------------ *)
+  (* Transactions *)
+
+  let begin_txn t =
+    t.live_txns <- t.live_txns + 1;
+    { id = Wal.begin_txn t.wal; ops = [] }
+
+  let upsert t txn r = apply t txn (Op_upsert r)
+  let delete t txn ~pk = apply t txn (Op_delete pk)
+
+  let commit t txn =
+    Wal.commit t.wal ~txn:txn.id;
+    t.live_txns <- t.live_txns - 1
+
+  (** [abort t txn] applies inverse operations in reverse order: restore
+      memory bindings, unset update bits. *)
+  let abort t txn =
+    let d = t.d in
+    let pkt = pk_index t in
+    List.iter
+      (fun lop ->
+        let pk =
+          match lop.op with Op_upsert r -> R.primary_key r | Op_delete pk -> pk
+        in
+        D.Prim.mem_rollback (D.primary d) ~key:pk ~prior:lop.prior_prim;
+        D.Pk.mem_rollback pkt ~key:pk ~prior:lop.prior_pk;
+        List.iter
+          (fun (name, sk, prior) ->
+            let s = D.secondary d name in
+            D.Sec.mem_rollback s.D.tree ~key:(sk, pk) ~prior)
+          lop.prior_sec;
+        (match lop.update with
+        | Some (comp_seq, pos) ->
+            (* "perform a primary key index lookup (without bitmaps) to
+               unset the bit": locate the component by its id. *)
+            Array.iter
+              (fun c ->
+                if c.D.Pk.seq = comp_seq then D.Pk.revalidate c pos)
+              (D.Pk.components pkt)
+        | None -> ()))
+      txn.ops (* newest first = reverse chronological *);
+    Wal.abort t.wal ~txn:txn.id;
+    t.live_txns <- t.live_txns - 1
+
+  (** [with_txn t f] runs [f] in a fresh transaction and commits. *)
+  let with_txn t f =
+    let txn = begin_txn t in
+    let r = f txn in
+    commit t txn;
+    r
+
+  (* Convenience auto-commit single-op entry points. *)
+  let upsert_auto t r = with_txn t (fun txn -> upsert t txn r)
+  let delete_auto t ~pk = with_txn t (fun txn -> delete t txn ~pk)
+
+  (* ------------------------------------------------------------------ *)
+  (* Durability: flush, checkpoint, crash, recovery *)
+
+  let assert_quiescent t what =
+    if t.live_txns > 0 then
+      invalid_arg (Printf.sprintf "Txn_dataset.%s: live transactions" what)
+
+  (** [flush t] makes all memory components durable (and runs merges);
+      redo for operations up to this LSN is no longer needed.  Requires
+      quiescence. *)
+  let flush t =
+    assert_quiescent t "flush";
+    D.flush_now t.d;
+    t.flushed_lsn <- t.wal.Wal.next_lsn - 1;
+    (* Flushes/merges rewrite components; the checkpointed bitmap state is
+       superseded (components are durable via shadowing), so checkpoint
+       now to re-anchor. *)
+    t.checkpoint_lsn <- t.flushed_lsn;
+    t.checkpoint_bitmaps <-
+      Array.to_list
+        (Array.map
+           (fun c ->
+             ( c.D.Pk.seq,
+               match c.D.Pk.bitmap with
+               | Some b -> Lsm_util.Bitset.copy b
+               | None -> Lsm_util.Bitset.create (D.Pk.component_rows c) ))
+           (D.Pk.components (pk_index t)))
+
+  (** [checkpoint t] durably flushes the bitmap pages (Sec. 5.2: "regular
+      checkpointing can be performed to flush dirty pages of bitmaps").
+      Requires quiescence (pinned pages of live transactions may not be
+      flushed under no-steal). *)
+  let checkpoint t =
+    assert_quiescent t "checkpoint";
+    t.checkpoint_lsn <- t.wal.Wal.next_lsn - 1;
+    t.checkpoint_bitmaps <-
+      Array.to_list
+        (Array.map
+           (fun c ->
+             ( c.D.Pk.seq,
+               match c.D.Pk.bitmap with
+               | Some b -> Lsm_util.Bitset.copy b
+               | None -> Lsm_util.Bitset.create (D.Pk.component_rows c) ))
+           (D.Pk.components (pk_index t)))
+
+  (** [crash t] simulates failure: memory components vanish; bitmaps
+      revert to the last checkpoint.  (Disk components are durable.) *)
+  let crash t =
+    D.Prim.reset_memory (D.primary t.d);
+    D.Pk.reset_memory (pk_index t);
+    Array.iter (fun s -> D.Sec.reset_memory s.D.tree) (D.secondaries t.d);
+    let pkt = pk_index t in
+    Array.iter
+      (fun c ->
+        match List.assoc_opt c.D.Pk.seq t.checkpoint_bitmaps with
+        | Some snap -> c.D.Pk.bitmap <- Some (Lsm_util.Bitset.copy snap)
+        | None ->
+            c.D.Pk.bitmap <-
+              Some (Lsm_util.Bitset.create (D.Pk.component_rows c)))
+      (D.Pk.components pkt);
+    (* Re-share bitmaps with the primary components (aligned layouts). *)
+    let pcs = D.Prim.components (D.primary t.d) in
+    let kcs = D.Pk.components pkt in
+    if Array.length pcs = Array.length kcs then
+      Array.iteri (fun i p -> p.D.Prim.bitmap <- kcs.(i).D.Pk.bitmap) pcs;
+    t.live_txns <- 0
+
+  (** [recover t] replays committed work: memory redo for operations past
+      the flushed LSN, bitmap redo past the checkpoint LSN. *)
+  let recover t =
+    let committed txn_id =
+      match Wal.txn_state t.wal ~txn:txn_id with
+      | Some Wal.Committed -> true
+      | _ -> false
+    in
+    (* Oldest-first replay. *)
+    let ops = List.rev t.redo in
+    List.iter
+      (fun lop ->
+        if committed lop.txn_id then begin
+          (* Memory redo. *)
+          if lop.lsn > t.flushed_lsn then begin
+            let d = t.d in
+            let pkt = pk_index t in
+            match lop.op with
+            | Op_upsert r ->
+                let pk = R.primary_key r in
+                D.Prim.write (D.primary d) ~key:pk ~ts:lop.ts (Entry.Put r);
+                D.Pk.write pkt ~key:pk ~ts:lop.ts (Entry.Put ());
+                Array.iter
+                  (fun s ->
+                    List.iter
+                      (fun sk ->
+                        D.Sec.write s.D.tree ~key:(sk, pk) ~ts:lop.ts
+                          (Entry.Put ()))
+                      (s.D.extract_all r))
+                  (D.secondaries d)
+            | Op_delete pk ->
+                D.Prim.write (D.primary d) ~key:pk ~ts:lop.ts Entry.Del;
+                D.Pk.write pkt ~key:pk ~ts:lop.ts Entry.Del
+          end;
+          (* Bitmap redo: "a log record is replayed on the bitmaps only
+             when its update bit is 1". *)
+          if lop.lsn > t.checkpoint_lsn then
+            match lop.update with
+            | Some (comp_seq, pos) ->
+                Array.iter
+                  (fun c ->
+                    if c.D.Pk.seq = comp_seq then D.Pk.invalidate c pos)
+                  (D.Pk.components (pk_index t))
+            | None -> ()
+        end)
+      ops
+end

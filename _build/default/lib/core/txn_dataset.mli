@@ -1,0 +1,52 @@
+(** Record-level transactions with write-ahead logging, aborts,
+    checkpoints, and crash recovery — Sec. 5.2's protocol end to end over
+    real components.  See the implementation header for the redo/undo
+    rules; flushes, checkpoints, and merges require transaction
+    quiescence. *)
+
+module Make (R : Record.S) (D : module type of Dataset.Make (R)) : sig
+  type t
+  type txn
+
+  val create : D.t -> t
+  (** Wrap a dataset (Mutable-bitmap or Validation strategy; Eager's
+      read-modify-write path would need old-record logging).
+      Auto-maintenance is disabled — use {!flush}. *)
+
+  val dataset : t -> D.t
+
+  (** {1 Transactions} *)
+
+  val begin_txn : t -> txn
+  val upsert : t -> txn -> R.t -> unit
+  val delete : t -> txn -> pk:int -> unit
+  val commit : t -> txn -> unit
+
+  val abort : t -> txn -> unit
+  (** Apply inverse operations in reverse order: restore memory bindings,
+      unset validity bits (the only time bits flip back). *)
+
+  val with_txn : t -> (txn -> 'a) -> 'a
+  (** Run in a fresh transaction and commit. *)
+
+  val upsert_auto : t -> R.t -> unit
+  val delete_auto : t -> pk:int -> unit
+
+  (** {1 Durability} *)
+
+  val flush : t -> unit
+  (** Make memory components durable (and merge); advances the flushed
+      LSN — the paper's "maximum component LSN" — and re-anchors the
+      bitmap checkpoint (components are durable via shadowing). *)
+
+  val checkpoint : t -> unit
+  (** Durably flush bitmap pages ("regular checkpointing", Sec. 5.2). *)
+
+  val crash : t -> unit
+  (** Simulate failure: memory components vanish; bitmaps revert to the
+      last checkpoint. *)
+
+  val recover : t -> unit
+  (** Replay committed work: memory redo past the flushed LSN, bitmap
+      redo past the checkpoint LSN.  No undo is ever needed. *)
+end

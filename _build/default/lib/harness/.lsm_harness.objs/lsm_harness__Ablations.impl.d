@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: D List Lsm_core Lsm_sim Lsm_tree Lsm_workload Report Scale Setup Strategy Streams Tweet

@@ -1,0 +1,1 @@
+lib/harness/fig12.ml: Array D List Lsm_sim Lsm_util Lsm_workload Report Scale Setup Tweet

@@ -1,0 +1,1 @@
+lib/harness/fig13.ml: List Report Scale Setup Streams

@@ -1,0 +1,1 @@
+lib/harness/fig14.ml: List Report Scale Setup Strategy Streams

@@ -1,0 +1,1 @@
+lib/harness/fig16.ml: D List Lsm_workload Report Scale Setup Strategy

@@ -1,0 +1,1 @@
+lib/harness/fig20.ml: D List Report Scale Setup Strategy Streams

@@ -1,0 +1,1 @@
+lib/harness/fig23.ml: CM D Device Env List Lsm_core Lsm_util Report Setup Strategy Tweet

@@ -1,0 +1,1 @@
+lib/harness/fig_series.ml: List Printf Report Scale Setup Strategy Streams

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Ablations Fig12 Fig13 Fig14 Fig15 Fig16 Fig19 Fig20 Fig23 Fig_series List Printf Report Scale

@@ -1,0 +1,1 @@
+lib/harness/registry.mli: Report Scale

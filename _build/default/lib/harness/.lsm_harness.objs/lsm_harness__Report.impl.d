@@ -1,0 +1,1 @@
+lib/harness/report.ml: Filename List Printf String Sys

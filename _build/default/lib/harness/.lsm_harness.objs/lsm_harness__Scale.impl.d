@@ -1,0 +1,1 @@
+lib/harness/scale.ml: Lsm_sim

@@ -1,0 +1,1 @@
+lib/harness/scale.mli: Lsm_sim

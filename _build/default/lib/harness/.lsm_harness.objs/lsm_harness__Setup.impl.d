@@ -1,0 +1,1 @@
+lib/harness/setup.ml: Array Float List Lsm_bloom Lsm_core Lsm_sim Lsm_tree Lsm_workload Printf Scale

@@ -1,0 +1,286 @@
+(** Ablation benches for the design choices DESIGN.md calls out — not
+    paper figures, but knobs the paper fixes that are worth sweeping:
+
+    - merge policy (tiering ratio / leveling / no merging) vs ingestion
+      and query cost;
+    - Bloom filter presence and false-positive rate vs point-lookup cost;
+    - the Bloom-repair optimization, isolated on identical datasets;
+    - partition scale-out (Sec. 6.1's near-linear-speedup claim). *)
+
+open Setup
+module Pt = Lsm_core.Partitioned.Make (Lsm_workload.Tweet.Record)
+module Ad = Lsm_core.Adaptive.Make (Lsm_workload.Tweet.Record) (D)
+
+(* ------------------------------------------------------------------ *)
+
+let policies =
+  [
+    ("tiering 1.2 + cap", fun scale ->
+        Lsm_tree.Merge_policy.tiering ~size_ratio:1.2
+          ~max_mergeable_bytes:(Scale.max_mergeable_bytes scale) ());
+    ("tiering 1.2", fun _ -> Lsm_tree.Merge_policy.tiering ~size_ratio:1.2 ());
+    ("tiering 4.0", fun _ -> Lsm_tree.Merge_policy.tiering ~size_ratio:4.0 ());
+    ("leveling 10", fun _ -> Lsm_tree.Merge_policy.leveling ~size_ratio:10.0 ());
+    ( "lazy-leveling 10/1.2",
+      fun _ ->
+        Lsm_tree.Merge_policy.lazy_leveling ~size_ratio:10.0 ~tier_ratio:1.2 () );
+    ("no merge", fun _ -> Lsm_tree.Merge_policy.No_merge);
+  ]
+
+let run_policy scale =
+  let rows =
+    List.map
+      (fun (pname, mk) ->
+        let env = hdd_env scale in
+        let d =
+          D.create ~filter_key:Tweet.created_at
+            ~secondaries:(secondary_specs 1) env
+            {
+              D.default_config with
+              strategy = Strategy.eager;
+              mem_budget = Scale.mem_budget scale;
+              merge_policy = mk scale;
+            }
+        in
+        let stream =
+          Streams.upsert_stream ~seed:42 ~update_ratio:0.1
+            ~distribution:`Uniform ()
+        in
+        let n = scale.Scale.records in
+        let (), ingest_us = timed env (fun () -> ingest_quiet d stream ~n) in
+        let comps = D.Prim.component_count (D.primary d) in
+        (* A warm mid-selectivity query to show the read side. *)
+        let qg = Lsm_workload.Query_gen.create ~seed:43 () in
+        let q_us =
+          warm_query_time env (fun _ ->
+              let lo, hi =
+                Lsm_workload.Query_gen.user_range qg ~selectivity:0.001
+              in
+              ignore
+                (D.query_secondary d ~sec:"user_id" ~lo ~hi ~mode:`Assume_valid ()))
+        in
+        [
+          pname;
+          Report.fmt_int (int_of_float (throughput ~n ~sim_s:(ingest_us /. 1e6)));
+          Report.fmt_int comps;
+          Report.fmt_time_ms q_us;
+        ])
+      policies
+  in
+  Report.make ~id:"abl-policy"
+    ~title:"Merge policy ablation (10% updates; eager strategy)"
+    ~header:[ "policy"; "ingest rec/s"; "components"; "0.1% query ms" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let run_bloom scale =
+  let variants =
+    [
+      ("none", None);
+      ("fpr 10%", Some { Lsm_tree.Config.kind = `Standard; fpr = 0.1 });
+      ("fpr 1%", Some { Lsm_tree.Config.kind = `Standard; fpr = 0.01 });
+      ("fpr 0.1%", Some { Lsm_tree.Config.kind = `Standard; fpr = 0.001 });
+      ("fpr 1% blocked", Some { Lsm_tree.Config.kind = `Blocked; fpr = 0.01 });
+    ]
+  in
+  let rows =
+    List.map
+      (fun (vname, bloom) ->
+        let env = hdd_env scale in
+        let d =
+          D.create ~filter_key:Tweet.created_at
+            ~secondaries:(secondary_specs 1) env
+            {
+              D.default_config with
+              strategy = Strategy.eager;
+              mem_budget = Scale.mem_budget scale;
+              merge_policy =
+                Lsm_tree.Merge_policy.tiering ~size_ratio:1.2
+                  ~max_mergeable_bytes:(Scale.max_mergeable_bytes scale) ();
+              bloom;
+            }
+        in
+        (* Eager upserts are lookup-bound: Bloom quality shows directly in
+           ingestion throughput. *)
+        let stream =
+          Streams.upsert_stream ~seed:44 ~update_ratio:0.5
+            ~distribution:`Uniform ()
+        in
+        let n = scale.Scale.records / 2 in
+        let (), ingest_us = timed env (fun () -> ingest_quiet d stream ~n) in
+        let st = Lsm_sim.Env.stats env in
+        [
+          vname;
+          Report.fmt_int (int_of_float (throughput ~n ~sim_s:(ingest_us /. 1e6)));
+          Report.fmt_int st.Lsm_sim.Io_stats.pages_read;
+          Report.fmt_int st.Lsm_sim.Io_stats.bloom_negatives;
+        ])
+      variants
+  in
+  Report.make ~id:"abl-bloom"
+    ~title:"Bloom filter ablation (eager, 50% updates)"
+    ~header:[ "filter"; "ingest rec/s"; "pages read"; "probes answered no" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let run_bf_repair scale =
+  (* Identical update-heavy datasets; repair all secondaries with and
+     without the Bloom skip (same components, same obsolete entries). *)
+  let build () =
+    let env = hdd_env scale in
+    let d, _ =
+      insert_dataset ~strategy:Strategy.validation_no_repair ~update_ratio:0.5
+        ~seed:45 env scale ~n:scale.Scale.records
+    in
+    (env, d)
+  in
+  let rows =
+    List.map
+      (fun (vname, bloom_opt) ->
+        let env, d = build () in
+        let (), us =
+          timed env (fun () -> D.standalone_repair ~bloom_opt d)
+        in
+        let st = Lsm_sim.Io_stats.copy (Lsm_sim.Env.stats env) in
+        [
+          vname;
+          Report.fmt_time_s us;
+          Report.fmt_int st.Lsm_sim.Io_stats.bloom_probes;
+          Report.fmt_int st.Lsm_sim.Io_stats.comparisons;
+        ])
+      [ ("without bf skip", false); ("with bf skip", true) ]
+  in
+  Report.make ~id:"abl-bf-repair"
+    ~title:"Bloom-repair optimization, isolated (full standalone repair)"
+    ~header:[ "variant"; "repair s"; "bloom probes"; "comparisons" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+(* A phased workload: an ingestion burst (write-dominated), then an
+   analytics burst (query-dominated), repeated.  Pure Eager wins the query
+   phases and loses the write phases; pure Validation the reverse; the
+   adaptive controller (the paper's future-work auto-tuning, Sec. 7)
+   should track the winner of each phase. *)
+let run_adaptive scale =
+  let n = scale.Scale.records in
+  let phase_writes = n / 4 and phase_queries = n / 15 in
+  let run_fixed strategy qmode =
+    let env = hdd_env scale in
+    let d = dataset ~strategy env scale in
+    let stream =
+      Streams.upsert_stream ~seed:47 ~update_ratio:0.5 ~distribution:`Uniform ()
+    in
+    let qg = Lsm_workload.Query_gen.create ~seed:48 () in
+    let (), us =
+      timed env (fun () ->
+          for _phase = 1 to 2 do
+            for _ = 1 to phase_writes do
+              apply_op d (Streams.next stream)
+            done;
+            for _ = 1 to phase_queries do
+              let lo, hi =
+                Lsm_workload.Query_gen.user_range qg ~selectivity:0.002
+              in
+              ignore (D.query_secondary d ~sec:"user_id" ~lo ~hi ~mode:qmode ())
+            done
+          done)
+    in
+    us
+  in
+  let run_adaptive () =
+    let env = hdd_env scale in
+    let d = dataset ~strategy:Strategy.validation env scale in
+    let a = Ad.create ~config:{ Ad.default_config with window = 500 } d in
+    let stream =
+      Streams.upsert_stream ~seed:47 ~update_ratio:0.5 ~distribution:`Uniform ()
+    in
+    let qg = Lsm_workload.Query_gen.create ~seed:48 () in
+    let (), us =
+      timed env (fun () ->
+          for _phase = 1 to 2 do
+            for _ = 1 to phase_writes do
+              match Streams.next stream with
+              | Streams.Upsert r -> Ad.upsert a r
+              | Streams.Insert r -> ignore (Ad.insert a r)
+              | Streams.Delete pk -> Ad.delete a ~pk
+            done;
+            for _ = 1 to phase_queries do
+              let lo, hi =
+                Lsm_workload.Query_gen.user_range qg ~selectivity:0.002
+              in
+              ignore (Ad.query_secondary a ~sec:"user_id" ~lo ~hi ())
+            done
+          done)
+    in
+    (us, Ad.switches a)
+  in
+  let eager_us = run_fixed Strategy.eager `Assume_valid in
+  let valid_us = run_fixed Strategy.validation `Timestamp in
+  let adaptive_us, switches = run_adaptive () in
+  Report.make ~id:"abl-adaptive"
+    ~title:"Adaptive strategy selection on a phased workload (total sim s)"
+    ~header:[ "configuration"; "total s"; "mode switches" ]
+    [
+      [ "eager (fixed)"; Report.fmt_time_s eager_us; "-" ];
+      [ "validation (fixed)"; Report.fmt_time_s valid_us; "-" ];
+      [ "adaptive"; Report.fmt_time_s adaptive_us; Report.fmt_int switches ];
+    ]
+    ~notes:
+      [
+        "two write-burst + query-burst rounds; the controller should land \
+         near the better fixed strategy for the whole trace";
+      ]
+
+(* ------------------------------------------------------------------ *)
+
+let run_scaleout scale =
+  let rows =
+    List.map
+      (fun parts ->
+        let p =
+          Pt.create ~filter_key:Tweet.created_at
+            ~secondaries:(secondary_specs 1)
+            ~mk_env:(fun _ -> hdd_env scale)
+            ~partitions:parts
+            {
+              D.default_config with
+              strategy = Strategy.validation;
+              mem_budget = Scale.mem_budget scale;
+              merge_policy =
+                Lsm_tree.Merge_policy.tiering ~size_ratio:1.2
+                  ~max_mergeable_bytes:(Scale.max_mergeable_bytes scale) ();
+            }
+        in
+        let stream =
+          Streams.upsert_stream ~seed:46 ~update_ratio:0.1
+            ~distribution:`Uniform ()
+        in
+        let n = scale.Scale.records in
+        for _ = 1 to n do
+          match Streams.next stream with
+          | Streams.Upsert r -> Pt.upsert p r
+          | Streams.Insert r -> ignore (Pt.insert p r)
+          | Streams.Delete pk -> Pt.delete p ~pk
+        done;
+        let wall = Pt.sim_time_s p in
+        [
+          Report.fmt_int parts;
+          Report.fmt_float wall;
+          Report.fmt_int (int_of_float (throughput ~n ~sim_s:wall));
+          Report.fmt_float (Pt.sim_time_total_s p);
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  Report.make ~id:"abl-scaleout"
+    ~title:"Partition scale-out (validation, 10% updates)"
+    ~header:[ "partitions"; "wall sim s"; "rec/s"; "total machine s" ]
+    rows
+    ~notes:
+      [
+        "the paper evaluates one partition and claims near-linear multi-\
+         partition speedup (Sec. 6.1); wall time here is the slowest \
+         partition's clock";
+      ]

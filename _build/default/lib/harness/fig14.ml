@@ -1,0 +1,45 @@
+(** Figure 14: upsert ingestion performance of the maintenance strategies
+    under no / 50% uniform / 50% Zipf updates (Sec. 6.3.2). *)
+
+open Setup
+
+let strategies =
+  [
+    ("eager", Strategy.eager);
+    ("validation (no repair)", Strategy.validation_no_repair);
+    ("validation", Strategy.validation);
+    ("mutable-bitmap", Strategy.mutable_bitmap);
+  ]
+
+let workloads =
+  [
+    ("no update", 0.0, `Uniform);
+    ("50% uniform", 0.5, `Uniform);
+    ("50% zipf", 0.5, `Zipf_latest);
+  ]
+
+let run_cell scale (strategy : Strategy.t) (ratio, dist) =
+  let env = hdd_env scale in
+  let d = dataset ~strategy env scale in
+  let stream =
+    Streams.upsert_stream ~seed:14 ~update_ratio:ratio ~distribution:dist ()
+  in
+  let series = ingest d stream ~n:scale.Scale.records in
+  let total_s = snd (List.nth series (List.length series - 1)) in
+  throughput ~n:scale.Scale.records ~sim_s:total_s
+
+let run scale =
+  let rows =
+    List.map
+      (fun (sname, s) ->
+        sname
+        :: List.map
+             (fun (_, ratio, dist) ->
+               Report.fmt_int (int_of_float (run_cell scale s (ratio, dist))))
+             workloads)
+      strategies
+  in
+  Report.make ~id:"fig14"
+    ~title:"Upsert ingestion throughput by strategy (records / simulated s)"
+    ~header:("strategy" :: List.map (fun (w, _, _) -> w) workloads)
+    rows

@@ -1,0 +1,74 @@
+(** Figure 15: ingestion impact of (a) the maximum mergeable component
+    size — merge frequency — and (b) the number of secondary indexes,
+    which brings in the deleted-key B+-tree baseline (Sec. 6.3.2). *)
+
+open Setup
+
+let upsert_throughput scale ~strategy ?n_secondaries ?max_mergeable_bytes () =
+  let env = hdd_env scale in
+  let d = dataset ~strategy ?n_secondaries ?max_mergeable_bytes env scale in
+  let stream =
+    Streams.upsert_stream ~seed:15 ~update_ratio:0.1 ~distribution:`Uniform ()
+  in
+  let n = scale.Scale.records in
+  let _, total_s =
+    timed env (fun () -> ingest_quiet d stream ~n)
+  in
+  throughput ~n ~sim_s:(total_s /. 1e6)
+
+let run_a scale =
+  let base = Scale.max_mergeable_bytes scale in
+  let multipliers = [ (1, "1GB*"); (4, "4GB*"); (16, "16GB*"); (64, "64GB*") ] in
+  let strategies =
+    [
+      ("eager", Strategy.eager);
+      ("validation", Strategy.validation);
+      ("validation (no repair)", Strategy.validation_no_repair);
+      ("mutable-bitmap", Strategy.mutable_bitmap);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (sname, s) ->
+        sname
+        :: List.map
+             (fun (m, _) ->
+               Report.fmt_int
+                 (int_of_float
+                    (upsert_throughput scale ~strategy:s
+                       ~max_mergeable_bytes:(base * m) ())))
+             multipliers)
+      strategies
+  in
+  Report.make ~id:"fig15a"
+    ~title:"Impact of max mergeable component size (upsert rec / sim s)"
+    ~header:("strategy" :: List.map snd multipliers)
+    rows
+    ~notes:[ "sizes are paper-equivalents; scaled by the data-size ratio" ]
+
+let run_b scale =
+  let strategies =
+    [
+      ("eager", Strategy.eager);
+      ("validation", Strategy.validation);
+      ("validation (no repair)", Strategy.validation_no_repair);
+      ("deleted-key B+tree", Strategy.deleted_key_btree);
+    ]
+  in
+  let counts = [ 1; 2; 3; 4; 5 ] in
+  let rows =
+    List.map
+      (fun (sname, s) ->
+        sname
+        :: List.map
+             (fun n_secondaries ->
+               Report.fmt_int
+                 (int_of_float
+                    (upsert_throughput scale ~strategy:s ~n_secondaries ())))
+             counts)
+      strategies
+  in
+  Report.make ~id:"fig15b"
+    ~title:"Impact of number of secondary indexes (upsert rec / sim s)"
+    ~header:("strategy" :: List.map string_of_int counts)
+    rows

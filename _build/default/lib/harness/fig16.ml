@@ -1,0 +1,136 @@
+(** Figures 16-18: query performance of the validation methods.
+
+    - Fig. 16: non-index-only secondary queries (fetch records) for eager
+      vs Direct/Timestamp validation, with and without merge repair, on
+      append-only (0%) and update-heavy (50%) datasets.
+    - Fig. 17: index-only queries (log-scale in the paper) — eager vs
+      Timestamp validation.
+    - Fig. 18: Timestamp validation with a small buffer cache. *)
+
+open Setup
+
+let selectivities = [ 1e-5; 5e-5; 1e-4; 5e-4; 1e-3; 1e-2 ]
+
+let prep scale ~strategy ~update_ratio ?cache_bytes () =
+  let env = hdd_env ?cache_bytes scale in
+  let d, _ =
+    insert_dataset ~strategy ~update_ratio ~distribution:`Uniform ~seed:16 env
+      scale ~n:scale.Scale.records
+  in
+  (env, d)
+
+let q_records env d ~sel ~mode =
+  let qg = Lsm_workload.Query_gen.create ~seed:(int_of_float (sel *. 1e9)) () in
+  warm_query_time ~runs:8 ~stable:5 env (fun _ ->
+      let lo, hi = Lsm_workload.Query_gen.user_range qg ~selectivity:sel in
+      ignore (D.query_secondary d ~sec:"user_id" ~lo ~hi ~mode ()))
+
+let q_keys env d ~sel ~mode =
+  let qg = Lsm_workload.Query_gen.create ~seed:(int_of_float (sel *. 1e9)) () in
+  warm_query_time ~runs:8 ~stable:5 env (fun _ ->
+      let lo, hi = Lsm_workload.Query_gen.user_range qg ~selectivity:sel in
+      ignore (D.query_secondary_keys d ~sec:"user_id" ~lo ~hi ~mode ()))
+
+(* Variants: (name, strategy, validation mode). *)
+let fig16_variants : (string * Strategy.t * D.validation_mode) list =
+  [
+    ("eager", Strategy.eager, `Assume_valid);
+    ("direct (no repair)", Strategy.validation_no_repair, `Direct);
+    ("ts (no repair)", Strategy.validation_no_repair, `Timestamp);
+    ("direct", Strategy.validation, `Direct);
+    ("ts", Strategy.validation, `Timestamp);
+  ]
+
+let run_one_ratio scale ~update_ratio =
+  (* One dataset per strategy, shared across modes. *)
+  let built =
+    List.map
+      (fun strategy -> (strategy, prep scale ~strategy ~update_ratio ()))
+      [ Strategy.eager; Strategy.validation_no_repair; Strategy.validation ]
+  in
+  let find s = List.assoc s built in
+  List.map
+    (fun sel ->
+      Report.fmt_pct sel
+      :: List.map
+           (fun (_, strategy, mode) ->
+             let env, d = find strategy in
+             Report.fmt_time_ms (q_records env d ~sel ~mode))
+           fig16_variants)
+    selectivities
+
+let run scale =
+  let header =
+    "selectivity" :: List.map (fun (n, _, _) -> n) fig16_variants
+  in
+  [
+    Report.make ~id:"fig16-0" ~title:"Non-index-only queries, update ratio 0% (ms)"
+      ~header
+      (run_one_ratio scale ~update_ratio:0.0);
+    Report.make ~id:"fig16-50" ~title:"Non-index-only queries, update ratio 50% (ms)"
+      ~header
+      (run_one_ratio scale ~update_ratio:0.5);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let fig17_variants : (string * Strategy.t * [ `Assume_valid | `Timestamp ]) list
+    =
+  [
+    ("eager", Strategy.eager, `Assume_valid);
+    ("ts (no repair)", Strategy.validation_no_repair, `Timestamp);
+    ("ts", Strategy.validation, `Timestamp);
+  ]
+
+let run17_ratio scale ~update_ratio =
+  let built =
+    List.map
+      (fun strategy -> (strategy, prep scale ~strategy ~update_ratio ()))
+      [ Strategy.eager; Strategy.validation_no_repair; Strategy.validation ]
+  in
+  let find s = List.assoc s built in
+  List.map
+    (fun sel ->
+      Report.fmt_pct sel
+      :: List.map
+           (fun (_, strategy, mode) ->
+             let env, d = find strategy in
+             Report.fmt_time_ms (q_keys env d ~sel ~mode))
+           fig17_variants)
+    selectivities
+
+let run17 scale =
+  let header = "selectivity" :: List.map (fun (n, _, _) -> n) fig17_variants in
+  [
+    Report.make ~id:"fig17-0" ~title:"Index-only queries, update ratio 0% (ms)"
+      ~header
+      (run17_ratio scale ~update_ratio:0.0);
+    Report.make ~id:"fig17-50" ~title:"Index-only queries, update ratio 50% (ms)"
+      ~header
+      (run17_ratio scale ~update_ratio:0.5);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let run18 scale =
+  let env_big, d_big =
+    prep scale ~strategy:Strategy.validation ~update_ratio:0.0 ()
+  in
+  let env_small, d_small =
+    prep scale ~strategy:Strategy.validation ~update_ratio:0.0
+      ~cache_bytes:(Scale.small_cache_bytes scale) ()
+  in
+  let rows =
+    List.map
+      (fun sel ->
+        [
+          Report.fmt_pct sel;
+          Report.fmt_time_ms (q_records env_big d_big ~sel ~mode:`Timestamp);
+          Report.fmt_time_ms (q_records env_small d_small ~sel ~mode:`Timestamp);
+        ])
+      selectivities
+  in
+  Report.make ~id:"fig18"
+    ~title:"Timestamp validation under a small buffer cache (ms)"
+    ~header:[ "selectivity"; "ts validation"; "ts validation (small cache)" ]
+    rows

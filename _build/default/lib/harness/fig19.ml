@@ -1,0 +1,59 @@
+(** Figure 19: pruning power of range filters under the three maintenance
+    strategies, for queries over recent vs old data (Sec. 6.4.2).
+
+    The creation-time attribute is monotone; queries select the first or
+    last [days] out of a 730-day span.  Each query runs on a cold cache. *)
+
+open Setup
+
+let day_span = 730
+let days = [ 1; 7; 30; 180; 365 ]
+
+let strategies =
+  [
+    ("eager", Strategy.eager);
+    ("validation", Strategy.validation);
+    ("mutable-bitmap", Strategy.mutable_bitmap);
+  ]
+
+let prep scale ~strategy ~update_ratio =
+  let env = hdd_env scale in
+  let d, _ =
+    insert_dataset ~strategy ~update_ratio ~distribution:`Uniform ~seed:19 env
+      scale ~n:scale.Scale.records
+  in
+  (env, d)
+
+let time_query env d ~now ~recent ~days =
+  cold_query_time env (fun _ ->
+      let tlo, thi =
+        if recent then Lsm_workload.Query_gen.recent_time_range ~now ~days ~day_span
+        else Lsm_workload.Query_gen.old_time_range ~now ~days ~day_span
+      in
+      ignore (D.query_time_range d ~tlo ~thi ~f:ignore))
+
+let run_panel scale ~recent ~update_ratio ~id ~title =
+  let built = List.map (fun (n, s) -> (n, prep scale ~strategy:s ~update_ratio)) strategies in
+  let now = scale.Scale.records in
+  let rows =
+    List.map
+      (fun (sname, (env, d)) ->
+        sname
+        :: List.map
+             (fun dd -> Report.fmt_time_s (time_query env d ~now ~recent ~days:dd))
+             days)
+      built
+  in
+  Report.make ~id ~title
+    ~header:("strategy" :: List.map (fun d -> string_of_int d ^ "d") days)
+    rows
+
+let run scale =
+  [
+    run_panel scale ~recent:true ~update_ratio:0.5 ~id:"fig19-recent"
+      ~title:"Range-filter queries, recent data + 50% updates (s, cold cache)";
+    run_panel scale ~recent:false ~update_ratio:0.0 ~id:"fig19-old0"
+      ~title:"Range-filter queries, old data + 0% updates (s, cold cache)";
+    run_panel scale ~recent:false ~update_ratio:0.5 ~id:"fig19-old50"
+      ~title:"Range-filter queries, old data + 50% updates (s, cold cache)";
+  ]

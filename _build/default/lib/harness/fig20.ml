@@ -1,0 +1,117 @@
+(** Figures 20-22: index repair performance as data accumulates
+    (Sec. 6.5).
+
+    Methodology: upsert records with merge repair enabled; after every
+    tenth of the stream, stop and trigger a *full* repair, measuring its
+    simulated time.  Methods:
+    - primary repair (DELI): scan primary components, anti-matter obsolete
+      record versions (optionally merging the primary as a by-product);
+    - secondary repair (ours): standalone repair of each secondary
+      component against the primary key index;
+    - secondary repair (bf): with the Bloom-filter optimization under the
+      correlated merge policy. *)
+
+open Setup
+
+type meth = {
+  mname : string;
+  strategy : Strategy.t;
+  repair : D.t -> unit;
+}
+
+let primary_repair ~with_merge =
+  {
+    mname = (if with_merge then "primary repair (merge)" else "primary repair");
+    strategy = Strategy.validation_no_repair;
+    repair = (fun d -> D.primary_repair d ~with_merge);
+  }
+
+let secondary_repair ~bf =
+  {
+    mname = (if bf then "secondary repair (bf)" else "secondary repair");
+    strategy = (if bf then Strategy.validation_bloom_opt else Strategy.validation);
+    repair = D.standalone_repair;
+  }
+
+let run_methods scale ~methods ~update_ratio ?record_bytes ?n_secondaries ~id
+    ~title () =
+  let n = scale.Scale.records in
+  let chunk = max 1 (n / 10) in
+  let per_method =
+    List.map
+      (fun m ->
+        let env = hdd_env scale in
+        let d = dataset ~strategy:m.strategy ?n_secondaries env scale in
+        let stream =
+          Streams.upsert_stream ~seed:20 ~update_ratio ~distribution:`Uniform
+            ?record_bytes ()
+        in
+        let times = ref [] in
+        for _c = 1 to 10 do
+          ingest_quiet d stream ~n:chunk;
+          let _, us = timed env (fun () -> m.repair d) in
+          times := us :: !times
+        done;
+        (m.mname, List.rev !times))
+      methods
+  in
+  let rows =
+    List.init 10 (fun c ->
+        Report.fmt_int ((c + 1) * chunk)
+        :: List.map
+             (fun (_, times) -> Report.fmt_time_s (List.nth times c))
+             per_method)
+  in
+  Report.make ~id ~title
+    ~header:("records" :: List.map (fun (n, _) -> n) per_method)
+    rows
+
+let run scale =
+  [
+    run_methods scale
+      ~methods:
+        [
+          primary_repair ~with_merge:false;
+          primary_repair ~with_merge:true;
+          secondary_repair ~bf:false;
+          secondary_repair ~bf:true;
+        ]
+      ~update_ratio:0.0 ~id:"fig20-0"
+      ~title:"Full repair time as data accumulates, update ratio 0% (s)" ();
+    run_methods scale
+      ~methods:
+        [
+          primary_repair ~with_merge:false;
+          primary_repair ~with_merge:true;
+          secondary_repair ~bf:false;
+          secondary_repair ~bf:true;
+        ]
+      ~update_ratio:0.5 ~id:"fig20-50"
+      ~title:"Full repair time as data accumulates, update ratio 50% (s)" ();
+  ]
+
+let run21 scale =
+  [
+    run_methods scale
+      ~methods:
+        [
+          primary_repair ~with_merge:false;
+          secondary_repair ~bf:false;
+          secondary_repair ~bf:true;
+        ]
+      ~update_ratio:0.1 ~record_bytes:1024 ~id:"fig21"
+      ~title:"Repair with large (1KB) records, update ratio 10% (s)" ();
+  ]
+
+let run22 scale =
+  [
+    run_methods scale
+      ~methods:
+        [
+          primary_repair ~with_merge:false;
+          secondary_repair ~bf:false;
+          secondary_repair ~bf:true;
+        ]
+      ~update_ratio:0.1 ~n_secondaries:5 ~id:"fig22"
+      ~title:"Repair with 5 secondary indexes, update ratio 10% (s)" ();
+  ]

@@ -1,0 +1,109 @@
+(** Figure 23: overhead of the Mutable-bitmap concurrency-control methods
+    — Baseline (no protection), Side-file, and Lock — while merging 4
+    components under concurrent ingestion (Sec. 6.6).
+
+    Panels sweep the writers' update ratio, the record size, and the
+    number of records per component. *)
+
+open Setup
+
+let methods = [ CM.Baseline; CM.Side_file; CM.Lock ]
+
+let tw ~rng ~record_bytes ~id ~at =
+  {
+    Tweet.id;
+    user_id = Lsm_util.Rng.int rng 100_000;
+    location = Lsm_util.Rng.int rng 50;
+    created_at = at;
+    msg_len = max 0 (record_bytes - 32);
+  }
+
+(* Build a Mutable-bitmap dataset with [comps] disk components of
+   [records_per_comp] records of [record_bytes] each. *)
+let build ~comps ~records_per_comp ~record_bytes =
+  let env = Env.create ~cache_bytes:(8 * 1024 * 1024) Device.hdd in
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      env
+      {
+        D.default_config with
+        strategy = Strategy.mutable_bitmap;
+        mem_budget = max_int;
+      }
+  in
+  D.set_auto_maintenance d false;
+  let rng = Lsm_util.Rng.create 23 in
+  let next_id = ref 0 in
+  for _b = 1 to comps do
+    for _i = 1 to records_per_comp do
+      incr next_id;
+      D.upsert d (tw ~rng ~record_bytes ~id:!next_id ~at:!next_id)
+    done;
+    D.flush_memory d
+  done;
+  (d, !next_id)
+
+let merge_time ~method_ ~update_ratio ~comps ~records_per_comp ~record_bytes =
+  let d, max_id = build ~comps ~records_per_comp ~record_bytes in
+  let rng = Lsm_util.Rng.create 77 in
+  let fresh = ref (max_id * 10) in
+  let next_write () =
+    if Lsm_util.Rng.float rng < update_ratio then
+      (* Update an existing key — likely residing in the merging comps. *)
+      CM.Upsert
+        (tw ~rng ~record_bytes ~id:(1 + Lsm_util.Rng.int rng max_id)
+           ~at:(max_id + !fresh))
+    else begin
+      incr fresh;
+      CM.Upsert (tw ~rng ~record_bytes ~id:!fresh ~at:(max_id + !fresh))
+    end
+  in
+  let res = CM.run d ~method_ ~next_write ~writer_ops_per_row:0.25 () in
+  res.CM.merge_time_us
+
+let panel ~id ~title ~xlabel ~xs ~cell =
+  let rows =
+    List.map
+      (fun (xname, x) ->
+        xname
+        :: List.map (fun m -> Report.fmt_time_s (cell m x)) methods)
+      xs
+  in
+  Report.make ~id ~title
+    ~header:(xlabel :: List.map CM.method_name methods)
+    rows
+
+(* Paper: 3M records/component at 100B, 50% updates unless swept.  Scaled
+   1000x down. *)
+let base_records = 3_000
+let base_bytes = 100
+
+let run _scale =
+  [
+    panel ~id:"fig23a" ~title:"CC overhead vs update ratio (merge time, s)"
+      ~xlabel:"update ratio"
+      ~xs:
+        (List.map
+           (fun r -> (Report.fmt_pct r, r))
+           [ 0.0; 0.2; 0.4; 0.8; 1.0 ])
+      ~cell:(fun m r ->
+        merge_time ~method_:m ~update_ratio:r ~comps:4
+          ~records_per_comp:base_records ~record_bytes:base_bytes);
+    panel ~id:"fig23b" ~title:"CC overhead vs record size (merge time, s)"
+      ~xlabel:"record bytes"
+      ~xs:(List.map (fun b -> (string_of_int b, b)) [ 20; 100; 200; 500; 1000 ])
+      ~cell:(fun m b ->
+        merge_time ~method_:m ~update_ratio:0.5 ~comps:4
+          ~records_per_comp:base_records ~record_bytes:b);
+    panel ~id:"fig23c"
+      ~title:"CC overhead vs records per component (merge time, s)"
+      ~xlabel:"records/comp"
+      ~xs:
+        (List.map
+           (fun n -> (string_of_int n, n))
+           [ 1_000; 2_000; 3_000; 4_000; 5_000 ])
+      ~cell:(fun m n ->
+        merge_time ~method_:m ~update_ratio:0.5 ~comps:4 ~records_per_comp:n
+          ~record_bytes:base_bytes);
+  ]

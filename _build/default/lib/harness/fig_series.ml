@@ -1,0 +1,67 @@
+(** Records-over-time series — Figs. 13 and 14 are cumulative curves in
+    the paper; these targets print the curves themselves (one row per
+    checkpoint), complementing the summary tables of {!Fig13}/{!Fig14}. *)
+
+open Setup
+
+let series_rows (runs : (string * (int * float) list) list) =
+  (* Align by checkpoint index (all runs use 10 checkpoints). *)
+  match runs with
+  | [] -> []
+  | (_, first) :: _ ->
+      List.mapi
+        (fun i (n, _) ->
+          Report.fmt_int n
+          :: List.map
+               (fun (_, series) ->
+                 match List.nth_opt series i with
+                 | Some (_, t) -> Report.fmt_float t
+                 | None -> "-")
+               runs)
+        first
+
+let run13 scale =
+  let runs =
+    List.concat_map
+      (fun use_pk_index ->
+        List.map
+          (fun dup ->
+            let env = hdd_env scale in
+            let d = dataset ~use_pk_index env scale in
+            let stream = Streams.insert_stream ~seed:13 ~duplicate_ratio:dup () in
+            ( Printf.sprintf "%s/%s"
+                (if use_pk_index then "pk-idx" else "no-pk-idx")
+                (Report.fmt_pct dup),
+              ingest d stream ~n:scale.Scale.records ))
+          [ 0.0; 0.5 ])
+      [ true; false ]
+  in
+  Report.make ~id:"fig13-series"
+    ~title:"Insert ingestion curves, hdd (simulated s to reach each record count)"
+    ~header:("records" :: List.map fst runs)
+    (series_rows runs)
+
+let run14 scale =
+  let runs =
+    List.map
+      (fun (name, strategy) ->
+        let env = hdd_env scale in
+        let d = dataset ~strategy env scale in
+        let stream =
+          Streams.upsert_stream ~seed:14 ~update_ratio:0.5
+            ~distribution:`Uniform ()
+        in
+        (name, ingest d stream ~n:scale.Scale.records))
+      [
+        ("eager", Strategy.eager);
+        ("validation (no repair)", Strategy.validation_no_repair);
+        ("validation", Strategy.validation);
+        ("mutable-bitmap", Strategy.mutable_bitmap);
+      ]
+  in
+  Report.make ~id:"fig14-series"
+    ~title:
+      "Upsert ingestion curves, 50% uniform updates (simulated s per record \
+       count)"
+    ~header:("records" :: List.map fst runs)
+    (series_rows runs)

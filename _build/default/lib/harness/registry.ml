@@ -1,0 +1,130 @@
+(** The experiment registry: every table/figure of the paper's evaluation,
+    by id, with the function that regenerates it. *)
+
+type experiment = {
+  id : string;
+  description : string;
+  run : Scale.t -> Report.t list;
+}
+
+let all : experiment list =
+  [
+    {
+      id = "fig12a";
+      description = "point-lookup optimizations, low selectivity";
+      run = (fun s -> [ Fig12.run_a s ]);
+    };
+    {
+      id = "fig12b";
+      description = "point-lookup optimizations, high selectivity + scans";
+      run = (fun s -> [ Fig12.run_b s ]);
+    };
+    {
+      id = "fig12c";
+      description = "impact of batching memory";
+      run = (fun s -> [ Fig12.run_c s ]);
+    };
+    {
+      id = "fig12d";
+      description = "impact of result sorting";
+      run = (fun s -> [ Fig12.run_d s ]);
+    };
+    {
+      id = "fig13";
+      description = "insert ingestion: primary key index for uniqueness checks";
+      run = (fun s -> [ Fig13.run s ]);
+    };
+    {
+      id = "fig14";
+      description = "upsert ingestion throughput by strategy";
+      run = (fun s -> [ Fig14.run s ]);
+    };
+    {
+      id = "fig13-series";
+      description = "insert ingestion curves (Fig. 13's records-over-time)";
+      run = (fun s -> [ Fig_series.run13 s ]);
+    };
+    {
+      id = "fig14-series";
+      description = "upsert ingestion curves (Fig. 14's records-over-time)";
+      run = (fun s -> [ Fig_series.run14 s ]);
+    };
+    {
+      id = "fig15a";
+      description = "impact of merge frequency (max mergeable size)";
+      run = (fun s -> [ Fig15.run_a s ]);
+    };
+    {
+      id = "fig15b";
+      description = "impact of number of secondary indexes";
+      run = (fun s -> [ Fig15.run_b s ]);
+    };
+    {
+      id = "fig16";
+      description = "non-index-only query performance";
+      run = Fig16.run;
+    };
+    { id = "fig17"; description = "index-only query performance"; run = Fig16.run17 };
+    {
+      id = "fig18";
+      description = "timestamp validation with small cache";
+      run = (fun s -> [ Fig16.run18 s ]);
+    };
+    { id = "fig19"; description = "range-filter query performance"; run = Fig19.run };
+    { id = "fig20"; description = "repair performance over time"; run = Fig20.run };
+    { id = "fig21"; description = "repair with large records"; run = Fig20.run21 };
+    {
+      id = "fig22";
+      description = "repair with 5 secondary indexes";
+      run = Fig20.run22;
+    };
+    {
+      id = "fig23";
+      description = "mutable-bitmap concurrency control overhead";
+      run = Fig23.run;
+    };
+    (* Ablations beyond the paper's figures. *)
+    {
+      id = "abl-policy";
+      description = "ablation: merge policies (tiering/leveling/none)";
+      run = (fun s -> [ Ablations.run_policy s ]);
+    };
+    {
+      id = "abl-bloom";
+      description = "ablation: Bloom filter presence and FPR";
+      run = (fun s -> [ Ablations.run_bloom s ]);
+    };
+    {
+      id = "abl-bf-repair";
+      description = "ablation: Bloom-repair optimization, isolated";
+      run = (fun s -> [ Ablations.run_bf_repair s ]);
+    };
+    {
+      id = "abl-scaleout";
+      description = "ablation: hash-partition scale-out";
+      run = (fun s -> [ Ablations.run_scaleout s ]);
+    };
+    {
+      id = "abl-adaptive";
+      description = "ablation: adaptive strategy selection (future work, Sec. 7)";
+      run = (fun s -> [ Ablations.run_adaptive s ]);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+(** [run_all ?csv_dir scale] runs every experiment, printing tables and —
+    when [csv_dir] is given — also writing one plot-ready CSV per table. *)
+let run_all ?(out = stdout) ?csv_dir scale =
+  List.iter
+    (fun e ->
+      Printf.fprintf out "\n##### %s — %s\n" e.id e.description;
+      flush out;
+      List.iter
+        (fun t ->
+          Report.print ~out t;
+          match csv_dir with
+          | Some dir -> ignore (Report.write_csv ~dir t)
+          | None -> ())
+        (e.run scale))
+    all

@@ -1,0 +1,15 @@
+(** The experiment registry: every table/figure of the paper's evaluation
+    (plus ablations), by id, with the function that regenerates it. *)
+
+type experiment = {
+  id : string;  (** "fig12a" .. "fig23", "abl-*" *)
+  description : string;
+  run : Scale.t -> Report.t list;
+}
+
+val all : experiment list
+val find : string -> experiment option
+
+val run_all : ?out:out_channel -> ?csv_dir:string -> Scale.t -> unit
+(** Run every experiment, printing tables (and writing one CSV per table
+    when [csv_dir] is given). *)

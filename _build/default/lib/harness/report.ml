@@ -1,0 +1,67 @@
+(** Result tables: aligned plain-text output, one table per paper figure,
+    with the same rows/series the paper reports. *)
+
+type t = {
+  id : string;  (** e.g. "fig14" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ?(notes = []) ~id ~title ~header rows = { id; title; header; rows; notes }
+
+let fmt_time_s us = Printf.sprintf "%.3f" (us /. 1e6)
+let fmt_time_ms us = Printf.sprintf "%.3f" (us /. 1e3)
+let fmt_float f = Printf.sprintf "%.3f" f
+let fmt_int = string_of_int
+let fmt_pct f = Printf.sprintf "%.3g%%" (f *. 100.0)
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.length t.header in
+  List.init cols (fun c ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        0 all)
+
+let pad w s = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let print ?(out = stdout) t =
+  let ws = widths t in
+  let line row =
+    String.concat "  " (List.map2 pad ws row)
+  in
+  Printf.fprintf out "\n=== %s: %s ===\n" t.id t.title;
+  Printf.fprintf out "%s\n" (line t.header);
+  Printf.fprintf out "%s\n"
+    (String.concat "  " (List.map (fun w -> String.make w '-') ws));
+  List.iter (fun r -> Printf.fprintf out "%s\n" (line r)) t.rows;
+  List.iter (fun n -> Printf.fprintf out "note: %s\n" n) t.notes;
+  flush out
+
+let cell t ~row ~col = List.nth (List.nth t.rows row) col
+
+(* Minimal CSV quoting: wrap fields containing separators or quotes. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(** [to_csv t] renders the table as CSV (header + rows). *)
+let to_csv t =
+  let line row = String.concat "," (List.map csv_field row) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"
+
+(** [write_csv ~dir t] writes [dir/<id>.csv], creating [dir] if needed;
+    returns the path. *)
+let write_csv ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc;
+  path

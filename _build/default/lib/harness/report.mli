@@ -1,0 +1,37 @@
+(** Result tables: aligned plain-text output (one table per paper figure,
+    same rows/series the paper reports) and plot-ready CSV export. *)
+
+type t = {
+  id : string;  (** e.g. "fig14" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  ?notes:string list ->
+  id:string ->
+  title:string ->
+  header:string list ->
+  string list list ->
+  t
+
+(** {1 Cell formatting} *)
+
+val fmt_time_s : float -> string
+(** Microseconds rendered as seconds. *)
+
+val fmt_time_ms : float -> string
+val fmt_float : float -> string
+val fmt_int : int -> string
+val fmt_pct : float -> string
+
+(** {1 Output} *)
+
+val print : ?out:out_channel -> t -> unit
+val cell : t -> row:int -> col:int -> string
+val to_csv : t -> string
+
+val write_csv : dir:string -> t -> string
+(** Write [dir/<id>.csv] (creating [dir]); returns the path. *)

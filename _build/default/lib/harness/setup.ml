@@ -1,0 +1,129 @@
+(** Shared experiment plumbing: environments, datasets, ingestion drivers,
+    and query timing. *)
+
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module CM = Lsm_core.Concurrent_merge.Make (Lsm_workload.Tweet.Record) (D)
+module Strategy = Lsm_core.Strategy
+module Tweet = Lsm_workload.Tweet
+module Streams = Lsm_workload.Streams
+module Env = Lsm_sim.Env
+module Device = Lsm_sim.Device
+
+let hdd_env ?cache_bytes scale =
+  let cache_bytes =
+    match cache_bytes with Some b -> b | None -> Scale.cache_bytes scale
+  in
+  Env.create ~cache_bytes Scale.hdd_device
+
+let ssd_env ?cache_bytes scale =
+  let cache_bytes =
+    match cache_bytes with
+    | Some b -> b
+    | None -> Scale.cache_bytes scale * 2 (* the SSD node had 2x the cache *)
+  in
+  Env.create ~cache_bytes Scale.ssd_device
+
+(* Secondary-key extractors: index 0 is the paper's user_id; additional
+   indexes (Figs. 15b, 22) are synthetic attributes derived from the
+   primary key, uniform over the same domain. *)
+let secondary_specs n =
+  List.init n (fun i ->
+      if i = 0 then Lsm_core.Record.secondary "user_id" Tweet.user_id
+      else
+        Lsm_core.Record.secondary
+          (Printf.sprintf "attr%d" i)
+          (fun r ->
+            Lsm_bloom.Hashing.combine (Tweet.primary_key r) i
+            land max_int mod Tweet.user_id_domain))
+
+let dataset ?(strategy = Strategy.eager) ?(n_secondaries = 1)
+    ?(use_pk_index = true) ?mem_budget ?max_mergeable_bytes
+    ?(bloom_kind = `Standard) env scale =
+  let mem_budget =
+    match mem_budget with Some b -> b | None -> Scale.mem_budget scale
+  in
+  let max_mergeable_bytes =
+    match max_mergeable_bytes with
+    | Some b -> b
+    | None -> Scale.max_mergeable_bytes scale
+  in
+  D.create ~filter_key:Tweet.created_at ~secondaries:(secondary_specs n_secondaries)
+    env
+    {
+      D.strategy;
+      mem_budget;
+      merge_policy =
+        Lsm_tree.Merge_policy.tiering ~size_ratio:1.2 ~max_mergeable_bytes ();
+      use_pk_index;
+      bloom = Some { Lsm_tree.Config.kind = bloom_kind; fpr = 0.01 };
+    }
+
+let apply_op d = function
+  | Streams.Insert r -> ignore (D.insert d r)
+  | Streams.Upsert r -> D.upsert d r
+  | Streams.Delete pk -> D.delete d ~pk
+
+(** [ingest d stream ~n] drives [n] stream operations into [d], returning
+    (records, simulated seconds) at ten evenly spaced checkpoints — the
+    records-over-time series of Figs. 13-14. *)
+let ingest ?(checkpoints = 10) d stream ~n =
+  let env = D.env d in
+  let t0 = Env.now_us env in
+  let out = ref [] in
+  let step = max 1 (n / checkpoints) in
+  for i = 1 to n do
+    apply_op d (Streams.next stream);
+    if i mod step = 0 || i = n then
+      out := (i, (Env.now_us env -. t0) /. 1e6) :: !out
+  done;
+  List.rev !out
+
+(** [ingest_quiet d stream ~n] ingests without checkpoints. *)
+let ingest_quiet d stream ~n =
+  for _ = 1 to n do
+    apply_op d (Streams.next stream)
+  done
+
+(** [insert_dataset env scale ~n] bulk-builds an insert-only dataset (the
+    Fig. 12 / 16 / 17 preparation step). *)
+let insert_dataset ?strategy ?n_secondaries ?bloom_kind ?(update_ratio = 0.0)
+    ?(distribution = `Uniform) ?(seed = 11) ?record_bytes env scale ~n =
+  let d = dataset ?strategy ?n_secondaries ?bloom_kind env scale in
+  let stream =
+    if update_ratio = 0.0 then
+      Streams.insert_stream ~seed ?record_bytes ~duplicate_ratio:0.0 ()
+    else Streams.upsert_stream ~seed ?record_bytes ~update_ratio ~distribution ()
+  in
+  ingest_quiet d stream ~n;
+  (d, stream)
+
+(** [timed env f] runs [f] and returns (result, simulated microseconds). *)
+let timed env f =
+  let t0 = Env.now_us env in
+  let r = f () in
+  (r, Env.now_us env -. t0)
+
+(** [warm_query_time env ~runs f] executes [f run_index] repeatedly (each
+    run should use a different predicate of the same selectivity), warms
+    the cache on the first runs, and averages the stable tail — the
+    methodology of Secs. 6.2/6.4.  The buffer cache is cleared first so
+    that variants measured back-to-back on a shared dataset start from
+    the same state and warm themselves. *)
+let warm_query_time ?(runs = 8) ?(stable = 5) env f =
+  Lsm_sim.Buffer_cache.clear (Env.cache env);
+  let times = Array.init runs (fun i -> snd (timed env (fun () -> f i))) in
+  let tail = Array.sub times (runs - stable) stable in
+  Array.fold_left ( +. ) 0.0 tail /. Float.of_int stable
+
+(** [cold_query_time env ~runs f] clears the buffer cache before every
+    run and averages (Fig. 19's methodology). *)
+let cold_query_time ?(runs = 3) env f =
+  let total = ref 0.0 in
+  for i = 0 to runs - 1 do
+    Lsm_sim.Buffer_cache.clear (Env.cache env);
+    total := !total +. snd (timed env (fun () -> f i))
+  done;
+  !total /. Float.of_int runs
+
+(** Throughput in records per simulated second. *)
+let throughput ~n ~sim_s = if sim_s <= 0.0 then 0.0 else Float.of_int n /. sim_s

@@ -1,0 +1,1 @@
+lib/lsm_tree/lsm_tree.ml: Array Config Entry List Lsm_bloom Lsm_btree Lsm_sim Lsm_util Merge_policy

@@ -1,0 +1,1 @@
+lib/lsm_tree/lsm_tree.mli: Config Entry Lsm_bloom Lsm_btree Lsm_sim Lsm_util Merge_policy

@@ -1,0 +1,1 @@
+lib/lsm_tree/entry.ml: Fmt

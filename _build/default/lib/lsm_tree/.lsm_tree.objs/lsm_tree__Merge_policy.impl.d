@@ -1,0 +1,1 @@
+lib/lsm_tree/merge_policy.ml: Array Float Fmt

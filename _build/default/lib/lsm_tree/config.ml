@@ -1,0 +1,25 @@
+(** Per-LSM-tree configuration. *)
+
+type bloom = {
+  kind : [ `Standard | `Blocked ];
+      (** the "bBF" toggle of Sec. 3.2: blocked filters cost one CPU cache
+          line per probe instead of [k] *)
+  fpr : float;  (** target false-positive rate (paper: 1%) *)
+}
+
+type t = {
+  name : string;  (** for logs and debugging *)
+  bloom : bloom option;
+      (** Bloom filter on the keys of each disk component.  The paper
+          builds them on primary and primary-key components; secondary
+          indexes have none by default (their searches are range scans). *)
+  validity_bitmap : bool;
+      (** allocate a mutable validity bitmap per disk component
+          (Mutable-bitmap strategy, Sec. 5; also written by merge repair,
+          Sec. 4.4) *)
+}
+
+let default_bloom = { kind = `Standard; fpr = 0.01 }
+
+let make ?(bloom = None) ?(validity_bitmap = false) name =
+  { name; bloom; validity_bitmap }

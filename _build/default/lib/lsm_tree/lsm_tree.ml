@@ -1,0 +1,770 @@
+(** A generic LSM-tree over the simulated storage substrate.
+
+    One [Make (K) (V)] instance backs each index of a dataset: the primary
+    index (key = primary key, value = record), the primary key index
+    (key = primary key, value = unit), and secondary indexes (key =
+    (secondary key, primary key), value = unit).  Entries are timestamped;
+    component IDs are (minTS, maxTS) ranges over entry timestamps, as in
+    Fig. 1 of the paper.
+
+    The tree itself knows nothing about maintenance strategies: it offers
+    writes into the memory component, flush, merge of a contiguous
+    component range, reconciling and per-component scans, and the point
+    lookup algorithms of Sec. 3.2.  Strategy logic lives in [Lsm_core]. *)
+
+module Entry = Entry
+module Config = Config
+module Merge_policy = Merge_policy
+
+module type KEY = Lsm_util.Intf.ORDERED
+
+module type VALUE = Lsm_util.Intf.SIZED
+
+module Make (K : KEY) (V : VALUE) = struct
+  module Mbt = Lsm_btree.Mem_btree.Make (K)
+  module Dbt = Lsm_btree.Disk_btree.Make (K)
+
+  type row = { key : K.t; ts : int; value : V.t Entry.t }
+
+  let row_size r = K.byte_size r.key + 8 + Entry.byte_size V.byte_size r.value
+
+  type mem_component = {
+    table : (int * V.t Entry.t) Mbt.t;  (** key -> (ts, entry) *)
+    mutable bytes : int;
+    mutable min_ts : int;  (** max_int when empty *)
+    mutable max_ts : int;  (** -1 when empty *)
+    mutable fmin : int;  (** range filter bounds; max_int/min_int = empty *)
+    mutable fmax : int;
+  }
+
+  type disk_component = {
+    tree : row Dbt.t;
+    bloom : Lsm_bloom.Filter.t option;
+    cmin_ts : int;  (** component ID lower bound *)
+    cmax_ts : int;  (** component ID upper bound *)
+    range_filter : (int * int) option;
+    mutable bitmap : Lsm_util.Bitset.t option;  (** 1 = entry invalid *)
+    mutable repaired_ts : int;
+        (** entries are valid w.r.t. primary-key-index entries with
+            ts <= repaired_ts (Sec. 4.4); 0 = never repaired *)
+    seq : int;  (** unique id, for debugging and cache bookkeeping *)
+  }
+
+  type t = {
+    env : Lsm_sim.Env.t;
+    config : Config.t;
+    filter_of : (V.t -> int) option;
+        (** extracts the range-filter key from a value; [None] = no filter *)
+    mutable mem : mem_component;
+    mutable disk : disk_component list;  (** newest first *)
+    mutable next_seq : int;
+    mutable tombstone_drop_ts : int;
+        (** bottom merges may physically drop an anti-matter entry only if
+            its timestamp is <= this barrier.  Defaults to [max_int] (drop
+            freely).  A dataset whose secondary indexes validate against
+            this tree lowers it to the minimum secondary repairedTS, so
+            that deletions stay observable until every obsolete secondary
+            entry has been repaired. *)
+  }
+
+  let fresh_mem () =
+    {
+      table = Mbt.create ();
+      bytes = 0;
+      min_ts = max_int;
+      max_ts = -1;
+      fmin = max_int;
+      fmax = min_int;
+    }
+
+  let create ?filter_of env config =
+    {
+      env;
+      config;
+      filter_of;
+      mem = fresh_mem ();
+      disk = [];
+      next_seq = 0;
+      tombstone_drop_ts = max_int;
+    }
+
+  (** [set_tombstone_drop_ts t ts]: see the field documentation. *)
+  let set_tombstone_drop_ts t ts = t.tombstone_drop_ts <- ts
+
+  let env t = t.env
+  let config t = t.config
+  let name t = t.config.Config.name
+
+  (* ------------------------------------------------------------------ *)
+  (* Accessors *)
+
+  let mem_bytes t = t.mem.bytes
+  let mem_count t = Mbt.length t.mem.table
+  let mem_is_empty t = Mbt.is_empty t.mem.table
+  let mem_id t = (t.mem.min_ts, t.mem.max_ts)
+
+  (** [components t] is the disk components, newest first. *)
+  let components t = Array.of_list t.disk
+
+  let component_count t = List.length t.disk
+  let component_id c = (c.cmin_ts, c.cmax_ts)
+  let component_rows c = Dbt.nrows c.tree
+  let component_size_bytes t c = Dbt.size_bytes t.env c.tree
+
+  let disk_size_bytes t =
+    List.fold_left (fun acc c -> acc + component_size_bytes t c) 0 t.disk
+
+  let total_rows t =
+    mem_count t + List.fold_left (fun acc c -> acc + component_rows c) 0 t.disk
+
+  let charge_mem_cmps t =
+    Lsm_sim.Env.charge_comparisons t.env (Mbt.take_comparisons t.mem.table)
+
+  (* ------------------------------------------------------------------ *)
+  (* Writes *)
+
+  (** [widen_filter t fkey] widens the memory component's range filter to
+      cover [fkey].  The Eager strategy calls this with the *old* record's
+      filter key on upserts and deletes so that queries do not erroneously
+      prune the memory component (Sec. 3.1); Validation and Mutable-bitmap
+      deliberately do not (Secs. 4.2, 5.2). *)
+  let widen_filter t fkey =
+    if t.filter_of <> None then begin
+      if fkey < t.mem.fmin then t.mem.fmin <- fkey;
+      if fkey > t.mem.fmax then t.mem.fmax <- fkey
+    end
+
+  (** [write t ~key ~ts entry] adds an entry to the memory component.  A
+      same-key write replaces the previous in-memory entry (newest wins
+      within a component).  [Put] values widen the range filter. *)
+  let write t ~key ~ts entry =
+    let old = Mbt.put t.mem.table key (ts, entry) in
+    charge_mem_cmps t;
+    let new_size = K.byte_size key + 8 + Entry.byte_size V.byte_size entry in
+    (match old with
+    | Some (_, old_e) ->
+        t.mem.bytes <-
+          t.mem.bytes - (K.byte_size key + 8 + Entry.byte_size V.byte_size old_e)
+    | None -> ());
+    t.mem.bytes <- t.mem.bytes + new_size;
+    if ts < t.mem.min_ts then t.mem.min_ts <- ts;
+    if ts > t.mem.max_ts then t.mem.max_ts <- ts;
+    (match (entry, t.filter_of) with
+    | Entry.Put v, Some f -> widen_filter t (f v)
+    | _ -> ());
+    Lsm_sim.Env.charge_entry_visits t.env 1
+
+  (** [mem_rollback t ~key ~prior] undoes a memory-component write as part
+      of transaction rollback (Sec. 2.2: in-memory changes are rolled back
+      by applying inverse operations): the current entry for [key] is
+      removed and [prior] — the binding that the aborted write replaced,
+      if any — is restored.  Byte accounting follows; the component ID and
+      filter bounds remain conservatively widened, which is safe. *)
+  let mem_rollback t ~key ~prior =
+    (match Mbt.remove t.mem.table key with
+    | Some (_, old_e) ->
+        t.mem.bytes <-
+          t.mem.bytes - (K.byte_size key + 8 + Entry.byte_size V.byte_size old_e)
+    | None -> ());
+    (match prior with
+    | Some ((ts : int), entry) ->
+        ignore (Mbt.put t.mem.table key (ts, entry));
+        t.mem.bytes <-
+          t.mem.bytes + K.byte_size key + 8 + Entry.byte_size V.byte_size entry
+    | None -> ());
+    charge_mem_cmps t
+
+  (** [reset_memory t] discards the memory component (crash simulation:
+      under no-steal/no-force, everything unflushed is volatile). *)
+  let reset_memory t = t.mem <- fresh_mem ()
+
+  (** [mem_find t key] searches only the memory component. *)
+  let mem_find t key =
+    let r = Mbt.find t.mem.table key in
+    charge_mem_cmps t;
+    match r with
+    | None -> None
+    | Some (ts, entry) ->
+        Lsm_sim.Env.charge_entry_visits t.env 1;
+        Some { key; ts; value = entry }
+
+  (* ------------------------------------------------------------------ *)
+  (* Bloom filter probing with cost accounting *)
+
+  let probe_bloom t c key =
+    match c.bloom with
+    | None -> true
+    | Some f ->
+        let st = Lsm_sim.Env.stats t.env in
+        st.Lsm_sim.Io_stats.bloom_probes <- st.Lsm_sim.Io_stats.bloom_probes + 1;
+        Lsm_sim.Env.charge_hashes t.env (Lsm_bloom.Filter.hashes_per_probe f);
+        Lsm_sim.Env.charge_cache_lines t.env
+          (Lsm_bloom.Filter.cache_lines_per_probe f);
+        let maybe = Lsm_bloom.Filter.contains f (K.hash key) in
+        if not maybe then
+          st.Lsm_sim.Io_stats.bloom_negatives <-
+            st.Lsm_sim.Io_stats.bloom_negatives + 1;
+        maybe
+
+  (* ------------------------------------------------------------------ *)
+  (* Flush *)
+
+  let build_bloom t rows =
+    match t.config.Config.bloom with
+    | None -> None
+    | Some { Config.kind; fpr } ->
+        let n = Array.length rows in
+        let f = Lsm_bloom.Filter.create kind ~expected:n ~fpr in
+        Array.iter (fun r -> Lsm_bloom.Filter.add f (K.hash r.key)) rows;
+        Lsm_sim.Env.charge_hashes t.env (2 * n);
+        Some f
+
+  let mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts =
+    let tree = Dbt.build t.env ~key_of:(fun r -> r.key) ~size_of:row_size rows in
+    let bloom = build_bloom t rows in
+    let bitmap =
+      if t.config.Config.validity_bitmap then
+        Some (Lsm_util.Bitset.create (Array.length rows))
+      else None
+    in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    { tree; bloom; cmin_ts; cmax_ts; range_filter; bitmap; repaired_ts; seq }
+
+  (** [flush t] turns a non-empty memory component into the newest disk
+      component, inheriting the (possibly widened) memory range filter. *)
+  let flush t =
+    if not (Mbt.is_empty t.mem.table) then begin
+      let bindings = Mbt.to_sorted_array t.mem.table in
+      let rows =
+        Array.map (fun (key, (ts, entry)) -> { key; ts; value = entry }) bindings
+      in
+      Lsm_sim.Env.charge_entry_visits t.env (Array.length rows);
+      let range_filter =
+        if t.filter_of <> None && t.mem.fmin <= t.mem.fmax then
+          Some (t.mem.fmin, t.mem.fmax)
+        else None
+      in
+      let c =
+        mk_component t rows ~cmin_ts:t.mem.min_ts ~cmax_ts:t.mem.max_ts
+          ~range_filter ~repaired_ts:0
+      in
+      t.disk <- c :: t.disk;
+      t.mem <- fresh_mem ()
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Merge *)
+
+  let row_valid c i =
+    match c.bitmap with None -> true | Some b -> not (Lsm_util.Bitset.get b i)
+
+  (** [merge t ~first ~last] merges the contiguous component range
+      [first..last] (indices into {!components}, 0 = newest) into one new
+      component: a reconciling k-way merge that keeps the newest entry per
+      key, drops bitmap-invalidated entries, and — when the range includes
+      the oldest component — drops anti-matter.  Returns the new
+      component.  The inputs' files are deleted. *)
+  let merge ?(extra_invalid = fun _ _ -> false) t ~first ~last =
+    let comps = Array.of_list t.disk in
+    let n = Array.length comps in
+    if not (0 <= first && first <= last && last < n) then
+      invalid_arg "Lsm_tree.merge: bad range";
+    let inputs = Array.sub comps first (last - first + 1) in
+    let includes_oldest = last = n - 1 in
+    let scans =
+      Array.map (fun c -> Dbt.Scan.seek t.env c.tree None) inputs
+    in
+    (* K-way merge ordered by (key, input priority); input 0 is newest. *)
+    let cmp (k1, p1, _) (k2, p2, _) =
+      Lsm_sim.Env.charge_comparisons t.env 1;
+      let c = K.compare k1 k2 in
+      if c <> 0 then c else compare (p1 : int) p2
+    in
+    let heap = Lsm_util.Heap.create cmp in
+    let push_from p =
+      let rec go () =
+        match Dbt.Scan.next t.env scans.(p) with
+        | None -> ()
+        | Some (i, row) ->
+            if row_valid inputs.(p) i && not (extra_invalid inputs.(p) i) then
+              Lsm_util.Heap.push heap (row.key, p, row)
+            else go ()
+      in
+      go ()
+    in
+    Array.iteri (fun p _ -> push_from p) inputs;
+    let out = ref [] in
+    let last_key = ref None in
+    while not (Lsm_util.Heap.is_empty heap) do
+      let k, p, row = Lsm_util.Heap.pop heap in
+      push_from p;
+      let dup =
+        match !last_key with
+        | Some lk -> K.compare lk k = 0
+        | None -> false
+      in
+      Lsm_sim.Env.charge_comparisons t.env 1;
+      last_key := Some k;
+      if not dup then
+        if
+          Entry.is_del row.value && includes_oldest
+          && row.ts <= t.tombstone_drop_ts
+        then ()
+        else out := row :: !out
+    done;
+    let rows = Array.of_list (List.rev !out) in
+    let cmin_ts =
+      Array.fold_left (fun acc c -> min acc c.cmin_ts) max_int inputs
+    in
+    let cmax_ts = Array.fold_left (fun acc c -> max acc c.cmax_ts) (-1) inputs in
+    let repaired_ts =
+      Array.fold_left (fun acc c -> min acc c.repaired_ts) max_int inputs
+    in
+    let repaired_ts = if repaired_ts = max_int then 0 else repaired_ts in
+    let range_filter =
+      match t.filter_of with
+      | None -> None
+      | Some f ->
+          if includes_oldest then begin
+            (* No anti-matter survives a bottom merge: recompute tightly. *)
+            let fmin = ref max_int and fmax = ref min_int in
+            Array.iter
+              (fun r ->
+                match r.value with
+                | Entry.Put v ->
+                    let x = f v in
+                    if x < !fmin then fmin := x;
+                    if x > !fmax then fmax := x
+                | Entry.Del -> ())
+              rows;
+            if !fmin <= !fmax then Some (!fmin, !fmax) else None
+          end
+          else
+            (* Anti-matter may survive: the union of input filters is the
+               only safe bound. *)
+            Array.fold_left
+              (fun acc c ->
+                match (acc, c.range_filter) with
+                | None, x | x, None -> x
+                | Some (a, b), Some (c', d) -> Some (min a c', max b d))
+              None inputs
+    in
+    let merged =
+      mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts
+    in
+    t.disk <-
+      List.filteri (fun i _ -> i < first) t.disk
+      @ [ merged ]
+      @ List.filteri (fun i _ -> i > last) t.disk;
+    Array.iter (fun c -> Dbt.delete t.env c.tree) inputs;
+    merged
+
+  (** [build_component t rows ...] constructs a disk component from
+      pre-merged, key-sorted rows without installing it — the low-level
+      piece used by the incremental concurrent-merge machinery (Sec. 5.3),
+      which interleaves writers with the component builder and therefore
+      cannot use the atomic {!merge}. *)
+  let build_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts =
+    mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts
+
+  (** [replace_range t ~first ~last c] atomically replaces the component
+      range [first..last] (newest-first indices) with [c], deleting the
+      old components' files. *)
+  let replace_range t ~first ~last c =
+    let comps = Array.of_list t.disk in
+    let n = Array.length comps in
+    if not (0 <= first && first <= last && last < n) then
+      invalid_arg "Lsm_tree.replace_range: bad range";
+    t.disk <-
+      List.filteri (fun i _ -> i < first) t.disk
+      @ [ c ]
+      @ List.filteri (fun i _ -> i > last) t.disk;
+    for i = first to last do
+      Dbt.delete t.env comps.(i).tree
+    done
+
+  (** [maybe_merge t policy] applies a merge policy to this tree's own
+      components (the paper's default: "each LSM-tree is merged
+      independently").  Returns the merged component if a merge ran. *)
+  let maybe_merge t policy =
+    let comps = Array.of_list t.disk in
+    let n = Array.length comps in
+    if n < 2 then None
+    else begin
+      (* Policy works oldest-first. *)
+      let sizes =
+        Array.init n (fun i -> component_size_bytes t comps.(n - 1 - i))
+      in
+      match Merge_policy.pick policy ~sizes with
+      | None -> None
+      | Some (f_old, l_old) ->
+          (* Translate oldest-first indices to newest-first. *)
+          let first = n - 1 - l_old and last = n - 1 - f_old in
+          Some (merge t ~first ~last)
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Point lookups (Sec. 3.2) *)
+
+  type lookup_opts = {
+    batched : bool;  (** batched point lookup algorithm *)
+    batch_bytes : int;  (** batching memory (paper default: 16MB) *)
+    stateful : bool;  (** stateful B+-tree search cursors ("sLookup") *)
+    use_hints : bool;  (** component-ID propagation ("pID", Jia) *)
+  }
+
+  let default_lookup_opts =
+    {
+      batched = true;
+      batch_bytes = 16 * 1024 * 1024;
+      stateful = true;
+      use_hints = false;
+    }
+
+  (** A query key: [hint_ts] is the timestamp of the secondary-index entry
+      that produced it (0 = no hint).  With [use_hints], components whose
+      maxTS is below the hint cannot hold the sought version and are
+      skipped before their Bloom filter is even probed. *)
+  type query_key = { qkey : K.t; hint_ts : int }
+
+  let plain_keys keys = Array.map (fun k -> { qkey = k; hint_ts = 0 }) keys
+
+  (** [lookup_one t key] is the newest entry for [key] across the memory
+      component and all disk components ([None] if the key was never
+      written or its newest disk entry is bitmap-invalidated).  The
+      single-key path used by ingestion-time point lookups.
+
+      A bitmap-invalidated hit terminates the search: the bit means the
+      entry was deleted or superseded, and any superseding version is
+      strictly newer, hence already searched. *)
+  let lookup_one t key =
+    match mem_find t key with
+    | Some r -> Some r
+    | None ->
+        let rec go = function
+          | [] -> None
+          | c :: rest ->
+              if probe_bloom t c key then
+                match Dbt.find t.env c.tree key with
+                | Some (pos, row) -> if row_valid c pos then Some row else None
+                | None -> go rest
+              else go rest
+        in
+        go t.disk
+
+  (** [disk_find t key] locates the newest *disk* entry for [key] as
+      (component, row position, row), ignoring the memory component and any
+      validity bitmap (callers inspect validity themselves).  Used by the
+      Mutable-bitmap strategy to find the bit to flip (Sec. 5.2). *)
+  let disk_find t key =
+    let rec go = function
+      | [] -> None
+      | c :: rest -> (
+          if probe_bloom t c key then
+            match Dbt.find t.env c.tree key with
+            | Some (pos, row) -> Some (c, pos, row)
+            | None -> go rest
+          else go rest)
+    in
+    go t.disk
+
+  (** [component_row_valid c i] consults the validity bitmap. *)
+  let component_row_valid = row_valid
+
+  (** [rows_of c] is the component's row array (no I/O charged — callers
+      that walk it outside a scan must charge explicitly). *)
+  let rows_of c = Dbt.rows c.tree
+
+  (** [charge_component_scan t c] charges the I/O and CPU of a full
+      sequential scan of [c] without materializing anything (standalone
+      repair reads the component it is repairing; merge repair gets the
+      rows for free as a by-product of the merge scan, Fig. 7). *)
+  let charge_component_scan t c =
+    Lsm_sim.Sfile.scan_all t.env (Dbt.file c.tree);
+    Lsm_sim.Env.charge_entry_visits t.env (Dbt.nrows c.tree)
+
+  (** [mem_filter t] is the memory component's current range-filter
+      bounds, if the tree has a filter and the component is non-empty. *)
+  let mem_filter t =
+    if t.filter_of <> None && t.mem.fmin <= t.mem.fmax then
+      Some (t.mem.fmin, t.mem.fmax)
+    else None
+
+  (** [lookup_batch t opts qkeys ~emit] resolves many point lookups.
+      [qkeys] must be sorted ascending by key.  [emit key row_opt] is
+      called exactly once per query key; emission order is the fetch order
+      (memory hits, then per-component hits newest-to-oldest within each
+      batch), which for the batched algorithm is *not* global key order —
+      the trade-off Fig. 12d measures. *)
+  let lookup_batch t opts qkeys ~emit =
+    let nq = Array.length qkeys in
+    if nq > 0 then begin
+      let comps = Array.of_list t.disk in
+      let cursors =
+        if opts.stateful then
+          Some (Array.map (fun c -> Dbt.Cursor.create c.tree) comps)
+        else None
+      in
+      let find_in ci key =
+        match cursors with
+        | Some cs -> Dbt.Cursor.find t.env cs.(ci) key
+        | None -> Dbt.find t.env comps.(ci).tree key
+      in
+      let per_batch =
+        if not opts.batched then 1
+        else begin
+          let key_bytes =
+            K.byte_size qkeys.(0).qkey + 16 (* ts + found slot *)
+          in
+          max 1 (opts.batch_bytes / key_bytes)
+        end
+      in
+      let start = ref 0 in
+      while !start < nq do
+        let stop = min nq (!start + per_batch) in
+        let bn = stop - !start in
+        let resolved = Array.make bn false in
+        let remaining = ref bn in
+        let resolve i key row_opt =
+          resolved.(i) <- true;
+          decr remaining;
+          emit key row_opt
+        in
+        (* Memory component first. *)
+        for i = 0 to bn - 1 do
+          match mem_find t qkeys.(!start + i).qkey with
+          | Some r -> resolve i qkeys.(!start + i).qkey (Some r)
+          | None -> ()
+        done;
+        (* Components newest to oldest; each component visited once per
+           batch, its candidate keys probed in ascending order. *)
+        let ci = ref 0 in
+        while !remaining > 0 && !ci < Array.length comps do
+          let c = comps.(!ci) in
+          for i = 0 to bn - 1 do
+            if not resolved.(i) then begin
+              let qk = qkeys.(!start + i) in
+              let skip = opts.use_hints && c.cmax_ts < qk.hint_ts in
+              if (not skip) && probe_bloom t c qk.qkey then
+                match find_in !ci qk.qkey with
+                | Some (pos, row) ->
+                    (* A bitmap-invalidated hit resolves the key to absent:
+                       any superseding version is strictly newer and was
+                       already searched. *)
+                    if row_valid c pos then resolve i qk.qkey (Some row)
+                    else resolve i qk.qkey None
+                | None -> ()
+            end
+          done;
+          incr ci
+        done;
+        for i = 0 to bn - 1 do
+          if not resolved.(i) then emit qkeys.(!start + i).qkey None
+        done;
+        start := stop
+      done
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Scans *)
+
+  type scan_spec = {
+    lo : K.t option;  (** inclusive *)
+    hi : K.t option;  (** inclusive *)
+    reconcile : bool;
+        (** newest-wins semantics across components; [false] scans each
+            component independently (Mutable-bitmap strategy, Sec. 6.4.2) *)
+    respect_bitmap : bool;
+    include_mem : bool;
+    emit_del : bool;
+        (** also emit anti-matter entries that win reconciliation (needed
+            by validation logic that must see deletions; default: queries
+            only see live data) *)
+    only : disk_component list option;
+        (** restrict to these disk components (newest-first); [None] = all.
+            Callers use this for range-filter pruning. *)
+  }
+
+  let full_scan_spec =
+    {
+      lo = None;
+      hi = None;
+      reconcile = true;
+      respect_bitmap = true;
+      include_mem = true;
+      emit_del = false;
+      only = None;
+    }
+
+  (* Materialize the in-range slice of the memory component. *)
+  let mem_slice t spec =
+    if not spec.include_mem then [||]
+    else begin
+      let buf = ref [] in
+      let count = ref 0 in
+      let hi_ok k =
+        match spec.hi with
+        | None -> true
+        | Some h ->
+            Lsm_sim.Env.charge_comparisons t.env 1;
+            K.compare k h <= 0
+      in
+      (match spec.lo with
+      | None ->
+          Mbt.iter t.mem.table (fun k (ts, e) ->
+              if hi_ok k then begin
+                buf := { key = k; ts; value = e } :: !buf;
+                incr count
+              end)
+      | Some lo ->
+          Mbt.iter_from t.mem.table lo (fun k (ts, e) ->
+              if hi_ok k then begin
+                buf := { key = k; ts; value = e } :: !buf;
+                incr count;
+                true
+              end
+              else false));
+      charge_mem_cmps t;
+      Lsm_sim.Env.charge_entry_visits t.env !count;
+      Array.of_list (List.rev !buf)
+    end
+
+  (** [scan t spec ~f] streams entries to [f row ~src_repaired], where
+      [src_repaired] is the [repaired_ts] of the entry's source component
+      (0 for the memory component — never repaired).  With [reconcile],
+      output is in ascending key order with newest-wins semantics and
+      anti-matter suppressing older entries (anti-matter itself is emitted
+      only under [emit_del]).  Without it, components are emitted one by
+      one, memory first then newest-to-oldest, each in key order. *)
+  let scan t spec ~f =
+    let comps =
+      match spec.only with Some cs -> cs | None -> t.disk
+    in
+    let in_hi k =
+      match spec.hi with
+      | None -> true
+      | Some h ->
+          Lsm_sim.Env.charge_comparisons t.env 1;
+          K.compare k h <= 0
+    in
+    if spec.reconcile then begin
+      (* Streams: 0 = memory (newest), then disk components in order. *)
+      let mem_rows = mem_slice t spec in
+      let mem_pos = ref 0 in
+      let comps_a = Array.of_list comps in
+      let scans =
+        Array.map (fun c -> Dbt.Scan.seek t.env c.tree spec.lo) comps_a
+      in
+      let cmp (k1, p1, _) (k2, p2, _) =
+        Lsm_sim.Env.charge_comparisons t.env 1;
+        let c = K.compare k1 k2 in
+        if c <> 0 then c else compare (p1 : int) p2
+      in
+      let heap = Lsm_util.Heap.create cmp in
+      let push_mem () =
+        if !mem_pos < Array.length mem_rows then begin
+          let r = mem_rows.(!mem_pos) in
+          incr mem_pos;
+          if in_hi r.key then Lsm_util.Heap.push heap (r.key, 0, r)
+        end
+      in
+      let rec push_disk p =
+        match Dbt.Scan.next t.env scans.(p) with
+        | None -> ()
+        | Some (i, row) ->
+            if not (in_hi row.key) then ()
+            else if
+              spec.respect_bitmap && not (row_valid comps_a.(p) i)
+            then push_disk p
+            else Lsm_util.Heap.push heap (row.key, p + 1, row)
+      in
+      push_mem ();
+      Array.iteri (fun p _ -> push_disk p) comps_a;
+      let last_key = ref None in
+      while not (Lsm_util.Heap.is_empty heap) do
+        let k, p, row = Lsm_util.Heap.pop heap in
+        let src_repaired =
+          if p = 0 then 0 else comps_a.(p - 1).repaired_ts
+        in
+        if p = 0 then push_mem () else push_disk (p - 1);
+        let dup =
+          match !last_key with
+          | Some lk ->
+              Lsm_sim.Env.charge_comparisons t.env 1;
+              K.compare lk k = 0
+          | None -> false
+        in
+        last_key := Some k;
+        if not dup then
+          match row.value with
+          | Entry.Put _ -> f row ~src_repaired
+          | Entry.Del -> if spec.emit_del then f row ~src_repaired
+      done
+    end
+    else begin
+      (* Component-at-a-time: bitmaps have already removed stale versions,
+         so no cross-component reconciliation is necessary. *)
+      let emit_mem () =
+        Array.iter
+          (fun r ->
+            match r.value with
+            | Entry.Put _ -> f r ~src_repaired:0
+            | Entry.Del -> if spec.emit_del then f r ~src_repaired:0)
+          (mem_slice t spec)
+      in
+      emit_mem ();
+      List.iter
+        (fun c ->
+          let s = Dbt.Scan.seek t.env c.tree spec.lo in
+          let continue = ref true in
+          while !continue do
+            match Dbt.Scan.next t.env s with
+            | None -> continue := false
+            | Some (i, row) ->
+                if not (in_hi row.key) then continue := false
+                else if spec.respect_bitmap && not (row_valid c i) then ()
+                else
+                  (match row.value with
+                  | Entry.Put _ -> f row ~src_repaired:c.repaired_ts
+                  | Entry.Del ->
+                      if spec.emit_del then f row ~src_repaired:c.repaired_ts)
+          done)
+        comps
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Bitmap and repair bookkeeping *)
+
+  (** [ensure_bitmap c] allocates an all-valid bitmap on demand. *)
+  let ensure_bitmap c =
+    match c.bitmap with
+    | Some b -> b
+    | None ->
+        let b = Lsm_util.Bitset.create (Dbt.nrows c.tree) in
+        c.bitmap <- Some b;
+        b
+
+  (** [invalidate c pos] marks entry [pos] of [c] invalid (bit 0 -> 1). *)
+  let invalidate c pos = Lsm_util.Bitset.set (ensure_bitmap c) pos
+
+  (** [revalidate c pos] flips a bit back (aborts only; Sec. 5.2). *)
+  let revalidate c pos =
+    match c.bitmap with Some b -> Lsm_util.Bitset.clear b pos | None -> ()
+
+  let set_repaired_ts c ts = c.repaired_ts <- ts
+
+  (** [find_position t c key] locates [key]'s row index within component
+      [c], charging the lookup (used by Mutable-bitmap deletes to find the
+      bit to set). *)
+  let find_position t c key =
+    if Dbt.is_empty c.tree then None
+    else begin
+      let i = Dbt.lower_bound_row t.env c.tree key in
+      if i < Dbt.nrows c.tree then begin
+        Lsm_sim.Env.charge_comparisons t.env 1;
+        if K.compare (Dbt.keys c.tree).(i) key = 0 then Some i else None
+      end
+      else None
+    end
+end

@@ -1,0 +1,210 @@
+(** A generic LSM-tree over the simulated storage substrate.
+
+    One [Make (K) (V)] instance backs each index of a dataset: the primary
+    index (key = primary key, value = record), the primary key index
+    (key = primary key, value = unit), and secondary indexes (key =
+    (secondary key, primary key), value = unit).  Entries are timestamped;
+    component IDs are (minTS, maxTS) ranges over entry timestamps (Fig. 1).
+
+    The tree knows nothing about maintenance strategies: it offers writes
+    into the memory component, flush, merge of a contiguous component
+    range, reconciling and per-component scans, and the point-lookup
+    algorithms of Sec. 3.2.  Strategy logic lives in [Lsm_core]. *)
+
+module Entry = Entry
+module Config = Config
+module Merge_policy = Merge_policy
+
+module type KEY = Lsm_util.Intf.ORDERED
+module type VALUE = Lsm_util.Intf.SIZED
+
+module Make (K : KEY) (V : VALUE) : sig
+  module Mbt : module type of Lsm_btree.Mem_btree.Make (K)
+  module Dbt : module type of Lsm_btree.Disk_btree.Make (K)
+
+  type row = { key : K.t; ts : int; value : V.t Entry.t }
+
+  val row_size : row -> int
+
+  type mem_component
+
+  type disk_component = {
+    tree : row Dbt.t;
+    bloom : Lsm_bloom.Filter.t option;
+    cmin_ts : int;  (** component ID lower bound *)
+    cmax_ts : int;  (** component ID upper bound *)
+    range_filter : (int * int) option;
+    mutable bitmap : Lsm_util.Bitset.t option;  (** 1 = entry invalid *)
+    mutable repaired_ts : int;
+        (** entries are valid w.r.t. primary-key-index entries with
+            ts <= repaired_ts (Sec. 4.4); 0 = never repaired *)
+    seq : int;  (** unique id *)
+  }
+
+  type t
+
+  val create : ?filter_of:(V.t -> int) -> Lsm_sim.Env.t -> Config.t -> t
+  (** [filter_of] extracts the range-filter key from a value; absent = no
+      component range filters. *)
+
+  val set_tombstone_drop_ts : t -> int -> unit
+  (** Bottom merges may drop an anti-matter entry only if its timestamp is
+      at or below this barrier (default [max_int]).  Datasets whose
+      secondary indexes validate against this tree lower it to the minimum
+      secondary repairedTS so deletions stay observable until every
+      obsolete entry has been repaired. *)
+
+  val env : t -> Lsm_sim.Env.t
+  val config : t -> Config.t
+  val name : t -> string
+
+  (** {1 Memory component} *)
+
+  val mem_bytes : t -> int
+  val mem_count : t -> int
+  val mem_is_empty : t -> bool
+
+  val mem_id : t -> int * int
+  (** (minTS, maxTS) of the memory component; [(max_int, -1)] if empty. *)
+
+  val mem_filter : t -> (int * int) option
+  (** Current memory range-filter bounds, if any. *)
+
+  val widen_filter : t -> int -> unit
+  (** Widen the memory filter to cover a key — the Eager strategy calls
+      this with *old* records' filter keys (Sec. 3.1). *)
+
+  val write : t -> key:K.t -> ts:int -> V.t Entry.t -> unit
+  (** Add an entry; a same-key write replaces the in-memory entry (newest
+      wins within a component).  [Put] values widen the filter. *)
+
+  val mem_rollback : t -> key:K.t -> prior:(int * V.t Entry.t) option -> unit
+  (** Undo a memory write (transaction rollback): remove the current entry
+      and restore the replaced binding, if any. *)
+
+  val reset_memory : t -> unit
+  (** Discard the memory component (crash simulation). *)
+
+  val mem_find : t -> K.t -> row option
+
+  (** {1 Components} *)
+
+  val components : t -> disk_component array
+  (** Newest first. *)
+
+  val component_count : t -> int
+  val component_id : disk_component -> int * int
+  val component_rows : disk_component -> int
+  val component_size_bytes : t -> disk_component -> int
+  val disk_size_bytes : t -> int
+  val total_rows : t -> int
+
+  val flush : t -> unit
+  (** Turn a non-empty memory component into the newest disk component,
+      inheriting the (possibly widened) memory range filter. *)
+
+  val merge :
+    ?extra_invalid:(disk_component -> int -> bool) ->
+    t ->
+    first:int ->
+    last:int ->
+    disk_component
+  (** Merge the contiguous range [first..last] (indices into
+      {!components}, 0 = newest): reconciling k-way merge keeping the
+      newest entry per key, dropping bitmap-invalidated entries and — on
+      bottom merges, subject to the tombstone barrier — anti-matter.
+      Inputs' files are deleted. *)
+
+  val maybe_merge : t -> Merge_policy.t -> disk_component option
+  (** Apply a merge policy to this tree's own components ("each LSM-tree
+      is merged independently"). *)
+
+  val build_component :
+    t ->
+    row array ->
+    cmin_ts:int ->
+    cmax_ts:int ->
+    range_filter:(int * int) option ->
+    repaired_ts:int ->
+    disk_component
+  (** Construct a component from pre-merged, key-sorted rows without
+      installing it (the incremental concurrent-merge machinery). *)
+
+  val replace_range : t -> first:int -> last:int -> disk_component -> unit
+  (** Atomically replace a component range with a new component. *)
+
+  (** {1 Bitmaps and repair bookkeeping} *)
+
+  val row_valid : disk_component -> int -> bool
+  val component_row_valid : disk_component -> int -> bool
+  val ensure_bitmap : disk_component -> Lsm_util.Bitset.t
+  val invalidate : disk_component -> int -> unit
+  val revalidate : disk_component -> int -> unit
+  (** Flip a bit back (transaction aborts only, Sec. 5.2). *)
+
+  val set_repaired_ts : disk_component -> int -> unit
+  val find_position : t -> disk_component -> K.t -> int option
+
+  val rows_of : disk_component -> row array
+  val charge_component_scan : t -> disk_component -> unit
+  (** Charge the I/O and CPU of a full sequential scan of a component
+      without materializing anything (standalone repair). *)
+
+  val probe_bloom : t -> disk_component -> K.t -> bool
+  (** Probe a component's Bloom filter with full cost accounting. *)
+
+  (** {1 Point lookups (Sec. 3.2)} *)
+
+  type lookup_opts = {
+    batched : bool;  (** batched point-lookup algorithm *)
+    batch_bytes : int;  (** batching memory (paper default: 16MB) *)
+    stateful : bool;  (** stateful B+-tree cursors ("sLookup") *)
+    use_hints : bool;  (** component-ID propagation ("pID") *)
+  }
+
+  val default_lookup_opts : lookup_opts
+
+  type query_key = { qkey : K.t; hint_ts : int }
+  (** [hint_ts] is the timestamp of the secondary-index entry that
+      produced the key (0 = no hint); with [use_hints], components whose
+      maxTS is below it are skipped before their Bloom filter is probed. *)
+
+  val plain_keys : K.t array -> query_key array
+
+  val lookup_one : t -> K.t -> row option
+  (** Newest entry across memory and disk ([None] if never written or the
+      newest disk entry is bitmap-invalidated). *)
+
+  val disk_find : t -> K.t -> (disk_component * int * row) option
+  (** Newest *disk* entry (component, position, row), ignoring memory and
+      bitmaps — the Mutable-bitmap strategy's bit-location search. *)
+
+  val lookup_batch :
+    t -> lookup_opts -> query_key array -> emit:(K.t -> row option -> unit) -> unit
+  (** Resolve many point lookups; [qkeys] sorted ascending.  [emit] fires
+      exactly once per key, in fetch order (which for the batched
+      algorithm is not global key order — the Fig. 12d trade-off). *)
+
+  (** {1 Scans} *)
+
+  type scan_spec = {
+    lo : K.t option;  (** inclusive *)
+    hi : K.t option;  (** inclusive *)
+    reconcile : bool;
+        (** newest-wins across components; [false] scans components
+            independently (Mutable-bitmap strategy, Sec. 6.4.2) *)
+    respect_bitmap : bool;
+    include_mem : bool;
+    emit_del : bool;
+        (** also emit anti-matter entries that win reconciliation *)
+    only : disk_component list option;
+        (** restrict to these components (newest-first); [None] = all —
+            used for range-filter pruning *)
+  }
+
+  val full_scan_spec : scan_spec
+
+  val scan : t -> scan_spec -> f:(row -> src_repaired:int -> unit) -> unit
+  (** Stream entries; [src_repaired] is the source component's repairedTS
+      (0 for memory).  Reconciled output is in ascending key order. *)
+end

@@ -1,0 +1,104 @@
+(** Merge policies: when disk components accumulate, which contiguous run
+    should be merged next?
+
+    The paper's experiments use a tiering policy with size ratio 1.2 and a
+    maximum mergeable component size (1GB) "to simulate the effect of disk
+    components accumulating within each experiment period" (Sec. 6.1):
+    a sequence of components is merged when the total size of the younger
+    components exceeds [size_ratio] times the oldest component of the
+    sequence; components larger than the cap are never merge inputs.
+
+    A leveling policy is provided as well (Sec. 2.1 describes both
+    families); it is exercised by ablation benches, not by the paper's main
+    experiments. *)
+
+type t =
+  | Tiering of { size_ratio : float; max_mergeable_bytes : int }
+  | Leveling of { size_ratio : float }
+  | Lazy_leveling of { size_ratio : float; tier_ratio : float }
+      (** Dostoevsky's lazy leveling (Dayan & Idreos, SIGMOD 2018, cited
+          as [17]): one large leveled bottom run, tiering above it —
+          merge-cheap like tiering for most data, lookup-cheap like
+          leveling at the bottom. *)
+  | No_merge
+
+let tiering ?(size_ratio = 1.2) ?(max_mergeable_bytes = max_int) () =
+  Tiering { size_ratio; max_mergeable_bytes }
+
+let leveling ?(size_ratio = 10.0) () = Leveling { size_ratio }
+
+let lazy_leveling ?(size_ratio = 10.0) ?(tier_ratio = 1.2) () =
+  Lazy_leveling { size_ratio; tier_ratio }
+
+(** [pick t ~sizes] inspects component sizes ordered oldest-to-newest and
+    returns [Some (first, last)] — inclusive index range, still in
+    oldest-to-newest order — when a merge is due. *)
+let pick t ~sizes =
+  let n = Array.length sizes in
+  match t with
+  | No_merge -> None
+  | Tiering { size_ratio; max_mergeable_bytes } ->
+      (* Skip any too-large prefix of old components, then find the oldest
+         mergeable component whose younger siblings outweigh it. *)
+      let first_mergeable = ref 0 in
+      while !first_mergeable < n && sizes.(!first_mergeable) > max_mergeable_bytes do
+        incr first_mergeable
+      done;
+      let result = ref None in
+      let i = ref !first_mergeable in
+      while !result = None && !i < n - 1 do
+        let younger = ref 0 in
+        for j = !i + 1 to n - 1 do
+          younger := !younger + sizes.(j)
+        done;
+        if Float.of_int !younger >= size_ratio *. Float.of_int sizes.(!i) then
+          result := Some (!i, n - 1)
+        else incr i
+      done;
+      !result
+  | Leveling { size_ratio } ->
+      (* One component per level; when the newest component reaches
+         1/size_ratio of the next-older one it is merged into it.  With the
+         sizes array oldest-first, that means merging the last two whenever
+         the newer is within ratio of the older. *)
+      if n < 2 then None
+      else
+        let older = sizes.(n - 2) and newer = sizes.(n - 1) in
+        if Float.of_int newer *. size_ratio >= Float.of_int older then
+          Some (n - 2, n - 1)
+        else None
+  | Lazy_leveling { size_ratio; tier_ratio } ->
+      if n < 2 then None
+      else begin
+        let bottom = sizes.(0) in
+        let rest = ref 0 in
+        for j = 1 to n - 1 do
+          rest := !rest + sizes.(j)
+        done;
+        (* Enough has accumulated above the bottom run: fold it all in. *)
+        if Float.of_int !rest *. size_ratio >= Float.of_int bottom then
+          Some (0, n - 1)
+        else begin
+          (* Otherwise tier among the upper runs only. *)
+          let result = ref None in
+          let i = ref 1 in
+          while !result = None && !i < n - 1 do
+            let younger = ref 0 in
+            for j = !i + 1 to n - 1 do
+              younger := !younger + sizes.(j)
+            done;
+            if Float.of_int !younger >= tier_ratio *. Float.of_int sizes.(!i)
+            then result := Some (!i, n - 1)
+            else incr i
+          done;
+          !result
+        end
+      end
+
+let pp fmt = function
+  | Tiering { size_ratio; max_mergeable_bytes } ->
+      Fmt.pf fmt "tiering(ratio=%.2f,max=%dB)" size_ratio max_mergeable_bytes
+  | Leveling { size_ratio } -> Fmt.pf fmt "leveling(ratio=%.2f)" size_ratio
+  | Lazy_leveling { size_ratio; tier_ratio } ->
+      Fmt.pf fmt "lazy-leveling(bottom=%.2f,tier=%.2f)" size_ratio tier_ratio
+  | No_merge -> Fmt.string fmt "no-merge"

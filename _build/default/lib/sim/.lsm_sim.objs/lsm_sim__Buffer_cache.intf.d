@@ -1,0 +1,1 @@
+lib/sim/buffer_cache.mli:

@@ -1,0 +1,1 @@
+lib/sim/env.ml: Buffer_cache Device Float Io_stats

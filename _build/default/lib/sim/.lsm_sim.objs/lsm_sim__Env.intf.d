@@ -1,0 +1,1 @@
+lib/sim/env.mli: Buffer_cache Device Io_stats

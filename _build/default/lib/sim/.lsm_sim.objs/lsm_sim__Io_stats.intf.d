@@ -1,0 +1,1 @@
+lib/sim/io_stats.mli: Format

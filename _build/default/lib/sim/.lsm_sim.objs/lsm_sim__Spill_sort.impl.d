@@ -1,0 +1,1 @@
+lib/sim/spill_sort.ml: Array Env Lsm_util Sfile

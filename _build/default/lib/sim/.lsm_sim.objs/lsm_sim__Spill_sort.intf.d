@@ -1,0 +1,1 @@
+lib/sim/spill_sort.mli: Env

@@ -1,0 +1,109 @@
+(** A page-granular LRU buffer cache.
+
+    Mirrors the disk buffer cache of the paper's setup (2GB on the hard
+    disk node, 4GB on the SSD node, 512MB in the small-cache experiment of
+    Fig. 18).  Keys are (file id, page number); the cache stores no data —
+    files in this simulation are phantom — only residency, which is what
+    the cost model needs.
+
+    Implementation: hash table + intrusive doubly-linked LRU list. *)
+
+type node = {
+  key : int * int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;  (** max resident pages; 0 disables caching *)
+  table : (int * int, node) Hashtbl.t;
+  mutable head : node option;  (** most recently used *)
+  mutable tail : node option;  (** least recently used *)
+  mutable size : int;
+}
+
+let create ~capacity_pages =
+  {
+    capacity = max capacity_pages 0;
+    table = Hashtbl.create 4096;
+    head = None;
+    tail = None;
+    size = 0;
+  }
+
+let size t = t.size
+let capacity t = t.capacity
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+(** [mem t key] reports residency without touching recency. *)
+let mem t key = Hashtbl.mem t.table key
+
+(** [touch t key] returns [true] on a hit (promoting the page to MRU) and
+    [false] on a miss (the caller is expected to fetch and [insert]). *)
+let touch t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      true
+  | None -> false
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.size <- t.size - 1
+
+(** [insert t key] makes [key] resident at MRU position, evicting the LRU
+    page if at capacity.  A no-op for an already-resident page or a
+    zero-capacity cache. *)
+let insert t key =
+  if t.capacity > 0 then
+    if touch t key then ()
+    else begin
+      if t.size >= t.capacity then evict_lru t;
+      let node = { key; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      t.size <- t.size + 1
+    end
+
+(** [drop_file t file_id] discards all resident pages of a deleted file so
+    they stop occupying capacity (components are deleted after a merge). *)
+let drop_file t file_id =
+  let doomed =
+    Hashtbl.fold
+      (fun ((f, _) as k) node acc -> if f = file_id then (k, node) :: acc else acc)
+      t.table []
+  in
+  List.iter
+    (fun (k, node) ->
+      unlink t node;
+      Hashtbl.remove t.table k;
+      t.size <- t.size - 1)
+    doomed
+
+(** [clear t] empties the cache (used to run cold-cache experiments). *)
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0

@@ -1,0 +1,26 @@
+(** Page-granular LRU buffer cache.  Keys are (file id, page number); the
+    cache stores residency only — files in this simulation are phantom. *)
+
+type t
+
+val create : capacity_pages:int -> t
+(** [create ~capacity_pages]: capacity 0 disables caching. *)
+
+val size : t -> int
+val capacity : t -> int
+
+val mem : t -> int * int -> bool
+(** Residency without touching recency. *)
+
+val touch : t -> int * int -> bool
+(** [touch t key] is [true] on a hit (promoting to MRU); [false] on a miss
+    (caller fetches and {!insert}s). *)
+
+val insert : t -> int * int -> unit
+(** Make [key] resident at MRU, evicting the LRU page if at capacity. *)
+
+val drop_file : t -> int -> unit
+(** Discard all pages of a deleted file. *)
+
+val clear : t -> unit
+(** Empty the cache (cold-cache experiments). *)

@@ -1,0 +1,26 @@
+(** Storage device cost models: a positioning cost paid on non-sequential
+    accesses plus a per-page transfer cost (see DESIGN.md §2). *)
+
+type t = {
+  name : string;
+  page_size : int;  (** bytes per page *)
+  seek_us : float;  (** non-sequential positioning cost, microseconds *)
+  read_us_per_page : float;  (** sequential read transfer per page *)
+  write_us_per_page : float;  (** sequential write transfer per page *)
+}
+
+val hdd : t
+(** 7200rpm SATA profile: 128KB pages, ~8.5ms positioning, ~100MB/s. *)
+
+val ssd : t
+(** SATA SSD profile: 32KB pages, ~60us random latency, ~500MB/s. *)
+
+val custom :
+  name:string ->
+  page_size:int ->
+  seek_us:float ->
+  read_us_per_page:float ->
+  write_us_per_page:float ->
+  t
+
+val pp : Format.formatter -> t -> unit

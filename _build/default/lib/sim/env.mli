@@ -1,0 +1,64 @@
+(** The storage environment: one simulated device, its buffer cache, a CPU
+    cost model, I/O statistics, and the simulated clock.  Every structure
+    in the engine performs its I/O through an [Env.t]; the clock advances
+    only through the charging functions here. *)
+
+type cpu_model = {
+  cmp_us : float;  (** one key comparison *)
+  cache_line_us : float;  (** one CPU cache-line miss (Bloom probes) *)
+  hash_us : float;  (** one hash evaluation *)
+  page_hit_us : float;  (** touching a buffer-cache-resident page *)
+  entry_us : float;  (** consuming one index entry *)
+}
+
+val default_cpu : page_size:int -> cpu_model
+
+type t
+
+val create :
+  ?cache_bytes:int -> ?read_ahead_bytes:int -> ?cpu:cpu_model -> Device.t -> t
+(** [create device]: default cache 64MB; default read-ahead 32 pages (the
+    paper's 4MB at its 128KB page size). *)
+
+val device : t -> Device.t
+val page_size : t -> int
+val stats : t -> Io_stats.t
+val cache : t -> Buffer_cache.t
+val read_ahead_pages : t -> int
+
+val now_us : t -> float
+(** Simulated clock, microseconds since creation. *)
+
+val now_s : t -> float
+
+val advance : t -> float -> unit
+(** [advance t us] moves the clock forward (cost-model internals). *)
+
+(** {1 CPU charging} *)
+
+val charge_comparisons : t -> int -> unit
+val charge_hashes : t -> int -> unit
+val charge_entry_visits : t -> int -> unit
+
+val charge_cache_lines : t -> int -> unit
+(** Blocked Bloom filters exist to make this 1 per probe instead of [k]. *)
+
+val charge_page_hit : t -> unit
+(** Touching a page held in a private read-ahead buffer. *)
+
+(** {1 I/O} *)
+
+val fresh_file_id : t -> int
+
+val read_page : t -> file:int -> page:int -> unit
+(** Free-ish on a cache hit; otherwise a transfer plus a positioning cost
+    if the device head is not on the preceding page of the same file. *)
+
+val write_pages : t -> file:int -> first:int -> count:int -> unit
+(** One positioning plus sequential transfers; freshly written pages are
+    made cache-resident. *)
+
+val drop_file : t -> file:int -> unit
+
+val reset_measurement : t -> unit
+(** Clear statistics without touching clock, cache, or files. *)

@@ -1,0 +1,62 @@
+(** Phantom files: extents of pages on the simulated device.
+
+    A phantom file stores no bytes — engine data structures keep their
+    contents in OCaml arrays — but reads and appends are charged through
+    the environment, and residency is tracked by the buffer cache.  This is
+    the substitution that lets the full figure suite run in seconds while
+    keeping page counts, sequentiality, and cache behaviour faithful (see
+    DESIGN.md §5). *)
+
+type t = { id : int; mutable npages : int; mutable deleted : bool }
+
+(** [create env] registers a fresh empty file. *)
+let create env = { id = Env.fresh_file_id env; npages = 0; deleted = false }
+
+let id t = t.id
+let npages t = t.npages
+
+(** [size_bytes env t] is the file's on-disk footprint. *)
+let size_bytes env t = t.npages * Env.page_size env
+
+let check_live t op =
+  if t.deleted then invalid_arg (Printf.sprintf "Sfile.%s: file %d deleted" op t.id)
+
+(** [append_pages env t n] appends [n] pages, charging sequential writes. *)
+let append_pages env t n =
+  check_live t "append_pages";
+  if n < 0 then invalid_arg "Sfile.append_pages: negative count";
+  Env.write_pages env ~file:t.id ~first:t.npages ~count:n;
+  t.npages <- t.npages + n
+
+(** [read_page env t page] charges one page read.
+    @raise Invalid_argument when [page] is outside the file. *)
+let read_page env t page =
+  check_live t "read_page";
+  if page < 0 || page >= t.npages then
+    invalid_arg
+      (Printf.sprintf "Sfile.read_page: page %d outside file of %d pages" page
+         t.npages);
+  Env.read_page env ~file:t.id ~page
+
+(** [read_range env t ~first ~count] charges [count] page reads in
+    ascending order; contiguous misses after the first are sequential, so a
+    cold scan costs one positioning plus [count] transfers — the model's
+    analogue of the paper's 4MB read-ahead. *)
+let read_range env t ~first ~count =
+  check_live t "read_range";
+  if first < 0 || count < 0 || first + count > t.npages then
+    invalid_arg "Sfile.read_range: range outside file";
+  for p = first to first + count - 1 do
+    Env.read_page env ~file:t.id ~page:p
+  done
+
+(** [scan_all env t] reads every page of the file in order. *)
+let scan_all env t = read_range env t ~first:0 ~count:t.npages
+
+(** [delete env t] deletes the file, releasing its cache residency.
+    Subsequent accesses raise. *)
+let delete env t =
+  if not t.deleted then begin
+    t.deleted <- true;
+    Env.drop_file env ~file:t.id
+  end

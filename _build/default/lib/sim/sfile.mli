@@ -1,0 +1,26 @@
+(** Phantom files: extents of pages on the simulated device.  They store
+    no bytes — engine structures keep contents in OCaml arrays — but reads
+    and appends are charged through the environment and residency is
+    tracked by the buffer cache (DESIGN.md §5). *)
+
+type t
+
+val create : Env.t -> t
+val id : t -> int
+val npages : t -> int
+val size_bytes : Env.t -> t -> int
+
+val append_pages : Env.t -> t -> int -> unit
+(** Sequential append. @raise Invalid_argument on deleted files. *)
+
+val read_page : Env.t -> t -> int -> unit
+(** @raise Invalid_argument outside the file or after deletion. *)
+
+val read_range : Env.t -> t -> first:int -> count:int -> unit
+(** Ascending reads; contiguous misses after the first are sequential, so
+    a cold scan costs one positioning plus [count] transfers. *)
+
+val scan_all : Env.t -> t -> unit
+
+val delete : Env.t -> t -> unit
+(** Releases cache residency; subsequent accesses raise. *)

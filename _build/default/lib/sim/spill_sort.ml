@@ -1,0 +1,35 @@
+(** Sorting with spill accounting.
+
+    Operators that sort (repair streams, fetched-record reordering) hold a
+    bounded memory grant; sorting more than fits must write sorted runs to
+    scratch storage and merge-read them back.  The comparisons are real
+    (counted into the CPU model); the spill traffic is charged through a
+    scratch phantom file, so an experiment that shrinks a sort's input —
+    like the Bloom-filter repair optimization — saves measurable I/O. *)
+
+type grant = {
+  memory_bytes : int;  (** in-memory sort capacity *)
+  row_bytes : int;  (** serialized size of one row *)
+}
+
+let grant ~memory_bytes ~row_bytes = { memory_bytes; row_bytes = max 1 row_bytes }
+
+let fits g n = n * g.row_bytes <= g.memory_bytes
+
+(** [sort env g ~cmp a] sorts [a] in place, charging comparisons and — if
+    [a] exceeds the grant — one run-write plus one merge-read pass of the
+    whole volume (a single extra pass suffices for any realistic fan-in). *)
+let sort env g ~cmp a =
+  let cost = ref 0 in
+  Lsm_util.Sorter.sort ~cmp ~cost a;
+  Env.charge_comparisons env !cost;
+  let n = Array.length a in
+  if not (fits g n) then begin
+    let bytes = n * g.row_bytes in
+    let pages = 1 + ((bytes - 1) / Env.page_size env) in
+    let scratch = Sfile.create env in
+    Sfile.append_pages env scratch pages;
+    Sfile.scan_all env scratch;
+    Sfile.delete env scratch
+  end;
+  Env.charge_entry_visits env n

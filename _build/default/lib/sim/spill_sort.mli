@@ -1,0 +1,16 @@
+(** Sorting with spill accounting: comparisons charge CPU; volumes beyond
+    the memory grant additionally charge a run-write plus merge-read pass
+    through scratch storage.  The Bloom-filter repair optimization exists
+    to shrink exactly this traffic (Sec. 6.5). *)
+
+type grant
+
+val grant : memory_bytes:int -> row_bytes:int -> grant
+(** [grant ~memory_bytes ~row_bytes] is a sorter's memory allowance. *)
+
+val fits : grant -> int -> bool
+(** [fits g n]: do [n] rows sort entirely in memory? *)
+
+val sort : Env.t -> grant -> cmp:('a -> 'a -> int) -> 'a array -> unit
+(** [sort env g ~cmp a] sorts [a] in place, charging comparisons and any
+    spill I/O to [env]. *)

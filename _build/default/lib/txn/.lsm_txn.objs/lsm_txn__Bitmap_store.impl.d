@@ -1,0 +1,1 @@
+lib/txn/bitmap_store.ml: Hashtbl List Lsm_util

@@ -1,0 +1,1 @@
+lib/txn/bitmap_store.mli: Lsm_util

@@ -1,0 +1,1 @@
+lib/txn/recovery.ml: Bitmap_store List Wal

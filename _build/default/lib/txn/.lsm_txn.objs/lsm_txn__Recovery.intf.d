@@ -1,0 +1,1 @@
+lib/txn/recovery.mli: Bitmap_store Wal

@@ -1,0 +1,1 @@
+lib/txn/side_file.ml: Array Lsm_util

@@ -1,0 +1,85 @@
+(** A store of per-component validity bitmaps with checkpoint / crash /
+    recovery semantics (Sec. 5.2).
+
+    This models the buffer-managed side of mutable bitmaps: bits are
+    flipped in memory; a checkpoint durably flushes the current state; a
+    crash discards everything after the last checkpoint; recovery replays
+    committed log records (those with the update bit set) to bring the
+    bitmaps forward again.  Aborts unset bits ("internally change bits
+    from 1 to 0"). *)
+
+type t = {
+  live : (int, Lsm_util.Bitset.t) Hashtbl.t;  (** component seq -> bitmap *)
+  registered : (int, int) Hashtbl.t;
+      (** component seq -> size; component creation (flush/merge) is
+          durable — only bit flips since the last checkpoint are volatile *)
+  mutable checkpointed : (int * Lsm_util.Bitset.t) list;
+      (** durable snapshot as of the last checkpoint *)
+}
+
+let create () =
+  { live = Hashtbl.create 16; registered = Hashtbl.create 16; checkpointed = [] }
+
+(** [register t ~comp_seq ~size] adds an all-valid bitmap for a new
+    component (created by flush or merge). *)
+let register t ~comp_seq ~size =
+  Hashtbl.replace t.registered comp_seq size;
+  Hashtbl.replace t.live comp_seq (Lsm_util.Bitset.create size)
+
+let find t ~comp_seq = Hashtbl.find_opt t.live comp_seq
+
+let set t ~comp_seq ~pos =
+  match find t ~comp_seq with
+  | Some b -> Lsm_util.Bitset.set b pos
+  | None -> invalid_arg "Bitmap_store.set: unknown component"
+
+let unset t ~comp_seq ~pos =
+  match find t ~comp_seq with
+  | Some b -> Lsm_util.Bitset.clear b pos
+  | None -> invalid_arg "Bitmap_store.unset: unknown component"
+
+let get t ~comp_seq ~pos =
+  match find t ~comp_seq with
+  | Some b -> Lsm_util.Bitset.get b pos
+  | None -> invalid_arg "Bitmap_store.get: unknown component"
+
+(** [checkpoint t] durably snapshots every bitmap. *)
+let checkpoint t =
+  t.checkpointed <-
+    Hashtbl.fold
+      (fun seq b acc -> (seq, Lsm_util.Bitset.copy b) :: acc)
+      t.live []
+
+(** [crash t] throws away all volatile state: every registered component
+    comes back with an all-valid bitmap (its durable, as-created state),
+    overlaid with whatever the last checkpoint flushed (no-steal means
+    nothing uncommitted was ever flushed). *)
+let crash t =
+  Hashtbl.reset t.live;
+  Hashtbl.iter
+    (fun seq size -> Hashtbl.replace t.live seq (Lsm_util.Bitset.create size))
+    t.registered;
+  List.iter
+    (fun (seq, b) -> Hashtbl.replace t.live seq (Lsm_util.Bitset.copy b))
+    t.checkpointed
+
+(** [snapshot t] captures current live state (for test comparison). *)
+let snapshot t =
+  Hashtbl.fold (fun seq b acc -> (seq, Lsm_util.Bitset.copy b) :: acc) t.live []
+  |> List.sort compare
+
+let equal_state a b =
+  let norm t = snapshot t in
+  let la = norm a and lb = norm b in
+  List.length la = List.length lb
+  && List.for_all2
+       (fun (s1, b1) (s2, b2) ->
+         s1 = s2
+         && Lsm_util.Bitset.length b1 = Lsm_util.Bitset.length b2
+         &&
+         let ok = ref true in
+         for i = 0 to Lsm_util.Bitset.length b1 - 1 do
+           if Lsm_util.Bitset.get b1 i <> Lsm_util.Bitset.get b2 i then ok := false
+         done;
+         !ok)
+       la lb

@@ -1,0 +1,28 @@
+(** Per-component validity bitmaps with checkpoint / crash / recovery
+    semantics (Sec. 5.2): bits flip in memory; checkpoints flush durably;
+    a crash discards post-checkpoint flips (component *registration* is
+    durable — components live on disk); recovery replays committed log
+    records. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> comp_seq:int -> size:int -> unit
+(** All-valid bitmap for a new component (flush or merge). *)
+
+val find : t -> comp_seq:int -> Lsm_util.Bitset.t option
+val set : t -> comp_seq:int -> pos:int -> unit
+val unset : t -> comp_seq:int -> pos:int -> unit
+val get : t -> comp_seq:int -> pos:int -> bool
+
+val checkpoint : t -> unit
+(** Durably snapshot every bitmap. *)
+
+val crash : t -> unit
+(** Revert to registered components overlaid with the last checkpoint. *)
+
+val snapshot : t -> (int * Lsm_util.Bitset.t) list
+(** Current live state, sorted (test comparisons). *)
+
+val equal_state : t -> t -> bool

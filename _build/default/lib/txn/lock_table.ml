@@ -1,0 +1,84 @@
+(** A key-granularity lock table with shared / exclusive modes.
+
+    The paper's transaction model (Sec. 5.2): each writer acquires an
+    exclusive lock on a primary key for the duration of its record-level
+    transaction; the Lock concurrency-control method additionally has the
+    component builder take shared locks on keys while scanning (Fig. 10).
+
+    The engine is a discrete simulation, so lock acquisition never blocks:
+    a conflicting request is reported as [`Conflict] and the simulation
+    decides what to do (in the deterministic interleavings we generate,
+    conflicts indicate protocol bugs and tests assert their absence). *)
+
+type mode = S | X
+
+type entry = { mutable xowner : int option; mutable sholders : int list }
+
+type t = {
+  locks : (int, entry) Hashtbl.t;
+  mutable acquisitions : int;  (** total grants, for overhead accounting *)
+  mutable releases : int;
+}
+
+let create () = { locks = Hashtbl.create 256; acquisitions = 0; releases = 0 }
+
+let acquisitions t = t.acquisitions
+let releases t = t.releases
+
+let entry t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some e -> e
+  | None ->
+      let e = { xowner = None; sholders = [] } in
+      Hashtbl.replace t.locks key e;
+      e
+
+(** [acquire t ~owner ~key mode] grants or refuses the lock.  Re-entrant
+    for the same owner. *)
+let acquire t ~owner ~key mode =
+  let e = entry t key in
+  match mode with
+  | X -> (
+      match e.xowner with
+      | Some o when o = owner ->
+          t.acquisitions <- t.acquisitions + 1;
+          `Granted
+      | Some _ -> `Conflict
+      | None ->
+          (* Upgrade allowed if the requester is the only shared holder. *)
+          if List.for_all (fun o -> o = owner) e.sholders then begin
+            e.xowner <- Some owner;
+            e.sholders <- [];
+            t.acquisitions <- t.acquisitions + 1;
+            `Granted
+          end
+          else `Conflict)
+  | S -> (
+      match e.xowner with
+      | Some o when o <> owner -> `Conflict
+      | _ ->
+          if not (List.mem owner e.sholders) then
+            e.sholders <- owner :: e.sholders;
+          t.acquisitions <- t.acquisitions + 1;
+          `Granted)
+
+(** [release t ~owner ~key] drops whatever [owner] holds on [key]. *)
+let release t ~owner ~key =
+  match Hashtbl.find_opt t.locks key with
+  | None -> ()
+  | Some e ->
+      if e.xowner = Some owner then e.xowner <- None;
+      e.sholders <- List.filter (fun o -> o <> owner) e.sholders;
+      t.releases <- t.releases + 1;
+      if e.xowner = None && e.sholders = [] then Hashtbl.remove t.locks key
+
+(** [holds t ~owner ~key] reports the strongest mode held. *)
+let holds t ~owner ~key =
+  match Hashtbl.find_opt t.locks key with
+  | None -> None
+  | Some e ->
+      if e.xowner = Some owner then Some X
+      else if List.mem owner e.sholders then Some S
+      else None
+
+let outstanding t = Hashtbl.length t.locks

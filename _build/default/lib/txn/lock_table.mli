@@ -1,0 +1,24 @@
+(** Key-granularity lock table with shared / exclusive modes (Sec. 5.2's
+    record-level transactions; Fig. 10's Lock method).  Acquisition never
+    blocks — a conflicting request reports [`Conflict] and the
+    deterministic simulation decides what to do. *)
+
+type mode = S | X
+type t
+
+val create : unit -> t
+
+val acquire : t -> owner:int -> key:int -> mode -> [ `Granted | `Conflict ]
+(** Re-entrant for the same owner; S->X upgrade allowed for a sole
+    shared holder. *)
+
+val release : t -> owner:int -> key:int -> unit
+
+val holds : t -> owner:int -> key:int -> mode option
+(** Strongest mode held. *)
+
+val acquisitions : t -> int
+(** Total grants (overhead accounting). *)
+
+val releases : t -> int
+val outstanding : t -> int

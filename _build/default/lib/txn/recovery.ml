@@ -1,0 +1,34 @@
+(** Crash recovery and abort for mutable bitmaps (Sec. 5.2).
+
+    No-steal / no-force: disk components only ever contain committed data;
+    bitmap pages dirtied by a transaction are pinned until it terminates
+    and flushed by checkpoints.  Hence:
+
+    - {b abort}: for each of the transaction's log records with the update
+      bit set, unset the bit (1 -> 0) — the only situation in which a bit
+      is ever cleared;
+    - {b recovery}: restore the checkpointed bitmaps, then replay the
+      post-checkpoint records of *committed* transactions whose update bit
+      is set.  No undo is needed. *)
+
+(** [abort_txn wal store ~txn] undoes [txn]'s bitmap changes and marks it
+    aborted. *)
+let abort_txn (wal : Wal.t) (store : Bitmap_store.t) ~txn =
+  List.iter
+    (fun (r : Wal.record) ->
+      if r.Wal.update_bit then
+        Bitmap_store.unset store ~comp_seq:r.Wal.comp_seq ~pos:r.Wal.pos)
+    (Wal.records_of_txn wal ~txn);
+  Wal.abort wal ~txn
+
+(** [recover wal store] runs crash recovery: revert to the checkpoint and
+    replay committed post-checkpoint records. *)
+let recover (wal : Wal.t) (store : Bitmap_store.t) =
+  Bitmap_store.crash store;
+  List.iter
+    (fun (r : Wal.record) ->
+      match Wal.txn_state wal ~txn:r.Wal.txn with
+      | Some Wal.Committed when r.Wal.update_bit ->
+          Bitmap_store.set store ~comp_seq:r.Wal.comp_seq ~pos:r.Wal.pos
+      | _ -> ())
+    (Wal.records_after wal ~lsn:(Wal.checkpoint_lsn wal))

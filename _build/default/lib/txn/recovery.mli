@@ -1,0 +1,7 @@
+(** Abort and crash recovery for mutable bitmaps under no-steal/no-force
+    (Sec. 5.2): aborts unset the bits their transaction set; recovery
+    restores the checkpoint and replays committed post-checkpoint records
+    whose update bit is set.  No undo is ever needed. *)
+
+val abort_txn : Wal.t -> Bitmap_store.t -> txn:int -> unit
+val recover : Wal.t -> Bitmap_store.t -> unit

@@ -1,0 +1,79 @@
+(** Write-ahead logging for mutable bitmaps (Sec. 5.2).
+
+    The paper unifies bitmap recovery with the LSM no-steal/no-force
+    scheme: each delete/upsert log record carries an *update bit* saying
+    whether the operation flipped a validity bit in a disk component.  On
+    abort, a record with the update bit performs a primary-key-index
+    lookup to unset the bit; on crash recovery, committed transactions
+    after the last checkpoint are replayed onto the bitmaps (only records
+    with the update bit matter to bitmaps). *)
+
+type op_kind = Upsert | Delete
+
+type record = {
+  lsn : int;
+  txn : int;
+  kind : op_kind;
+  pk : int;
+  update_bit : bool;
+      (** the operation invalidated an entry in a disk component *)
+  comp_seq : int;  (** which component (its [seq]); -1 if none *)
+  pos : int;  (** which bit; -1 if none *)
+}
+
+type txn_state = Active | Committed | Aborted
+
+type t = {
+  mutable records : record list;  (** newest first *)
+  mutable next_lsn : int;
+  mutable checkpoint_lsn : int;
+  txns : (int, txn_state) Hashtbl.t;
+  mutable next_txn : int;
+}
+
+let create () =
+  {
+    records = [];
+    next_lsn = 1;
+    checkpoint_lsn = 0;
+    txns = Hashtbl.create 64;
+    next_txn = 1;
+  }
+
+(** [begin_txn t] opens a transaction and returns its id. *)
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  Hashtbl.replace t.txns id Active;
+  id
+
+(** [log t ~txn ~kind ~pk ~update] appends a record; [update] carries the
+    (component seq, position) whose bit the operation set, if any. *)
+let log t ~txn ~kind ~pk ~update =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  let update_bit, comp_seq, pos =
+    match update with Some (c, p) -> (true, c, p) | None -> (false, -1, -1)
+  in
+  t.records <- { lsn; txn; kind; pk; update_bit; comp_seq; pos } :: t.records;
+  lsn
+
+let commit t ~txn = Hashtbl.replace t.txns txn Committed
+let abort t ~txn = Hashtbl.replace t.txns txn Aborted
+let txn_state t ~txn = Hashtbl.find_opt t.txns txn
+
+(** [checkpoint t] records that all bitmap pages dirtied by records up to
+    this point have been flushed (regular checkpointing, Sec. 5.2). *)
+let checkpoint t = t.checkpoint_lsn <- t.next_lsn - 1
+
+let checkpoint_lsn t = t.checkpoint_lsn
+
+(** [records_after t ~lsn] returns records with LSN > [lsn], oldest
+    first — the replay stream. *)
+let records_after t ~lsn =
+  List.rev (List.filter (fun r -> r.lsn > lsn) t.records)
+
+(** [records_of_txn t ~txn] newest-first — the undo stream for aborts. *)
+let records_of_txn t ~txn = List.filter (fun r -> r.txn = txn) t.records
+
+let length t = List.length t.records

@@ -1,0 +1,53 @@
+(** Write-ahead logging for mutable bitmaps (Sec. 5.2): each delete/upsert
+    record carries an *update bit* saying whether the operation flipped a
+    validity bit in a disk component (and which one).  Aborts consult a
+    transaction's records to unset bits; recovery replays committed
+    post-checkpoint records. *)
+
+type op_kind = Upsert | Delete
+
+type record = {
+  lsn : int;
+  txn : int;
+  kind : op_kind;
+  pk : int;
+  update_bit : bool;
+  comp_seq : int;  (** which component's bit was set; -1 if none *)
+  pos : int;  (** which bit; -1 if none *)
+}
+
+type txn_state = Active | Committed | Aborted
+
+type t = {
+  mutable records : record list;  (** newest first *)
+  mutable next_lsn : int;
+  mutable checkpoint_lsn : int;
+  txns : (int, txn_state) Hashtbl.t;
+  mutable next_txn : int;
+}
+
+val create : unit -> t
+
+val begin_txn : t -> int
+(** Open a transaction; returns its id. *)
+
+val log : t -> txn:int -> kind:op_kind -> pk:int -> update:(int * int) option -> int
+(** Append a record; [update] is the (component seq, position) whose bit
+    the operation set, if any.  Returns the LSN. *)
+
+val commit : t -> txn:int -> unit
+val abort : t -> txn:int -> unit
+val txn_state : t -> txn:int -> txn_state option
+
+val checkpoint : t -> unit
+(** Record that all bitmap pages dirtied so far have been flushed. *)
+
+val checkpoint_lsn : t -> int
+
+val records_after : t -> lsn:int -> record list
+(** Records with LSN > [lsn], oldest first — the replay stream. *)
+
+val records_of_txn : t -> txn:int -> record list
+(** A transaction's records, newest first — the undo stream. *)
+
+val length : t -> int

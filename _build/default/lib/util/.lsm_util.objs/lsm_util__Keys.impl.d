@@ -1,0 +1,1 @@
+lib/util/keys.ml: Format Int64 Intf

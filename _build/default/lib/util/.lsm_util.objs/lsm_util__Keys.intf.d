@@ -1,0 +1,1 @@
+lib/util/keys.mli: Intf

@@ -1,0 +1,1 @@
+lib/util/search.ml: Array

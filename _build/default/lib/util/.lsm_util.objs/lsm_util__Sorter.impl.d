@@ -1,0 +1,1 @@
+lib/util/sorter.ml: Array List

@@ -1,0 +1,60 @@
+(** Fixed-size mutable bitsets.
+
+    Used for Bloom filter bit spaces and for the per-component validity
+    bitmaps of Sections 4.4 (immutable bitmap written by merge repair) and
+    5 (mutable bitmap updated in place by writers). *)
+
+type t = { bits : Bytes.t; length : int }
+
+(** [create n] is a bitset of [n] bits, all zero. *)
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative length";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; length = n }
+
+let length t = t.length
+
+let check_bounds t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitset: index out of bounds"
+
+(** [set t i] sets bit [i] to 1. *)
+let set t i =
+  check_bounds t i;
+  let b = Bytes.get_uint8 t.bits (i lsr 3) in
+  Bytes.set_uint8 t.bits (i lsr 3) (b lor (1 lsl (i land 7)))
+
+(** [clear t i] sets bit [i] to 0 (used by transaction aborts, which are the
+    only writers allowed to flip bits back; see Sec. 5.2). *)
+let clear t i =
+  check_bounds t i;
+  let b = Bytes.get_uint8 t.bits (i lsr 3) in
+  Bytes.set_uint8 t.bits (i lsr 3) (b land lnot (1 lsl (i land 7)))
+
+(** [get t i] is the value of bit [i]. *)
+let get t i =
+  check_bounds t i;
+  Bytes.get_uint8 t.bits (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+(** [copy t] is an independent snapshot of [t] (the Side-file method takes
+    bitmap snapshots during its initialization phase). *)
+let copy t = { bits = Bytes.copy t.bits; length = t.length }
+
+(** [count t] is the number of set bits. *)
+let count t =
+  let c = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    let b = ref (Bytes.get_uint8 t.bits i) in
+    while !b <> 0 do
+      b := !b land (!b - 1);
+      incr c
+    done
+  done;
+  !c
+
+(** [byte_size t] is the in-memory footprint in bytes, for accounting. *)
+let byte_size t = Bytes.length t.bits
+
+(** [iter_set t f] applies [f] to each set bit index in increasing order. *)
+let iter_set t f =
+  for i = 0 to t.length - 1 do
+    if get t i then f i
+  done

@@ -1,0 +1,31 @@
+(** Fixed-size mutable bitsets: Bloom filter bit spaces and the
+    per-component validity bitmaps of Secs. 4.4 and 5. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an [n]-bit set, all zeros.
+    @raise Invalid_argument on negative [n]. *)
+
+val length : t -> int
+
+val set : t -> int -> unit
+(** [set t i] sets bit [i] to 1. @raise Invalid_argument out of bounds. *)
+
+val clear : t -> int -> unit
+(** [clear t i] sets bit [i] to 0 (transaction aborts are the only writers
+    that flip bits back; Sec. 5.2). *)
+
+val get : t -> int -> bool
+
+val copy : t -> t
+(** Independent snapshot (the Side-file method snapshots bitmaps). *)
+
+val count : t -> int
+(** Number of set bits. *)
+
+val byte_size : t -> int
+(** In-memory footprint, for accounting. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set t f] applies [f] to each set bit index, ascending. *)

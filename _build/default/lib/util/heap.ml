@@ -1,0 +1,75 @@
+(** A mutable binary min-heap.
+
+    LSM range scans reconcile entries from many components with a k-way
+    merge; the heap orders cursor heads by (key, recency).  The comparison
+    function is supplied at creation time, so heaps over tuples avoid
+    polymorphic compare. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create cmp = { cmp; data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Storage is allocated lazily from the first pushed element, so no dummy
+   value of type ['a] is ever needed. *)
+let ensure_room t filler =
+  if Array.length t.data = 0 then t.data <- Array.make 16 filler
+  else if t.size = Array.length t.data then begin
+    let data = Array.make (2 * Array.length t.data) t.data.(0) in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+(** [push t x] inserts [x]. *)
+let push t x =
+  ensure_room t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+(** [peek t] is the minimum element, if any. *)
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+(** [pop t] removes and returns the minimum element.
+    @raise Invalid_argument on an empty heap. *)
+let pop t =
+  if t.size = 0 then invalid_arg "Heap.pop: empty";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
+
+(** [pop_opt t] is [pop] returning an option. *)
+let pop_opt t = if t.size = 0 then None else Some (pop t)

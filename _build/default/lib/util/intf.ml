@@ -1,0 +1,25 @@
+(** Module types shared across the engine. *)
+
+(** Totally ordered index keys. *)
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+  (** A well-mixed 64-bit hash, consumed by Bloom filters. *)
+
+  val byte_size : t -> int
+  (** Serialized size in bytes, for page-layout accounting. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Values stored in an index; only their size and printing matter to the
+    storage layer. *)
+module type SIZED = sig
+  type t
+
+  val byte_size : t -> int
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,17 @@
+(** Ready-made key/value instances of {!Intf.ORDERED} and {!Intf.SIZED}. *)
+
+val mix64 : int -> int
+(** The SplitMix64 finalizer (duplicated from [Lsm_bloom.Hashing] to keep
+    this library dependency-free). *)
+
+(** 63-bit integer keys (the paper's 64-bit primary keys). *)
+module Int_key : Intf.ORDERED with type t = int
+
+(** Composite (secondary key, primary key) keys: the primary key breaks
+    ties so duplicate secondary keys remain distinct entries (Sec. 3). *)
+module Int_pair_key : Intf.ORDERED with type t = int * int
+
+(** Unit values, for key-only indexes. *)
+module Unit_value : Intf.SIZED with type t = unit
+
+module Int_value : Intf.SIZED with type t = int

@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that
+    experiments and property tests are reproducible from a seed.  The
+    generator is SplitMix64 (Steele et al., OOPSLA 2014): tiny state, very
+    fast, and statistically strong enough for workload generation and Bloom
+    filter inputs. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One SplitMix64 step: advance by the golden-gamma and mix. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [bits t] returns a non-negative 62-bit random integer. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v > (max_int lsr 2) - bound + 1 then go () else v
+  in
+  go ()
+
+(** [float t] returns a uniform float in [\[0, 1)]. *)
+let float t = Float.of_int (bits t) *. 0x1p-62
+
+(** [bool t] returns a uniform boolean. *)
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [int_in_range t ~lo ~hi] returns a uniform integer in [\[lo, hi\]]. *)
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+(** [split t] derives an independent generator from [t]'s stream. *)
+let split t = { state = next_int64 t }
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

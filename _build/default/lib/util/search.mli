@@ -1,0 +1,31 @@
+(** Array search primitives with comparison counting.
+
+    Every search reports its comparisons into the caller-supplied [cost]
+    counter; the storage environment converts counts into simulated CPU
+    time. *)
+
+val lower_bound :
+  cmp:('a -> 'b -> int) -> cost:int ref -> 'a array -> lo:int -> hi:int -> 'b -> int
+(** Smallest index [i] in [[lo, hi)] with [cmp a.(i) key >= 0], else [hi]. *)
+
+val upper_bound :
+  cmp:('a -> 'b -> int) -> cost:int ref -> 'a array -> lo:int -> hi:int -> 'b -> int
+(** Smallest index [i] in [[lo, hi)] with [cmp a.(i) key > 0], else [hi]. *)
+
+val exponential_lower_bound :
+  cmp:('a -> 'b -> int) ->
+  cost:int ref ->
+  'a array ->
+  lo:int ->
+  hi:int ->
+  start:int ->
+  'b ->
+  int
+(** [lower_bound], but galloping from [start] (the previous search
+    position) à la Bentley & Yao — O(log distance) when consecutive
+    lookups target nearby keys, as in sorted batched point lookups. *)
+
+val binary_find :
+  cmp:('a -> 'b -> int) -> cost:int ref -> 'a array -> 'b -> int option
+(** [binary_find ~cmp ~cost a key] is [Some i] with [cmp a.(i) key = 0] if
+    present in the sorted array. *)

@@ -1,0 +1,69 @@
+(** Zipfian distribution sampling, following the rejection-free method used
+    by YCSB (Gray et al., SIGMOD 1994).  Supports incrementally growing the
+    item count, which upsert workloads need: the set of "past keys" that may
+    be updated grows as ingestion proceeds, and recomputing the zeta
+    normalization constant from scratch on every insert would be
+    quadratic. *)
+
+type t = {
+  theta : float;
+  mutable n : int;            (* number of items; samples are in [0, n) *)
+  mutable zetan : float;      (* zeta(n, theta), maintained incrementally *)
+  zeta2 : float;              (* zeta(2, theta) *)
+  alpha : float;
+  mutable eta : float;
+}
+
+let zeta_range ~theta ~lo ~hi acc =
+  let sum = ref acc in
+  for i = lo to hi do
+    !sum +. (1.0 /. Float.pow (Float.of_int i) theta) |> fun s -> sum := s
+  done;
+  !sum
+
+let recompute_eta t =
+  t.eta <-
+    (1.0 -. Float.pow (2.0 /. Float.of_int t.n) (1.0 -. t.theta))
+    /. (1.0 -. (t.zeta2 /. t.zetan))
+
+(** [create ~theta n] prepares a sampler over [\[0, n)].  YCSB uses
+    [theta = 0.99]. @raise Invalid_argument if [n < 1]. *)
+let create ~theta n =
+  if n < 1 then invalid_arg "Zipf.create: need at least one item";
+  let zetan = zeta_range ~theta ~lo:1 ~hi:n 0.0 in
+  let zeta2 = zeta_range ~theta ~lo:1 ~hi:2 0.0 in
+  let t =
+    { theta; n; zetan; zeta2; alpha = 1.0 /. (1.0 -. theta); eta = 0.0 }
+  in
+  recompute_eta t;
+  t
+
+(** [extend t n] grows the item count to [n] (a no-op if [n <= t.n]),
+    extending the zeta constant incrementally. *)
+let extend t n =
+  if n > t.n then begin
+    t.zetan <- zeta_range ~theta:t.theta ~lo:(t.n + 1) ~hi:n t.zetan;
+    t.n <- n;
+    recompute_eta t
+  end
+
+let cardinality t = t.n
+
+(** [sample rng t] draws an item in [\[0, n)]; item 0 is the most popular. *)
+let sample rng t =
+  let u = Rng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    let v =
+      Float.of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    let v = int_of_float v in
+    if v >= t.n then t.n - 1 else if v < 0 then 0 else v
+
+(** [sample_latest rng t] draws with popularity skewed toward the *largest*
+    item ids, modelling "recently ingested keys are updated more
+    frequently" (the paper's Zipf upsert workload). *)
+let sample_latest rng t = t.n - 1 - sample rng t

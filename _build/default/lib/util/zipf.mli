@@ -1,0 +1,22 @@
+(** Zipfian sampling (YCSB-style, rejection-free), with incremental growth
+    of the item count — upsert workloads extend the set of updatable keys
+    as ingestion proceeds. *)
+
+type t
+
+val create : theta:float -> int -> t
+(** [create ~theta n] prepares a sampler over [[0, n)]; YCSB uses
+    [theta = 0.99]. @raise Invalid_argument if [n < 1]. *)
+
+val extend : t -> int -> unit
+(** [extend t n] grows the item count (no-op if [n <= cardinality t]),
+    extending the zeta normalization incrementally. *)
+
+val cardinality : t -> int
+
+val sample : Rng.t -> t -> int
+(** [sample rng t] draws an item in [[0, n)]; item 0 is most popular. *)
+
+val sample_latest : Rng.t -> t -> int
+(** [sample_latest rng t] skews popularity toward the *largest* ids,
+    modelling "recently ingested keys are updated more frequently". *)

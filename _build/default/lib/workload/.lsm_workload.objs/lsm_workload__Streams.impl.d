@@ -1,0 +1,1 @@
+lib/workload/streams.ml: Array Lsm_util Tweet

@@ -1,0 +1,1 @@
+lib/workload/tweet.ml: Fmt Lsm_util

@@ -1,0 +1,84 @@
+(** Ingestion streams: the controlled workloads of Sec. 6.3.
+
+    - insert streams with a *duplicate ratio* (Fig. 13): duplicates are
+      drawn uniformly over all past keys;
+    - upsert streams with an *update ratio* (Fig. 14): updates pick a past
+      key either uniformly or Zipf(0.99)-skewed toward recent keys. *)
+
+type op = Insert of Tweet.t | Upsert of Tweet.t | Delete of int
+
+type distribution = [ `Uniform | `Zipf_latest ]
+
+type t = {
+  gen : Tweet.gen;
+  rng : Lsm_util.Rng.t;  (** decides duplicate/update coin flips and picks *)
+  mutable past : int array;  (** ids ingested so far *)
+  mutable n_past : int;
+  zipf : Lsm_util.Zipf.t;
+  mode : [ `Insert_dups of float | `Upsert of float * distribution ];
+}
+
+let create ?(seed = 7) ?record_bytes ?time_step mode =
+  {
+    gen = Tweet.create_gen ~seed:(seed * 31 + 1) ?record_bytes ?time_step ();
+    rng = Lsm_util.Rng.create seed;
+    past = Array.make 1024 0;
+    n_past = 0;
+    zipf = Lsm_util.Zipf.create ~theta:0.99 1;
+    mode;
+  }
+
+(** [insert_stream ~duplicate_ratio] repeats previously-ingested keys with
+    the given probability (those inserts will be rejected by the
+    uniqueness check — the cost Fig. 13 measures). *)
+let insert_stream ?seed ?record_bytes ?time_step ~duplicate_ratio () =
+  create ?seed ?record_bytes ?time_step (`Insert_dups duplicate_ratio)
+
+(** [upsert_stream ~update_ratio ~distribution] generates records whose key
+    is, with probability [update_ratio], a previously-ingested key. *)
+let upsert_stream ?seed ?record_bytes ?time_step ~update_ratio ~distribution ()
+    =
+  create ?seed ?record_bytes ?time_step (`Upsert (update_ratio, distribution))
+
+let remember t id =
+  if t.n_past = Array.length t.past then begin
+    let bigger = Array.make (2 * t.n_past) 0 in
+    Array.blit t.past 0 bigger 0 t.n_past;
+    t.past <- bigger
+  end;
+  t.past.(t.n_past) <- id;
+  t.n_past <- t.n_past + 1
+
+let pick_past t (dist : distribution) =
+  match dist with
+  | `Uniform -> t.past.(Lsm_util.Rng.int t.rng t.n_past)
+  | `Zipf_latest ->
+      Lsm_util.Zipf.extend t.zipf t.n_past;
+      t.past.(Lsm_util.Zipf.sample_latest t.rng t.zipf)
+
+(** [next t] produces the next operation of the stream. *)
+let next t =
+  match t.mode with
+  | `Insert_dups ratio ->
+      if t.n_past > 0 && Lsm_util.Rng.float t.rng < ratio then
+        (* A duplicate: a fresh record body with an already-used id. *)
+        Insert (Tweet.with_id t.gen (pick_past t `Uniform))
+      else begin
+        let tw = Tweet.fresh t.gen in
+        remember t tw.Tweet.id;
+        Insert tw
+      end
+  | `Upsert (ratio, dist) ->
+      if t.n_past > 0 && Lsm_util.Rng.float t.rng < ratio then
+        Upsert (Tweet.with_id t.gen (pick_past t dist))
+      else begin
+        let tw = Tweet.fresh t.gen in
+        remember t tw.Tweet.id;
+        Upsert tw
+      end
+
+(** [nth_past t i] and [past_count t] expose ingested ids (query
+    generation needs live keys). *)
+let past_count t = t.n_past
+
+let nth_past t i = t.past.(i)

@@ -1,0 +1,36 @@
+(** Ingestion streams: the controlled workloads of Sec. 6.3 — insert
+    streams with a duplicate ratio (Fig. 13) and upsert streams with an
+    update ratio under uniform or Zipf-latest key choice (Fig. 14). *)
+
+type op = Insert of Tweet.t | Upsert of Tweet.t | Delete of int
+
+type distribution = [ `Uniform | `Zipf_latest ]
+
+type t
+
+val insert_stream :
+  ?seed:int ->
+  ?record_bytes:int ->
+  ?time_step:int ->
+  duplicate_ratio:float ->
+  unit ->
+  t
+(** Repeats previously-ingested keys with probability [duplicate_ratio];
+    those inserts get rejected by the uniqueness check — the cost Fig. 13
+    measures. *)
+
+val upsert_stream :
+  ?seed:int ->
+  ?record_bytes:int ->
+  ?time_step:int ->
+  update_ratio:float ->
+  distribution:distribution ->
+  unit ->
+  t
+
+val next : t -> op
+
+val past_count : t -> int
+(** Number of distinct keys ingested so far. *)
+
+val nth_past : t -> int -> int

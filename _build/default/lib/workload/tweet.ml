@@ -1,0 +1,102 @@
+(** The paper's synthetic tweet workload (Sec. 6.1).
+
+    Each tweet is ~500 bytes (±50, from the variable-length message), with:
+    - [id]: a random 64-bit integer primary key;
+    - [user_id]: uniform in [0, 100K), the secondary index attribute used
+      to formulate queries with controlled selectivities;
+    - [location]: a small categorical attribute (the running example of
+      Fig. 2 indexes locations);
+    - [created_at]: a monotonically increasing timestamp, the range-filter
+      attribute. *)
+
+type t = {
+  id : int;
+  user_id : int;
+  location : int;  (** categorical; 0..49 standing in for US states *)
+  created_at : int;
+  msg_len : int;  (** length of the (not materialized) message text *)
+}
+
+let user_id_domain = 100_000
+let location_domain = 50
+
+(** Records are sized as id + user_id + location + created_at + message;
+    the message bytes are accounted, not materialized. *)
+let byte_size t = 8 + 8 + 8 + 8 + t.msg_len
+
+let primary_key t = t.id
+let user_id t = t.user_id
+let location t = t.location
+let created_at t = t.created_at
+
+let pp fmt t =
+  Fmt.pf fmt "{id=%d; user=%d; loc=%d; at=%d}" t.id t.user_id t.location
+    t.created_at
+
+(** Record module for {!Lsm_core.Dataset.Make}. *)
+module Record = struct
+  type nonrec t = t
+
+  let primary_key = primary_key
+  let byte_size = byte_size
+  let pp = pp
+end
+
+(** A generator producing tweets with fresh random ids and monotone
+    creation times.  [record_bytes] overrides the ~500B default (Fig. 21
+    uses 1KB records; Fig. 23 sweeps 20B..1KB). *)
+type gen = {
+  rng : Lsm_util.Rng.t;
+  mutable next_time : int;
+  record_bytes : int option;
+  time_step : int;
+      (** creation-time increment per record; with the default of 1 the
+          creation-time domain equals the record count *)
+}
+
+let create_gen ?(seed = 2019) ?record_bytes ?(time_step = 1) () =
+  { rng = Lsm_util.Rng.create seed; next_time = 0; record_bytes; time_step }
+
+let msg_len g =
+  match g.record_bytes with
+  | Some b -> max 0 (b - 32)
+  | None -> 450 + Lsm_util.Rng.int g.rng 101
+
+(** [fresh g] makes a tweet with a brand-new random id. *)
+let fresh g =
+  g.next_time <- g.next_time + g.time_step;
+  {
+    id = Lsm_util.Rng.bits g.rng;
+    user_id = Lsm_util.Rng.int g.rng user_id_domain;
+    location = Lsm_util.Rng.int g.rng location_domain;
+    created_at = g.next_time;
+    msg_len = msg_len g;
+  }
+
+(** [with_id g id] makes a tweet updating an existing [id] (new attribute
+    values, fresh creation time). *)
+let with_id g id =
+  g.next_time <- g.next_time + g.time_step;
+  {
+    id;
+    user_id = Lsm_util.Rng.int g.rng user_id_domain;
+    location = Lsm_util.Rng.int g.rng location_domain;
+    created_at = g.next_time;
+    msg_len = msg_len g;
+  }
+
+(** [sequential_ids g] switches the generator to produce sequential ids
+    (the "scan (seq keys)" dataset of Fig. 12b); returns a counter-based
+    fresh function. *)
+let fresh_sequential g =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    g.next_time <- g.next_time + g.time_step;
+    {
+      id = !counter;
+      user_id = Lsm_util.Rng.int g.rng user_id_domain;
+      location = Lsm_util.Rng.int g.rng location_domain;
+      created_at = g.next_time;
+      msg_len = msg_len g;
+    }

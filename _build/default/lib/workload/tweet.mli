@@ -1,0 +1,48 @@
+(** The paper's synthetic tweet workload (Sec. 6.1): ~500±50B records with
+    a random 64-bit id, a uniform user_id in [0, 100K) for secondary-index
+    queries with controlled selectivities, a small categorical location
+    (the running example of Fig. 2), and a monotone creation time for the
+    range filter. *)
+
+type t = {
+  id : int;
+  user_id : int;
+  location : int;
+  created_at : int;
+  msg_len : int;  (** length of the (not materialized) message text *)
+}
+
+val user_id_domain : int
+val location_domain : int
+
+val byte_size : t -> int
+val primary_key : t -> int
+val user_id : t -> int
+val location : t -> int
+val created_at : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Record module for {!Lsm_core.Dataset.Make}. *)
+module Record : sig
+  type nonrec t = t
+
+  val primary_key : t -> int
+  val byte_size : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+type gen
+(** A deterministic tweet source with monotone creation times. *)
+
+val create_gen : ?seed:int -> ?record_bytes:int -> ?time_step:int -> unit -> gen
+(** [record_bytes] overrides the ~500B default (Fig. 21 uses 1KB). *)
+
+val fresh : gen -> t
+(** A tweet with a brand-new random id. *)
+
+val with_id : gen -> int -> t
+(** A tweet updating an existing id (new attributes, fresh time). *)
+
+val fresh_sequential : gen -> unit -> t
+(** A counter-based source with sequential ids (the "scan (seq keys)"
+    dataset of Fig. 12b). *)

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Int List Lsm_core Lsm_sim Lsm_workload Map QCheck2 QCheck_alcotest

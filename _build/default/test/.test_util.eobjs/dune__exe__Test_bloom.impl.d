@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Blocked_bloom Bloom Filter Float Hashing Hashtbl List Lsm_bloom Printf QCheck2 QCheck_alcotest

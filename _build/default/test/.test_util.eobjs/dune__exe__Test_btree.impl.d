@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Int List Lsm_btree Lsm_sim Lsm_util Map Option Printf QCheck2 QCheck_alcotest

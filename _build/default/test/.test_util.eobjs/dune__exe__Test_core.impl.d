@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Int List Lsm_core Lsm_sim Lsm_util Lsm_workload Map Option Printf QCheck2 QCheck_alcotest

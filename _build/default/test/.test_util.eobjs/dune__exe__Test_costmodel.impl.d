@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Array Buffer_cache Device Env Fun Io_stats List Lsm_btree Lsm_core Lsm_sim Lsm_util Lsm_workload QCheck2 QCheck_alcotest Sfile

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Fun Hashtbl List Lsm_btree Lsm_core Lsm_sim Lsm_tree Lsm_util Lsm_workload Option Printf QCheck2 QCheck_alcotest

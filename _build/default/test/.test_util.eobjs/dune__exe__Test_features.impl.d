@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Int List Lsm_btree Lsm_sim Lsm_tree Lsm_util Map QCheck2 QCheck_alcotest

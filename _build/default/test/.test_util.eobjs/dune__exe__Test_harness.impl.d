@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Filename List Lsm_harness Printf String Sys

@@ -1,0 +1,1 @@
+test/test_lsm.ml: Alcotest Array Fmt Hashtbl Int List Lsm_sim Lsm_tree Lsm_util Map Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Format Int List Lsm_core Lsm_sim Map QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer_cache Device Env Io_stats Lsm_sim Printf Sfile

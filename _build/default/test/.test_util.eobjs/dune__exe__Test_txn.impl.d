@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Float Hashtbl List Lsm_core Lsm_sim Lsm_txn Lsm_util Lsm_workload Printf QCheck2 QCheck_alcotest

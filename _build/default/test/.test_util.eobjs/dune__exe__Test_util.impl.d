@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Float Fun Heap List Lsm_util Printf QCheck2 QCheck_alcotest Rng Search Sorter Zipf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float Hashtbl List Lsm_workload Printf

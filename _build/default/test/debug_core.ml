@@ -1,0 +1,148 @@
+(* Ad-hoc reproducer: random op streams vs model, printing the first
+   failure compactly.  Not part of the test suite. *)
+
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module Strategy = Lsm_core.Strategy
+module Tweet = Lsm_workload.Tweet
+module IntMap = Map.Make (Int)
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(1024 * 128) device
+
+let secondaries = [ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+
+let tw ?(user = 0) ?(at = 0) id =
+  { Tweet.id; user_id = user; location = 0; created_at = at; msg_len = 100 }
+
+type op = Ins of int * int | Ups of int * int | Del of int
+
+let pp_op = function
+  | Ins (k, u) -> Printf.sprintf "Ins(%d,u%d)" k u
+  | Ups (k, u) -> Printf.sprintf "Ups(%d,u%d)" k u
+  | Del k -> Printf.sprintf "Del(%d)" k
+
+let run_model ops =
+  List.fold_left
+    (fun m op ->
+      match op with
+      | Ins (k, u) -> if IntMap.mem k m then m else IntMap.add k u m
+      | Ups (k, u) -> IntMap.add k u m
+      | Del k -> IntMap.remove k m)
+    IntMap.empty ops
+
+let strategies =
+  [
+    (Strategy.eager, [ `Assume_valid; `Direct; `Timestamp ]);
+    (Strategy.validation, [ `Direct; `Timestamp ]);
+    (Strategy.validation_no_repair, [ `Direct; `Timestamp ]);
+    (Strategy.validation_bloom_opt, [ `Direct; `Timestamp ]);
+    (Strategy.mutable_bitmap, [ `Direct; `Timestamp ]);
+    (Strategy.deleted_key_btree, [ `Timestamp ]);
+  ]
+
+let mode_name = function
+  | `Assume_valid -> "assume"
+  | `Direct -> "direct"
+  | `Timestamp -> "ts"
+
+let check ops =
+  let model = run_model ops in
+  let expected =
+    IntMap.fold (fun k u acc -> if u >= 0 && u <= 100 then k :: acc else acc) model []
+    |> List.sort compare
+  in
+  let failures = ref [] in
+  List.iter
+    (fun (strategy, modes) ->
+      let env = mk_env () in
+      let d =
+        D.create ~filter_key:Tweet.created_at ~secondaries env
+          { D.default_config with strategy; mem_budget = 2048 }
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Ins (k, u) -> ignore (D.insert d (tw ~user:u ~at:k k))
+          | Ups (k, u) -> D.upsert d (tw ~user:u ~at:k k)
+          | Del k -> D.delete d ~pk:k)
+        ops;
+      List.iter
+        (fun mode ->
+          let got =
+            D.query_secondary d ~sec:"user_id" ~lo:0 ~hi:100 ~mode ()
+            |> List.map Tweet.primary_key |> List.sort compare
+          in
+          if got <> expected then
+            failures :=
+              Printf.sprintf "%s/%s: got [%s] want [%s]" (Strategy.name strategy)
+                (mode_name mode)
+                (String.concat ";" (List.map string_of_int got))
+                (String.concat ";" (List.map string_of_int expected))
+              :: !failures)
+        modes;
+      (* point queries *)
+      IntMap.iter
+        (fun k u ->
+          match D.point_query d k with
+          | Some r when r.Tweet.user_id = u -> ()
+          | Some r ->
+              failures :=
+                Printf.sprintf "%s: point %d got u%d want u%d"
+                  (Strategy.name strategy) k r.Tweet.user_id u
+                :: !failures
+          | None ->
+              failures :=
+                Printf.sprintf "%s: point %d missing" (Strategy.name strategy) k
+                :: !failures)
+        model)
+    strategies;
+  !failures
+
+let shrink ops =
+  (* Greedy: try removing each op while still failing. *)
+  let still_fails ops = check ops <> [] in
+  let ops = ref ops in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let n = List.length !ops in
+    let i = ref 0 in
+    while !i < n do
+      let candidate = List.filteri (fun j _ -> j <> !i) !ops in
+      if List.length candidate < List.length !ops && still_fails candidate then begin
+        ops := candidate;
+        changed := true;
+        i := n (* restart *)
+      end
+      else incr i
+    done
+  done;
+  !ops
+
+let () =
+  let rng = Lsm_util.Rng.create (int_of_string Sys.argv.(1)) in
+  let gen_op () =
+    match Lsm_util.Rng.int rng 10 with
+    | 0 | 1 | 2 -> Ins (Lsm_util.Rng.int rng 40 + 1, Lsm_util.Rng.int rng 101)
+    | 3 | 4 | 5 | 6 | 7 -> Ups (Lsm_util.Rng.int rng 40 + 1, Lsm_util.Rng.int rng 101)
+    | _ -> Del (Lsm_util.Rng.int rng 40 + 1)
+  in
+  let found = ref false in
+  let trial = ref 0 in
+  while (not !found) && !trial < 500 do
+    incr trial;
+    let ops = List.init (20 + Lsm_util.Rng.int rng 130) (fun _ -> gen_op ()) in
+    match check ops with
+    | [] -> ()
+    | _ ->
+        found := true;
+        let small = shrink ops in
+        Printf.printf "trial %d, shrunk to %d ops:\n" !trial (List.length small);
+        List.iter (fun op -> Printf.printf "  %s\n" (pp_op op)) small;
+        List.iter (fun f -> Printf.printf "FAIL %s\n" f) (check small)
+  done;
+  if not !found then print_endline "no failure found"

@@ -1,0 +1,233 @@
+(* Reproducer for mid-stream query failures. *)
+
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module Strategy = Lsm_core.Strategy
+module Tweet = Lsm_workload.Tweet
+module IntMap = Map.Make (Int)
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(1024 * 128) device
+
+let tw ?(user = 0) ?(at = 1) id =
+  { Tweet.id; user_id = user; location = 0; created_at = at; msg_len = 68 }
+
+type op =
+  | Ins of int * int
+  | Ups of int * int
+  | Del of int
+  | QSec of int * int
+  | QTime of int * int
+  | QPoint of int
+  | Repair
+
+let pp_op = function
+  | Ins (k, u) -> Printf.sprintf "Ins(%d,u%d)" k u
+  | Ups (k, u) -> Printf.sprintf "Ups(%d,u%d)" k u
+  | Del k -> Printf.sprintf "Del(%d)" k
+  | QSec (a, b) -> Printf.sprintf "QSec(%d,%d)" a b
+  | QTime (a, b) -> Printf.sprintf "QTime(%d,%d)" a b
+  | QPoint k -> Printf.sprintf "QPoint(%d)" k
+  | Repair -> "Repair"
+
+let strategies =
+  [
+    ("eager", Strategy.eager, (`Assume_valid : D.validation_mode));
+    ("validation", Strategy.validation, `Timestamp);
+    ("val-norepair-direct", Strategy.validation_no_repair, `Direct);
+    ("val-bf", Strategy.validation_bloom_opt, `Timestamp);
+    ("mutable-bitmap", Strategy.mutable_bitmap, `Timestamp);
+    ("deleted-key", Strategy.deleted_key_btree, `Timestamp);
+  ]
+
+(* Returns Some (failure description) or None. *)
+let check_strategy (strategy, mode) ops =
+  let env = mk_env () in
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      env
+      { D.default_config with strategy; mem_budget = 2048 }
+  in
+  let model = ref IntMap.empty in
+  let at = ref 0 in
+  let fail = ref None in
+  List.iteri
+    (fun i op ->
+      if !fail = None then begin
+        incr at;
+        match op with
+        | Ins (k, u) ->
+            let r = tw ~user:u ~at:!at k in
+            let res = D.insert d r in
+            let expected = if IntMap.mem k !model then `Duplicate else `Inserted in
+            if res = `Inserted then model := IntMap.add k r !model;
+            if res <> expected then
+              fail := Some (Printf.sprintf "op %d %s: insert result" i (pp_op op))
+        | Ups (k, u) ->
+            D.upsert d (tw ~user:u ~at:!at k);
+            model := IntMap.add k (tw ~user:u ~at:!at k) !model
+        | Del k ->
+            D.delete d ~pk:k;
+            model := IntMap.remove k !model
+        | QSec (lo, hi) ->
+            let got =
+              D.query_secondary d ~sec:"user_id" ~lo ~hi ~mode ()
+              |> List.map Tweet.primary_key |> List.sort compare
+            in
+            let want =
+              IntMap.fold
+                (fun k r acc ->
+                  if r.Tweet.user_id >= lo && r.Tweet.user_id <= hi then k :: acc
+                  else acc)
+                !model []
+              |> List.sort compare
+            in
+            if got <> want then
+              fail :=
+                Some
+                  (Printf.sprintf "op %d %s: got [%s] want [%s]" i (pp_op op)
+                     (String.concat ";" (List.map string_of_int got))
+                     (String.concat ";" (List.map string_of_int want)))
+        | QTime (tlo, thi) ->
+            let got = D.query_time_range d ~tlo ~thi ~f:ignore in
+            let want =
+              IntMap.fold
+                (fun _ r acc ->
+                  if r.Tweet.created_at >= tlo && r.Tweet.created_at <= thi then
+                    acc + 1
+                  else acc)
+                !model 0
+            in
+            if got <> want then
+              fail :=
+                Some (Printf.sprintf "op %d %s: got %d want %d" i (pp_op op) got want)
+        | QPoint k -> (
+            match (D.point_query d k, IntMap.find_opt k !model) with
+            | Some r, Some r' when r.Tweet.user_id = r'.Tweet.user_id -> ()
+            | None, None -> ()
+            | _ -> fail := Some (Printf.sprintf "op %d %s: point" i (pp_op op)))
+        | Repair -> D.standalone_repair d
+      end)
+    ops;
+  !fail
+
+let check ops =
+  List.filter_map
+    (fun (name, s, m) ->
+      match check_strategy (s, m) ops with
+      | Some msg -> Some (name ^ ": " ^ msg)
+      | None -> None)
+    strategies
+
+let shrink ops =
+  let still_fails o = check o <> [] in
+  let ops = ref ops in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let n = List.length !ops in
+    let i = ref 0 in
+    while !i < n do
+      let candidate = List.filteri (fun j _ -> j <> !i) !ops in
+      if List.length candidate < List.length !ops && still_fails candidate then begin
+        ops := candidate;
+        changed := true;
+        i := n
+      end
+      else incr i
+    done
+  done;
+  !ops
+
+(* Dump the val-bf dataset state after running [ops]. *)
+let dump ops =
+  let env = mk_env () in
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      env
+      { D.default_config with strategy = Strategy.validation_bloom_opt; mem_budget = 2048 }
+  in
+  let at = ref 0 in
+  List.iter
+    (fun op ->
+      incr at;
+      match op with
+      | Ins (k, u) -> ignore (D.insert d (tw ~user:u ~at:!at k))
+      | Ups (k, u) -> D.upsert d (tw ~user:u ~at:!at k)
+      | Del k -> D.delete d ~pk:k
+      | Repair -> D.standalone_repair d
+      | _ -> ())
+    ops;
+  let sec = (D.secondaries d).(0) in
+  Printf.printf "pk comps: %s mem_id=(%d,%d)\n"
+    (String.concat " "
+       (Array.to_list
+          (Array.map
+             (fun c ->
+               Printf.sprintf "[%d,%d]" c.D.Pk.cmin_ts c.D.Pk.cmax_ts)
+             (D.Pk.components (Option.get (D.pk_index d))))))
+    (fst (D.Pk.mem_id (Option.get (D.pk_index d))))
+    (snd (D.Pk.mem_id (Option.get (D.pk_index d))));
+  Array.iter
+    (fun c ->
+      Printf.printf "sec comp [%d,%d] repaired=%d rows:\n" c.D.Sec.cmin_ts
+        c.D.Sec.cmax_ts c.D.Sec.repaired_ts;
+      Array.iteri
+        (fun i (r : D.Sec.row) ->
+          let sk, pk = r.D.Sec.key in
+          Printf.printf "   (%d,%d,ts%d)%s %s\n" sk pk r.D.Sec.ts
+            (match r.D.Sec.value with
+            | Lsm_core.Dataset.Entry.Put () -> ""
+            | Lsm_core.Dataset.Entry.Del -> " DEL")
+            (if D.Sec.component_row_valid c i then "" else "INVALID"))
+        (D.Sec.rows_of c))
+    (D.Sec.components sec.D.tree);
+  print_endline "sec mem:";
+  D.Sec.scan sec.D.tree
+    { D.Sec.full_scan_spec with only = Some []; emit_del = true }
+    ~f:(fun r ~src_repaired:_ ->
+      let sk, pk = r.D.Sec.key in
+      Printf.printf "   (%d,%d,ts%d)%s\n" sk pk r.D.Sec.ts
+        (match r.D.Sec.value with
+        | Lsm_core.Dataset.Entry.Put () -> ""
+        | Lsm_core.Dataset.Entry.Del -> " DEL"))
+
+let () =
+  let rng = Lsm_util.Rng.create (int_of_string Sys.argv.(1)) in
+  let gen_op () =
+    match Lsm_util.Rng.int rng 17 with
+    | 0 | 1 | 2 -> Ins (1 + Lsm_util.Rng.int rng 35, Lsm_util.Rng.int rng 80)
+    | 3 | 4 | 5 | 6 | 7 -> Ups (1 + Lsm_util.Rng.int rng 35, Lsm_util.Rng.int rng 80)
+    | 8 -> Del (1 + Lsm_util.Rng.int rng 35)
+    | 9 | 10 | 11 ->
+        let a = Lsm_util.Rng.int rng 80 and b = Lsm_util.Rng.int rng 80 in
+        QSec (min a b, max a b)
+    | 12 | 13 ->
+        let a = Lsm_util.Rng.int rng 400 and b = Lsm_util.Rng.int rng 400 in
+        QTime (min a b, max a b)
+    | 14 | 15 -> QPoint (1 + Lsm_util.Rng.int rng 35)
+    | _ -> Repair
+  in
+  let found = ref false in
+  let trial = ref 0 in
+  while (not !found) && !trial < 300 do
+    incr trial;
+    let ops = List.init (10 + Lsm_util.Rng.int rng 170) (fun _ -> gen_op ()) in
+    match check ops with
+    | [] -> ()
+    | msgs ->
+        found := true;
+        Printf.printf "trial %d failures:\n" !trial;
+        List.iter print_endline msgs;
+        let small = shrink ops in
+        Printf.printf "shrunk to %d ops:\n" (List.length small);
+        List.iter (fun op -> Printf.printf "  %s\n" (pp_op op)) small;
+        List.iter print_endline (check small);
+        dump small
+  done;
+  if not !found then print_endline "no failure found"

@@ -1,0 +1,275 @@
+(* Tests for Lsm_btree: the mutable in-memory B+-tree and the immutable
+   disk B+-tree (stateless find, stateful cursor, scans). *)
+
+module Mbt = Lsm_btree.Mem_btree.Make (Lsm_util.Keys.Int_key)
+module Dbt = Lsm_btree.Disk_btree.Make (Lsm_util.Keys.Int_key)
+module IntMap = Map.Make (Int)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Mem_btree *)
+
+let test_mbt_empty () =
+  let t = Mbt.create () in
+  Alcotest.(check int) "len" 0 (Mbt.length t);
+  Alcotest.(check bool) "empty" true (Mbt.is_empty t);
+  Alcotest.(check (option int)) "find" None (Mbt.find t 5);
+  Alcotest.(check (option (pair int int))) "min" None (Mbt.min_binding t)
+
+let test_mbt_put_find () =
+  let t = Mbt.create () in
+  Alcotest.(check (option int)) "fresh" None (Mbt.put t 1 10);
+  Alcotest.(check (option int)) "replace" (Some 10) (Mbt.put t 1 11);
+  Alcotest.(check (option int)) "find" (Some 11) (Mbt.find t 1);
+  Alcotest.(check int) "len" 1 (Mbt.length t)
+
+let test_mbt_many_sorted_iteration () =
+  let t = Mbt.create () in
+  let rng = Lsm_util.Rng.create 1 in
+  let keys = Array.init 2000 (fun _ -> Lsm_util.Rng.int rng 1_000_000) in
+  Array.iter (fun k -> ignore (Mbt.put t k (k * 2))) keys;
+  let sorted = List.sort_uniq compare (Array.to_list keys) in
+  Alcotest.(check int) "distinct count" (List.length sorted) (Mbt.length t);
+  let out = ref [] in
+  Mbt.iter t (fun k v ->
+      Alcotest.(check int) "value" (k * 2) v;
+      out := k :: !out);
+  Alcotest.(check (list int)) "in order" sorted (List.rev !out)
+
+let prop_mbt_matches_map =
+  qtest ~count:100 "mem btree = Map model"
+    QCheck2.Gen.(list_size (int_range 0 500) (pair (int_range 0 100) (int_range 0 1000)))
+    (fun ops ->
+      let t = Mbt.create () in
+      let m = ref IntMap.empty in
+      List.iter
+        (fun (k, v) ->
+          let prev = Mbt.put t k v in
+          let mprev = IntMap.find_opt k !m in
+          m := IntMap.add k v !m;
+          assert (prev = mprev))
+        ops;
+      IntMap.cardinal !m = Mbt.length t
+      && IntMap.for_all (fun k v -> Mbt.find t k = Some v) !m
+      && Mbt.to_sorted_array t = Array.of_list (IntMap.bindings !m))
+
+let test_mbt_iter_from () =
+  let t = Mbt.create () in
+  List.iter (fun k -> ignore (Mbt.put t k k)) [ 10; 20; 30; 40; 50 ];
+  let out = ref [] in
+  Mbt.iter_from t 25 (fun k _ ->
+      out := k :: !out;
+      k < 40);
+  Alcotest.(check (list int)) "from 25 to 40" [ 30; 40 ] (List.rev !out)
+
+let test_mbt_min_max () =
+  let t = Mbt.create () in
+  List.iter (fun k -> ignore (Mbt.put t k (-k))) [ 5; 1; 9; 3 ];
+  Alcotest.(check (option (pair int int))) "min" (Some (1, -1)) (Mbt.min_binding t);
+  Alcotest.(check (option (pair int int))) "max" (Some (9, -9)) (Mbt.max_binding t)
+
+let test_mbt_comparison_counter () =
+  let t = Mbt.create () in
+  for i = 0 to 100 do
+    ignore (Mbt.put t i i)
+  done;
+  ignore (Mbt.take_comparisons t);
+  ignore (Mbt.find t 50);
+  let c = Mbt.take_comparisons t in
+  Alcotest.(check bool) "counted some" true (c > 0);
+  Alcotest.(check int) "drained" 0 (Mbt.take_comparisons t)
+
+(* ------------------------------------------------------------------ *)
+(* Disk_btree *)
+
+let mk_env () =
+  (* Small pages so trees have many leaves even in small tests. *)
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:256 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(256 * 16) device
+
+(* Rows are (key, payload) pairs, 32 bytes each -> 8 rows per 256B page. *)
+let build env keys =
+  Dbt.build env
+    ~key_of:(fun (k, _) -> k)
+    ~size_of:(fun _ -> 32)
+    (Array.map (fun k -> (k, k * 7)) keys)
+
+let test_dbt_build_pages () =
+  let env = mk_env () in
+  let t = build env (Array.init 100 (fun i -> i * 2)) in
+  Alcotest.(check int) "rows" 100 (Dbt.nrows t);
+  (* 100 rows * 32B / 256B = 12.5 -> 13 leaves *)
+  Alcotest.(check int) "leaf pages" 13 (Dbt.leaf_pages t);
+  Alcotest.(check (option int)) "min" (Some 0) (Dbt.min_key t);
+  Alcotest.(check (option int)) "max" (Some 198) (Dbt.max_key t)
+
+let test_dbt_find () =
+  let env = mk_env () in
+  let t = build env (Array.init 100 (fun i -> i * 2)) in
+  (match Dbt.find env t 42 with
+  | Some (pos, (k, v)) ->
+      Alcotest.(check int) "pos" 21 pos;
+      Alcotest.(check int) "key" 42 k;
+      Alcotest.(check int) "val" (42 * 7) v
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "miss odd" true (Dbt.find env t 43 = None);
+  Alcotest.(check bool) "miss below" true (Dbt.find env t (-1) = None);
+  Alcotest.(check bool) "miss above" true (Dbt.find env t 1000 = None)
+
+let test_dbt_empty () =
+  let env = mk_env () in
+  let t = build env [||] in
+  Alcotest.(check bool) "empty find" true (Dbt.find env t 1 = None);
+  Alcotest.(check int) "no pages" 0 (Dbt.leaf_pages t);
+  let s = Dbt.Scan.seek env t None in
+  Alcotest.(check bool) "no next" true (Dbt.Scan.next env s = None)
+
+let prop_dbt_find_matches_model =
+  qtest ~count:100 "disk btree find = model"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 300) (int_range 0 500))
+        (list_size (int_range 1 50) (int_range (-10) 510)))
+    (fun (keys, queries) ->
+      let env = mk_env () in
+      let keys = List.sort_uniq compare keys |> Array.of_list in
+      let t = build env keys in
+      let model = IntMap.of_seq (Array.to_seq (Array.map (fun k -> (k, k * 7)) keys)) in
+      List.for_all
+        (fun q ->
+          let expect = IntMap.find_opt q model in
+          let got = Option.map (fun (_, (_, v)) -> v) (Dbt.find env t q) in
+          got = expect)
+        queries)
+
+let prop_dbt_cursor_matches_find =
+  qtest ~count:100 "stateful cursor = stateless find (any query order)"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 300) (int_range 0 500))
+        (list_size (int_range 1 60) (int_range (-10) 510)))
+    (fun (keys, queries) ->
+      let env = mk_env () in
+      let keys = List.sort_uniq compare keys |> Array.of_list in
+      let t = build env keys in
+      let c = Dbt.Cursor.create t in
+      List.for_all
+        (fun q ->
+          let a = Option.map snd (Dbt.find env t q) in
+          let b = Option.map snd (Dbt.Cursor.find env c q) in
+          a = b)
+        queries)
+
+let test_dbt_cursor_cheaper_for_sorted_batch () =
+  let env = mk_env () in
+  let t = build env (Array.init 5000 (fun i -> i)) in
+  (* Warm everything so only CPU differs. *)
+  for i = 0 to 4999 do
+    ignore (Dbt.find env t i)
+  done;
+  let st = Lsm_sim.Env.stats env in
+  let before = st.Lsm_sim.Io_stats.comparisons in
+  for i = 1000 to 1999 do
+    ignore (Dbt.find env t i)
+  done;
+  let stateless = st.Lsm_sim.Io_stats.comparisons - before in
+  let c = Dbt.Cursor.create t in
+  ignore (Dbt.Cursor.find env c 999);
+  let before = st.Lsm_sim.Io_stats.comparisons in
+  for i = 1000 to 1999 do
+    ignore (Dbt.Cursor.find env c i)
+  done;
+  let stateful = st.Lsm_sim.Io_stats.comparisons - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "stateful %d < stateless %d" stateful stateless)
+    true
+    (stateful * 2 < stateless)
+
+let test_dbt_scan_full_and_range () =
+  let env = mk_env () in
+  let t = build env (Array.init 100 (fun i -> i * 3)) in
+  let s = Dbt.Scan.seek env t None in
+  let n = ref 0 and last = ref (-1) in
+  let rec drain () =
+    match Dbt.Scan.next env s with
+    | Some (i, (k, _)) ->
+        Alcotest.(check int) "index order" !n i;
+        Alcotest.(check bool) "ascending" true (k > !last);
+        last := k;
+        incr n;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all rows" 100 !n;
+  (* Seek into the middle. *)
+  let s = Dbt.Scan.seek env t (Some 50) in
+  (match Dbt.Scan.next env s with
+  | Some (_, (k, _)) -> Alcotest.(check int) "first >= 50" 51 k
+  | None -> Alcotest.fail "expected rows");
+  Alcotest.(check (option int)) "peek" (Some 54) (Dbt.Scan.peek_key s)
+
+let test_dbt_scan_sequential_io () =
+  let env = mk_env () in
+  let t = build env (Array.init 800 (fun i -> i)) in
+  (* Evict everything (cache is 16 pages; tree is 100 leaves). *)
+  Lsm_sim.Buffer_cache.clear (Lsm_sim.Env.cache env);
+  Lsm_sim.Env.reset_measurement env;
+  let s = Dbt.Scan.seek env t None in
+  let rec drain () =
+    match Dbt.Scan.next env s with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  let st = Lsm_sim.Env.stats env in
+  Alcotest.(check int) "one positioning" 1 st.Lsm_sim.Io_stats.rand_reads;
+  Alcotest.(check bool) "many sequential" true (st.Lsm_sim.Io_stats.seq_reads > 90)
+
+let test_dbt_duplicate_keys () =
+  (* Duplicate keys are allowed (secondary index rows before dedup);
+     [find] returns the first. *)
+  let env = mk_env () in
+  let rows = [| (1, 100); (2, 200); (2, 201); (3, 300) |] in
+  let t =
+    Dbt.build env ~key_of:fst ~size_of:(fun _ -> 32) rows
+  in
+  (match Dbt.find env t 2 with
+  | Some (pos, (_, v)) ->
+      Alcotest.(check int) "first dup pos" 1 pos;
+      Alcotest.(check int) "first dup val" 200 v
+  | None -> Alcotest.fail "hit expected");
+  Alcotest.(check int) "lower_bound" 1 (Dbt.lower_bound_row env t 2)
+
+let () =
+  Alcotest.run "lsm_btree"
+    [
+      ( "mem",
+        [
+          Alcotest.test_case "empty" `Quick test_mbt_empty;
+          Alcotest.test_case "put/find" `Quick test_mbt_put_find;
+          Alcotest.test_case "sorted iteration" `Quick
+            test_mbt_many_sorted_iteration;
+          prop_mbt_matches_map;
+          Alcotest.test_case "iter_from" `Quick test_mbt_iter_from;
+          Alcotest.test_case "min/max" `Quick test_mbt_min_max;
+          Alcotest.test_case "comparison counter" `Quick
+            test_mbt_comparison_counter;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "build pages" `Quick test_dbt_build_pages;
+          Alcotest.test_case "find" `Quick test_dbt_find;
+          Alcotest.test_case "empty" `Quick test_dbt_empty;
+          prop_dbt_find_matches_model;
+          prop_dbt_cursor_matches_find;
+          Alcotest.test_case "cursor cheaper on sorted batch" `Quick
+            test_dbt_cursor_cheaper_for_sorted_batch;
+          Alcotest.test_case "scan full + range" `Quick test_dbt_scan_full_and_range;
+          Alcotest.test_case "scan sequential io" `Quick test_dbt_scan_sequential_io;
+          Alcotest.test_case "duplicate keys" `Quick test_dbt_duplicate_keys;
+        ] );
+    ]

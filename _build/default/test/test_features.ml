@@ -1,0 +1,240 @@
+(* Unit tests for features added beyond the first pass: growable arrays,
+   spill-accounted sorting, memory-B+-tree removal, anti-matter-emitting
+   scans, the tombstone drop barrier, component replacement, and
+   memory-write rollback. *)
+
+module Vec = Lsm_util.Vec
+module Mbt = Lsm_btree.Mem_btree.Make (Lsm_util.Keys.Int_key)
+module L = Lsm_tree.Make (Lsm_util.Keys.Int_key) (Lsm_util.Keys.Int_value)
+module Entry = Lsm_tree.Entry
+module IntMap = Map.Make (Int)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:256 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(256 * 64) device
+
+let mk_tree env =
+  L.create env
+    (Lsm_tree.Config.make ~bloom:(Some Lsm_tree.Config.default_bloom) "t")
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "len" 100 (Vec.length v);
+  Alcotest.(check int) "get" 84 (Vec.get v 42);
+  Alcotest.(check int) "to_array" 100 (Array.length (Vec.to_array v));
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get: out of bounds")
+    (fun () -> ignore (Vec.get v 100))
+
+let test_vec_binary_search () =
+  let v = Vec.create () in
+  for i = 0 to 49 do
+    Vec.push v (i * 3)
+  done;
+  let cost = ref 0 in
+  Alcotest.(check (option int)) "hit" (Some 7)
+    (Vec.binary_search ~cmp:compare ~cost v 21);
+  Alcotest.(check (option int)) "miss" None
+    (Vec.binary_search ~cmp:compare ~cost v 22)
+
+let prop_vec_matches_list =
+  qtest "vec = list model"
+    QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun l ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) l;
+      Vec.to_array v = Array.of_list l
+      && Vec.length v = List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Spill_sort *)
+
+let test_spill_sort_in_memory () =
+  let env = mk_env () in
+  let a = [| 5; 2; 9; 1 |] in
+  let g = Lsm_sim.Spill_sort.grant ~memory_bytes:1024 ~row_bytes:8 in
+  Lsm_sim.Spill_sort.sort env g ~cmp:compare a;
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 5; 9 |] a;
+  Alcotest.(check int) "no spill io" 0
+    (Lsm_sim.Env.stats env).Lsm_sim.Io_stats.pages_written
+
+let test_spill_sort_spills () =
+  let env = mk_env () in
+  let rng = Lsm_util.Rng.create 3 in
+  let a = Array.init 1000 (fun _ -> Lsm_util.Rng.int rng 100000) in
+  let g = Lsm_sim.Spill_sort.grant ~memory_bytes:256 ~row_bytes:8 in
+  Lsm_sim.Spill_sort.sort env g ~cmp:compare a;
+  Alcotest.(check bool) "sorted" true
+    (Lsm_util.Sorter.is_sorted ~cmp:compare a);
+  let st = Lsm_sim.Env.stats env in
+  Alcotest.(check bool) "spill written" true (st.Lsm_sim.Io_stats.pages_written > 0);
+  Alcotest.(check bool) "spill read back" true (st.Lsm_sim.Io_stats.pages_read > 0
+                                                || st.Lsm_sim.Io_stats.cache_hits > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Mem_btree.remove *)
+
+let prop_mbt_remove_matches_map =
+  qtest ~count:150 "mem btree with removals = Map model"
+    QCheck2.Gen.(
+      list_size (int_range 0 400)
+        (pair (int_range 0 60) (frequency [ (3, return `Put); (1, return `Remove) ])))
+    (fun ops ->
+      let t = Mbt.create () in
+      let m = ref IntMap.empty in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | `Put ->
+              ignore (Mbt.put t k (k * 3));
+              m := IntMap.add k (k * 3) !m
+          | `Remove ->
+              let got = Mbt.remove t k in
+              let want = IntMap.find_opt k !m in
+              m := IntMap.remove k !m;
+              assert (got = want))
+        ops;
+      Mbt.length t = IntMap.cardinal !m
+      && IntMap.for_all (fun k v -> Mbt.find t k = Some v) !m
+      && Mbt.to_sorted_array t = Array.of_list (IntMap.bindings !m)
+      && Mbt.min_binding t = IntMap.min_binding_opt !m
+      && Mbt.max_binding t = IntMap.max_binding_opt !m)
+
+(* ------------------------------------------------------------------ *)
+(* emit_del scans *)
+
+let test_scan_emit_del () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  L.write t ~key:1 ~ts:3 Entry.Del;
+  let plain = ref [] and with_del = ref [] in
+  L.scan t L.full_scan_spec ~f:(fun r ~src_repaired:_ ->
+      plain := (r.L.key, r.L.value) :: !plain);
+  L.scan t
+    { L.full_scan_spec with emit_del = true }
+    ~f:(fun r ~src_repaired:_ -> with_del := (r.L.key, r.L.value) :: !with_del);
+  Alcotest.(check int) "plain hides deleted" 1 (List.length !plain);
+  Alcotest.(check int) "emit_del shows tombstone" 2 (List.length !with_del);
+  Alcotest.(check bool) "tombstone present" true
+    (List.mem (1, Entry.Del) !with_del)
+
+(* ------------------------------------------------------------------ *)
+(* Tombstone drop barrier *)
+
+let test_tombstone_barrier () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.flush t;
+  L.write t ~key:1 ~ts:2 Entry.Del;
+  L.flush t;
+  (* Barrier below the tombstone's ts: the bottom merge must keep it. *)
+  L.set_tombstone_drop_ts t 1;
+  let c = L.merge t ~first:0 ~last:1 in
+  Alcotest.(check int) "tombstone retained" 1 (L.component_rows c);
+  (* Raise the barrier; the next bottom merge may drop it... but a single
+     component cannot merge alone, so add another and re-merge. *)
+  L.set_tombstone_drop_ts t max_int;
+  L.write t ~key:2 ~ts:3 (Entry.Put 20);
+  L.flush t;
+  let c2 = L.merge t ~first:0 ~last:1 in
+  Alcotest.(check int) "tombstone dropped once safe" 1 (L.component_rows c2)
+
+(* ------------------------------------------------------------------ *)
+(* build_component / replace_range *)
+
+let test_build_and_replace () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.flush t;
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  let rows =
+    [| { L.key = 1; ts = 1; value = Entry.Put 11 };
+       { L.key = 2; ts = 2; value = Entry.Put 20 } |]
+  in
+  let c =
+    L.build_component t rows ~cmin_ts:1 ~cmax_ts:2 ~range_filter:None
+      ~repaired_ts:0
+  in
+  L.replace_range t ~first:0 ~last:1 c;
+  Alcotest.(check int) "one component" 1 (L.component_count t);
+  match L.lookup_one t 1 with
+  | Some r -> Alcotest.(check bool) "replacement visible" true (r.L.value = Entry.Put 11)
+  | None -> Alcotest.fail "lost key"
+
+(* ------------------------------------------------------------------ *)
+(* mem_rollback / reset_memory *)
+
+let test_mem_rollback () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  let bytes1 = L.mem_bytes t in
+  L.write t ~key:1 ~ts:2 (Entry.Put 99);
+  (* Roll the second write back, restoring the first binding. *)
+  L.mem_rollback t ~key:1 ~prior:(Some (1, Entry.Put 10));
+  (match L.lookup_one t 1 with
+  | Some r ->
+      Alcotest.(check bool) "restored value" true (r.L.value = Entry.Put 10);
+      Alcotest.(check int) "restored ts" 1 r.L.ts
+  | None -> Alcotest.fail "binding lost");
+  Alcotest.(check int) "bytes restored" bytes1 (L.mem_bytes t);
+  (* Roll back a fresh insert (no prior): the key disappears. *)
+  L.write t ~key:7 ~ts:3 (Entry.Put 70);
+  L.mem_rollback t ~key:7 ~prior:None;
+  Alcotest.(check bool) "insert rolled back" true (L.lookup_one t 7 = None)
+
+let test_reset_memory () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.flush t;
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.reset_memory t;
+  Alcotest.(check int) "mem empty" 0 (L.mem_count t);
+  Alcotest.(check bool) "disk survives" true (L.lookup_one t 1 <> None);
+  Alcotest.(check bool) "mem write gone" true (L.lookup_one t 2 = None)
+
+let () =
+  Alcotest.run "lsm_features"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "binary search" `Quick test_vec_binary_search;
+          prop_vec_matches_list;
+        ] );
+      ( "spill-sort",
+        [
+          Alcotest.test_case "in memory" `Quick test_spill_sort_in_memory;
+          Alcotest.test_case "spills" `Quick test_spill_sort_spills;
+        ] );
+      ("mbt-remove", [ prop_mbt_remove_matches_map ]);
+      ("scan", [ Alcotest.test_case "emit_del" `Quick test_scan_emit_del ]);
+      ( "tombstones",
+        [ Alcotest.test_case "drop barrier" `Quick test_tombstone_barrier ] );
+      ( "components",
+        [ Alcotest.test_case "build + replace" `Quick test_build_and_replace ] );
+      ( "rollback",
+        [
+          Alcotest.test_case "mem_rollback" `Quick test_mem_rollback;
+          Alcotest.test_case "reset_memory" `Quick test_reset_memory;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Smoke + shape tests for the experiment harness: every registry entry
+   runs at a micro scale, produces rectangular tables, and the headline
+   orderings of the paper hold. *)
+
+module H = Lsm_harness
+
+let micro = { H.Scale.name = "micro"; records = 6_000 }
+
+let parse_f s = try float_of_string (String.trim s) with _ -> nan
+
+let rectangular (t : H.Report.t) =
+  let cols = List.length t.H.Report.header in
+  List.for_all (fun r -> List.length r = cols) t.H.Report.rows
+
+(* Every experiment runs and yields well-formed tables. *)
+let test_registry_runs () =
+  List.iter
+    (fun e ->
+      let tables = e.H.Registry.run micro in
+      Alcotest.(check bool)
+        (e.H.Registry.id ^ " yields tables")
+        true
+        (List.length tables > 0);
+      List.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (t.H.Report.id ^ " rectangular")
+            true (rectangular t);
+          Alcotest.(check bool)
+            (t.H.Report.id ^ " has rows")
+            true
+            (List.length t.H.Report.rows > 0))
+        tables)
+    H.Registry.all
+
+let run_one id =
+  match H.Registry.find id with
+  | Some e -> e.H.Registry.run micro
+  | None -> Alcotest.fail ("missing experiment " ^ id)
+
+(* Fig 14's headline: eager ingests slowest; validation-no-repair fastest;
+   mutable-bitmap strictly better than eager. *)
+let test_fig14_ordering () =
+  match run_one "fig14" with
+  | [ t ] ->
+      let row name =
+        match
+          List.find_opt (fun r -> List.hd r = name) t.H.Report.rows
+        with
+        | Some (_ :: cells) -> List.map parse_f cells
+        | _ -> Alcotest.fail ("row " ^ name)
+      in
+      let eager = row "eager"
+      and vnr = row "validation (no repair)"
+      and v = row "validation"
+      and mb = row "mutable-bitmap" in
+      List.iteri
+        (fun i _ ->
+          let e = List.nth eager i
+          and x = List.nth vnr i
+          and vv = List.nth v i
+          and m = List.nth mb i in
+          Alcotest.(check bool) "no-repair fastest" true (x >= vv);
+          Alcotest.(check bool) "validation > eager" true (vv > e);
+          Alcotest.(check bool) "mutable-bitmap > eager" true (m > e))
+        eager
+  | _ -> Alcotest.fail "fig14 should be one table"
+
+(* Fig 13: with the primary key index, insert ingestion is faster on both
+   devices and at both duplicate ratios. *)
+let test_fig13_pk_index_helps () =
+  match run_one "fig13" with
+  | [ t ] ->
+      let tput row = parse_f (List.nth row 4) in
+      let find device uniq dup =
+        match
+          List.find_opt
+            (fun r ->
+              List.nth r 0 = device && List.nth r 1 = uniq && List.nth r 2 = dup)
+            t.H.Report.rows
+        with
+        | Some r -> tput r
+        | None -> Alcotest.fail "missing fig13 row"
+      in
+      List.iter
+        (fun device ->
+          List.iter
+            (fun dup ->
+              let with_pk = find device "pk-idx" dup
+              and without = find device "no-pk-idx" dup in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s: pk-idx %f > %f" device dup with_pk without)
+                true (with_pk > without))
+            [ "0%"; "50%" ])
+        [ "hdd"; "ssd" ]
+  | _ -> Alcotest.fail "fig13 one table"
+
+(* Fig 12b: batching beats naive at 10%+ selectivity. *)
+let test_fig12b_batching_helps () =
+  match run_one "fig12b" with
+  | [ t ] ->
+      let row =
+        List.find (fun r -> List.hd r = "10%") t.H.Report.rows
+      in
+      let naive = parse_f (List.nth row 1) and batch = parse_f (List.nth row 2) in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch %.3f < naive %.3f" batch naive)
+        true (batch < naive)
+  | _ -> Alcotest.fail "fig12b one table"
+
+(* Fig 19 old-data panel: validation has no pruning (flat, max cost);
+   mutable-bitmap prunes. *)
+let test_fig19_pruning () =
+  match run_one "fig19" with
+  | [ _; old0; _ ] ->
+      let row name =
+        List.find (fun r -> List.hd r = name) old0.H.Report.rows
+      in
+      let v1 = parse_f (List.nth (row "validation") 1) in
+      let m1 = parse_f (List.nth (row "mutable-bitmap") 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "mutable-bitmap %.3f << validation %.3f" m1 v1)
+        true
+        (m1 *. 3.0 < v1)
+  | _ -> Alcotest.fail "fig19 three panels"
+
+(* Fig 23: side-file within 30% of baseline; lock above side-file. *)
+let test_fig23_ordering () =
+  match run_one "fig23" with
+  | [ a; _; _ ] ->
+      List.iter
+        (fun r ->
+          let base = parse_f (List.nth r 1)
+          and side = parse_f (List.nth r 2)
+          and lock = parse_f (List.nth r 3) in
+          Alcotest.(check bool) "side ~ base" true (side < base *. 1.3);
+          Alcotest.(check bool) "lock > side" true (lock > side))
+        a.H.Report.rows
+  | _ -> Alcotest.fail "fig23 three panels"
+
+(* Fig 20: secondary repair beats DELI-style primary repair at the last
+   checkpoint for both update ratios. *)
+let test_fig20_secondary_wins () =
+  match run_one "fig20" with
+  | panels ->
+      List.iter
+        (fun (t : H.Report.t) ->
+          match List.rev t.H.Report.rows with
+          | last :: _ ->
+              let primary = parse_f (List.nth last 1) in
+              let secondary = parse_f (List.nth last 3) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: secondary %.3f < primary %.3f"
+                   t.H.Report.id secondary primary)
+                true (secondary < primary)
+          | [] -> Alcotest.fail "empty panel")
+        panels
+
+(* Scale-out ablation: 4 partitions at least 2.5x faster than 1. *)
+let test_scaleout_ablation () =
+  match run_one "abl-scaleout" with
+  | [ t ] ->
+      let wall n =
+        parse_f
+          (List.nth (List.find (fun r -> List.hd r = string_of_int n) t.H.Report.rows) 1)
+      in
+      Alcotest.(check bool) "speedup" true (wall 4 *. 2.5 < wall 1)
+  | _ -> Alcotest.fail "one table"
+
+let test_csv_roundtrip () =
+  let t =
+    H.Report.make ~id:"csv-test" ~title:"t" ~header:[ "a"; "b" ]
+      [ [ "1"; "x,y" ]; [ "2"; "he said \"hi\"" ] ]
+  in
+  let csv = H.Report.to_csv t in
+  Alcotest.(check string) "csv"
+    "a,b\n1,\"x,y\"\n2,\"he said \"\"hi\"\"\"\n" csv;
+  let dir = Filename.temp_file "lsmcsv" "" in
+  Sys.remove dir;
+  let path = H.Report.write_csv ~dir t in
+  Alcotest.(check bool) "file written" true (Sys.file_exists path);
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  close_in ic;
+  Alcotest.(check bool) "non-empty" true (n > 0)
+
+let () =
+  Alcotest.run "lsm_harness"
+    [
+      ( "registry",
+        [ Alcotest.test_case "all experiments run" `Slow test_registry_runs ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "fig14 strategy ordering" `Quick test_fig14_ordering;
+          Alcotest.test_case "fig13 pk index helps" `Quick
+            test_fig13_pk_index_helps;
+          Alcotest.test_case "fig12b batching helps" `Quick
+            test_fig12b_batching_helps;
+          Alcotest.test_case "fig19 bitmap pruning" `Quick test_fig19_pruning;
+          Alcotest.test_case "fig23 cc ordering" `Quick test_fig23_ordering;
+          Alcotest.test_case "fig20 secondary repair wins" `Quick
+            test_fig20_secondary_wins;
+          Alcotest.test_case "scale-out speedup" `Quick test_scaleout_ablation;
+          Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
+        ] );
+    ]

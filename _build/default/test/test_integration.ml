@@ -1,0 +1,366 @@
+(* Integration tests for the transactional layer (Txn_dataset: WAL,
+   aborts, checkpoints, crash recovery on real components — Sec. 5.2) and
+   the hash-partitioned architecture (Partitioned — Sec. 2.2). *)
+
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module T = Lsm_core.Txn_dataset.Make (Lsm_workload.Tweet.Record) (D)
+module P = Lsm_core.Partitioned.Make (Lsm_workload.Tweet.Record)
+module Strategy = Lsm_core.Strategy
+module Tweet = Lsm_workload.Tweet
+module IntMap = Map.Make (Int)
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(1024 * 128) device
+
+let tw ?(user = 0) ?(at = 1) id =
+  { Tweet.id; user_id = user; location = 0; created_at = at; msg_len = 68 }
+
+let mk_txn_dataset ?(strategy = Strategy.mutable_bitmap) () =
+  let env = mk_env () in
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      env
+      { D.default_config with strategy }
+  in
+  T.create d
+
+(* ------------------------------------------------------------------ *)
+(* Txn_dataset: commits, aborts *)
+
+let test_txn_commit_visible () =
+  let t = mk_txn_dataset () in
+  T.upsert_auto t (tw ~user:7 1);
+  match D.point_query (T.dataset t) 1 with
+  | Some r -> Alcotest.(check int) "visible" 7 r.Tweet.user_id
+  | None -> Alcotest.fail "committed record missing"
+
+let test_txn_abort_restores_memory () =
+  let t = mk_txn_dataset () in
+  T.upsert_auto t (tw ~user:7 1);
+  let txn = T.begin_txn t in
+  T.upsert t txn (tw ~user:9 1);
+  T.delete t txn ~pk:999 (* no-op delete of absent key *);
+  (match D.point_query (T.dataset t) 1 with
+  | Some r -> Alcotest.(check int) "txn sees own write" 9 r.Tweet.user_id
+  | None -> Alcotest.fail "missing");
+  T.abort t txn;
+  match D.point_query (T.dataset t) 1 with
+  | Some r -> Alcotest.(check int) "abort restored" 7 r.Tweet.user_id
+  | None -> Alcotest.fail "abort lost the prior record"
+
+let test_txn_abort_unsets_bitmap_bit () =
+  let t = mk_txn_dataset () in
+  let d = T.dataset t in
+  T.upsert_auto t (tw ~user:7 1);
+  T.upsert_auto t (tw ~user:8 2);
+  T.flush t;
+  (* An upsert of key 1 flips its bit in the flushed component... *)
+  let txn = T.begin_txn t in
+  T.upsert t txn (tw ~user:9 1);
+  let pk = Option.get (D.pk_index d) in
+  let c = (D.Pk.components pk).(0) in
+  let bit_count () =
+    match c.D.Pk.bitmap with
+    | Some b -> Lsm_util.Bitset.count b
+    | None -> 0
+  in
+  Alcotest.(check int) "bit set by txn" 1 (bit_count ());
+  (* ...and the abort must unset it (Sec. 5.2: aborts "internally change
+     bits from 1 to 0"). *)
+  T.abort t txn;
+  Alcotest.(check int) "bit unset by abort" 0 (bit_count ());
+  match D.point_query d 1 with
+  | Some r -> Alcotest.(check int) "old version live again" 7 r.Tweet.user_id
+  | None -> Alcotest.fail "record lost by abort"
+
+let test_txn_abort_multi_op_reverse () =
+  let t = mk_txn_dataset () in
+  T.upsert_auto t (tw ~user:1 10);
+  let txn = T.begin_txn t in
+  T.upsert t txn (tw ~user:2 10);
+  T.upsert t txn (tw ~user:3 10);
+  T.delete t txn ~pk:10;
+  T.abort t txn;
+  match D.point_query (T.dataset t) 10 with
+  | Some r -> Alcotest.(check int) "back to first commit" 1 r.Tweet.user_id
+  | None -> Alcotest.fail "multi-op abort lost record"
+
+(* ------------------------------------------------------------------ *)
+(* Txn_dataset: crash + recovery *)
+
+let query_all_users t =
+  D.query_secondary (T.dataset t) ~sec:"user_id" ~lo:0 ~hi:max_int
+    ~mode:`Timestamp ()
+  |> List.map (fun r -> (Tweet.primary_key r, Tweet.user_id r))
+  |> List.sort compare
+
+let test_recovery_basic () =
+  let t = mk_txn_dataset () in
+  (* Durable base: two records on disk. *)
+  T.upsert_auto t (tw ~user:1 1);
+  T.upsert_auto t (tw ~user:2 2);
+  T.flush t;
+  (* Committed post-flush work: update key 1 (bit flip), add key 3. *)
+  T.upsert_auto t (tw ~user:11 1);
+  T.upsert_auto t (tw ~user:3 3);
+  (* Uncommitted at crash: must disappear. *)
+  let doomed = T.begin_txn t in
+  T.upsert t doomed (tw ~user:99 2);
+  let expected = [ (1, 11); (2, 2); (3, 3) ] in
+  T.crash t;
+  T.recover t;
+  Alcotest.(check (list (pair int int))) "state after recovery" expected
+    (query_all_users t);
+  (* Point queries agree too. *)
+  (match D.point_query (T.dataset t) 1 with
+  | Some r -> Alcotest.(check int) "redo applied" 11 r.Tweet.user_id
+  | None -> Alcotest.fail "key 1 lost");
+  match D.point_query (T.dataset t) 2 with
+  | Some r -> Alcotest.(check int) "uncommitted not replayed" 2 r.Tweet.user_id
+  | None -> Alcotest.fail "key 2 lost"
+
+let test_recovery_checkpoint_bits () =
+  let t = mk_txn_dataset () in
+  T.upsert_auto t (tw ~user:1 1);
+  T.upsert_auto t (tw ~user:2 2);
+  T.flush t;
+  (* Flip key 1's bit, checkpoint (bit durable), flip key 2's bit. *)
+  T.upsert_auto t (tw ~user:11 1);
+  T.checkpoint t;
+  T.upsert_auto t (tw ~user:22 2);
+  let before = query_all_users t in
+  T.crash t;
+  T.recover t;
+  Alcotest.(check (list (pair int int))) "same state" before (query_all_users t)
+
+let test_recovery_deletes () =
+  let t = mk_txn_dataset () in
+  T.upsert_auto t (tw ~user:1 1);
+  T.upsert_auto t (tw ~user:2 2);
+  T.flush t;
+  T.delete_auto t ~pk:1;
+  let before = query_all_users t in
+  Alcotest.(check (list (pair int int))) "delete applied" [ (2, 2) ] before;
+  T.crash t;
+  T.recover t;
+  Alcotest.(check (list (pair int int))) "delete survives recovery" before
+    (query_all_users t)
+
+let test_txn_requires_lazy_strategy () =
+  let env = mk_env () in
+  let d =
+    D.create ~secondaries:[] env
+      { D.default_config with strategy = Strategy.eager }
+  in
+  Alcotest.check_raises "eager rejected"
+    (Invalid_argument
+       "Txn_dataset.create: requires the Mutable-bitmap or Validation \
+        strategy (Eager's read-modify-write path needs old-record logging \
+        this layer does not provide)") (fun () -> ignore (T.create d))
+
+let test_recovery_validation_strategy () =
+  (* The transactional layer also runs over Validation datasets: no bit
+     flips, but memory redo and abort-rollback behave identically. *)
+  let t = mk_txn_dataset ~strategy:Strategy.validation () in
+  T.upsert_auto t (tw ~user:1 1);
+  T.upsert_auto t (tw ~user:2 2);
+  T.flush t;
+  T.upsert_auto t (tw ~user:11 1);
+  T.delete_auto t ~pk:2;
+  (* Snapshot the committed state, then open a transaction that will be
+     in flight at the crash (this layer has no read isolation, so its
+     writes would be visible until the crash discards them). *)
+  let committed = query_all_users t in
+  Alcotest.(check (list (pair int int))) "pre-crash committed" [ (1, 11) ]
+    committed;
+  let doomed = T.begin_txn t in
+  T.upsert t doomed (tw ~user:50 3);
+  T.crash t;
+  T.recover t;
+  Alcotest.(check (list (pair int int))) "post-recovery" committed
+    (query_all_users t)
+
+type rop = RUp of int * int | RDel of int | RFlush | RCkpt
+
+let rop_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map2 (fun k u -> RUp (k, u)) (int_range 1 25) (int_range 0 50));
+        (2, map (fun k -> RDel k) (int_range 1 25));
+        (1, return RFlush);
+        (1, return RCkpt);
+      ])
+
+let prop_recovery_restores_committed_state =
+  qtest ~count:60 "crash+recover = committed state (random histories)"
+    QCheck2.Gen.(list_size (int_range 1 60) rop_gen)
+    (fun ops ->
+      let t = mk_txn_dataset () in
+      List.iter
+        (fun op ->
+          match op with
+          | RUp (k, u) -> T.upsert_auto t (tw ~user:u k)
+          | RDel k -> T.delete_auto t ~pk:k
+          | RFlush -> T.flush t
+          | RCkpt -> T.checkpoint t)
+        ops;
+      (* One uncommitted straggler. *)
+      let doomed = T.begin_txn t in
+      T.upsert t doomed (tw ~user:77 1);
+      T.abort t doomed;
+      let before = query_all_users t in
+      T.crash t;
+      T.recover t;
+      query_all_users t = before)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned datasets *)
+
+let mk_partitioned n =
+  P.create ~filter_key:Tweet.created_at
+    ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+    ~mk_env:(fun _ -> mk_env ())
+    ~partitions:n
+    { D.default_config with strategy = Strategy.eager; mem_budget = 4096 }
+
+let test_partitioned_routing () =
+  let p = mk_partitioned 4 in
+  for i = 1 to 400 do
+    ignore (P.insert p (tw ~user:(i mod 30) i))
+  done;
+  (* All partitions got some data (hash spreading). *)
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "partition %d non-empty" i)
+      true
+      (D.full_scan (P.partition p i) ~f:ignore > 50)
+  done;
+  (* Point queries route correctly. *)
+  for i = 1 to 400 do
+    match P.point_query p i with
+    | Some r -> Alcotest.(check int) "right record" i (Tweet.primary_key r)
+    | None -> Alcotest.fail "routed point query missed"
+  done
+
+let test_partitioned_queries_match_model () =
+  let p = mk_partitioned 3 in
+  let model = ref IntMap.empty in
+  for i = 1 to 300 do
+    let r = tw ~user:(i mod 40) ~at:i i in
+    P.upsert p r;
+    model := IntMap.add i r !model
+  done;
+  (* updates + deletes *)
+  for i = 1 to 100 do
+    let r = tw ~user:((i + 5) mod 40) ~at:(300 + i) i in
+    P.upsert p r;
+    model := IntMap.add i r !model
+  done;
+  for i = 50 to 70 do
+    P.delete p ~pk:i;
+    model := IntMap.remove i !model
+  done;
+  let expect =
+    IntMap.fold
+      (fun k r acc -> if r.Tweet.user_id <= 10 then k :: acc else acc)
+      !model []
+    |> List.sort compare
+  in
+  let got =
+    P.query_secondary p ~sec:"user_id" ~lo:0 ~hi:10 ~mode:`Assume_valid ()
+    |> List.map Tweet.primary_key |> List.sort compare
+  in
+  Alcotest.(check (list int)) "fan-out query" expect got;
+  Alcotest.(check int) "full scan count" (IntMap.cardinal !model)
+    (P.full_scan p ~f:ignore);
+  let time_expect =
+    IntMap.fold
+      (fun _ r acc -> if r.Tweet.created_at <= 150 then acc + 1 else acc)
+      !model 0
+  in
+  Alcotest.(check int) "time range fan-out" time_expect
+    (P.query_time_range p ~tlo:0 ~thi:150 ~f:ignore)
+
+let test_partitioned_speedup () =
+  (* Same stream into 1 vs 4 partitions: parallel completion time should
+     shrink near-linearly (Sec. 6.1's near-linear speedup claim). *)
+  let run n =
+    let p = mk_partitioned n in
+    let stream =
+      Lsm_workload.Streams.upsert_stream ~seed:31 ~update_ratio:0.3
+        ~distribution:`Uniform ()
+    in
+    for _ = 1 to 4000 do
+      match Lsm_workload.Streams.next stream with
+      | Lsm_workload.Streams.Upsert r -> P.upsert p r
+      | _ -> ()
+    done;
+    P.sim_time_s p
+  in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 partitions %.3fs vs 1 partition %.3fs" t4 t1)
+    true
+    (t4 *. 2.5 < t1)
+
+(* The partitioned layer must answer exactly like one big partition. *)
+let prop_partitioned_equals_single =
+  qtest ~count:30 "partitioned = single partition"
+    QCheck2.Gen.(list_size (int_range 1 150) rop_gen)
+    (fun ops ->
+      let run parts =
+        let p = mk_partitioned parts in
+        List.iteri
+          (fun i op ->
+            match op with
+            | RUp (k, u) -> P.upsert p (tw ~user:u ~at:i k)
+            | RDel k -> P.delete p ~pk:k
+            | RFlush | RCkpt -> P.flush_now p)
+          ops;
+        ( P.query_secondary p ~sec:"user_id" ~lo:0 ~hi:30 ~mode:`Assume_valid ()
+          |> List.map Tweet.primary_key |> List.sort compare,
+          P.full_scan p ~f:ignore )
+      in
+      run 1 = run 5)
+
+let () =
+  Alcotest.run "lsm_integration"
+    [
+      ( "txn",
+        [
+          Alcotest.test_case "commit visible" `Quick test_txn_commit_visible;
+          Alcotest.test_case "abort restores memory" `Quick
+            test_txn_abort_restores_memory;
+          Alcotest.test_case "abort unsets bitmap bit" `Quick
+            test_txn_abort_unsets_bitmap_bit;
+          Alcotest.test_case "multi-op abort" `Quick test_txn_abort_multi_op_reverse;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "basic" `Quick test_recovery_basic;
+          Alcotest.test_case "checkpointed bits" `Quick
+            test_recovery_checkpoint_bits;
+          Alcotest.test_case "deletes" `Quick test_recovery_deletes;
+          Alcotest.test_case "eager rejected" `Quick test_txn_requires_lazy_strategy;
+          Alcotest.test_case "validation strategy" `Quick
+            test_recovery_validation_strategy;
+          prop_recovery_restores_committed_state;
+        ] );
+      ( "partitioned",
+        [
+          Alcotest.test_case "routing" `Quick test_partitioned_routing;
+          Alcotest.test_case "queries = model" `Quick
+            test_partitioned_queries_match_model;
+          Alcotest.test_case "near-linear speedup" `Quick test_partitioned_speedup;
+          prop_partitioned_equals_single;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Queries interleaved with ingestion: the paper evaluates queries on
+   quiescent datasets, but a storage engine must answer correctly at any
+   moment — mid-memory-component, right after a flush, between merges,
+   with repair half-done.  This property fires queries at random points
+   *inside* the op stream and checks each one against the model at that
+   instant, for every strategy. *)
+
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module Strategy = Lsm_core.Strategy
+module Tweet = Lsm_workload.Tweet
+module IntMap = Map.Make (Int)
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(1024 * 128) device
+
+let tw ?(user = 0) ?(at = 1) id =
+  { Tweet.id; user_id = user; location = 0; created_at = at; msg_len = 68 }
+
+type op =
+  | Ins of int * int
+  | Ups of int * int
+  | Del of int
+  | QSec of int * int
+  | QTime of int * int
+  | QPoint of int
+  | Repair
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, map2 (fun k u -> Ins (k, u)) (int_range 1 35) (int_range 0 80));
+        (5, map2 (fun k u -> Ups (k, u)) (int_range 1 35) (int_range 0 80));
+        (1, map (fun k -> Del k) (int_range 1 35));
+        (3, map2 (fun a b -> QSec (min a b, max a b)) (int_range 0 80) (int_range 0 80));
+        (2, map2 (fun a b -> QTime (min a b, max a b)) (int_range 0 400) (int_range 0 400));
+        (2, map (fun k -> QPoint k) (int_range 1 35));
+        (1, return Repair);
+      ])
+
+let strategies =
+  [
+    (Strategy.eager, (`Assume_valid : D.validation_mode));
+    (Strategy.validation, `Timestamp);
+    (Strategy.validation_no_repair, `Direct);
+    (Strategy.validation_bloom_opt, `Timestamp);
+    (Strategy.mutable_bitmap, `Timestamp);
+    (Strategy.deleted_key_btree, `Timestamp);
+  ]
+
+let prop_queries_correct_mid_stream =
+  qtest ~count:60 "queries correct at any point in the op stream"
+    QCheck2.Gen.(list_size (int_range 5 180) op_gen)
+    (fun ops ->
+      List.for_all
+        (fun (strategy, mode) ->
+          let env = mk_env () in
+          let d =
+            D.create ~filter_key:Tweet.created_at
+              ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+              env
+              { D.default_config with strategy; mem_budget = 2048 }
+          in
+          let model = ref IntMap.empty in
+          let at = ref 0 in
+          List.for_all
+            (fun op ->
+              incr at;
+              match op with
+              | Ins (k, u) ->
+                  let r = tw ~user:u ~at:!at k in
+                  let res = D.insert d r in
+                  let expected =
+                    if IntMap.mem k !model then `Duplicate else `Inserted
+                  in
+                  if res = `Inserted then model := IntMap.add k r !model;
+                  res = expected
+              | Ups (k, u) ->
+                  let r = tw ~user:u ~at:!at k in
+                  D.upsert d r;
+                  model := IntMap.add k r !model;
+                  true
+              | Del k ->
+                  D.delete d ~pk:k;
+                  model := IntMap.remove k !model;
+                  true
+              | QSec (lo, hi) ->
+                  let got =
+                    D.query_secondary d ~sec:"user_id" ~lo ~hi ~mode ()
+                    |> List.map Tweet.primary_key |> List.sort compare
+                  in
+                  let want =
+                    IntMap.fold
+                      (fun k r acc ->
+                        if r.Tweet.user_id >= lo && r.Tweet.user_id <= hi then
+                          k :: acc
+                        else acc)
+                      !model []
+                    |> List.sort compare
+                  in
+                  got = want
+              | QTime (tlo, thi) ->
+                  let got = D.query_time_range d ~tlo ~thi ~f:ignore in
+                  let want =
+                    IntMap.fold
+                      (fun _ r acc ->
+                        if r.Tweet.created_at >= tlo && r.Tweet.created_at <= thi
+                        then acc + 1
+                        else acc)
+                      !model 0
+                  in
+                  got = want
+              | QPoint k -> (
+                  match (D.point_query d k, IntMap.find_opt k !model) with
+                  | Some r, Some r' -> r.Tweet.user_id = r'.Tweet.user_id
+                  | None, None -> true
+                  | _ -> false)
+              | Repair ->
+                  D.standalone_repair d;
+                  true)
+            ops)
+        strategies)
+
+let () =
+  Alcotest.run "lsm_interleaved"
+    [ ("mid-stream", [ prop_queries_correct_mid_stream ]) ]

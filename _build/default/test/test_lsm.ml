@@ -1,0 +1,522 @@
+(* Tests for Lsm_tree: the generic LSM tree (writes, flush, merge,
+   point-lookup algorithms, reconciling scans, bitmaps, merge policies). *)
+
+module L = Lsm_tree.Make (Lsm_util.Keys.Int_key) (Lsm_util.Keys.Int_value)
+module Entry = Lsm_tree.Entry
+module Mp = Lsm_tree.Merge_policy
+module IntMap = Map.Make (Int)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:256 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(256 * 64) device
+
+let mk_tree ?(bloom = Some Lsm_tree.Config.default_bloom) ?(bitmap = false)
+    ?filter_of env =
+  L.create ?filter_of env
+    (Lsm_tree.Config.make ~bloom ~validity_bitmap:bitmap "t")
+
+let entry_testable =
+  Alcotest.testable
+    (fun fmt -> function
+      | Entry.Put v -> Fmt.pf fmt "Put %d" v
+      | Entry.Del -> Fmt.string fmt "Del")
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Basic write / flush / lookup *)
+
+let test_write_and_mem_lookup () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  (match L.lookup_one t 1 with
+  | Some r -> Alcotest.check entry_testable "mem hit" (Entry.Put 10) r.L.value
+  | None -> Alcotest.fail "expected");
+  Alcotest.(check int) "mem count" 2 (L.mem_count t);
+  Alcotest.(check bool) "bytes accounted" true (L.mem_bytes t = 2 * (8 + 8 + 8))
+
+let test_same_key_replaces_in_mem () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.write t ~key:1 ~ts:5 (Entry.Put 11);
+  Alcotest.(check int) "one entry" 1 (L.mem_count t);
+  (match L.lookup_one t 1 with
+  | Some r ->
+      Alcotest.check entry_testable "newest" (Entry.Put 11) r.L.value;
+      Alcotest.(check int) "ts" 5 r.L.ts
+  | None -> Alcotest.fail "expected");
+  Alcotest.(check (pair int int)) "mem id" (1, 5) (L.mem_id t)
+
+let test_flush_creates_component () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  for i = 1 to 50 do
+    L.write t ~key:i ~ts:i (Entry.Put (i * 10))
+  done;
+  L.flush t;
+  Alcotest.(check int) "one component" 1 (L.component_count t);
+  Alcotest.(check int) "mem drained" 0 (L.mem_count t);
+  let c = (L.components t).(0) in
+  Alcotest.(check (pair int int)) "component id" (1, 50) (L.component_id c);
+  (match L.lookup_one t 25 with
+  | Some r -> Alcotest.check entry_testable "disk hit" (Entry.Put 250) r.L.value
+  | None -> Alcotest.fail "expected disk hit");
+  Alcotest.(check bool) "miss" true (L.lookup_one t 51 = None)
+
+let test_flush_empty_noop () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.flush t;
+  Alcotest.(check int) "no components" 0 (L.component_count t)
+
+let test_newest_component_wins () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.flush t;
+  L.write t ~key:1 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  (match L.lookup_one t 1 with
+  | Some r -> Alcotest.check entry_testable "newest" (Entry.Put 20) r.L.value
+  | None -> Alcotest.fail "expected");
+  Alcotest.(check int) "two components" 2 (L.component_count t)
+
+let test_anti_matter_lookup () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.flush t;
+  L.write t ~key:1 ~ts:2 Entry.Del;
+  (match L.lookup_one t 1 with
+  | Some r -> Alcotest.check entry_testable "del visible" Entry.Del r.L.value
+  | None -> Alcotest.fail "anti-matter should be returned, not skipped")
+
+(* ------------------------------------------------------------------ *)
+(* Merge *)
+
+let test_merge_reconciles () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  L.write t ~key:1 ~ts:3 (Entry.Put 11);
+  L.write t ~key:3 ~ts:4 (Entry.Put 30);
+  L.flush t;
+  let c = L.merge t ~first:0 ~last:1 in
+  Alcotest.(check int) "one component" 1 (L.component_count t);
+  Alcotest.(check int) "3 distinct keys" 3 (L.component_rows c);
+  Alcotest.(check (pair int int)) "merged id" (1, 4) (L.component_id c);
+  match L.lookup_one t 1 with
+  | Some r -> Alcotest.check entry_testable "newest kept" (Entry.Put 11) r.L.value
+  | None -> Alcotest.fail "expected"
+
+let test_merge_drops_del_at_bottom () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  L.write t ~key:1 ~ts:3 Entry.Del;
+  L.flush t;
+  let c = L.merge t ~first:0 ~last:1 in
+  Alcotest.(check int) "tombstone gone" 1 (L.component_rows c);
+  Alcotest.(check bool) "key deleted" true (L.lookup_one t 1 = None)
+
+let test_merge_keeps_del_above_bottom () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.flush t;
+  L.write t ~key:1 ~ts:2 Entry.Del;
+  L.flush t;
+  L.write t ~key:2 ~ts:3 (Entry.Put 20);
+  L.flush t;
+  (* Merge the two NEWEST components; the oldest still holds Put 1, so the
+     anti-matter must survive. *)
+  ignore (L.merge t ~first:0 ~last:1);
+  Alcotest.(check int) "two components" 2 (L.component_count t);
+  match L.lookup_one t 1 with
+  | Some r -> Alcotest.check entry_testable "del preserved" Entry.Del r.L.value
+  | None -> Alcotest.fail "anti-matter must survive non-bottom merge"
+
+let test_merge_respects_bitmap () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  let c0 = (L.components t).(0) in
+  L.invalidate c0 0 (* key 1 *);
+  L.write t ~key:3 ~ts:3 (Entry.Put 30);
+  L.flush t;
+  let merged = L.merge t ~first:0 ~last:1 in
+  Alcotest.(check int) "invalidated dropped" 2 (L.component_rows merged);
+  Alcotest.(check bool) "key 1 gone" true (L.lookup_one t 1 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property: random ops, random flush/merge points *)
+
+type op = Write of int * int | Delete of int | Flush | MergeAll
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (8, map2 (fun k v -> Write (k, v)) (int_range 0 60) (int_range 0 1000));
+        (2, map (fun k -> Delete k) (int_range 0 60));
+        (1, return Flush);
+        (1, return MergeAll);
+      ])
+
+let apply_model m = function
+  | Write (k, v) -> IntMap.add k (`Put v) m
+  | Delete k -> IntMap.add k `Del m
+  | Flush | MergeAll -> m
+
+let prop_lsm_matches_model =
+  qtest ~count:120 "lsm = map model under random ops"
+    QCheck2.Gen.(list_size (int_range 0 200) op_gen)
+    (fun ops ->
+      let env = mk_env () in
+      let t = mk_tree env in
+      let ts = ref 0 in
+      let model =
+        List.fold_left
+          (fun m op ->
+            (match op with
+            | Write (k, v) ->
+                incr ts;
+                L.write t ~key:k ~ts:!ts (Entry.Put v)
+            | Delete k ->
+                incr ts;
+                L.write t ~key:k ~ts:!ts Entry.Del
+            | Flush -> L.flush t
+            | MergeAll ->
+                if L.component_count t >= 2 then
+                  ignore (L.merge t ~first:0 ~last:(L.component_count t - 1)));
+            apply_model m op)
+          IntMap.empty ops
+      in
+      (* Point lookups agree. *)
+      let lookups_ok =
+        IntMap.for_all
+          (fun k st ->
+            match (st, L.lookup_one t k) with
+            | `Put v, Some r -> r.L.value = Entry.Put v
+            | `Del, Some r -> r.L.value = Entry.Del
+            | `Del, None -> true (* tombstone physically dropped *)
+            | `Put _, None -> false)
+          model
+      in
+      (* Reconciling scan agrees with live model bindings. *)
+      let live =
+        IntMap.bindings model
+        |> List.filter_map (fun (k, st) ->
+               match st with `Put v -> Some (k, v) | `Del -> None)
+      in
+      let scanned = ref [] in
+      L.scan t L.full_scan_spec ~f:(fun r ~src_repaired:_ ->
+          match r.L.value with
+          | Entry.Put v -> scanned := (r.L.key, v) :: !scanned
+          | Entry.Del -> ());
+      lookups_ok && List.rev !scanned = live)
+
+let prop_batched_lookup_matches_naive =
+  qtest ~count:60 "batched/stateful lookups = naive lookups"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 150) op_gen)
+        (list_size (int_range 1 40) (int_range 0 70)))
+    (fun (ops, queries) ->
+      let env = mk_env () in
+      let t = mk_tree env in
+      let ts = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Write (k, v) ->
+              incr ts;
+              L.write t ~key:k ~ts:!ts (Entry.Put v)
+          | Delete k ->
+              incr ts;
+              L.write t ~key:k ~ts:!ts Entry.Del
+          | Flush -> L.flush t
+          | MergeAll ->
+              if L.component_count t >= 2 then
+                ignore (L.merge t ~first:0 ~last:(L.component_count t - 1)))
+        ops;
+      let qkeys =
+        List.sort_uniq compare queries |> Array.of_list |> L.plain_keys
+      in
+      let naive = Hashtbl.create 16 in
+      Array.iter
+        (fun { L.qkey; _ } ->
+          Hashtbl.replace naive qkey
+            (Option.map (fun r -> r.L.value) (L.lookup_one t qkey)))
+        qkeys;
+      let all_match = ref true in
+      List.iter
+        (fun opts ->
+          L.lookup_batch t opts qkeys ~emit:(fun k row ->
+              let got = Option.map (fun r -> r.L.value) row in
+              (* lookup_one resolves a bitmap-invalid hit to None too. *)
+              if Hashtbl.find naive k <> got then all_match := false))
+        [
+          { L.batched = false; batch_bytes = 0; stateful = false; use_hints = false };
+          { L.batched = true; batch_bytes = 64; stateful = false; use_hints = false };
+          { L.batched = true; batch_bytes = 1024 * 1024; stateful = true; use_hints = false };
+          { L.batched = true; batch_bytes = 200; stateful = true; use_hints = false };
+        ];
+      !all_match)
+
+(* ------------------------------------------------------------------ *)
+(* Scans *)
+
+let test_scan_range_bounds () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  for i = 1 to 30 do
+    L.write t ~key:i ~ts:i (Entry.Put i)
+  done;
+  L.flush t;
+  for i = 31 to 40 do
+    L.write t ~key:i ~ts:i (Entry.Put i)
+  done;
+  let out = ref [] in
+  L.scan t
+    { L.full_scan_spec with lo = Some 25; hi = Some 35 }
+    ~f:(fun r ~src_repaired:_ -> out := r.L.key :: !out);
+  Alcotest.(check (list int)) "range" [ 25; 26; 27; 28; 29; 30; 31; 32; 33; 34; 35 ]
+    (List.rev !out)
+
+let test_scan_non_reconciling_per_component () =
+  let env = mk_env () in
+  let t = mk_tree ~bitmap:true env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  (* Mark key 1 invalid in the old component, then upsert it anew. *)
+  let c0 = (L.components t).(0) in
+  L.invalidate c0 0;
+  L.write t ~key:1 ~ts:3 (Entry.Put 11);
+  let out = ref [] in
+  L.scan t
+    { L.full_scan_spec with reconcile = false }
+    ~f:(fun r ~src_repaired:_ -> out := (r.L.key, r.L.value) :: !out);
+  (* Memory first (key 1 new), then the disk component (key 2 only). *)
+  Alcotest.(check int) "two entries" 2 (List.length !out);
+  Alcotest.(check bool) "no stale version" true
+    (not (List.mem (1, Entry.Put 10) !out));
+  Alcotest.(check bool) "new version present" true
+    (List.mem (1, Entry.Put 11) !out)
+
+let test_scan_only_subset () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 10);
+  L.flush t;
+  L.write t ~key:2 ~ts:2 (Entry.Put 20);
+  L.flush t;
+  let comps = L.components t in
+  let out = ref [] in
+  L.scan t
+    { L.full_scan_spec with only = Some [ comps.(0) ]; include_mem = false }
+    ~f:(fun r ~src_repaired:_ -> out := r.L.key :: !out);
+  Alcotest.(check (list int)) "only newest comp" [ 2 ] (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Range filters *)
+
+let test_range_filter_from_puts () =
+  let env = mk_env () in
+  let t = mk_tree ~filter_of:(fun v -> v) env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 2015);
+  L.write t ~key:2 ~ts:2 (Entry.Put 2016);
+  L.flush t;
+  let c = (L.components t).(0) in
+  Alcotest.(check (option (pair int int))) "filter" (Some (2015, 2016))
+    c.L.range_filter
+
+let test_widen_filter_covers_old_values () =
+  (* The Eager strategy widens the memory filter by the old record's value
+     on upsert (the running example of Figs. 2-3). *)
+  let env = mk_env () in
+  let t = mk_tree ~filter_of:(fun v -> v) env in
+  L.write t ~key:101 ~ts:1 (Entry.Put 2018);
+  L.widen_filter t 2015;
+  L.flush t;
+  let c = (L.components t).(0) in
+  Alcotest.(check (option (pair int int))) "widened" (Some (2015, 2018))
+    c.L.range_filter
+
+let test_merge_filter_union_vs_recompute () =
+  let env = mk_env () in
+  let t = mk_tree ~filter_of:(fun v -> v) env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 100);
+  L.flush t;
+  L.write t ~key:1 ~ts:2 (Entry.Put 900);
+  L.flush t;
+  (* Bottom merge: old value 100 disappears; the filter is recomputed
+     tightly from surviving entries. *)
+  let c = L.merge t ~first:0 ~last:1 in
+  Alcotest.(check (option (pair int int))) "tight filter" (Some (900, 900))
+    c.L.range_filter
+
+(* ------------------------------------------------------------------ *)
+(* Merge policy *)
+
+let test_tiering_policy_trigger () =
+  let p = Mp.tiering ~size_ratio:1.2 () in
+  (* oldest-first sizes *)
+  Alcotest.(check (option (pair int int)))
+    "no merge yet" None
+    (Mp.pick p ~sizes:[| 100; 50 |]);
+  Alcotest.(check (option (pair int int)))
+    "merge all" (Some (0, 2))
+    (Mp.pick p ~sizes:[| 100; 70; 60 |]);
+  Alcotest.(check (option (pair int int)))
+    "merge suffix" (Some (1, 2))
+    (Mp.pick p ~sizes:[| 1000; 50; 70 |])
+
+let test_tiering_max_mergeable () =
+  let p = Mp.tiering ~size_ratio:1.2 ~max_mergeable_bytes:500 () in
+  (* The 1000-byte component is immovable; merge only the younger ones. *)
+  Alcotest.(check (option (pair int int)))
+    "skips big" (Some (1, 2))
+    (Mp.pick p ~sizes:[| 1000; 50; 70 |]);
+  Alcotest.(check (option (pair int int)))
+    "nothing mergeable" None
+    (Mp.pick p ~sizes:[| 1000; 800 |])
+
+let test_leveling_policy () =
+  let p = Mp.leveling ~size_ratio:10.0 () in
+  Alcotest.(check (option (pair int int)))
+    "merge into older" (Some (0, 1))
+    (Mp.pick p ~sizes:[| 100; 20 |]);
+  Alcotest.(check (option (pair int int)))
+    "too small" None
+    (Mp.pick p ~sizes:[| 1000; 20 |])
+
+let test_lazy_leveling_policy () =
+  let p = Mp.lazy_leveling ~size_ratio:10.0 ~tier_ratio:1.2 () in
+  (* Upper runs small relative to the bottom: tier among them only. *)
+  Alcotest.(check (option (pair int int)))
+    "tier upper runs" (Some (1, 3))
+    (Mp.pick p ~sizes:[| 10_000; 50; 40; 30 |]);
+  (* Upper runs heavy enough: fold everything into the bottom. *)
+  Alcotest.(check (option (pair int int)))
+    "fold into bottom" (Some (0, 2))
+    (Mp.pick p ~sizes:[| 1000; 60; 60 |]);
+  (* Nothing to do. *)
+  Alcotest.(check (option (pair int int)))
+    "quiescent" None
+    (Mp.pick p ~sizes:[| 10_000; 50 |]);
+  Alcotest.(check (option (pair int int)))
+    "single run" None
+    (Mp.pick p ~sizes:[| 10_000 |])
+
+let test_maybe_merge_applies_policy () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  (* Two same-sized components trigger the 1.2-ratio tiering policy. *)
+  for i = 1 to 20 do
+    L.write t ~key:i ~ts:i (Entry.Put i)
+  done;
+  L.flush t;
+  for i = 21 to 60 do
+    L.write t ~key:i ~ts:i (Entry.Put i)
+  done;
+  L.flush t;
+  (match L.maybe_merge t (Mp.tiering ~size_ratio:1.2 ()) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a merge");
+  Alcotest.(check int) "merged to one" 1 (L.component_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Repair bookkeeping *)
+
+let test_repaired_ts_propagates_min () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  L.write t ~key:1 ~ts:1 (Entry.Put 1);
+  L.flush t;
+  L.write t ~key:2 ~ts:2 (Entry.Put 2);
+  L.flush t;
+  let comps = L.components t in
+  L.set_repaired_ts comps.(0) 10;
+  L.set_repaired_ts comps.(1) 4;
+  let merged = L.merge t ~first:0 ~last:1 in
+  Alcotest.(check int) "min of inputs" 4 merged.L.repaired_ts
+
+let test_find_position () =
+  let env = mk_env () in
+  let t = mk_tree env in
+  for i = 0 to 9 do
+    L.write t ~key:(i * 2) ~ts:(i + 1) (Entry.Put i)
+  done;
+  L.flush t;
+  let c = (L.components t).(0) in
+  Alcotest.(check (option int)) "present" (Some 3) (L.find_position t c 6);
+  Alcotest.(check (option int)) "absent" None (L.find_position t c 7)
+
+let () =
+  Alcotest.run "lsm_tree"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "write + mem lookup" `Quick test_write_and_mem_lookup;
+          Alcotest.test_case "same-key replace" `Quick test_same_key_replaces_in_mem;
+          Alcotest.test_case "flush" `Quick test_flush_creates_component;
+          Alcotest.test_case "flush empty" `Quick test_flush_empty_noop;
+          Alcotest.test_case "newest wins" `Quick test_newest_component_wins;
+          Alcotest.test_case "anti-matter" `Quick test_anti_matter_lookup;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "reconciles" `Quick test_merge_reconciles;
+          Alcotest.test_case "drops del at bottom" `Quick
+            test_merge_drops_del_at_bottom;
+          Alcotest.test_case "keeps del above bottom" `Quick
+            test_merge_keeps_del_above_bottom;
+          Alcotest.test_case "respects bitmap" `Quick test_merge_respects_bitmap;
+        ] );
+      ( "model",
+        [ prop_lsm_matches_model; prop_batched_lookup_matches_naive ] );
+      ( "scan",
+        [
+          Alcotest.test_case "range bounds" `Quick test_scan_range_bounds;
+          Alcotest.test_case "non-reconciling" `Quick
+            test_scan_non_reconciling_per_component;
+          Alcotest.test_case "subset" `Quick test_scan_only_subset;
+        ] );
+      ( "filter",
+        [
+          Alcotest.test_case "from puts" `Quick test_range_filter_from_puts;
+          Alcotest.test_case "widen covers old" `Quick
+            test_widen_filter_covers_old_values;
+          Alcotest.test_case "merge recompute" `Quick
+            test_merge_filter_union_vs_recompute;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "tiering trigger" `Quick test_tiering_policy_trigger;
+          Alcotest.test_case "max mergeable" `Quick test_tiering_max_mergeable;
+          Alcotest.test_case "leveling" `Quick test_leveling_policy;
+          Alcotest.test_case "lazy leveling" `Quick test_lazy_leveling_policy;
+          Alcotest.test_case "maybe_merge" `Quick test_maybe_merge_applies_policy;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "repairedTS min" `Quick test_repaired_ts_propagates_min;
+          Alcotest.test_case "find_position" `Quick test_find_position;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Multi-valued (keyword / inverted) secondary indexes: one record yields
+   several (token, pk) entries.  Maintenance must anti-matter exactly the
+   tokens a record loses on update, under every strategy. *)
+
+(* A tiny document record: the token set is derived deterministically from
+   a version field, so updates change it. *)
+module Doc = struct
+  type t = { id : int; version : int; at : int }
+
+  let primary_key d = d.id
+  let byte_size _ = 64
+  let pp fmt d = Format.fprintf fmt "doc %d v%d" d.id d.version
+
+  (* Tokens: three values derived from (id, version); collisions across
+     docs are intended (shared vocabulary). *)
+  let tokens d =
+    [
+      (d.id + d.version) mod 23;
+      (d.id * 2 mod 23 + d.version) mod 23;
+      d.version mod 23;
+    ]
+end
+
+module D = Lsm_core.Dataset.Make (Doc)
+module Strategy = Lsm_core.Strategy
+module IntMap = Map.Make (Int)
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(1024 * 128) device
+
+let mk_dataset ?(strategy = Strategy.eager) () =
+  let env = mk_env () in
+  D.create
+    ~filter_key:(fun d -> d.Doc.at)
+    ~secondaries:[ Lsm_core.Record.secondary_multi "tokens" Doc.tokens ]
+    env
+    { D.default_config with strategy; mem_budget = 2048 }
+
+let doc ?(at = 1) id version = { Doc.id; version; at }
+
+(* Model: docs by id; token query = docs whose token set contains any
+   token in [lo, hi]. *)
+let model_query m ~lo ~hi =
+  IntMap.fold
+    (fun id d acc ->
+      if List.exists (fun t -> t >= lo && t <= hi) (Doc.tokens d) then id :: acc
+      else acc)
+    m []
+  |> List.sort compare
+
+let dedup_pks records =
+  List.map Doc.primary_key records |> List.sort_uniq compare
+
+let test_keyword_basics () =
+  let d = mk_dataset () in
+  D.upsert d (doc 1 0);
+  (* doc 1 v0 tokens: (1, 2, 0) *)
+  let hits = D.query_secondary d ~sec:"tokens" ~lo:2 ~hi:2 ~mode:`Assume_valid () in
+  Alcotest.(check (list int)) "token 2 finds doc 1" [ 1 ] (dedup_pks hits);
+  (* Update to v5: tokens become (6, 7, 5); token 2 must stop matching. *)
+  D.upsert d (doc 1 5);
+  let hits = D.query_secondary d ~sec:"tokens" ~lo:2 ~hi:2 ~mode:`Assume_valid () in
+  Alcotest.(check (list int)) "old token gone" [] (dedup_pks hits);
+  let hits = D.query_secondary d ~sec:"tokens" ~lo:7 ~hi:7 ~mode:`Assume_valid () in
+  Alcotest.(check (list int)) "new token found" [ 1 ] (dedup_pks hits)
+
+let test_kept_tokens_survive_update () =
+  let d = mk_dataset () in
+  (* id 0: v0 tokens (0,0,0) -> dedup {0}; v23 tokens (0,0,0) too. *)
+  D.upsert d (doc 0 0);
+  D.flush_now d;
+  D.upsert d (doc 0 23);
+  let hits = D.query_secondary d ~sec:"tokens" ~lo:0 ~hi:0 ~mode:`Assume_valid () in
+  Alcotest.(check (list int)) "kept token still matches once" [ 0 ]
+    (dedup_pks hits)
+
+type op = Up of int * int | Del of int
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Up (k, v)) (int_range 1 25) (int_range 0 40));
+        (1, map (fun k -> Del k) (int_range 1 25));
+      ])
+
+let prop_keyword_queries_match_model =
+  qtest "keyword index = model under all strategies"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 120) op_gen)
+        (pair (int_range 0 22) (int_range 0 22)))
+    (fun (ops, (b1, b2)) ->
+      let lo = min b1 b2 and hi = max b1 b2 in
+      let model =
+        List.fold_left
+          (fun (m, i) op ->
+            match op with
+            | Up (k, v) -> (IntMap.add k (doc ~at:i k v) m, i + 1)
+            | Del k -> (IntMap.remove k m, i + 1))
+          (IntMap.empty, 1) ops
+        |> fst
+      in
+      let expected = model_query model ~lo ~hi in
+      List.for_all
+        (fun (strategy, mode) ->
+          let d = mk_dataset ~strategy () in
+          List.iteri
+            (fun i op ->
+              match op with
+              | Up (k, v) -> D.upsert d (doc ~at:(i + 1) k v)
+              | Del k -> D.delete d ~pk:k)
+            ops;
+          dedup_pks (D.query_secondary d ~sec:"tokens" ~lo ~hi ~mode ())
+          = expected)
+        [
+          (Strategy.eager, `Assume_valid);
+          (Strategy.validation, `Timestamp);
+          (Strategy.validation_no_repair, `Direct);
+          (Strategy.validation_no_repair, `Timestamp);
+          (Strategy.mutable_bitmap, `Timestamp);
+          (Strategy.deleted_key_btree, `Timestamp);
+        ])
+
+let prop_repair_cleans_keyword_index =
+  qtest ~count:30 "repair preserves keyword query answers"
+    QCheck2.Gen.(list_size (int_range 1 100) op_gen)
+    (fun ops ->
+      let d = mk_dataset ~strategy:Strategy.validation_no_repair () in
+      let model =
+        List.fold_left
+          (fun (m, i) op ->
+            (match op with
+            | Up (k, v) -> D.upsert d (doc ~at:i k v)
+            | Del k -> D.delete d ~pk:k);
+            match op with
+            | Up (k, v) -> (IntMap.add k (doc ~at:i k v) m, i + 1)
+            | Del k -> (IntMap.remove k m, i + 1))
+          (IntMap.empty, 1) ops
+        |> fst
+      in
+      D.flush_now d;
+      D.standalone_repair d;
+      let expected = model_query model ~lo:0 ~hi:10 in
+      dedup_pks (D.query_secondary d ~sec:"tokens" ~lo:0 ~hi:10 ~mode:`Timestamp ())
+      = expected)
+
+let () =
+  Alcotest.run "lsm_multi"
+    [
+      ( "keyword-index",
+        [
+          Alcotest.test_case "basics" `Quick test_keyword_basics;
+          Alcotest.test_case "kept tokens" `Quick test_kept_tokens_survive_update;
+          prop_keyword_queries_match_model;
+          prop_repair_cleans_keyword_index;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Tests for Lsm_sim: devices, buffer cache, environment cost accounting,
+   and phantom files. *)
+
+open Lsm_sim
+
+let mk_env ?(cache_bytes = 4 * Device.hdd.Device.page_size) () =
+  Env.create ~cache_bytes Device.hdd
+
+(* ------------------------------------------------------------------ *)
+(* Buffer cache *)
+
+let test_cache_hit_miss () =
+  let c = Buffer_cache.create ~capacity_pages:2 in
+  Alcotest.(check bool) "miss" false (Buffer_cache.touch c (1, 0));
+  Buffer_cache.insert c (1, 0);
+  Alcotest.(check bool) "hit" true (Buffer_cache.touch c (1, 0));
+  Alcotest.(check int) "size" 1 (Buffer_cache.size c)
+
+let test_cache_lru_eviction () =
+  let c = Buffer_cache.create ~capacity_pages:2 in
+  Buffer_cache.insert c (1, 0);
+  Buffer_cache.insert c (1, 1);
+  (* Touch page 0 so page 1 becomes LRU. *)
+  ignore (Buffer_cache.touch c (1, 0));
+  Buffer_cache.insert c (1, 2);
+  Alcotest.(check bool) "page 0 kept" true (Buffer_cache.mem c (1, 0));
+  Alcotest.(check bool) "page 1 evicted" false (Buffer_cache.mem c (1, 1));
+  Alcotest.(check bool) "page 2 resident" true (Buffer_cache.mem c (1, 2));
+  Alcotest.(check int) "at capacity" 2 (Buffer_cache.size c)
+
+let test_cache_drop_file () =
+  let c = Buffer_cache.create ~capacity_pages:10 in
+  Buffer_cache.insert c (1, 0);
+  Buffer_cache.insert c (2, 0);
+  Buffer_cache.insert c (1, 5);
+  Buffer_cache.drop_file c 1;
+  Alcotest.(check int) "only file 2 left" 1 (Buffer_cache.size c);
+  Alcotest.(check bool) "file2 resident" true (Buffer_cache.mem c (2, 0))
+
+let test_cache_zero_capacity () =
+  let c = Buffer_cache.create ~capacity_pages:0 in
+  Buffer_cache.insert c (1, 0);
+  Alcotest.(check bool) "never caches" false (Buffer_cache.mem c (1, 0))
+
+let test_cache_lru_chain_stress () =
+  (* Insert far more than capacity; size must stay at capacity and the
+     resident set must be the most recent inserts. *)
+  let cap = 8 in
+  let c = Buffer_cache.create ~capacity_pages:cap in
+  for p = 0 to 99 do
+    Buffer_cache.insert c (0, p)
+  done;
+  Alcotest.(check int) "size at cap" cap (Buffer_cache.size c);
+  for p = 100 - cap to 99 do
+    Alcotest.(check bool) "recent resident" true (Buffer_cache.mem c (0, p))
+  done;
+  Alcotest.(check bool) "old gone" false (Buffer_cache.mem c (0, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Env cost accounting *)
+
+let test_sequential_cheaper_than_random () =
+  let env1 = mk_env ~cache_bytes:0 () in
+  let f1 = Sfile.create env1 in
+  Sfile.append_pages env1 f1 100;
+  let t0 = Env.now_us env1 in
+  Sfile.read_range env1 f1 ~first:0 ~count:50;
+  let seq_cost = Env.now_us env1 -. t0 in
+  let env2 = mk_env ~cache_bytes:0 () in
+  let f2 = Sfile.create env2 in
+  Sfile.append_pages env2 f2 100;
+  let t0 = Env.now_us env2 in
+  for i = 0 to 24 do
+    Sfile.read_page env2 f2 (i * 4)
+  done;
+  let rand_cost = Env.now_us env2 -. t0 in
+  (* 50 sequential pages vs 25 random pages: random still costs more. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "random dearer (%.0f > %.0f)" rand_cost seq_cost)
+    true (rand_cost > seq_cost)
+
+let test_cache_hit_is_cheap () =
+  let env = mk_env () in
+  let f = Sfile.create env in
+  Sfile.append_pages env f 1;
+  (* Written pages are resident; the read is a hit. *)
+  let t0 = Env.now_us env in
+  Sfile.read_page env f 0;
+  let hit_cost = Env.now_us env -. t0 in
+  Alcotest.(check bool) "hit cheap" true (hit_cost < 1.0);
+  Alcotest.(check int) "hit counted" 1 (Env.stats env).Io_stats.cache_hits
+
+let test_read_miss_counted () =
+  let env = mk_env ~cache_bytes:0 () in
+  let f = Sfile.create env in
+  Sfile.append_pages env f 10;
+  Sfile.read_page env f 3;
+  let st = Env.stats env in
+  Alcotest.(check int) "one read" 1 st.Io_stats.pages_read;
+  Alcotest.(check int) "random" 1 st.Io_stats.rand_reads;
+  Sfile.read_page env f 4;
+  Alcotest.(check int) "sequential follow-on" 1 (Env.stats env).Io_stats.seq_reads
+
+let test_interleaved_files_are_random () =
+  let env = mk_env ~cache_bytes:0 () in
+  let a = Sfile.create env and b = Sfile.create env in
+  Sfile.append_pages env a 10;
+  Sfile.append_pages env b 10;
+  Env.reset_measurement env;
+  (* Alternate between files: every access repositions. *)
+  for i = 0 to 4 do
+    Sfile.read_page env a i;
+    Sfile.read_page env b i
+  done;
+  let st = Env.stats env in
+  Alcotest.(check int) "all random" 10 st.Io_stats.rand_reads
+
+let test_write_cost_and_caching () =
+  let env = mk_env ~cache_bytes:(100 * Device.hdd.Device.page_size) () in
+  let f = Sfile.create env in
+  let t0 = Env.now_us env in
+  Sfile.append_pages env f 10;
+  let cost = Env.now_us env -. t0 in
+  let expect =
+    Device.hdd.Device.seek_us +. (10.0 *. Device.hdd.Device.write_us_per_page)
+  in
+  Alcotest.(check (float 0.01)) "write cost" expect cost;
+  Alcotest.(check int) "pages" 10 (Sfile.npages f);
+  Env.reset_measurement env;
+  Sfile.read_range env f ~first:0 ~count:10;
+  Alcotest.(check int) "all hits" 10 (Env.stats env).Io_stats.cache_hits
+
+let test_charges () =
+  let env = mk_env () in
+  let t0 = Env.now_us env in
+  Env.charge_comparisons env 1000;
+  Alcotest.(check bool) "cmp advances" true (Env.now_us env > t0);
+  Alcotest.(check int) "counted" 1000 (Env.stats env).Io_stats.comparisons;
+  let t1 = Env.now_us env in
+  Env.charge_cache_lines env 10;
+  Env.charge_hashes env 10;
+  Env.charge_entry_visits env 10;
+  Alcotest.(check bool) "cpu advances" true (Env.now_us env > t1)
+
+let test_sfile_delete () =
+  let env = mk_env () in
+  let f = Sfile.create env in
+  Sfile.append_pages env f 5;
+  Sfile.delete env f;
+  Alcotest.check_raises "read after delete"
+    (Invalid_argument "Sfile.read_page: file 0 deleted") (fun () ->
+      Sfile.read_page env f 0)
+
+let test_sfile_bounds () =
+  let env = mk_env () in
+  let f = Sfile.create env in
+  Sfile.append_pages env f 2;
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Sfile.read_page: page 2 outside file of 2 pages")
+    (fun () -> Sfile.read_page env f 2)
+
+let test_ssd_cheaper_random () =
+  (* The SSD profile's random reads are orders of magnitude cheaper. *)
+  let run device =
+    let env = Env.create ~cache_bytes:0 device in
+    let f = Sfile.create env in
+    Sfile.append_pages env f 100;
+    let t0 = Env.now_us env in
+    for i = 0 to 19 do
+      Sfile.read_page env f (i * 5)
+    done;
+    Env.now_us env -. t0
+  in
+  let hdd = run Device.hdd and ssd = run Device.ssd in
+  Alcotest.(check bool)
+    (Printf.sprintf "ssd %.0fus << hdd %.0fus" ssd hdd)
+    true
+    (ssd *. 10.0 < hdd)
+
+let test_scan_all () =
+  let env = mk_env ~cache_bytes:0 () in
+  let f = Sfile.create env in
+  Sfile.append_pages env f 20;
+  Env.reset_measurement env;
+  Sfile.scan_all env f;
+  let st = Env.stats env in
+  Alcotest.(check int) "reads" 20 st.Io_stats.pages_read;
+  Alcotest.(check int) "one seek" 1 st.Io_stats.rand_reads;
+  Alcotest.(check int) "rest sequential" 19 st.Io_stats.seq_reads
+
+let () =
+  Alcotest.run "lsm_sim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "drop file" `Quick test_cache_drop_file;
+          Alcotest.test_case "zero capacity" `Quick test_cache_zero_capacity;
+          Alcotest.test_case "lru stress" `Quick test_cache_lru_chain_stress;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "seq cheaper than random" `Quick
+            test_sequential_cheaper_than_random;
+          Alcotest.test_case "cache hit cheap" `Quick test_cache_hit_is_cheap;
+          Alcotest.test_case "miss counting" `Quick test_read_miss_counted;
+          Alcotest.test_case "interleaving randomizes" `Quick
+            test_interleaved_files_are_random;
+          Alcotest.test_case "write cost + caching" `Quick
+            test_write_cost_and_caching;
+          Alcotest.test_case "cpu charges" `Quick test_charges;
+          Alcotest.test_case "ssd cheap random" `Quick test_ssd_cheaper_random;
+        ] );
+      ( "sfile",
+        [
+          Alcotest.test_case "delete" `Quick test_sfile_delete;
+          Alcotest.test_case "bounds" `Quick test_sfile_bounds;
+          Alcotest.test_case "scan_all" `Quick test_scan_all;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for Lsm_txn (locks, WAL, bitmap recovery, side-files) and the
+   concurrent-merge protocols of Sec. 5.3 (Lsm_core.Concurrent_merge). *)
+
+module Lt = Lsm_txn.Lock_table
+module Wal = Lsm_txn.Wal
+module Bs = Lsm_txn.Bitmap_store
+module Rec = Lsm_txn.Recovery
+module Sf = Lsm_txn.Side_file
+
+(* ------------------------------------------------------------------ *)
+(* Lock table *)
+
+let test_lock_s_compat () =
+  let t = Lt.create () in
+  Alcotest.(check bool) "s1" true (Lt.acquire t ~owner:1 ~key:7 Lt.S = `Granted);
+  Alcotest.(check bool) "s2" true (Lt.acquire t ~owner:2 ~key:7 Lt.S = `Granted);
+  Alcotest.(check bool) "x conflicts" true
+    (Lt.acquire t ~owner:3 ~key:7 Lt.X = `Conflict)
+
+let test_lock_x_exclusive () =
+  let t = Lt.create () in
+  Alcotest.(check bool) "x" true (Lt.acquire t ~owner:1 ~key:7 Lt.X = `Granted);
+  Alcotest.(check bool) "x2 refused" true
+    (Lt.acquire t ~owner:2 ~key:7 Lt.X = `Conflict);
+  Alcotest.(check bool) "s refused" true
+    (Lt.acquire t ~owner:2 ~key:7 Lt.S = `Conflict);
+  Alcotest.(check bool) "reentrant" true
+    (Lt.acquire t ~owner:1 ~key:7 Lt.X = `Granted);
+  Lt.release t ~owner:1 ~key:7;
+  Alcotest.(check bool) "x after release" true
+    (Lt.acquire t ~owner:2 ~key:7 Lt.X = `Granted)
+
+let test_lock_upgrade () =
+  let t = Lt.create () in
+  Alcotest.(check bool) "s" true (Lt.acquire t ~owner:1 ~key:7 Lt.S = `Granted);
+  Alcotest.(check bool) "upgrade sole holder" true
+    (Lt.acquire t ~owner:1 ~key:7 Lt.X = `Granted);
+  Alcotest.(check bool) "holds X" true (Lt.holds t ~owner:1 ~key:7 = Some Lt.X)
+
+let test_lock_counts_and_cleanup () =
+  let t = Lt.create () in
+  ignore (Lt.acquire t ~owner:1 ~key:1 Lt.S);
+  ignore (Lt.acquire t ~owner:1 ~key:2 Lt.X);
+  Alcotest.(check int) "outstanding" 2 (Lt.outstanding t);
+  Lt.release t ~owner:1 ~key:1;
+  Lt.release t ~owner:1 ~key:2;
+  Alcotest.(check int) "cleaned" 0 (Lt.outstanding t);
+  Alcotest.(check int) "acquisitions" 2 (Lt.acquisitions t);
+  Alcotest.(check int) "releases" 2 (Lt.releases t)
+
+(* ------------------------------------------------------------------ *)
+(* WAL + bitmap store + recovery *)
+
+let test_wal_basic () =
+  let w = Wal.create () in
+  let t1 = Wal.begin_txn w in
+  let l1 = Wal.log w ~txn:t1 ~kind:Wal.Upsert ~pk:5 ~update:(Some (0, 3)) in
+  let l2 = Wal.log w ~txn:t1 ~kind:Wal.Delete ~pk:6 ~update:None in
+  Alcotest.(check bool) "lsn monotone" true (l2 > l1);
+  Wal.commit w ~txn:t1;
+  Alcotest.(check bool) "committed" true (Wal.txn_state w ~txn:t1 = Some Wal.Committed);
+  Alcotest.(check int) "2 records" 2 (Wal.length w);
+  Alcotest.(check int) "replay stream" 2
+    (List.length (Wal.records_after w ~lsn:0));
+  Wal.checkpoint w;
+  Alcotest.(check int) "nothing after ckpt" 0
+    (List.length (Wal.records_after w ~lsn:(Wal.checkpoint_lsn w)))
+
+let test_abort_unsets_bits () =
+  let w = Wal.create () in
+  let store = Bs.create () in
+  Bs.register store ~comp_seq:0 ~size:10;
+  let t1 = Wal.begin_txn w in
+  Bs.set store ~comp_seq:0 ~pos:4;
+  ignore (Wal.log w ~txn:t1 ~kind:Wal.Upsert ~pk:1 ~update:(Some (0, 4)));
+  Alcotest.(check bool) "bit set" true (Bs.get store ~comp_seq:0 ~pos:4);
+  Rec.abort_txn w store ~txn:t1;
+  Alcotest.(check bool) "bit unset on abort" false (Bs.get store ~comp_seq:0 ~pos:4)
+
+let test_recovery_replays_committed_only () =
+  let w = Wal.create () in
+  let store = Bs.create () in
+  Bs.register store ~comp_seq:0 ~size:16;
+  Bs.register store ~comp_seq:1 ~size:16;
+  (* Committed before checkpoint. *)
+  let t1 = Wal.begin_txn w in
+  Bs.set store ~comp_seq:0 ~pos:1;
+  ignore (Wal.log w ~txn:t1 ~kind:Wal.Upsert ~pk:1 ~update:(Some (0, 1)));
+  Wal.commit w ~txn:t1;
+  Bs.checkpoint store;
+  Wal.checkpoint w;
+  (* Committed after checkpoint: must be replayed. *)
+  let t2 = Wal.begin_txn w in
+  Bs.set store ~comp_seq:1 ~pos:2;
+  ignore (Wal.log w ~txn:t2 ~kind:Wal.Delete ~pk:2 ~update:(Some (1, 2)));
+  Wal.commit w ~txn:t2;
+  (* Uncommitted at crash: must NOT be replayed. *)
+  let t3 = Wal.begin_txn w in
+  Bs.set store ~comp_seq:1 ~pos:3;
+  ignore (Wal.log w ~txn:t3 ~kind:Wal.Delete ~pk:3 ~update:(Some (1, 3)));
+  (* Also a no-update-bit record: replay must not touch bitmaps. *)
+  let t4 = Wal.begin_txn w in
+  ignore (Wal.log w ~txn:t4 ~kind:Wal.Upsert ~pk:4 ~update:None);
+  Wal.commit w ~txn:t4;
+  let expected = Bs.create () in
+  Bs.register expected ~comp_seq:0 ~size:16;
+  Bs.register expected ~comp_seq:1 ~size:16;
+  Bs.set expected ~comp_seq:0 ~pos:1;
+  Bs.set expected ~comp_seq:1 ~pos:2;
+  (* Crash + recover. *)
+  Rec.recover w store;
+  Alcotest.(check bool) "t1 durable via checkpoint" true
+    (Bs.get store ~comp_seq:0 ~pos:1);
+  Alcotest.(check bool) "t2 replayed" true (Bs.get store ~comp_seq:1 ~pos:2);
+  Alcotest.(check bool) "t3 not replayed" false (Bs.get store ~comp_seq:1 ~pos:3);
+  Alcotest.(check bool) "full state equal" true (Bs.equal_state store expected)
+
+let test_recovery_idempotent () =
+  let w = Wal.create () in
+  let store = Bs.create () in
+  Bs.register store ~comp_seq:0 ~size:8;
+  let t1 = Wal.begin_txn w in
+  Bs.set store ~comp_seq:0 ~pos:0;
+  ignore (Wal.log w ~txn:t1 ~kind:Wal.Upsert ~pk:1 ~update:(Some (0, 0)));
+  Wal.commit w ~txn:t1;
+  Rec.recover w store;
+  let snap1 = Bs.snapshot store in
+  Rec.recover w store;
+  Alcotest.(check bool) "second recovery same" true (Bs.snapshot store = snap1)
+
+(* ------------------------------------------------------------------ *)
+(* Side-file *)
+
+let test_side_file () =
+  let sf = Sf.create () in
+  Alcotest.(check bool) "append" true (Sf.append sf 5);
+  Alcotest.(check bool) "append" true (Sf.append sf 3);
+  Alcotest.(check bool) "append dup" true (Sf.append sf 5);
+  Alcotest.(check int) "len" 3 (Sf.length sf);
+  Sf.close sf;
+  Alcotest.(check bool) "closed refuses" false (Sf.append sf 9);
+  let cost = ref 0 in
+  Alcotest.(check (array int)) "sorted dedup" [| 3; 5 |] (Sf.sorted_keys ~cost sf)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent merge (Fig. 23) *)
+
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module CM = Lsm_core.Concurrent_merge.Make (Lsm_workload.Tweet.Record) (D)
+module Tweet = Lsm_workload.Tweet
+
+let tw ?(user = 0) ?(at = 1) id =
+  { Tweet.id; user_id = user; location = 0; created_at = at; msg_len = 68 }
+
+let mk_cm_dataset () =
+  let device =
+    Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+      ~read_us_per_page:100.0 ~write_us_per_page:100.0
+  in
+  let env = Lsm_sim.Env.create ~cache_bytes:(1024 * 256) device in
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      env
+      { D.default_config with strategy = Lsm_core.Strategy.mutable_bitmap }
+  in
+  D.set_auto_maintenance d false;
+  (* 4 components of 150 records each; later batches update some earlier
+     keys so pre-existing bitmap marks exist. *)
+  let model = Hashtbl.create 1024 in
+  for b = 0 to 3 do
+    for i = 1 to 150 do
+      let id = (b * 150) + i in
+      let r = tw ~user:(id mod 100) ~at:id id in
+      D.upsert d r;
+      Hashtbl.replace model id r
+    done;
+    (* update a few keys from previous batches *)
+    if b > 0 then
+      for i = 1 to 20 do
+        let id = ((b - 1) * 150) + i in
+        let r = tw ~user:((id + 7) mod 100) ~at:(1000 + id) id in
+        D.upsert d r;
+        Hashtbl.replace model id r
+      done;
+    D.flush_memory d
+  done;
+  (d, model)
+
+let run_method method_ =
+  let d, model = mk_cm_dataset () in
+  let wrng = Lsm_util.Rng.create 77 in
+  let next_write () =
+    (* Half the writer ops update keys inside the merging components. *)
+    if Lsm_util.Rng.bool wrng then begin
+      let id = 1 + Lsm_util.Rng.int wrng 600 in
+      let r = tw ~user:(Lsm_util.Rng.int wrng 100) ~at:(2000 + id) id in
+      Hashtbl.replace model id r;
+      CM.Upsert r
+    end
+    else begin
+      let id = 10_000 + Lsm_util.Rng.int wrng 1000 in
+      let r = tw ~user:(Lsm_util.Rng.int wrng 100) ~at:(3000 + id) id in
+      Hashtbl.replace model id r;
+      CM.Upsert r
+    end
+  in
+  let res = CM.run d ~method_ ~next_write ~writer_ops_per_row:0.25 () in
+  (d, model, res)
+
+let check_consistency d (model : (int, Tweet.t) Hashtbl.t) name =
+  (* Every model record visible with the right contents. *)
+  Hashtbl.iter
+    (fun id r ->
+      match D.point_query d id with
+      | Some got ->
+          Alcotest.(check int) (name ^ ": user of " ^ string_of_int id)
+            r.Tweet.user_id got.Tweet.user_id
+      | None -> Alcotest.fail (name ^ ": lost record " ^ string_of_int id))
+    model;
+  (* No resurrected stale versions: the non-reconciling bitmap scan must
+     count each live record exactly once. *)
+  let n = D.query_time_range d ~tlo:0 ~thi:max_int ~f:ignore in
+  Alcotest.(check int) (name ^ ": live count") (Hashtbl.length model) n
+
+let test_cm_lock_correct () =
+  let d, model, res = run_method CM.Lock in
+  Alcotest.(check bool) "writers ran" true (res.CM.writer_ops > 50);
+  Alcotest.(check bool) "locks taken" true (res.CM.lock_acquisitions > 500);
+  check_consistency d model "lock"
+
+let test_cm_side_file_correct () =
+  let d, model, res = run_method CM.Side_file in
+  Alcotest.(check bool) "writers ran" true (res.CM.writer_ops > 50);
+  check_consistency d model "side-file"
+
+let test_cm_overhead_ordering () =
+  let _, _, base = run_method CM.Baseline in
+  let _, _, side = run_method CM.Side_file in
+  let _, _, lock = run_method CM.Lock in
+  Alcotest.(check bool)
+    (Printf.sprintf "side-file %.0f ~ baseline %.0f (within 25%%)"
+       side.CM.merge_time_us base.CM.merge_time_us)
+    true
+    (side.CM.merge_time_us < base.CM.merge_time_us *. 1.25);
+  Alcotest.(check bool)
+    (Printf.sprintf "lock %.0f > side %.0f" lock.CM.merge_time_us
+       side.CM.merge_time_us)
+    true
+    (lock.CM.merge_time_us > side.CM.merge_time_us)
+
+let test_cm_components_after () =
+  let d, _, _ = run_method CM.Side_file in
+  Alcotest.(check int) "primary merged to 1" 1
+    (D.Prim.component_count (D.primary d));
+  match D.pk_index d with
+  | Some pk -> Alcotest.(check int) "pk merged to 1" 1 (D.Pk.component_count pk)
+  | None -> Alcotest.fail "pk index"
+
+let prop_cm_protocols_lose_nothing =
+  (* Random batch layouts, writer mixes and interleaving rates: both
+     protected protocols keep every committed record exactly once. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"cm protocols lose no updates"
+       QCheck2.Gen.(
+         tup4 (int_range 2 5) (int_range 50 200) (int_range 0 100)
+           (int_range 1 8))
+       (fun (comps, per_comp, upd_pct, rate8) ->
+         List.for_all
+           (fun method_ ->
+             let device =
+               Lsm_sim.Device.custom ~name:"t" ~page_size:1024 ~seek_us:1000.0
+                 ~read_us_per_page:100.0 ~write_us_per_page:100.0
+             in
+             let env = Lsm_sim.Env.create ~cache_bytes:(1024 * 256) device in
+             let d =
+               D.create ~filter_key:Tweet.created_at
+                 ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+                 env
+                 { D.default_config with strategy = Lsm_core.Strategy.mutable_bitmap }
+             in
+             D.set_auto_maintenance d false;
+             let model = Hashtbl.create 256 in
+             let next = ref 0 in
+             for _b = 1 to comps do
+               for _ = 1 to per_comp do
+                 incr next;
+                 let r = tw ~user:(!next mod 97) ~at:!next !next in
+                 D.upsert d r;
+                 Hashtbl.replace model !next r
+               done;
+               D.flush_memory d
+             done;
+             let max_id = !next in
+             let wrng = Lsm_util.Rng.create (comps * 1000 + per_comp) in
+             let next_write () =
+               if Lsm_util.Rng.int wrng 100 < upd_pct then begin
+                 let id = 1 + Lsm_util.Rng.int wrng max_id in
+                 let r = tw ~user:(Lsm_util.Rng.int wrng 97) ~at:(max_id + id) id in
+                 Hashtbl.replace model id r;
+                 CM.Upsert r
+               end
+               else begin
+                 incr next;
+                 let r = tw ~user:(!next mod 97) ~at:!next !next in
+                 Hashtbl.replace model !next r;
+                 CM.Upsert r
+               end
+             in
+             let _ =
+               CM.run d ~method_ ~next_write
+                 ~writer_ops_per_row:(Float.of_int rate8 /. 8.0)
+                 ()
+             in
+             (* Every record visible with the right value, counted once. *)
+             Hashtbl.fold
+               (fun id r acc ->
+                 acc
+                 && match D.point_query d id with
+                    | Some got -> got.Tweet.user_id = r.Tweet.user_id
+                    | None -> false)
+               model true
+             && D.query_time_range d ~tlo:0 ~thi:max_int ~f:ignore
+                = Hashtbl.length model)
+           [ CM.Lock; CM.Side_file ]))
+
+let () =
+  Alcotest.run "lsm_txn"
+    [
+      ( "locks",
+        [
+          Alcotest.test_case "s compat" `Quick test_lock_s_compat;
+          Alcotest.test_case "x exclusive" `Quick test_lock_x_exclusive;
+          Alcotest.test_case "upgrade" `Quick test_lock_upgrade;
+          Alcotest.test_case "counts + cleanup" `Quick test_lock_counts_and_cleanup;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "basic" `Quick test_wal_basic;
+          Alcotest.test_case "abort unsets" `Quick test_abort_unsets_bits;
+          Alcotest.test_case "recovery committed-only" `Quick
+            test_recovery_replays_committed_only;
+          Alcotest.test_case "recovery idempotent" `Quick test_recovery_idempotent;
+        ] );
+      ("side-file", [ Alcotest.test_case "basic" `Quick test_side_file ]);
+      ( "concurrent-merge",
+        [
+          Alcotest.test_case "lock method correct" `Quick test_cm_lock_correct;
+          Alcotest.test_case "side-file method correct" `Quick
+            test_cm_side_file_correct;
+          Alcotest.test_case "overhead ordering" `Quick test_cm_overhead_ordering;
+          Alcotest.test_case "components after" `Quick test_cm_components_after;
+          prop_cm_protocols_lose_nothing;
+        ] );
+    ]

@@ -1,0 +1,351 @@
+(* Tests for Lsm_util: RNG, Zipf, search primitives, bitsets, sorter, heap. *)
+
+open Lsm_util
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_in_range () =
+  let r = Rng.create 7 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range r ~lo:10 ~hi:14 in
+    Alcotest.(check bool) "in range" true (v >= 10 && v <= 14);
+    seen.(v - 10) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: 10 buckets over 100k draws stay within 5%. *)
+  let r = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = Float.of_int c /. Float.of_int n in
+      Alcotest.(check bool) "bucket near 0.1" true (frac > 0.085 && frac < 0.115))
+    buckets
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  let sb = Array.copy b in
+  Array.sort compare sb;
+  Alcotest.(check bool) "same multiset" true (sb = a);
+  Alcotest.(check bool) "actually moved" true (b <> a)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf *)
+
+let test_zipf_bounds () =
+  let r = Rng.create 9 in
+  let z = Zipf.create ~theta:0.99 1000 in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample r z in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 1000)
+  done
+
+let test_zipf_skew () =
+  let r = Rng.create 13 in
+  let z = Zipf.create ~theta:0.99 10_000 in
+  let hot = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Zipf.sample r z < 100 then incr hot
+  done;
+  (* Under uniform, 100/10000 = 1% of draws; Zipf 0.99 concentrates far
+     more mass on the head. *)
+  let frac = Float.of_int !hot /. Float.of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "head heavy (%.3f)" frac)
+    true (frac > 0.30)
+
+let test_zipf_extend_matches_fresh () =
+  (* Growing 100 -> 1000 must yield the same constants as creating at
+     1000 directly; we check behaviour via bounds and head mass. *)
+  let z1 = Zipf.create ~theta:0.99 100 in
+  Zipf.extend z1 1000;
+  let z2 = Zipf.create ~theta:0.99 1000 in
+  let r1 = Rng.create 21 and r2 = Rng.create 21 in
+  for _ = 1 to 5_000 do
+    Alcotest.(check int) "same samples" (Zipf.sample r2 z2) (Zipf.sample r1 z1)
+  done
+
+let test_zipf_latest () =
+  let r = Rng.create 17 in
+  let z = Zipf.create ~theta:0.99 10_000 in
+  let hot = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Zipf.sample_latest r z >= 9_900 then incr hot
+  done;
+  Alcotest.(check bool) "tail (recent ids) heavy" true
+    (Float.of_int !hot /. Float.of_int n > 0.30)
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+let sorted_array_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> Array.of_list (List.sort compare l))
+      (list_size (int_range 0 200) (int_range 0 100)))
+
+let check_lower_bound a key =
+  let cost = ref 0 in
+  let i =
+    Search.lower_bound ~cmp:compare ~cost a ~lo:0 ~hi:(Array.length a) key
+  in
+  let ok_left = Array.for_all (fun _ -> true) a in
+  ignore ok_left;
+  let ok =
+    (i = Array.length a || a.(i) >= key)
+    && (i = 0 || a.(i - 1) < key)
+  in
+  ok
+
+let prop_lower_bound =
+  qtest "lower_bound correct"
+    QCheck2.Gen.(pair sorted_array_gen (int_range (-10) 110))
+    (fun (a, key) -> check_lower_bound a key)
+
+let prop_upper_bound =
+  qtest "upper_bound correct"
+    QCheck2.Gen.(pair sorted_array_gen (int_range (-10) 110))
+    (fun (a, key) ->
+      let cost = ref 0 in
+      let i =
+        Search.upper_bound ~cmp:compare ~cost a ~lo:0 ~hi:(Array.length a) key
+      in
+      (i = Array.length a || a.(i) > key) && (i = 0 || a.(i - 1) <= key))
+
+let prop_exponential_equals_binary =
+  qtest "exponential = binary from any start"
+    QCheck2.Gen.(triple sorted_array_gen (int_range (-10) 110) (int_range 0 220))
+    (fun (a, key, start) ->
+      let n = Array.length a in
+      let c1 = ref 0 and c2 = ref 0 in
+      let i1 = Search.lower_bound ~cmp:compare ~cost:c1 a ~lo:0 ~hi:n key in
+      let i2 =
+        Search.exponential_lower_bound ~cmp:compare ~cost:c2 a ~lo:0 ~hi:n
+          ~start:(min start n) key
+      in
+      i1 = i2)
+
+let test_exponential_cheap_nearby () =
+  (* Searching a key adjacent to the start position must cost far fewer
+     comparisons than a cold binary search on a large array. *)
+  let a = Array.init 100_000 (fun i -> i * 2) in
+  let c_exp = ref 0 and c_bin = ref 0 in
+  let i =
+    Search.exponential_lower_bound ~cmp:compare ~cost:c_exp a ~lo:0
+      ~hi:(Array.length a) ~start:50_000 (100_006)
+  in
+  Alcotest.(check int) "found" 50_003 i;
+  let j =
+    Search.lower_bound ~cmp:compare ~cost:c_bin a ~lo:0 ~hi:(Array.length a)
+      100_006
+  in
+  Alcotest.(check int) "same index" i j;
+  Alcotest.(check bool)
+    (Printf.sprintf "cheaper (%d < %d)" !c_exp !c_bin)
+    true
+    (!c_exp < !c_bin)
+
+let test_binary_find () =
+  let a = [| 2; 4; 6; 8 |] in
+  let cost = ref 0 in
+  Alcotest.(check (option int))
+    "hit" (Some 2)
+    (Search.binary_find ~cmp:compare ~cost a 6);
+  Alcotest.(check (option int))
+    "miss" None
+    (Search.binary_find ~cmp:compare ~cost a 5)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "empty" 0 (Bitset.count b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 99;
+  Alcotest.(check bool) "get 0" true (Bitset.get b 0);
+  Alcotest.(check bool) "get 1" false (Bitset.get b 1);
+  Alcotest.(check bool) "get 99" true (Bitset.get b 99);
+  Alcotest.(check int) "count" 3 (Bitset.count b);
+  Bitset.clear b 63;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 63);
+  Alcotest.(check int) "count after clear" 2 (Bitset.count b)
+
+let test_bitset_copy_independent () =
+  let b = Bitset.create 10 in
+  Bitset.set b 3;
+  let c = Bitset.copy b in
+  Bitset.set b 5;
+  Alcotest.(check bool) "copy has 3" true (Bitset.get c 3);
+  Alcotest.(check bool) "copy lacks 5" false (Bitset.get c 5)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.set b 8)
+
+let test_bitset_iter () =
+  let b = Bitset.create 20 in
+  List.iter (Bitset.set b) [ 1; 7; 19 ];
+  let acc = ref [] in
+  Bitset.iter_set b (fun i -> acc := i :: !acc);
+  Alcotest.(check (list int)) "iter order" [ 1; 7; 19 ] (List.rev !acc)
+
+let prop_bitset_model =
+  qtest "bitset matches boolean-array model"
+    QCheck2.Gen.(list_size (int_range 0 300) (pair (int_range 0 63) bool))
+    (fun ops ->
+      let b = Bitset.create 64 in
+      let model = Array.make 64 false in
+      List.iter
+        (fun (i, set) ->
+          if set then (Bitset.set b i; model.(i) <- true)
+          else (Bitset.clear b i; model.(i) <- false))
+        ops;
+      let ok = ref true in
+      for i = 0 to 63 do
+        if Bitset.get b i <> model.(i) then ok := false
+      done;
+      !ok && Bitset.count b = Array.fold_left (fun a x -> if x then a + 1 else a) 0 model)
+
+(* ------------------------------------------------------------------ *)
+(* Sorter *)
+
+let test_sorter_counts () =
+  let cost = ref 0 in
+  let a = [| 5; 3; 1; 4; 2 |] in
+  Sorter.sort ~cmp:compare ~cost a;
+  Alcotest.(check bool) "sorted" true (Sorter.is_sorted ~cmp:compare a);
+  Alcotest.(check bool) "counted" true (!cost > 0)
+
+let test_dedup_sorted () =
+  let a = [| 1; 1; 2; 3; 3; 3; 4 |] in
+  Alcotest.(check (array int))
+    "dedup" [| 1; 2; 3; 4 |]
+    (Sorter.dedup_sorted ~eq:( = ) a);
+  Alcotest.(check (array int)) "empty" [||] (Sorter.dedup_sorted ~eq:( = ) [||])
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let prop_heap_sorts =
+  qtest "heap drains in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range (-1000) 1000))
+    (fun l ->
+      let h = Heap.create compare in
+      List.iter (Heap.push h) l;
+      let out = ref [] in
+      let rec drain () =
+        match Heap.pop_opt h with
+        | Some x ->
+            out := x :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !out = List.sort compare l)
+
+let test_heap_interleaved () =
+  let h = Heap.create compare in
+  Heap.push h 5;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "pop" 1 (Heap.pop h);
+  Heap.push h 0;
+  Alcotest.(check int) "pop 0" 0 (Heap.pop h);
+  Alcotest.(check int) "pop 5" 5 (Heap.pop h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let () =
+  Alcotest.run "lsm_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "int_in_range" `Quick test_rng_int_in_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "extend = fresh" `Quick test_zipf_extend_matches_fresh;
+          Alcotest.test_case "latest skew" `Quick test_zipf_latest;
+        ] );
+      ( "search",
+        [
+          prop_lower_bound;
+          prop_upper_bound;
+          prop_exponential_equals_binary;
+          Alcotest.test_case "exponential cheap nearby" `Quick
+            test_exponential_cheap_nearby;
+          Alcotest.test_case "binary_find" `Quick test_binary_find;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "copy" `Quick test_bitset_copy_independent;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "iter_set" `Quick test_bitset_iter;
+          prop_bitset_model;
+        ] );
+      ( "sorter",
+        [
+          Alcotest.test_case "sort counts" `Quick test_sorter_counts;
+          Alcotest.test_case "dedup_sorted" `Quick test_dedup_sorted;
+        ] );
+      ( "heap",
+        [
+          prop_heap_sorts;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Tests for Lsm_workload: tweet generation, ingestion streams, query
+   generation. *)
+
+module Tweet = Lsm_workload.Tweet
+module Streams = Lsm_workload.Streams
+module Qg = Lsm_workload.Query_gen
+
+let test_tweet_sizes () =
+  let g = Tweet.create_gen ~seed:1 () in
+  for _ = 1 to 1000 do
+    let t = Tweet.fresh g in
+    let s = Tweet.byte_size t in
+    Alcotest.(check bool) "~500B" true (s >= 482 && s <= 582);
+    Alcotest.(check bool) "user domain" true
+      (t.Tweet.user_id >= 0 && t.Tweet.user_id < Tweet.user_id_domain)
+  done
+
+let test_tweet_monotone_time () =
+  let g = Tweet.create_gen ~seed:1 () in
+  let last = ref (-1) in
+  for _ = 1 to 100 do
+    let t = Tweet.fresh g in
+    Alcotest.(check bool) "monotone" true (t.Tweet.created_at > !last);
+    last := t.Tweet.created_at
+  done
+
+let test_tweet_record_bytes_override () =
+  let g = Tweet.create_gen ~seed:1 ~record_bytes:1024 () in
+  let t = Tweet.fresh g in
+  Alcotest.(check int) "1KB" 1024 (Tweet.byte_size t)
+
+let test_sequential_ids () =
+  let g = Tweet.create_gen ~seed:1 () in
+  let next = Tweet.fresh_sequential g in
+  Alcotest.(check int) "1" 1 (Tweet.primary_key (next ()));
+  Alcotest.(check int) "2" 2 (Tweet.primary_key (next ()))
+
+let test_insert_stream_duplicate_ratio () =
+  let s = Streams.insert_stream ~seed:3 ~duplicate_ratio:0.5 () in
+  let seen = Hashtbl.create 1024 in
+  let dups = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    match Streams.next s with
+    | Streams.Insert t ->
+        let id = Tweet.primary_key t in
+        if Hashtbl.mem seen id then incr dups else Hashtbl.add seen id ()
+    | _ -> Alcotest.fail "insert stream must produce inserts"
+  done;
+  let ratio = Float.of_int !dups /. Float.of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicate ratio %.3f near 0.5" ratio)
+    true
+    (ratio > 0.45 && ratio < 0.55)
+
+let test_upsert_stream_update_ratio () =
+  let s =
+    Streams.upsert_stream ~seed:3 ~update_ratio:0.3 ~distribution:`Uniform ()
+  in
+  let seen = Hashtbl.create 1024 in
+  let updates = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    match Streams.next s with
+    | Streams.Upsert t ->
+        let id = Tweet.primary_key t in
+        if Hashtbl.mem seen id then incr updates else Hashtbl.add seen id ()
+    | _ -> Alcotest.fail "upsert stream must produce upserts"
+  done;
+  let ratio = Float.of_int !updates /. Float.of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "update ratio %.3f near 0.3" ratio)
+    true
+    (ratio > 0.26 && ratio < 0.34)
+
+let test_zipf_updates_skew_recent () =
+  let s =
+    Streams.upsert_stream ~seed:3 ~update_ratio:0.5 ~distribution:`Zipf_latest ()
+  in
+  (* Warm up 5000 ops, then measure which keys updates touch. *)
+  let ids = ref [] in
+  for i = 1 to 10_000 do
+    match Streams.next s with
+    | Streams.Upsert t ->
+        if i > 5_000 then ids := Tweet.primary_key t :: !ids
+    | _ -> ()
+  done;
+  let past_n = Streams.past_count s in
+  (* Index of each updated key in ingestion order. *)
+  let order = Hashtbl.create 1024 in
+  for i = 0 to past_n - 1 do
+    Hashtbl.replace order (Streams.nth_past s i) i
+  done;
+  let recent = ref 0 and total = ref 0 in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt order id with
+      | Some i ->
+          incr total;
+          if i > past_n * 3 / 4 then incr recent
+      | None -> ())
+    !ids;
+  (* Under a uniform distribution the most recent quartile of keys would
+     receive 25% of updates; Zipf-latest concentrates far more there. *)
+  let frac = Float.of_int !recent /. Float.of_int (max 1 !total) in
+  Alcotest.(check bool)
+    (Printf.sprintf "recent quartile gets %.2f of updates" frac)
+    true (frac > 0.38)
+
+let test_query_selectivity () =
+  let q = Qg.create ~seed:5 () in
+  List.iter
+    (fun sel ->
+      let lo, hi = Qg.user_range q ~selectivity:sel in
+      let width = hi - lo + 1 in
+      let expect = int_of_float (sel *. Float.of_int Tweet.user_id_domain) in
+      Alcotest.(check bool)
+        (Printf.sprintf "width %d ~ %d" width expect)
+        true
+        (abs (width - expect) <= 1);
+      Alcotest.(check bool) "in domain" true
+        (lo >= 0 && hi < Tweet.user_id_domain))
+    [ 0.001; 0.01; 0.1; 0.5 ]
+
+let test_time_ranges () =
+  let lo, hi = Qg.recent_time_range ~now:730 ~days:7 ~day_span:730 in
+  Alcotest.(check int) "recent lo" 723 lo;
+  Alcotest.(check bool) "recent open top" true (hi = max_int);
+  let lo2, hi2 = Qg.old_time_range ~now:730 ~days:7 ~day_span:730 in
+  Alcotest.(check int) "old lo" 0 lo2;
+  Alcotest.(check int) "old hi" 7 hi2
+
+let () =
+  Alcotest.run "lsm_workload"
+    [
+      ( "tweet",
+        [
+          Alcotest.test_case "sizes + domains" `Quick test_tweet_sizes;
+          Alcotest.test_case "monotone time" `Quick test_tweet_monotone_time;
+          Alcotest.test_case "record bytes override" `Quick
+            test_tweet_record_bytes_override;
+          Alcotest.test_case "sequential ids" `Quick test_sequential_ids;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "duplicate ratio" `Quick
+            test_insert_stream_duplicate_ratio;
+          Alcotest.test_case "update ratio" `Quick test_upsert_stream_update_ratio;
+          Alcotest.test_case "zipf recent skew" `Quick test_zipf_updates_skew_recent;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "selectivity" `Quick test_query_selectivity;
+          Alcotest.test_case "time ranges" `Quick test_time_ranges;
+        ] );
+    ]
