@@ -182,6 +182,40 @@ let query_bench name mode =
          let lo = Lsm_util.Rng.int rng 99_000 in
          ignore (D.query_secondary d ~sec:"user_id" ~lo ~hi:(lo + 100) ~mode ())))
 
+(* Observability overhead (ISSUE acceptance: disabled-tracer overhead on
+   the point-lookup path must stay < 5%).  Three measurements:
+   - obs.span(disabled): the raw per-instrumentation-point cost when obs
+     is off — one branch through Env.span;
+   - obs.point_query(off|on): the same point lookup on identical
+     datasets, obs disabled vs enabled.  Compare span(disabled) against
+     point_query(off) for the <5% check; off-vs-on shows the enabled
+     cost for context. *)
+let obs_fixture enable =
+  lazy
+    (let env = quiet_env () in
+     if enable then ignore (Lsm_sim.Env.enable_obs env);
+     let d = dataset ~mem_budget:(256 * 1024) env Lsm_harness.Scale.tiny in
+     let stream = Streams.insert_stream ~seed:7 ~duplicate_ratio:0.0 () in
+     for _ = 1 to 20_000 do
+       apply_op d (Streams.next stream)
+     done;
+     d)
+
+let obs_fixture_off = obs_fixture false
+let obs_fixture_on = obs_fixture true
+
+let obs_point_bench name fixture =
+  let rng = Lsm_util.Rng.create 13 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let d = Lazy.force fixture in
+         ignore (D.point_query d (Lsm_util.Rng.int rng 1_000_000))))
+
+let test_obs_span_disabled =
+  let env = quiet_env () in
+  Test.make ~name:"obs.span(disabled)"
+    (Staged.stage (fun () -> Lsm_sim.Env.span env "noop" (fun () -> ())))
+
 let test_standalone_repair =
   Test.make ~name:"dataset.standalone_repair(10k,50%upd)"
     (Staged.stage (fun () ->
@@ -217,11 +251,19 @@ let micro_tests =
       query_bench "dataset.query(ts-validation,0.1%)" `Timestamp;
       query_bench "dataset.query(direct,0.1%)" `Direct;
       query_bench "dataset.query(assume-valid,0.1%)" `Assume_valid;
+      test_obs_span_disabled;
+      obs_point_bench "obs.point_query(off)" obs_fixture_off;
+      obs_point_bench "obs.point_query(on)" obs_fixture_on;
       test_standalone_repair;
     ]
 
 let run_micro () =
   print_endline "\n===== Bechamel microbenchmarks (host CPU time / run) =====";
+  (* Build shared fixtures up front so their one-time cost never lands
+     inside a measured run. *)
+  ignore (Lazy.force query_fixture);
+  ignore (Lazy.force obs_fixture_off);
+  ignore (Lazy.force obs_fixture_on);
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in

@@ -20,24 +20,73 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List all experiments") Term.(const run $ const ())
 
+(* Observability flags (shared by `run` and `all`). *)
+let trace_arg =
+  let doc =
+    "Record engine spans and write a Chrome trace_event JSON to $(docv) \
+     (load in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc = "Print a per-environment text profile of the engine spans." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let metrics_arg =
+  let doc = "Print each environment's metrics registry after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let setup_obs ~trace ~profile ~metrics =
+  (* Fail on an unwritable trace path now, not after the experiment. *)
+  (match trace with
+  | Some path -> (
+      try close_out (open_out path)
+      with Sys_error msg ->
+        Printf.eprintf "cannot write trace file: %s\n" msg;
+        exit 1)
+  | None -> ());
+  if trace <> None || profile || metrics then Lsm_harness.Obs_hub.enable ()
+
+let finish_obs ~trace ~profile ~metrics =
+  (match trace with
+  | Some path ->
+      let n = Lsm_harness.Obs_hub.write_chrome_trace path in
+      Printf.printf "wrote %d spans to %s\n" n path
+  | None -> ());
+  if profile then print_string (Lsm_harness.Obs_hub.profile_text ());
+  if metrics then
+    List.iter print_endline (Lsm_harness.Obs_hub.metrics_lines ())
+
 let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run scale id =
+  let run scale id trace profile metrics =
     let scale = Lsm_harness.Scale.of_string scale in
     match Lsm_harness.Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %s (try `lsm_repro list`)\n" id;
         exit 1
     | Some e ->
+        setup_obs ~trace ~profile ~metrics;
         Printf.printf "running %s (%s) at scale %s...\n%!" e.Lsm_harness.Registry.id
           e.Lsm_harness.Registry.description scale.Lsm_harness.Scale.name;
-        List.iter Lsm_harness.Report.print (e.Lsm_harness.Registry.run scale)
+        let reports = e.Lsm_harness.Registry.run scale in
+        let reports =
+          if metrics then
+            List.map
+              (fun r ->
+                Lsm_harness.Report.with_appendix r
+                  (Lsm_harness.Obs_hub.metrics_lines ()))
+              reports
+          else reports
+        in
+        List.iter Lsm_harness.Report.print reports;
+        finish_obs ~trace ~profile ~metrics:false
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment by id (e.g. fig14)")
-    Term.(const run $ scale_arg $ id_arg)
+    Term.(const run $ scale_arg $ id_arg $ trace_arg $ profile_arg $ metrics_arg)
 
 let csv_arg =
   let doc = "Also write one plot-ready CSV per table into $(docv)." in
@@ -45,13 +94,15 @@ let csv_arg =
     value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
 let all_cmd =
-  let run scale csv_dir =
+  let run scale csv_dir trace profile metrics =
     let scale = Lsm_harness.Scale.of_string scale in
-    Lsm_harness.Registry.run_all ?csv_dir scale
+    setup_obs ~trace ~profile ~metrics;
+    Lsm_harness.Registry.run_all ?csv_dir scale;
+    finish_obs ~trace ~profile ~metrics
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run the full experiment suite")
-    Term.(const run $ scale_arg $ csv_arg)
+    Term.(const run $ scale_arg $ csv_arg $ trace_arg $ profile_arg $ metrics_arg)
 
 let () =
   let doc =

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: everything must build and every test suite must pass.
+# Run before every commit; CI runs exactly this.
+set -eux
+
+dune build
+dune runtest

@@ -176,6 +176,7 @@ module Make (R : Record.S) = struct
     | _ -> ()
 
   let flush_all t =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.flush" @@ fun () ->
     let t0 = Lsm_sim.Env.now_us t.env in
     let flushed = Prim.mem_count t.primary > 0 in
     Prim.flush t.primary;
@@ -255,6 +256,7 @@ module Make (R : Record.S) = struct
       correlated policy — same component ID ranges everywhere — while the
       rest merge independently (Sec. 4.4, Sec. 5.1). *)
   let run_merges t =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.merge" @@ fun () ->
     let t0 = Lsm_sim.Env.now_us t.env in
     let policy = t.cfg.merge_policy in
     let repair_after_merge s sc =
@@ -453,6 +455,7 @@ module Make (R : Record.S) = struct
   (** [insert t r] ingests a new record; duplicates (by primary key) are
       rejected.  All strategies insert identically (Sec. 4.2). *)
   let insert t r =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "ingest.insert" @@ fun () ->
     let pk = R.primary_key r in
     if key_exists t pk then begin
       t.stats.n_duplicates <- t.stats.n_duplicates + 1;
@@ -470,6 +473,7 @@ module Make (R : Record.S) = struct
   (** [upsert t r] inserts [r], superseding any existing record with the
       same primary key.  This is where the strategies differ (Fig. 14). *)
   let upsert t r =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "ingest.upsert" @@ fun () ->
     let pk = R.primary_key r in
     let ts = next_ts t in
     (match t.cfg.strategy with
@@ -504,6 +508,7 @@ module Make (R : Record.S) = struct
   (** [delete t ~pk] removes the record with key [pk] (a no-op for the
       Eager strategy if it does not exist; blind for the others). *)
   let delete t ~pk =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "ingest.delete" @@ fun () ->
     let ts = next_ts t in
     (match t.cfg.strategy with
     | Strategy.Eager -> (
@@ -596,6 +601,9 @@ module Make (R : Record.S) = struct
     match validation_index t sec with
     | None -> ()
     | Some vt ->
+        Lsm_sim.Env.span t.env ~cat:sec.sec_name
+          (if piggyback then "repair.merge" else "repair.standalone")
+        @@ fun () ->
         let t0 = Lsm_sim.Env.now_us t.env in
         let bloom_opt =
           match bloom_opt with
@@ -800,6 +808,7 @@ module Make (R : Record.S) = struct
       secondary repair avoids.  [with_merge] additionally merges the
       primary components (DELI's merge-repair flavour). *)
   let primary_repair t ~with_merge =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "repair.primary" @@ fun () ->
     let comps = Prim.components t.primary in
     if Array.length comps > 0 then begin
       (* K-way scan over all disk components, newest-first priority. *)
@@ -920,6 +929,8 @@ module Make (R : Record.S) = struct
     match validation_index t sec with
     | None -> Array.to_list entries_sorted
     | Some vt ->
+        Lsm_sim.Env.span t.env ~cat:sec.sec_name "validate.timestamp"
+        @@ fun () ->
         let cursors =
           Array.map (fun c -> Pk.Dbt.Cursor.create c.Pk.tree) (Pk.components vt)
         in
@@ -944,6 +955,7 @@ module Make (R : Record.S) = struct
       non-index-only query of Fig. 16. *)
   let query_secondary t ~sec ~lo ~hi ~(mode : validation_mode)
       ?(lookup = Prim.default_lookup_opts) () =
+    Lsm_sim.Env.span t.env ~cat:sec "query.secondary" @@ fun () ->
     let s = secondary t sec in
     let entries = search_secondary t s ~lo ~hi in
     match mode with
@@ -958,6 +970,7 @@ module Make (R : Record.S) = struct
         fetch_records t ~lookup qkeys
     | `Direct ->
         (* Sort-distinct, fetch, re-check the predicate (Fig. 5a). *)
+        Lsm_sim.Env.span t.env ~cat:sec "validate.direct" @@ fun () ->
         let sorted = sort_entries_by_pk t entries in
         let pks =
           Lsm_util.Sorter.dedup_sorted
@@ -991,6 +1004,7 @@ module Make (R : Record.S) = struct
       must fetch records, which defeats index-only processing (Sec. 4.3). *)
   let query_secondary_keys t ~sec ~lo ~hi
       ~(mode : [ `Assume_valid | `Timestamp ]) () =
+    Lsm_sim.Env.span t.env ~cat:sec "query.secondary_keys" @@ fun () ->
     let s = secondary t sec in
     let entries = search_secondary t s ~lo ~hi in
     match mode with
@@ -1004,6 +1018,7 @@ module Make (R : Record.S) = struct
       record count.  The fallback plan secondary indexes compete against
       (Fig. 12b). *)
   let full_scan t ~f =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "query.scan" @@ fun () ->
     let n = ref 0 in
     Prim.scan t.primary Prim.full_scan_spec ~f:(fun row ~src_repaired:_ ->
         match row.Prim.value with
@@ -1024,6 +1039,7 @@ module Make (R : Record.S) = struct
       - Mutable-bitmap: prune freely and skip reconciliation — bitmaps
         already removed superseded versions. *)
   let query_time_range t ~tlo ~thi ~f =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "query.time_range" @@ fun () ->
     let fk =
       match t.filter_key with
       | Some fk -> fk
@@ -1088,6 +1104,7 @@ module Make (R : Record.S) = struct
 
   (** [point_query t pk] is a primary-key point query. *)
   let point_query t pk =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "query.point" @@ fun () ->
     match Prim.lookup_one t.primary pk with
     | Some { Prim.value = Entry.Put r; _ } -> Some r
     | _ -> None

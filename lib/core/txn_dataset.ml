@@ -62,9 +62,12 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
            strategy (Eager's read-modify-write path needs old-record \
            logging this layer does not provide)");
     D.set_auto_maintenance d false;
+    let wal = Wal.create () in
+    (* WAL spans share the dataset environment's simulated clock. *)
+    Wal.set_tracer wal (Lsm_sim.Env.tracer (D.env d));
     {
       d;
-      wal = Wal.create ();
+      wal;
       redo = [];
       flushed_lsn = 0;
       checkpoint_lsn = 0;
@@ -179,6 +182,7 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
   (** [abort t txn] applies inverse operations in reverse order: restore
       memory bindings, unset update bits. *)
   let abort t txn =
+    Lsm_sim.Env.span (D.env t.d) ~cat:"txn" "txn.abort" @@ fun () ->
     let d = t.d in
     let pkt = pk_index t in
     List.iter
@@ -250,6 +254,7 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
       Requires quiescence (pinned pages of live transactions may not be
       flushed under no-steal). *)
   let checkpoint t =
+    Lsm_sim.Env.span (D.env t.d) ~cat:"txn" "txn.checkpoint" @@ fun () ->
     assert_quiescent t "checkpoint";
     t.checkpoint_lsn <- t.wal.Wal.next_lsn - 1;
     t.checkpoint_bitmaps <-
@@ -287,6 +292,7 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
   (** [recover t] replays committed work: memory redo for operations past
       the flushed LSN, bitmap redo past the checkpoint LSN. *)
   let recover t =
+    Lsm_sim.Env.span (D.env t.d) ~cat:"txn" "recovery.replay" @@ fun () ->
     let committed txn_id =
       match Wal.txn_state t.wal ~txn:txn_id with
       | Some Wal.Committed -> true

@@ -7,9 +7,15 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;
+  appendix : string list;
+      (** Free-form diagnostic lines printed verbatim after the table —
+          used for the per-experiment metrics dump ([--metrics]). *)
 }
 
-let make ?(notes = []) ~id ~title ~header rows = { id; title; header; rows; notes }
+let make ?(notes = []) ?(appendix = []) ~id ~title ~header rows =
+  { id; title; header; rows; notes; appendix }
+
+let with_appendix t lines = { t with appendix = t.appendix @ lines }
 
 let fmt_time_s us = Printf.sprintf "%.3f" (us /. 1e6)
 let fmt_time_ms us = Printf.sprintf "%.3f" (us /. 1e3)
@@ -41,6 +47,7 @@ let print ?(out = stdout) t =
     (String.concat "  " (List.map (fun w -> String.make w '-') ws));
   List.iter (fun r -> Printf.fprintf out "%s\n" (line r)) t.rows;
   List.iter (fun n -> Printf.fprintf out "note: %s\n" n) t.notes;
+  List.iter (fun l -> Printf.fprintf out "%s\n" l) t.appendix;
   flush out
 
 let cell t ~row ~col = List.nth (List.nth t.rows row) col

@@ -7,15 +7,22 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;
+  appendix : string list;
+      (** Free-form diagnostic lines printed verbatim after the table —
+          used for the per-experiment metrics dump ([--metrics]). *)
 }
 
 val make :
   ?notes:string list ->
+  ?appendix:string list ->
   id:string ->
   title:string ->
   header:string list ->
   string list list ->
   t
+
+val with_appendix : t -> string list -> t
+(** Append diagnostic lines to a finished report. *)
 
 (** {1 Cell formatting} *)
 

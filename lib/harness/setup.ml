@@ -13,7 +13,7 @@ let hdd_env ?cache_bytes scale =
   let cache_bytes =
     match cache_bytes with Some b -> b | None -> Scale.cache_bytes scale
   in
-  Env.create ~cache_bytes Scale.hdd_device
+  Obs_hub.attach (Env.create ~cache_bytes Scale.hdd_device)
 
 let ssd_env ?cache_bytes scale =
   let cache_bytes =
@@ -21,7 +21,7 @@ let ssd_env ?cache_bytes scale =
     | Some b -> b
     | None -> Scale.cache_bytes scale * 2 (* the SSD node had 2x the cache *)
   in
-  Env.create ~cache_bytes Scale.ssd_device
+  Obs_hub.attach (Env.create ~cache_bytes Scale.ssd_device)
 
 (* Secondary-key extractors: index 0 is the paper's user_id; additional
    indexes (Figs. 15b, 22) are synthetic attributes derived from the

@@ -234,7 +234,8 @@ module Make (K : KEY) (V : VALUE) = struct
   (** [flush t] turns a non-empty memory component into the newest disk
       component, inheriting the (possibly widened) memory range filter. *)
   let flush t =
-    if not (Mbt.is_empty t.mem.table) then begin
+    if not (Mbt.is_empty t.mem.table) then
+      Lsm_sim.Env.span t.env ~cat:(name t) "lsm.flush" @@ fun () ->
       let bindings = Mbt.to_sorted_array t.mem.table in
       let rows =
         Array.map (fun (key, (ts, entry)) -> { key; ts; value = entry }) bindings
@@ -251,7 +252,6 @@ module Make (K : KEY) (V : VALUE) = struct
       in
       t.disk <- c :: t.disk;
       t.mem <- fresh_mem ()
-    end
 
   (* ------------------------------------------------------------------ *)
   (* Merge *)
@@ -266,6 +266,7 @@ module Make (K : KEY) (V : VALUE) = struct
       the oldest component — drops anti-matter.  Returns the new
       component.  The inputs' files are deleted. *)
   let merge ?(extra_invalid = fun _ _ -> false) t ~first ~last =
+    Lsm_sim.Env.span t.env ~cat:(name t) "lsm.merge" @@ fun () ->
     let comps = Array.of_list t.disk in
     let n = Array.length comps in
     if not (0 <= first && first <= last && last < n) then
@@ -439,6 +440,7 @@ module Make (K : KEY) (V : VALUE) = struct
       entry was deleted or superseded, and any superseding version is
       strictly newer, hence already searched. *)
   let lookup_one t key =
+    Lsm_sim.Env.span t.env ~cat:(name t) "lsm.lookup" @@ fun () ->
     match mem_find t key with
     | Some r -> Some r
     | None ->
@@ -499,7 +501,11 @@ module Make (K : KEY) (V : VALUE) = struct
       the trade-off Fig. 12d measures. *)
   let lookup_batch t opts qkeys ~emit =
     let nq = Array.length qkeys in
-    if nq > 0 then begin
+    if nq > 0 then
+      Lsm_sim.Env.span t.env ~cat:(name t)
+        (if opts.batched then "lsm.lookup.batched" else "lsm.lookup.naive")
+      @@ fun () ->
+      begin
       let comps = Array.of_list t.disk in
       let cursors =
         if opts.stateful then

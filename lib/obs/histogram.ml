@@ -1,0 +1,100 @@
+(** Log-scale latency histogram.
+
+    Values (simulated microseconds, but any non-negative float works) land
+    in geometric buckets: [sub] buckets per octave over the range
+    [2^lo_oct, 2^hi_oct), clamped at both ends.  With the default 8
+    sub-buckets per octave the relative error of a reported quantile is
+    bounded by [2^(1/8) - 1 ~= 9%], which is plenty for p50/p95/p99
+    summaries while keeping the structure a flat int array — observation
+    is an [log2 + array increment], no allocation. *)
+
+(* Octave range: 2^-10 us (~1ns) .. 2^30 us (~18 min of simulated time per
+   single span).  Out-of-range values clamp into the edge buckets; the
+   exact max is tracked separately so p100 never suffers clamping. *)
+let lo_oct = -10
+let hi_oct = 30
+let sub = 8
+let n_buckets = (hi_oct - lo_oct) * sub
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    buckets = Array.make n_buckets 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else begin
+    let oct = Float.log2 v in
+    let i = int_of_float (Float.floor ((oct -. float_of_int lo_oct) *. float_of_int sub)) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+  end
+
+(* Upper bound of bucket [i] — the value a quantile falling in [i] reports.
+   Quantiles are thus conservative (never under-reported) within the
+   bucket's ~9% resolution. *)
+let bucket_upper i =
+  Float.exp2 (float_of_int lo_oct +. (float_of_int (i + 1) /. float_of_int sub))
+
+let observe t v =
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+(** [quantile t q] for [q] in [0, 1]; 0 on an empty histogram.  Reported
+    as the upper bound of the bucket holding the rank-[ceil (q * count)]
+    observation, capped at the exact maximum. *)
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let rec go i cum =
+      if i >= n_buckets then t.max_v
+      else begin
+        let cum = cum + t.buckets.(i) in
+        if cum >= rank then
+          (* The top bucket absorbs clamped out-of-range values, whose
+             true magnitude only the tracked max knows. *)
+          if i = n_buckets - 1 then t.max_v
+          else Float.min (bucket_upper i) t.max_v
+        else go (i + 1) cum
+      end
+    in
+    go 0 0
+  end
+
+let reset t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+(** One-line summary: count, mean, p50/p95/p99, max — the shape used by
+    the metrics dump and report appendices. *)
+let pp_summary fmt t =
+  Fmt.pf fmt "n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g" t.count
+    (mean t) (quantile t 0.5) (quantile t 0.95) (quantile t 0.99)
+    (max_value t)

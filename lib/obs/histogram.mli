@@ -1,0 +1,26 @@
+(** Log-scale latency histogram: geometric buckets (8 per octave, ~9%
+    relative resolution), constant-time observation, conservative
+    quantiles.  Values are non-negative floats (simulated microseconds
+    throughout this repo). *)
+
+type t
+
+val create : unit -> t
+val observe : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]: the upper bound of the bucket
+    holding the rank-[ceil (q*count)] observation, capped at the exact
+    maximum; 0 when empty.  Never under-reports by more than the ~9%
+    bucket resolution. *)
+
+val reset : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** [n=… mean=… p50=… p95=… p99=… max=…] *)

@@ -1,0 +1,97 @@
+(** The metrics registry: named counters, gauges, and latency histograms,
+    each optionally labeled (e.g. [("index", "sec:user_id")]).
+
+    Lookup is amortized by call sites caching the returned handle; the
+    handles themselves are bare mutable cells, so the hot-path cost of an
+    [incr] is one store.  The registry is only ever consulted when
+    observability is enabled — the disabled engine path never touches
+    it. *)
+
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+type t = {
+  tbl : (string * labels, metric) Hashtbl.t;
+  mutable order : (string * labels) list;  (** registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let canon labels = List.sort compare labels
+
+let register t name labels mk =
+  let key = (name, canon labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> m
+  | None ->
+      let m = mk () in
+      Hashtbl.replace t.tbl key m;
+      t.order <- key :: t.order;
+      m
+
+let counter t ?(labels = []) name =
+  match register t name labels (fun () -> Counter { c = 0 }) with
+  | Counter c -> c
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+
+let gauge t ?(labels = []) name =
+  match register t name labels (fun () -> Gauge { g = 0.0 }) with
+  | Gauge g -> g
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+
+let histogram t ?(labels = []) name =
+  match register t name labels (fun () -> Histogram (Histogram.create ())) with
+  | Histogram h -> h
+  | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+
+let add c n = c.c <- c.c + n
+let incr c = add c 1
+let value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+let observe h v = Histogram.observe h v
+
+let iter t f =
+  List.iter
+    (fun (name, labels) ->
+      let m =
+        match Hashtbl.find t.tbl (name, labels) with
+        | Counter c -> `Counter c
+        | Gauge g -> `Gauge g
+        | Histogram h -> `Histogram h
+      in
+      f name labels m)
+    (List.rev t.order)
+
+let pp_labels fmt = function
+  | [] -> ()
+  | ls ->
+      Fmt.pf fmt "{%a}"
+        (Fmt.list ~sep:(Fmt.any ",") (fun fmt (k, v) -> Fmt.pf fmt "%s=%s" k v))
+        ls
+
+(** [to_lines t] renders every metric as one aligned line, sorted by name
+    then labels — the text dump used by report appendices and the CLI. *)
+let to_lines t =
+  let rows = ref [] in
+  iter t (fun name labels m ->
+      let id = Fmt.str "%s%a" name pp_labels labels in
+      let v =
+        match m with
+        | `Counter c -> string_of_int c.c
+        | `Gauge g -> Fmt.str "%.6g" g.g
+        | `Histogram h -> Fmt.str "%a" Histogram.pp_summary h
+      in
+      rows := (id, v) :: !rows);
+  let rows = List.sort compare !rows in
+  let w = List.fold_left (fun acc (id, _) -> max acc (String.length id)) 0 rows in
+  List.map
+    (fun (id, v) -> id ^ String.make (w - String.length id + 2) ' ' ^ v)
+    rows

@@ -1,0 +1,42 @@
+(** Metrics registry: named counters, gauges, and log-scale latency
+    histograms, optionally labeled.  Handles are bare mutable cells —
+    cache them at the call site; updating one is a single store. *)
+
+type t
+
+type labels = (string * string) list
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Find-or-register.  Same name + same labels (order-insensitive) is the
+    same cell.  Raises [Invalid_argument] if the name is already
+    registered as a different metric kind. *)
+
+val gauge : t -> ?labels:labels -> string -> gauge
+val histogram : t -> ?labels:labels -> string -> Histogram.t
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : Histogram.t -> float -> unit
+
+val iter :
+  t ->
+  (string ->
+  labels ->
+  [ `Counter of counter | `Gauge of gauge | `Histogram of Histogram.t ] ->
+  unit) ->
+  unit
+(** Visit every metric in registration order. *)
+
+val to_lines : t -> string list
+(** Aligned one-line-per-metric dump, sorted by name then labels;
+    histograms render as [n=… mean=… p50=… p95=… p99=… max=…]. *)

@@ -1,0 +1,27 @@
+(** The observability handle an engine component carries: one metrics
+    registry plus one span tracer, with a single [enabled] flag the hot
+    paths branch on.  {!disabled} is the default everywhere — engines are
+    instrumented unconditionally and pay one branch per instrumentation
+    point until someone calls {!create}. *)
+
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+}
+
+let disabled =
+  { enabled = false; metrics = Metrics.create (); tracer = Tracer.disabled }
+
+(** [create ~clock ()] builds an enabled handle; [clock] supplies span
+    timestamps (the simulated clock, in microseconds). *)
+let create ?trace_capacity ~clock () =
+  {
+    enabled = true;
+    metrics = Metrics.create ();
+    tracer = Tracer.create ?capacity:trace_capacity ~clock ();
+  }
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let tracer t = t.tracer

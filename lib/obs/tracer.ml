@@ -1,0 +1,273 @@
+(** Span tracer over the *simulated* clock.
+
+    Spans nest (strictly, per thread of control — the engine is
+    single-threaded); each completed span lands in a bounded ring buffer
+    for trace export, while exact aggregates (per-name count / total /
+    self time, top-level coverage, top-level I/O argument totals) are
+    folded in at completion so they survive ring wraparound.
+
+    The disabled tracer reduces [with_span] to a single branch around the
+    thunk — the engine instruments its hot paths unconditionally and pays
+    ~nothing when observability is off (asserted by a bechamel
+    microbench). *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_us : float;
+  ev_dur_us : float;
+  ev_depth : int;  (** 0 = top-level *)
+  ev_args : (string * int) list;  (** e.g. I/O counter deltas *)
+}
+
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_start : float;
+  f_depth : int;
+  mutable f_child_us : float;  (** time inside completed direct children *)
+}
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total_us : float;
+  mutable a_self_us : float;  (** total minus time in direct children *)
+  mutable a_max_us : float;
+}
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  ring : event option array;
+  capacity : int;
+  mutable recorded : int;  (** completed spans ever; ring holds the last [capacity] *)
+  mutable stack : frame list;
+  aggs : (string, agg) Hashtbl.t;
+  top_args : (string, int ref) Hashtbl.t;
+  mutable top_level_us : float;  (** sum of top-level span durations *)
+}
+
+let create ?(capacity = 65_536) ~clock () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity must be positive";
+  {
+    enabled = true;
+    clock;
+    ring = Array.make capacity None;
+    capacity;
+    recorded = 0;
+    stack = [];
+    aggs = Hashtbl.create 64;
+    top_args = Hashtbl.create 16;
+    top_level_us = 0.0;
+  }
+
+let disabled =
+  {
+    enabled = false;
+    clock = (fun () -> 0.0);
+    ring = [||];
+    capacity = 0;
+    recorded = 0;
+    stack = [];
+    aggs = Hashtbl.create 1;
+    top_args = Hashtbl.create 1;
+    top_level_us = 0.0;
+  }
+
+let enabled t = t.enabled
+
+let agg_of t name =
+  match Hashtbl.find_opt t.aggs name with
+  | Some a -> a
+  | None ->
+      let a = { a_count = 0; a_total_us = 0.0; a_self_us = 0.0; a_max_us = 0.0 } in
+      Hashtbl.replace t.aggs name a;
+      a
+
+let finish t fr args =
+  let now = t.clock () in
+  let dur = now -. fr.f_start in
+  (* Pop this frame; tolerate (but do not require) a desynchronized stack
+     so a buggy caller degrades the profile instead of crashing the run. *)
+  (match t.stack with
+  | top :: rest when top == fr -> t.stack <- rest
+  | _ -> t.stack <- List.filter (fun f -> not (f == fr)) t.stack);
+  (match t.stack with
+  | parent :: _ -> parent.f_child_us <- parent.f_child_us +. dur
+  | [] ->
+      t.top_level_us <- t.top_level_us +. dur;
+      List.iter
+        (fun (k, v) ->
+          match Hashtbl.find_opt t.top_args k with
+          | Some r -> r := !r + v
+          | None -> Hashtbl.replace t.top_args k (ref v))
+        args);
+  let a = agg_of t fr.f_name in
+  a.a_count <- a.a_count + 1;
+  a.a_total_us <- a.a_total_us +. dur;
+  a.a_self_us <- a.a_self_us +. (dur -. fr.f_child_us);
+  if dur > a.a_max_us then a.a_max_us <- dur;
+  t.ring.(t.recorded mod t.capacity) <-
+    Some
+      {
+        ev_name = fr.f_name;
+        ev_cat = fr.f_cat;
+        ev_start_us = fr.f_start;
+        ev_dur_us = dur;
+        ev_depth = fr.f_depth;
+        ev_args = args;
+      };
+  t.recorded <- t.recorded + 1
+
+(** [with_span t ?cat ?args_of name f] runs [f] inside a span.  [args_of]
+    is evaluated at completion (even if [f] raises) — the hook the
+    environment uses to attach I/O counter deltas. *)
+let with_span t ?(cat = "") ?args_of name f =
+  if not t.enabled then f ()
+  else begin
+    let fr =
+      {
+        f_name = name;
+        f_cat = cat;
+        f_start = t.clock ();
+        f_depth = List.length t.stack;
+        f_child_us = 0.0;
+      }
+    in
+    t.stack <- fr :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let args = match args_of with Some g -> g () | None -> [] in
+        finish t fr args)
+      f
+  end
+
+let recorded t = t.recorded
+let dropped t = if t.recorded > t.capacity then t.recorded - t.capacity else 0
+
+(** [events t] is the ring's contents, oldest first — the last
+    [capacity] completed spans. *)
+let events t =
+  let n = min t.recorded t.capacity in
+  Array.init n (fun i ->
+      let idx =
+        if t.recorded <= t.capacity then i
+        else (t.recorded + i) mod t.capacity
+      in
+      Option.get t.ring.(idx))
+
+let top_level_us t = t.top_level_us
+
+let top_level_args t =
+  List.sort compare
+    (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.top_args [])
+
+let aggregates t =
+  List.sort
+    (fun (_, a) (_, b) -> compare b.a_total_us a.a_total_us)
+    (Hashtbl.fold (fun name a acc -> (name, a) :: acc) t.aggs [])
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(** [add_chrome_events b ?pid ~first t] appends one Chrome [trace_event]
+    object per ring event to [b] (comma-separated; [first] says whether
+    the first event emitted should omit its leading comma).  Returns
+    whether anything was emitted.  Timestamps are simulated microseconds,
+    which is exactly Chrome's unit. *)
+let add_chrome_events b ?(pid = 0) ~first t =
+  let evs = events t in
+  Array.iteri
+    (fun i ev ->
+      if not (first && i = 0) then Buffer.add_string b ",\n";
+      Buffer.add_string b "{\"name\":\"";
+      json_escape b ev.ev_name;
+      Buffer.add_string b "\",\"cat\":\"";
+      json_escape b (if ev.ev_cat = "" then "engine" else ev.ev_cat);
+      Buffer.add_string b
+        (Printf.sprintf "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":0"
+           ev.ev_start_us ev.ev_dur_us pid);
+      (match ev.ev_args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '"';
+              json_escape b k;
+              Buffer.add_string b (Printf.sprintf "\":%d" v))
+            args;
+          Buffer.add_char b '}');
+      Buffer.add_char b '}')
+    evs;
+  Array.length evs > 0
+
+(** [to_chrome_json t] is a standalone loadable trace (one process). *)
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  ignore (add_chrome_events b ~pid:0 ~first:true t);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Text profile *)
+
+(** [profile ?total_us t] renders the aggregate table, sorted by total
+    time.  [total_us] (the run's elapsed simulated time) scales the
+    percentage column and the coverage line; when omitted, the top-level
+    span total is used (coverage then reads 100%). *)
+let profile ?total_us t =
+  let total = match total_us with Some x -> x | None -> t.top_level_us in
+  let total = if total <= 0.0 then 1.0 else total in
+  let rows =
+    List.map
+      (fun (name, a) ->
+        [
+          name;
+          string_of_int a.a_count;
+          Printf.sprintf "%.3f" (a.a_total_us /. 1e3);
+          Printf.sprintf "%.3f" (a.a_self_us /. 1e3);
+          Printf.sprintf "%.3f" (a.a_max_us /. 1e3);
+          Printf.sprintf "%.1f%%" (a.a_total_us /. total *. 100.0);
+        ])
+      (aggregates t)
+  in
+  let header = [ "span"; "count"; "total(ms)"; "self(ms)"; "max(ms)"; "%run" ] in
+  let all = header :: rows in
+  let widths =
+    List.init (List.length header) (fun c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          0 all)
+  in
+  let line row =
+    String.concat "  "
+      (List.map2
+         (fun w s -> s ^ String.make (max 0 (w - String.length s)) ' ')
+         widths row)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let coverage =
+    Printf.sprintf
+      "top-level spans cover %.3fms of %.3fms simulated time (%.1f%%); %d \
+       spans recorded, %d dropped from the ring"
+      (t.top_level_us /. 1e3) (total /. 1e3)
+      (t.top_level_us /. total *. 100.0)
+      t.recorded (dropped t)
+  in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ coverage ])

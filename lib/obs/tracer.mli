@@ -1,0 +1,74 @@
+(** Nested-span tracer stamped with the simulated clock.
+
+    Completed spans land in a bounded ring buffer (for Chrome
+    [trace_event] export); exact per-name aggregates and top-level totals
+    are folded in at completion and survive ring wraparound.  The
+    disabled tracer reduces {!with_span} to one branch. *)
+
+type t
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_us : float;
+  ev_dur_us : float;
+  ev_depth : int;  (** 0 = top-level *)
+  ev_args : (string * int) list;  (** e.g. I/O counter deltas *)
+}
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total_us : float;
+  mutable a_self_us : float;  (** total minus time in direct children *)
+  mutable a_max_us : float;
+}
+
+val create : ?capacity:int -> clock:(unit -> float) -> unit -> t
+(** [capacity] bounds the ring buffer (default 65536 completed spans). *)
+
+val disabled : t
+val enabled : t -> bool
+
+val with_span :
+  t ->
+  ?cat:string ->
+  ?args_of:(unit -> (string * int) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Run a thunk inside a span.  [args_of] is evaluated at completion
+    (even on exceptions) — used to attach I/O counter deltas. *)
+
+val recorded : t -> int
+(** Completed spans ever (including any no longer in the ring). *)
+
+val dropped : t -> int
+(** [recorded - capacity] when positive: spans evicted from the ring. *)
+
+val events : t -> event array
+(** Ring contents, oldest first. *)
+
+val top_level_us : t -> float
+(** Sum of top-level (depth 0) span durations — the covered time. *)
+
+val top_level_args : t -> (string * int) list
+(** Top-level span argument totals, summed per key and sorted — e.g. the
+    I/O counters attributed to named spans, for reconciliation against
+    {!Lsm_sim.Io_stats.diff}. *)
+
+val aggregates : t -> (string * agg) list
+(** Per-name aggregates, largest total first. *)
+
+val add_chrome_events : Buffer.t -> ?pid:int -> first:bool -> t -> bool
+(** Append the ring's events as Chrome [trace_event] objects
+    (comma-separated; [first] controls the leading comma).  Returns
+    whether anything was emitted.  Timestamps are microseconds — exactly
+    Chrome's unit. *)
+
+val to_chrome_json : t -> string
+(** A standalone loadable [chrome://tracing] / Perfetto document. *)
+
+val profile : ?total_us:float -> t -> string
+(** Aligned text table (count / total / self / max / %run per span name)
+    plus a coverage line.  [total_us] is the run's elapsed simulated
+    time; defaults to the covered time itself. *)

@@ -46,6 +46,11 @@ type t = {
   (* Device head position, for sequential-vs-random classification. *)
   mutable head_file : int;
   mutable head_page : int;
+  mutable obs : Lsm_obs.Obs.t;
+      (** observability handle; {!Lsm_obs.Obs.disabled} by default, so the
+          instrumentation below costs one branch per call *)
+  mutable published : Io_stats.t;
+      (** statistics snapshot at the last {!publish_io_metrics} *)
 }
 
 (** [create ?cache_bytes ?cpu device] builds an environment.  The default
@@ -74,6 +79,8 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
     next_file_id = 0;
     head_file = -1;
     head_page = -1;
+    obs = Lsm_obs.Obs.disabled;
+    published = Io_stats.create ();
   }
 
 let read_ahead_pages t = t.read_ahead_pages
@@ -175,4 +182,63 @@ let drop_file t ~file = Buffer_cache.drop_file t.cache file
 
 (** [reset_measurement t] clears statistics without touching the clock,
     cache, or any files; use between measured phases. *)
-let reset_measurement t = Io_stats.reset t.stats
+let reset_measurement t =
+  Io_stats.reset t.stats;
+  t.published <- Io_stats.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Observability (lsm_obs) *)
+
+let obs t = t.obs
+let tracer t = t.obs.Lsm_obs.Obs.tracer
+let metrics t = t.obs.Lsm_obs.Obs.metrics
+
+(** [enable_obs t] installs (and returns) an enabled observability handle
+    whose span tracer is stamped with this environment's simulated clock. *)
+let enable_obs ?trace_capacity t =
+  let o = Lsm_obs.Obs.create ?trace_capacity ~clock:(fun () -> t.now_us) () in
+  t.obs <- o;
+  o
+
+(** [span t ?cat name f] runs [f] inside a tracer span carrying the
+    {!Io_stats} deltas it caused as span arguments, and feeds the span's
+    simulated duration into the [span.<name>] latency histogram.  With
+    observability disabled this is one branch around [f]. *)
+let span t ?cat name f =
+  let o = t.obs in
+  if not o.Lsm_obs.Obs.enabled then f ()
+  else begin
+    let before = Io_stats.copy t.stats in
+    let t0 = t.now_us in
+    let r =
+      Lsm_obs.Tracer.with_span o.Lsm_obs.Obs.tracer ?cat
+        ~args_of:(fun () -> Io_stats.fields (Io_stats.diff t.stats before))
+        name f
+    in
+    let labels = match cat with Some c when c <> "" -> [ ("src", c) ] | _ -> [] in
+    Lsm_obs.Metrics.observe
+      (Lsm_obs.Metrics.histogram o.Lsm_obs.Obs.metrics ~labels ("span." ^ name))
+      (t.now_us -. t0);
+    r
+  end
+
+(** [publish_io_metrics t] bridges the {!Io_stats} counters accumulated
+    since the last publish into the metrics registry ([io.*] counters, via
+    {!Io_stats.diff}), and refreshes the cache-occupancy and clock
+    gauges.  No-op when observability is disabled. *)
+let publish_io_metrics t =
+  let o = t.obs in
+  if o.Lsm_obs.Obs.enabled then begin
+    let m = o.Lsm_obs.Obs.metrics in
+    List.iter
+      (fun (k, v) -> Lsm_obs.Metrics.add (Lsm_obs.Metrics.counter m ("io." ^ k)) v)
+      (Io_stats.fields (Io_stats.diff t.stats t.published));
+    t.published <- Io_stats.copy t.stats;
+    Lsm_obs.Metrics.set
+      (Lsm_obs.Metrics.gauge m "cache.resident_pages")
+      (Float.of_int (Buffer_cache.size t.cache));
+    Lsm_obs.Metrics.set
+      (Lsm_obs.Metrics.gauge m "cache.capacity_pages")
+      (Float.of_int (Buffer_cache.capacity t.cache));
+    Lsm_obs.Metrics.set (Lsm_obs.Metrics.gauge m "sim.now_us") t.now_us
+  end

@@ -62,3 +62,27 @@ val drop_file : t -> file:int -> unit
 
 val reset_measurement : t -> unit
 (** Clear statistics without touching clock, cache, or files. *)
+
+(** {1 Observability (lsm_obs)}
+
+    Environments carry an {!Lsm_obs.Obs.t} handle, disabled by default.
+    The engine's hot paths are instrumented unconditionally through
+    {!span}; disabled, each instrumentation point costs one branch. *)
+
+val obs : t -> Lsm_obs.Obs.t
+val tracer : t -> Lsm_obs.Tracer.t
+val metrics : t -> Lsm_obs.Metrics.t
+
+val enable_obs : ?trace_capacity:int -> t -> Lsm_obs.Obs.t
+(** Install (and return) an enabled handle whose span tracer is stamped
+    with this environment's simulated clock. *)
+
+val span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a tracer span that carries the {!Io_stats} deltas
+    it caused as span arguments, and feed its simulated duration into the
+    [span.<name>] latency histogram. *)
+
+val publish_io_metrics : t -> unit
+(** Bridge the {!Io_stats} counters accumulated since the last publish
+    into [io.*] registry counters (via {!Io_stats.diff}), and refresh the
+    cache-occupancy and clock gauges. *)

@@ -78,6 +78,23 @@ let diff a b =
     comparisons = a.comparisons - b.comparisons;
   }
 
+(** [fields t] names every counter — the single source of truth for
+    bridging into the metrics registry and for span I/O arguments. *)
+let fields t =
+  [
+    ("pages_read", t.pages_read);
+    ("seq_reads", t.seq_reads);
+    ("rand_reads", t.rand_reads);
+    ("pages_written", t.pages_written);
+    ("write_batches", t.write_batches);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("bloom_probes", t.bloom_probes);
+    ("bloom_negatives", t.bloom_negatives);
+    ("bloom_cache_lines", t.bloom_cache_lines);
+    ("comparisons", t.comparisons);
+  ]
+
 let pp fmt t =
   Fmt.pf fmt
     "reads=%d (seq=%d rand=%d) writes=%d hits=%d misses=%d bloom=%d/%d \

@@ -23,4 +23,8 @@ val copy : t -> t
 val diff : t -> t -> t
 (** [diff a b] is the counter-wise difference [a - b]. *)
 
+val fields : t -> (string * int) list
+(** Every counter as a (name, value) pair — the bridge into the metrics
+    registry and span I/O arguments. *)
+
 val pp : Format.formatter -> t -> unit

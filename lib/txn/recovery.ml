@@ -14,6 +14,7 @@
 (** [abort_txn wal store ~txn] undoes [txn]'s bitmap changes and marks it
     aborted. *)
 let abort_txn (wal : Wal.t) (store : Bitmap_store.t) ~txn =
+  Lsm_obs.Tracer.with_span wal.Wal.tracer ~cat:"wal" "txn.abort" @@ fun () ->
   List.iter
     (fun (r : Wal.record) ->
       if r.Wal.update_bit then
@@ -24,6 +25,8 @@ let abort_txn (wal : Wal.t) (store : Bitmap_store.t) ~txn =
 (** [recover wal store] runs crash recovery: revert to the checkpoint and
     replay committed post-checkpoint records. *)
 let recover (wal : Wal.t) (store : Bitmap_store.t) =
+  Lsm_obs.Tracer.with_span wal.Wal.tracer ~cat:"wal" "recovery.replay"
+  @@ fun () ->
   Bitmap_store.crash store;
   List.iter
     (fun (r : Wal.record) ->

@@ -29,6 +29,10 @@ type t = {
   mutable checkpoint_lsn : int;
   txns : (int, txn_state) Hashtbl.t;
   mutable next_txn : int;
+  mutable tracer : Lsm_obs.Tracer.t;
+      (** span tracer for append/checkpoint; disabled by default.  The
+          caller that owns the storage environment attaches the
+          environment's tracer so WAL spans share the simulated clock. *)
 }
 
 let create () =
@@ -38,7 +42,11 @@ let create () =
     checkpoint_lsn = 0;
     txns = Hashtbl.create 64;
     next_txn = 1;
+    tracer = Lsm_obs.Tracer.disabled;
   }
+
+(** [set_tracer t tr] attaches a span tracer (see {!type:t}). *)
+let set_tracer t tr = t.tracer <- tr
 
 (** [begin_txn t] opens a transaction and returns its id. *)
 let begin_txn t =
@@ -50,6 +58,7 @@ let begin_txn t =
 (** [log t ~txn ~kind ~pk ~update] appends a record; [update] carries the
     (component seq, position) whose bit the operation set, if any. *)
 let log t ~txn ~kind ~pk ~update =
+  Lsm_obs.Tracer.with_span t.tracer ~cat:"wal" "wal.append" @@ fun () ->
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   let update_bit, comp_seq, pos =
@@ -64,7 +73,9 @@ let txn_state t ~txn = Hashtbl.find_opt t.txns txn
 
 (** [checkpoint t] records that all bitmap pages dirtied by records up to
     this point have been flushed (regular checkpointing, Sec. 5.2). *)
-let checkpoint t = t.checkpoint_lsn <- t.next_lsn - 1
+let checkpoint t =
+  Lsm_obs.Tracer.with_span t.tracer ~cat:"wal" "wal.checkpoint" @@ fun () ->
+  t.checkpoint_lsn <- t.next_lsn - 1
 
 let checkpoint_lsn t = t.checkpoint_lsn
 

@@ -24,9 +24,15 @@ type t = {
   mutable checkpoint_lsn : int;
   txns : (int, txn_state) Hashtbl.t;
   mutable next_txn : int;
+  mutable tracer : Lsm_obs.Tracer.t;
+      (** span tracer for append/checkpoint spans; disabled by default *)
 }
 
 val create : unit -> t
+
+val set_tracer : t -> Lsm_obs.Tracer.t -> unit
+(** Attach the storage environment's tracer so WAL spans share the
+    simulated clock. *)
 
 val begin_txn : t -> int
 (** Open a transaction; returns its id. *)

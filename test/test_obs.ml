@@ -1,0 +1,346 @@
+(* Tests for Lsm_obs: histogram bucketing and quantiles, tracer ring
+   wraparound and self-time arithmetic, the metrics registry, Chrome
+   trace export — and the end-to-end reconciliation property: with
+   observability enabled, the I/O counters attributed to top-level spans
+   must account for *every* I/O the engine performed. *)
+
+module H = Lsm_obs.Histogram
+module M = Lsm_obs.Metrics
+module T = Lsm_obs.Tracer
+module Env = Lsm_sim.Env
+module Io_stats = Lsm_sim.Io_stats
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module Strategy = Lsm_core.Strategy
+module Tweet = Lsm_workload.Tweet
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Naive substring check — enough for asserting JSON shape. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check (float 0.0)) "sum" 0.0 (H.sum h);
+  Alcotest.(check (float 0.0)) "p50" 0.0 (H.quantile h 0.5)
+
+let test_hist_exact_fields () =
+  let h = H.create () in
+  List.iter (H.observe h) [ 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 ];
+  Alcotest.(check int) "count" 8 (H.count h);
+  Alcotest.(check (float 1e-9)) "sum" 31.0 (H.sum h);
+  Alcotest.(check (float 1e-9)) "mean" (31.0 /. 8.0) (H.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (H.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (H.max_value h)
+
+let test_hist_quantiles () =
+  (* 1..1000: quantiles must be within the ~9% bucket resolution above
+     the true rank value, never below it, and monotone in q. *)
+  let h = H.create () in
+  for i = 1 to 1000 do
+    H.observe h (Float.of_int i)
+  done;
+  List.iter
+    (fun q ->
+      let true_v = Float.of_int (int_of_float (ceil (q *. 1000.0))) in
+      let v = H.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f >= true" (q *. 100.0))
+        true (v >= true_v *. 0.999);
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within 10%%" (q *. 100.0))
+        true
+        (v <= true_v *. 1.10))
+    [ 0.5; 0.9; 0.95; 0.99 ];
+  let p50 = H.quantile h 0.5
+  and p95 = H.quantile h 0.95
+  and p99 = H.quantile h 0.99 in
+  Alcotest.(check bool) "monotone" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check (float 1e-9)) "p100 = max" 1000.0 (H.quantile h 1.0)
+
+let test_hist_extremes () =
+  (* Values outside the octave range clamp into the edge buckets without
+     losing count/sum/max exactness. *)
+  let h = H.create () in
+  H.observe h 0.0;
+  H.observe h 1e-6;
+  H.observe h 1e12;
+  Alcotest.(check int) "count" 3 (H.count h);
+  Alcotest.(check (float 1e-3)) "max exact" 1e12 (H.max_value h);
+  Alcotest.(check (float 1e-3)) "p100 capped at max" 1e12 (H.quantile h 1.0);
+  H.reset h;
+  Alcotest.(check int) "reset" 0 (H.count h)
+
+let prop_hist_quantile_bounds =
+  qtest ~count:100 "quantile within resolution of a sorted sample"
+    QCheck2.Gen.(list_size (int_range 1 200) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let xs = List.map (fun x -> Float.abs x +. 1e-3) xs in
+      let h = H.create () in
+      List.iter (H.observe h) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let rank = max 0 (min (n - 1) (int_of_float (ceil (q *. Float.of_int n)) - 1)) in
+          let true_v = sorted.(rank) in
+          let v = H.quantile h q in
+          v >= true_v *. 0.999 && v <= true_v *. 1.10)
+        [ 0.5; 0.95; 0.99 ])
+
+(* ------------------------------------------------------------------ *)
+(* Tracer *)
+
+(* A manual clock: spans advance it explicitly. *)
+let manual () =
+  let now = ref 0.0 in
+  let t = T.create ~capacity:8 ~clock:(fun () -> !now) () in
+  (t, now)
+
+let test_tracer_nesting_self_time () =
+  let t, now = manual () in
+  T.with_span t "outer" (fun () ->
+      now := !now +. 10.0;
+      T.with_span t "inner" (fun () -> now := !now +. 30.0);
+      now := !now +. 5.0);
+  let agg name = List.assoc name (T.aggregates t) in
+  Alcotest.(check (float 1e-9)) "outer total" 45.0 (agg "outer").T.a_total_us;
+  Alcotest.(check (float 1e-9)) "outer self" 15.0 (agg "outer").T.a_self_us;
+  Alcotest.(check (float 1e-9)) "inner total" 30.0 (agg "inner").T.a_total_us;
+  Alcotest.(check (float 1e-9)) "inner self" 30.0 (agg "inner").T.a_self_us;
+  Alcotest.(check (float 1e-9)) "top-level = outer" 45.0 (T.top_level_us t);
+  (* Events: inner completes first, outer second. *)
+  let evs = T.events t in
+  Alcotest.(check int) "two events" 2 (Array.length evs);
+  Alcotest.(check string) "inner first" "inner" evs.(0).T.ev_name;
+  Alcotest.(check int) "inner depth" 1 evs.(0).T.ev_depth;
+  Alcotest.(check int) "outer depth" 0 evs.(1).T.ev_depth
+
+let test_tracer_ring_wraparound () =
+  let t, now = manual () in
+  for i = 1 to 20 do
+    T.with_span t (Printf.sprintf "s%d" i) (fun () -> now := !now +. 1.0)
+  done;
+  Alcotest.(check int) "recorded all" 20 (T.recorded t);
+  Alcotest.(check int) "dropped overflow" 12 (T.dropped t);
+  let evs = T.events t in
+  Alcotest.(check int) "ring holds capacity" 8 (Array.length evs);
+  (* Oldest-first: the survivors are s13..s20. *)
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check string)
+        (Printf.sprintf "slot %d" i)
+        (Printf.sprintf "s%d" (13 + i))
+        e.T.ev_name)
+    evs;
+  (* Aggregates survive eviction. *)
+  Alcotest.(check int) "agg names" 20 (List.length (T.aggregates t));
+  Alcotest.(check (float 1e-9)) "coverage exact" 20.0 (T.top_level_us t)
+
+let test_tracer_exception_safety () =
+  let t, now = manual () in
+  (try
+     T.with_span t "boom" (fun () ->
+         now := !now +. 7.0;
+         failwith "x")
+   with Failure _ -> ());
+  Alcotest.(check int) "span still recorded" 1 (T.recorded t);
+  Alcotest.(check (float 1e-9)) "duration kept" 7.0 (T.top_level_us t);
+  (* The stack unwound: a new span is top-level again. *)
+  T.with_span t "next" (fun () -> now := !now +. 1.0);
+  Alcotest.(check int) "next at depth 0" 0 (T.events t).(1).T.ev_depth
+
+let test_tracer_disabled_noop () =
+  let r = T.with_span T.disabled "x" (fun () -> 42) in
+  Alcotest.(check int) "value through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (T.recorded T.disabled);
+  Alcotest.(check bool) "not enabled" false (T.enabled T.disabled)
+
+let test_tracer_args_accumulate () =
+  let t, now = manual () in
+  let go name pages =
+    T.with_span t ~args_of:(fun () -> [ ("pages", pages); ("seeks", 1) ]) name
+      (fun () -> now := !now +. 1.0)
+  in
+  go "a" 3;
+  go "b" 4;
+  (* Nested spans' args must NOT double-count at top level. *)
+  T.with_span t ~args_of:(fun () -> [ ("pages", 10) ]) "outer" (fun () ->
+      go "inner" 10);
+  Alcotest.(check (list (pair string int)))
+    "top-level arg totals"
+    [ ("pages", 17); ("seeks", 2) ]
+    (T.top_level_args t)
+
+let test_chrome_json_shape () =
+  let t, now = manual () in
+  T.with_span t ~cat:"c" ~args_of:(fun () -> [ ("n", 1) ]) "quote\"back\\slash"
+    (fun () -> now := !now +. 2.5);
+  let json = T.to_chrome_json t in
+  Alcotest.(check bool) "has traceEvents" true (contains json "\"traceEvents\"");
+  Alcotest.(check bool) "escaped quote" true
+    (contains json {|quote\"back\\slash|});
+  Alcotest.(check bool) "complete event" true (contains json {|"ph":"X"|});
+  Alcotest.(check bool) "duration" true (contains json {|"dur":2.5|})
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_cells () =
+  let m = M.create () in
+  let c1 = M.counter m ~labels:[ ("a", "1"); ("b", "2") ] "ops" in
+  let c2 = M.counter m ~labels:[ ("b", "2"); ("a", "1") ] "ops" in
+  M.add c1 5;
+  M.incr c2;
+  (* Label order is irrelevant: same cell. *)
+  Alcotest.(check int) "same cell" 6 (M.value c1);
+  let c3 = M.counter m ~labels:[ ("a", "other") ] "ops" in
+  Alcotest.(check int) "distinct labels distinct cell" 0 (M.value c3);
+  let g = M.gauge m "depth" in
+  M.set g 3.5;
+  Alcotest.(check (float 0.0)) "gauge" 3.5 (M.gauge_value g);
+  Alcotest.(check_raises) "kind mismatch"
+    (Invalid_argument "Metrics.counter: depth is not a counter") (fun () ->
+      ignore (M.counter m "depth"))
+
+let test_metrics_to_lines () =
+  let m = M.create () in
+  M.add (M.counter m "z.last") 9;
+  M.add (M.counter m "a.first") 1;
+  M.observe (M.histogram m "lat") 100.0;
+  let lines = M.to_lines m in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  (* Sorted by name. *)
+  Alcotest.(check bool) "a.first first" true
+    (contains (List.nth lines 0) "a.first");
+  Alcotest.(check bool) "histogram summary" true
+    (contains (List.nth lines 1) "p95=")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end reconciliation: span-attributed I/O = Io_stats.diff *)
+
+let secondaries = [ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+
+let tw ?(user = 0) id =
+  { Tweet.id; user_id = user; location = 0; created_at = id; msg_len = 100 }
+
+type op = Insert of int * int | Upsert of int * int | Delete of int
+        | Point of int | Query of int
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun k u -> Insert (k, u)) (int_range 0 400) (int_range 0 50);
+        map2 (fun k u -> Upsert (k, u)) (int_range 0 400) (int_range 0 50);
+        map (fun k -> Delete k) (int_range 0 400);
+        map (fun k -> Point k) (int_range 0 400);
+        map (fun u -> Query u) (int_range 0 40);
+      ])
+
+let apply d = function
+  | Insert (k, u) -> ignore (D.insert d (tw ~user:u k))
+  | Upsert (k, u) -> D.upsert d (tw ~user:u k)
+  | Delete k -> D.delete d ~pk:k
+  | Point k -> ignore (D.point_query d k)
+  | Query u ->
+      ignore (D.query_secondary d ~sec:"user_id" ~lo:u ~hi:(u + 10)
+                ~mode:`Timestamp ())
+
+let prop_span_io_reconciles =
+  qtest ~count:40 "top-level span I/O args = Io_stats.diff over the run"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 150) op_gen) (int_range 0 2))
+    (fun (ops, strat) ->
+      let strategy =
+        List.nth
+          [ Strategy.eager; Strategy.validation; Strategy.mutable_bitmap ]
+          strat
+      in
+      let env =
+        Lsm_sim.Env.create ~cache_bytes:(64 * 1024)
+          (Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+             ~read_us_per_page:100.0 ~write_us_per_page:100.0)
+      in
+      ignore (Env.enable_obs env);
+      let d =
+        D.create ~filter_key:Tweet.created_at ~secondaries env
+          { D.default_config with strategy; mem_budget = 2048 }
+      in
+      let before = Io_stats.copy (Env.stats env) in
+      List.iter (apply d) ops;
+      let expected = Io_stats.fields (Io_stats.diff (Env.stats env) before) in
+      let attributed = T.top_level_args (Env.tracer env) in
+      (* Every engine I/O happened inside some instrumented top-level
+         entry point, so the attribution must be *exact*, counter by
+         counter. *)
+      List.for_all
+        (fun (k, v) ->
+          match List.assoc_opt k attributed with
+          | Some v' -> v = v'
+          | None -> v = 0)
+        expected)
+
+(* The disabled path really is inert: running a workload with obs off
+   records nothing and allocates no events. *)
+let test_disabled_records_nothing () =
+  let env =
+    Lsm_sim.Env.create ~cache_bytes:(64 * 1024)
+      (Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+         ~read_us_per_page:100.0 ~write_us_per_page:100.0)
+  in
+  let d =
+    D.create ~filter_key:Tweet.created_at ~secondaries env
+      { D.default_config with mem_budget = 2048 }
+  in
+  for i = 0 to 200 do
+    D.upsert d (tw ~user:(i mod 10) i)
+  done;
+  Alcotest.(check int) "no spans" 0 (T.recorded (Env.tracer env));
+  Alcotest.(check (list string)) "no metrics" [] (M.to_lines (Env.metrics env))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lsm_obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "exact fields" `Quick test_hist_exact_fields;
+          Alcotest.test_case "quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "extremes + reset" `Quick test_hist_extremes;
+          prop_hist_quantile_bounds;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "nesting/self-time" `Quick
+            test_tracer_nesting_self_time;
+          Alcotest.test_case "ring wraparound" `Quick
+            test_tracer_ring_wraparound;
+          Alcotest.test_case "exception safety" `Quick
+            test_tracer_exception_safety;
+          Alcotest.test_case "disabled no-op" `Quick test_tracer_disabled_noop;
+          Alcotest.test_case "args accumulate" `Quick
+            test_tracer_args_accumulate;
+          Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "cells + labels" `Quick test_metrics_cells;
+          Alcotest.test_case "to_lines" `Quick test_metrics_to_lines;
+        ] );
+      ( "end-to-end",
+        [
+          prop_span_io_reconciles;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+    ]
