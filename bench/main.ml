@@ -257,7 +257,7 @@ let micro_tests =
       test_standalone_repair;
     ]
 
-let run_micro () =
+let run_micro ?(quota = 0.4) ?json_path () =
   print_endline "\n===== Bechamel microbenchmarks (host CPU time / run) =====";
   (* Build shared fixtures up front so their one-time cost never lands
      inside a measured run. *)
@@ -268,8 +268,33 @@ let run_micro () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances micro_tests in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let label = Measure.label (List.hd instances) in
+      let entries =
+        Hashtbl.fold
+          (fun name (b : Benchmark.t) acc ->
+            let samples =
+              Array.map
+                (fun m ->
+                  Measurement_raw.get ~label m /. Measurement_raw.run m)
+                b.Benchmark.lr
+            in
+            { Lsm_harness.Bench_json.name; unit_ = "ns/run"; samples } :: acc)
+          raw []
+      in
+      let entries =
+        List.sort
+          (fun a b ->
+            compare a.Lsm_harness.Bench_json.name b.Lsm_harness.Bench_json.name)
+          entries
+      in
+      Lsm_harness.Bench_json.write ~path
+        { Lsm_harness.Bench_json.kind = "micro"; scale = None; entries };
+      Printf.printf "wrote %s (%d entries)\n" path (List.length entries));
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
@@ -296,20 +321,87 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
-let () =
-  let argv = Array.to_list Sys.argv in
-  let mode, scale =
-    match argv with
-    | _ :: "micro" :: _ -> (`Micro, Lsm_harness.Scale.small)
-    | _ :: "figures" :: s :: _ -> (`Figures, Lsm_harness.Scale.of_string s)
-    | _ :: "figures" :: _ -> (`Figures, Lsm_harness.Scale.small)
-    | _ -> (`Both, Lsm_harness.Scale.small)
+(* Figure suite, optionally snapshotting every numeric table cell. *)
+let run_figures ?json_path scale =
+  Printf.printf
+    "===== Paper figure suite (scale %s: %d records; simulated time) =====\n"
+    scale.Lsm_harness.Scale.name scale.Lsm_harness.Scale.records;
+  match json_path with
+  | None -> Lsm_harness.Registry.run_all scale
+  | Some path ->
+      let reports = ref [] in
+      List.iter
+        (fun (e : Lsm_harness.Registry.experiment) ->
+          Printf.printf "\n##### %s — %s\n" e.id e.description;
+          flush stdout;
+          let rs = e.run scale in
+          List.iter Lsm_harness.Report.print rs;
+          reports := !reports @ rs)
+        Lsm_harness.Registry.all;
+      let doc = Lsm_harness.Bench_json.of_reports ~scale !reports in
+      Lsm_harness.Bench_json.write ~path doc;
+      Printf.printf "wrote %s (%d entries)\n" path
+        (List.length doc.Lsm_harness.Bench_json.entries)
+
+let run_compare old_path new_path threshold =
+  let load path =
+    match Lsm_harness.Bench_json.read ~path with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "bench compare: %s: %s\n" path e;
+        exit 2
   in
-  (match mode with
-  | `Micro -> ()
-  | `Figures | `Both ->
-      Printf.printf
-        "===== Paper figure suite (scale %s: %d records; simulated time) =====\n"
-        scale.Lsm_harness.Scale.name scale.Lsm_harness.Scale.records;
-      Lsm_harness.Registry.run_all scale);
-  match mode with `Figures -> () | `Micro | `Both -> run_micro ()
+  let old_d = load old_path and new_d = load new_path in
+  let regs, compared, only_old, only_new =
+    Lsm_harness.Bench_json.compare_docs ~threshold old_d new_d
+  in
+  Printf.printf
+    "bench compare: %d entries compared (threshold %+.0f%%), %d only in \
+     baseline, %d new\n"
+    compared (threshold *. 100.0) (List.length only_old) (List.length only_new);
+  List.iter
+    (fun r ->
+      Format.printf "REGRESSION %a@." Lsm_harness.Bench_json.pp_regression r)
+    regs;
+  if regs = [] then print_endline "bench compare: no regressions"
+  else exit 1
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [micro|figures [SCALE]|compare OLD NEW] [--json FILE] \
+     [--quota SECONDS] [--threshold FRACTION]";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* Split flags (with their values) from positional words. *)
+  let json = ref None and quota = ref None and threshold = ref 0.15 in
+  let rec split pos = function
+    | [] -> List.rev pos
+    | "--json" :: v :: tl ->
+        json := Some v;
+        split pos tl
+    | "--quota" :: v :: tl -> (
+        match float_of_string_opt v with
+        | Some q when q > 0.0 ->
+            quota := Some q;
+            split pos tl
+        | _ -> usage ())
+    | "--threshold" :: v :: tl -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0.0 ->
+            threshold := t;
+            split pos tl
+        | _ -> usage ())
+    | f :: _ when String.length f > 1 && f.[0] = '-' -> usage ()
+    | w :: tl -> split (w :: pos) tl
+  in
+  match split [] args with
+  | [ "micro" ] -> run_micro ?quota:!quota ?json_path:!json ()
+  | [ "figures" ] -> run_figures ?json_path:!json Lsm_harness.Scale.small
+  | [ "figures"; s ] -> run_figures ?json_path:!json (Lsm_harness.Scale.of_string s)
+  | [ "compare"; old_path; new_path ] -> run_compare old_path new_path !threshold
+  | [] ->
+      run_figures Lsm_harness.Scale.small;
+      run_micro ?quota:!quota ?json_path:!json ()
+  | _ -> usage ()

@@ -2,7 +2,8 @@
 
    lsm_repro list                 — show every experiment
    lsm_repro run fig14 [-s tiny]  — run one experiment
-   lsm_repro all [-s medium]      — run the full suite *)
+   lsm_repro all [-s medium]      — run the full suite
+   lsm_repro inspect [-s small]   — amplification + component report *)
 
 open Cmdliner
 
@@ -36,24 +37,47 @@ let metrics_arg =
   let doc = "Print each environment's metrics registry after the run." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-let setup_obs ~trace ~profile ~metrics =
-  (* Fail on an unwritable trace path now, not after the experiment. *)
-  (match trace with
+let explain_arg =
+  let doc =
+    "Record query plans (EXPLAIN ANALYZE): after the run, print one plan \
+     tree per distinct operation with per-node timing, counters, and I/O \
+     deltas."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let explain_json_arg =
+  let doc = "Like $(b,--explain), but write the plans as JSON to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "explain-json" ] ~docv:"FILE" ~doc)
+
+let check_writable = function
   | Some path -> (
+      (* Fail on an unwritable path now, not after the experiment. *)
       try close_out (open_out path)
       with Sys_error msg ->
-        Printf.eprintf "cannot write trace file: %s\n" msg;
+        Printf.eprintf "cannot write file: %s\n" msg;
         exit 1)
-  | None -> ());
-  if trace <> None || profile || metrics then Lsm_harness.Obs_hub.enable ()
+  | None -> ()
 
-let finish_obs ~trace ~profile ~metrics =
+let setup_obs ~trace ~profile ~metrics ~explain ~explain_json =
+  check_writable trace;
+  check_writable explain_json;
+  if trace <> None || profile || metrics then Lsm_harness.Obs_hub.enable ();
+  if explain || explain_json <> None then Lsm_harness.Obs_hub.enable_explain ()
+
+let finish_obs ~trace ~profile ~metrics ~explain ~explain_json =
   (match trace with
   | Some path ->
       let n = Lsm_harness.Obs_hub.write_chrome_trace path in
       Printf.printf "wrote %d spans to %s\n" n path
   | None -> ());
   if profile then print_string (Lsm_harness.Obs_hub.profile_text ());
+  if explain then print_string (Lsm_harness.Obs_hub.explain_text ());
+  (match explain_json with
+  | Some path ->
+      Lsm_obs.Json.write ~path (Lsm_harness.Obs_hub.explain_json ());
+      Printf.printf "wrote explain plans to %s\n" path
+  | None -> ());
   if metrics then
     List.iter print_endline (Lsm_harness.Obs_hub.metrics_lines ())
 
@@ -61,14 +85,14 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run scale id trace profile metrics =
+  let run scale id trace profile metrics explain explain_json =
     let scale = Lsm_harness.Scale.of_string scale in
     match Lsm_harness.Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %s (try `lsm_repro list`)\n" id;
         exit 1
     | Some e ->
-        setup_obs ~trace ~profile ~metrics;
+        setup_obs ~trace ~profile ~metrics ~explain ~explain_json;
         Printf.printf "running %s (%s) at scale %s...\n%!" e.Lsm_harness.Registry.id
           e.Lsm_harness.Registry.description scale.Lsm_harness.Scale.name;
         let reports = e.Lsm_harness.Registry.run scale in
@@ -82,11 +106,13 @@ let run_cmd =
           else reports
         in
         List.iter Lsm_harness.Report.print reports;
-        finish_obs ~trace ~profile ~metrics:false
+        finish_obs ~trace ~profile ~metrics:false ~explain ~explain_json
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment by id (e.g. fig14)")
-    Term.(const run $ scale_arg $ id_arg $ trace_arg $ profile_arg $ metrics_arg)
+    Term.(
+      const run $ scale_arg $ id_arg $ trace_arg $ profile_arg $ metrics_arg
+      $ explain_arg $ explain_json_arg)
 
 let csv_arg =
   let doc = "Also write one plot-ready CSV per table into $(docv)." in
@@ -94,23 +120,58 @@ let csv_arg =
     value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
 let all_cmd =
-  let run scale csv_dir trace profile metrics =
+  let run scale csv_dir trace profile metrics explain explain_json =
     let scale = Lsm_harness.Scale.of_string scale in
-    setup_obs ~trace ~profile ~metrics;
+    setup_obs ~trace ~profile ~metrics ~explain ~explain_json;
     Lsm_harness.Registry.run_all ?csv_dir scale;
-    finish_obs ~trace ~profile ~metrics
+    finish_obs ~trace ~profile ~metrics ~explain ~explain_json
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run the full experiment suite")
-    Term.(const run $ scale_arg $ csv_arg $ trace_arg $ profile_arg $ metrics_arg)
+    Term.(
+      const run $ scale_arg $ csv_arg $ trace_arg $ profile_arg $ metrics_arg
+      $ explain_arg $ explain_json_arg)
+
+let inspect_cmd =
+  let json_arg =
+    let doc = "Also write the full inspection document as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let queries_arg =
+    let doc = "Point-lookup sample size for the read-amplification probe." in
+    Arg.(value & opt int 200 & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let run scale json queries =
+    let scale = Lsm_harness.Scale.of_string scale in
+    check_writable json;
+    Printf.printf "inspecting at scale %s (%d records)...\n%!"
+      scale.Lsm_harness.Scale.name scale.Lsm_harness.Scale.records;
+    let r = Lsm_harness.Inspect.run ~queries scale in
+    List.iter Lsm_harness.Report.print r.Lsm_harness.Inspect.reports;
+    match json with
+    | Some path ->
+        Lsm_obs.Json.write ~path r.Lsm_harness.Inspect.json;
+        Printf.printf "wrote inspection document to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Build the fig-12 insert workload and report write/read/space \
+          amplification plus per-component state")
+    Term.(const run $ scale_arg $ json_arg $ queries_arg)
 
 let () =
   let doc =
     "Reproduction of 'Efficient Data Ingestion and Query Processing for \
      LSM-Based Storage Systems' (Luo & Carey, VLDB 2019)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "lsm_repro" ~version:"1.0.0" ~doc)
-          [ list_cmd; run_cmd; all_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group
+         (Cmd.info "lsm_repro" ~version:"1.0.0" ~doc)
+         [ list_cmd; run_cmd; all_cmd; inspect_cmd ])
+  in
+  (* Cmdliner reports CLI misuse (unknown subcommand or flag) with its
+     own exit code; map it to the conventional 2. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,7 +1,24 @@
 #!/bin/sh
-# Tier-1 gate: everything must build and every test suite must pass.
-# Run before every commit; CI runs exactly this.
+# Tier-1 gate: everything must build (including the bench executable)
+# and every test suite must pass.  Run before every commit; CI runs
+# exactly this.
 set -eux
 
-dune build
+dune build @all
 dune runtest
+
+# --- advisory bench check (non-gating) ---------------------------------
+# Compare a quick microbench run against the committed baseline.  Host
+# timings on CI machines are too noisy to gate on, so regressions here
+# only print; the exit status of this block is always ignored.
+if [ -f BENCH_micro.json ]; then
+  (
+    set +e
+    echo "### advisory bench compare (not a gate; failures do not fail CI)"
+    dune exec bench/main.exe -- micro --quota 0.05 --json /tmp/bench_new.json \
+      > /dev/null 2>&1
+    dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
+      --threshold 0.5
+    echo "### advisory bench compare done (ignored either way)"
+  ) || true
+fi

@@ -161,7 +161,17 @@ module Make (K : Lsm_util.Intf.ORDERED) = struct
           if fidx < fhi && (incr cost; K.compare t.fences.(fidx) key = 0) then fidx
           else max 0 (fidx - 1)
         in
-        if l <> c.leaf then c.pos <- t.leaf_starts.(l);
+        if l <> c.leaf then begin
+          (* A backward move means the key batch broke the sorted-access
+             assumption the cursor exploits: the search restarted behind
+             its remembered position. *)
+          if l < c.leaf then begin
+            let st = Lsm_sim.Env.stats env in
+            st.Lsm_sim.Io_stats.cursor_restarts <-
+              st.Lsm_sim.Io_stats.cursor_restarts + 1
+          end;
+          c.pos <- t.leaf_starts.(l)
+        end;
         c.leaf <- l;
         read_leaf env t l;
         let i =

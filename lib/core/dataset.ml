@@ -136,6 +136,7 @@ module Make (R : Record.S) = struct
   let env t = t.env
   let stats t = t.stats
   let strategy t = t.cfg.strategy
+  let config t = t.cfg
   let secondary t name =
     match Array.find_opt (fun s -> s.sec_name = name) t.secondaries with
     | Some s -> s
@@ -577,7 +578,9 @@ module Make (R : Record.S) = struct
               in
               match hit with
               | Some (_, row) -> row.Pk.ts <= ts
-              | None -> go (i + 1)
+              | None ->
+                  Pk.note_bloom_fp vt c;
+                  go (i + 1)
             end
             else go (i + 1)
           end
@@ -628,6 +631,11 @@ module Make (R : Record.S) = struct
             end)
           rows;
         let items = Array.of_list !items in
+        Lsm_sim.Env.explain_count t.env "repair_items" !n_items;
+        let invalidate pos =
+          Lsm_sim.Env.explain_count t.env "entries_invalidated" 1;
+          Sec.invalidate comp pos
+        in
         (* Bloom-filter optimization: a key whose probes on all unpruned
            primary-key components are negative (and which misses the pk
            memory component) cannot have been superseded — exclude it from
@@ -687,6 +695,8 @@ module Make (R : Record.S) = struct
                    if !fp >= 0 then cands := (pk, ts, pos, !fp) :: !cands)
              items;
            let cands = Array.of_list !cands in
+           Lsm_sim.Env.explain_count t.env "repair_candidates"
+             (Array.length cands);
            Lsm_sim.Spill_sort.sort t.env spill_grant
              ~cmp:(fun (a, _, _, _) (b, _, _, _) -> compare (a : int) b)
              cands;
@@ -717,7 +727,7 @@ module Make (R : Record.S) = struct
                    go fp
                  end
                in
-               if stale then Sec.invalidate comp pos)
+               if stale then invalidate pos)
              cands
          end
          else begin
@@ -744,7 +754,7 @@ module Make (R : Record.S) = struct
              Array.iter
                (fun (pk, ts, pos) ->
                  match Hashtbl.find_opt newest pk with
-                 | Some ts' when ts' > ts -> Sec.invalidate comp pos
+                 | Some ts' when ts' > ts -> invalidate pos
                  | _ -> ())
                items
            end
@@ -760,7 +770,7 @@ module Make (R : Record.S) = struct
              Array.iter
                (fun (pk, ts, pos) ->
                  if not (entry_is_valid vt ~cursors ~pk ~ts ~threshold ()) then
-                   Sec.invalidate comp pos)
+                   invalidate pos)
                items
            end
          end);
@@ -903,8 +913,10 @@ module Make (R : Record.S) = struct
 
   (** [search_secondary t sec ~lo ~hi] runs the index search itself,
       returning matching entries (reconciled, bitmap-respected). *)
-  let search_secondary _t sec ~lo ~hi =
+  let search_secondary t sec ~lo ~hi =
+    Lsm_sim.Env.span t.env ~cat:sec.sec_name "search.secondary" @@ fun () ->
     let out = ref [] in
+    let n = ref 0 in
     Sec.scan sec.tree
       {
         Sec.full_scan_spec with
@@ -913,7 +925,9 @@ module Make (R : Record.S) = struct
       }
       ~f:(fun row ~src_repaired ->
         let sk, pk = row.Sec.key in
+        incr n;
         out := { e_sk = sk; e_pk = pk; e_ts = row.Sec.ts; e_src_repaired = src_repaired } :: !out);
+    Lsm_sim.Env.explain_count t.env "entries_matched" !n;
     List.rev !out
 
   let sort_entries_by_pk t entries =
@@ -934,11 +948,17 @@ module Make (R : Record.S) = struct
         let cursors =
           Array.map (fun c -> Pk.Dbt.Cursor.create c.Pk.tree) (Pk.components vt)
         in
-        List.filter
-          (fun e ->
-            entry_is_valid vt ~cursors ~pk:e.e_pk ~ts:e.e_ts
-              ~threshold:(max e.e_src_repaired e.e_ts) ())
-          (Array.to_list entries_sorted)
+        let valid =
+          List.filter
+            (fun e ->
+              entry_is_valid vt ~cursors ~pk:e.e_pk ~ts:e.e_ts
+                ~threshold:(max e.e_src_repaired e.e_ts) ())
+            (Array.to_list entries_sorted)
+        in
+        Lsm_sim.Env.explain_count t.env "entries_validated" (List.length valid);
+        Lsm_sim.Env.explain_count t.env "entries_discarded"
+          (Array.length entries_sorted - List.length valid);
+        valid
 
   (* Fetch records for (already sorted) query keys via batched point
      lookups; emission order is fetch order. *)
@@ -956,6 +976,15 @@ module Make (R : Record.S) = struct
   let query_secondary t ~sec ~lo ~hi ~(mode : validation_mode)
       ?(lookup = Prim.default_lookup_opts) () =
     Lsm_sim.Env.span t.env ~cat:sec "query.secondary" @@ fun () ->
+    Lsm_sim.Env.explain_annotate t.env
+      [
+        ("sec", sec);
+        ( "mode",
+          match mode with
+          | `Assume_valid -> "assume_valid"
+          | `Direct -> "direct"
+          | `Timestamp -> "timestamp" );
+      ];
     let s = secondary t sec in
     let entries = search_secondary t s ~lo ~hi in
     match mode with
@@ -984,9 +1013,16 @@ module Make (R : Record.S) = struct
             pks
         in
         let records = fetch_records t ~lookup qkeys in
-        List.filter
-          (fun r -> List.exists (fun sk -> sk >= lo && sk <= hi) (s.extract_all r))
-          records
+        let live =
+          List.filter
+            (fun r ->
+              List.exists (fun sk -> sk >= lo && sk <= hi) (s.extract_all r))
+            records
+        in
+        Lsm_sim.Env.explain_count t.env "entries_validated" (List.length live);
+        Lsm_sim.Env.explain_count t.env "entries_discarded"
+          (List.length records - List.length live);
+        live
     | `Timestamp ->
         let sorted = sort_entries_by_pk t entries in
         let valid = timestamp_validate t s sorted in
@@ -1026,6 +1062,7 @@ module Make (R : Record.S) = struct
             incr n;
             f r
         | Entry.Del -> ());
+    Lsm_sim.Env.explain_count t.env "rows_emitted" !n;
     !n
 
   (** [query_time_range t ~tlo ~thi ~f] scans the primary index with
@@ -1067,9 +1104,15 @@ module Make (R : Record.S) = struct
         f r
       end
     in
+    let note_pruning only =
+      Lsm_sim.Env.explain_count t.env "components_scanned" (List.length only);
+      Lsm_sim.Env.explain_count t.env "components_pruned"
+        (List.length comps - List.length only)
+    in
     (match t.cfg.strategy with
     | Strategy.Mutable_bitmap _ ->
         let only = List.filter overlaps comps in
+        note_pruning only;
         Prim.scan t.primary
           {
             Prim.full_scan_spec with
@@ -1081,6 +1124,7 @@ module Make (R : Record.S) = struct
             match row.Prim.value with Entry.Put r -> visit r | Entry.Del -> ())
     | Strategy.Eager ->
         let only = List.filter overlaps comps in
+        note_pruning only;
         Prim.scan t.primary
           { Prim.full_scan_spec with include_mem = mem_overlaps; only = Some only }
           ~f:(fun row ~src_repaired:_ ->
@@ -1096,6 +1140,7 @@ module Make (R : Record.S) = struct
           else Array.to_list (Array.sub arr 0 (!oldest + 1))
         in
         let include_mem = mem_overlaps || !oldest >= 0 in
+        note_pruning only;
         Prim.scan t.primary
           { Prim.full_scan_spec with include_mem; only = Some only }
           ~f:(fun row ~src_repaired:_ ->

@@ -75,6 +75,7 @@ module Make (R : Record.S) : sig
   val env : t -> Lsm_sim.Env.t
   val stats : t -> stats
   val strategy : t -> Strategy.t
+  val config : t -> config
 
   val secondary : t -> string -> sec_index
   (** @raise Invalid_argument for unknown index names. *)

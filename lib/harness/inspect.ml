@@ -1,0 +1,247 @@
+(** The `lsm_repro inspect` implementation: build the Fig. 12 preparation
+    workload (insert-only tweets) at a given scale, then report the
+    amplification triangle — write amplification from the engine's
+    flush/merge accounting ({!Lsm_obs.Ampstats}), read amplification from
+    a sampled probe of point and secondary lookups, space amplification
+    from component snapshots against the live record volume — plus a
+    per-component state table for every index of the dataset. *)
+
+module J = Lsm_obs.Json
+module Env = Lsm_sim.Env
+module Io = Lsm_sim.Io_stats
+module D = Setup.D
+module Prim = D.Prim
+module Pk = D.Pk
+module Sec = D.Sec
+module Tweet = Lsm_workload.Tweet
+
+type result = { reports : Report.t list; json : J.t }
+
+let schema = "lsm-repro-inspect/1"
+
+(* One snapshot per disk component, same shape for every tree. *)
+type comp_info = {
+  tree : string;
+  slot : int;  (** 0 = newest *)
+  id : int * int;  (** (minTS, maxTS) *)
+  rows : int;
+  bytes : int;
+  bloom : bool;
+  bitmap : bool;
+  repaired : int;
+}
+
+let comp_columns =
+  [ "tree"; "slot"; "id"; "rows"; "bytes"; "bloom"; "bitmap"; "repairedTS" ]
+
+let comp_row c =
+  [
+    c.tree;
+    string_of_int c.slot;
+    Printf.sprintf "(%d,%d)" (fst c.id) (snd c.id);
+    string_of_int c.rows;
+    string_of_int c.bytes;
+    (if c.bloom then "y" else "-");
+    (if c.bitmap then "y" else "-");
+    string_of_int c.repaired;
+  ]
+
+let comp_json c =
+  J.Obj
+    [
+      ("tree", J.Str c.tree);
+      ("slot", J.Int c.slot);
+      ("min_ts", J.Int (fst c.id));
+      ("max_ts", J.Int (snd c.id));
+      ("rows", J.Int c.rows);
+      ("bytes", J.Int c.bytes);
+      ("bloom", J.Bool c.bloom);
+      ("bitmap", J.Bool c.bitmap);
+      ("repaired_ts", J.Int c.repaired);
+    ]
+
+(* The three index families instantiate Lsm_tree at different types, so
+   each gets its own (identical-shaped) walker. *)
+let prim_components name p =
+  Array.to_list
+    (Array.mapi
+       (fun i (c : Prim.disk_component) ->
+         {
+           tree = name;
+           slot = i;
+           id = Prim.component_id c;
+           rows = Prim.component_rows c;
+           bytes = Prim.component_size_bytes p c;
+           bloom = c.Prim.bloom <> None;
+           bitmap = c.Prim.bitmap <> None;
+           repaired = c.Prim.repaired_ts;
+         })
+       (Prim.components p))
+
+let pk_components name p =
+  Array.to_list
+    (Array.mapi
+       (fun i (c : Pk.disk_component) ->
+         {
+           tree = name;
+           slot = i;
+           id = Pk.component_id c;
+           rows = Pk.component_rows c;
+           bytes = Pk.component_size_bytes p c;
+           bloom = c.Pk.bloom <> None;
+           bitmap = c.Pk.bitmap <> None;
+           repaired = c.Pk.repaired_ts;
+         })
+       (Pk.components p))
+
+let sec_components name s =
+  Array.to_list
+    (Array.mapi
+       (fun i (c : Sec.disk_component) ->
+         {
+           tree = name;
+           slot = i;
+           id = Sec.component_id c;
+           rows = Sec.component_rows c;
+           bytes = Sec.component_size_bytes s c;
+           bloom = c.Sec.bloom <> None;
+           bitmap = c.Sec.bitmap <> None;
+           repaired = c.Sec.repaired_ts;
+         })
+       (Sec.components s))
+
+let dataset_components d =
+  prim_components "primary" (D.primary d)
+  @ (match D.pk_index d with
+    | Some pk -> pk_components "pk_index" pk
+    | None -> [])
+  @ List.concat_map
+      (fun (s : D.sec_index) -> sec_components ("sec:" ^ s.D.sec_name) s.D.tree)
+      (Array.to_list (D.secondaries d))
+
+let f3 = Printf.sprintf "%.3f"
+
+(** [run ?queries scale] builds the workload and measures; [queries]
+    bounds the point-lookup probe sample. *)
+let run ?(queries = 200) (scale : Scale.t) =
+  let env = Setup.hdd_env scale in
+  let d, _stream = Setup.insert_dataset env scale ~n:scale.Scale.records in
+  (* --- write amplification: everything the engine flushed and merged *)
+  let amp = Env.amp env in
+  let wa = Lsm_obs.Ampstats.write_amplification amp in
+  (* --- space amplification: bytes on disk vs live record payload.  The
+     full scan doubles as the pk sample source for the read probe. *)
+  let live_bytes = ref 0 in
+  let pks = ref [] in
+  let live = D.full_scan d ~f:(fun r ->
+      live_bytes := !live_bytes + Tweet.Record.byte_size r;
+      pks := Tweet.primary_key r :: !pks)
+  in
+  let disk_bytes = D.total_disk_bytes d in
+  let sa =
+    if !live_bytes = 0 then Float.nan
+    else Float.of_int disk_bytes /. Float.of_int !live_bytes
+  in
+  (* --- read amplification: sampled point lookups (pages touched and
+     Bloom outcomes per single-record read) *)
+  let pks = Array.of_list !pks in
+  let nq = min queries (Array.length pks) in
+  let stride = if nq = 0 then 1 else max 1 (Array.length pks / nq) in
+  let before = Io.copy (Env.stats env) in
+  for i = 0 to nq - 1 do
+    ignore (D.point_query d pks.(i * stride mod Array.length pks))
+  done;
+  let pq = Io.diff (Env.stats env) before in
+  let per q = if nq = 0 then Float.nan else Float.of_int q /. Float.of_int nq in
+  let ra = per (pq.Io.pages_read + pq.Io.cache_hits) in
+  (* --- one 1%-selectivity secondary query, as a second read probe *)
+  let before = Io.copy (Env.stats env) in
+  let sec_hits =
+    List.length
+      (D.query_secondary d ~sec:"user_id" ~lo:0
+         ~hi:(Tweet.user_id_domain / 100)
+         ~mode:`Timestamp ())
+  in
+  let sq = Io.diff (Env.stats env) before in
+  let comps = dataset_components d in
+  let amp_rows =
+    [
+      [ "write"; f3 wa;
+        Printf.sprintf "%d flushes (%dB) + %d merges (%dB rewritten)"
+          amp.Lsm_obs.Ampstats.flushes amp.Lsm_obs.Ampstats.flush_bytes
+          amp.Lsm_obs.Ampstats.merges amp.Lsm_obs.Ampstats.merge_written_bytes ];
+      [ "read"; f3 ra;
+        Printf.sprintf
+          "%d point lookups: %.2f pages + %.2f bloom probes (%.0f%% negative, \
+           %d fp) each"
+          nq
+          (per (pq.Io.pages_read + pq.Io.cache_hits))
+          (per pq.Io.bloom_probes)
+          (if pq.Io.bloom_probes = 0 then 0.0
+           else
+             100.0 *. Float.of_int pq.Io.bloom_negatives
+             /. Float.of_int pq.Io.bloom_probes)
+          pq.Io.bloom_fps ];
+      [ "space"; f3 sa;
+        Printf.sprintf "%dB on disk / %dB live in %d records (all indexes)"
+          disk_bytes !live_bytes live ];
+    ]
+  in
+  let reports =
+    [
+      Report.make ~id:"inspect-amp"
+        ~title:
+          (Printf.sprintf
+             "Amplification (fig-12 insert workload, %s = %d records)"
+             scale.Scale.name scale.Scale.records)
+        ~header:[ "amplification"; "factor"; "accounting" ]
+        amp_rows
+        ~notes:
+          [
+            Printf.sprintf
+              "secondary 1%% query (ts-validated): %d records, %d pages read, \
+               %d bloom probes"
+              sec_hits sq.Io.pages_read sq.Io.bloom_probes;
+          ];
+      Report.make ~id:"inspect-components" ~title:"Component state"
+        ~header:comp_columns
+        (List.map comp_row comps);
+    ]
+  in
+  let json =
+    J.Obj
+      [
+        ("schema", J.Str schema);
+        ("scale", J.Str scale.Scale.name);
+        ("records", J.Int scale.Scale.records);
+        ( "merge_policy",
+          J.Str (Lsm_tree.Merge_policy.describe (D.config d).D.merge_policy) );
+        ( "write",
+          J.Obj
+            (("amplification", J.Float wa)
+            :: List.map
+                 (fun (k, v) -> (k, J.Int v))
+                 (Lsm_obs.Ampstats.fields amp)) );
+        ( "read",
+          J.Obj
+            [
+              ("amplification", J.Float ra);
+              ("point_lookups", J.Int nq);
+              ("io", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Io.fields pq)));
+              ( "secondary_query",
+                J.Obj
+                  (("records", J.Int sec_hits)
+                  :: List.map (fun (k, v) -> (k, J.Int v)) (Io.fields sq)) );
+            ] );
+        ( "space",
+          J.Obj
+            [
+              ("amplification", J.Float sa);
+              ("disk_bytes", J.Int disk_bytes);
+              ("live_bytes", J.Int !live_bytes);
+              ("live_records", J.Int live);
+            ] );
+        ("components", J.List (List.map comp_json comps));
+      ]
+  in
+  { reports; json }

@@ -15,6 +15,7 @@ module Metrics = Lsm_obs.Metrics
 let device_name env = (Env.device env).Lsm_sim.Device.name
 
 let enabled = ref false
+let explain_on = ref false
 let trace_capacity = ref 65536
 let envs : Env.t list ref = ref []
 
@@ -27,12 +28,19 @@ let enable ?capacity () =
 
 let is_enabled () = !enabled
 
-(** [attach env] registers [env] with the hub (enabling its obs handle)
-    when the hub is on; a no-op otherwise.  Returns [env] so it can wrap
-    a creation expression. *)
+(** [enable_explain ()] turns plan recording on: subsequently attached
+    environments get an active {!Lsm_obs.Explain.t}, independently of
+    tracing/metrics. *)
+let enable_explain () = explain_on := true
+
+(** [attach env] registers [env] with the hub (enabling its obs handle
+    and/or plan recorder) when the hub is on; a no-op otherwise.  Returns
+    [env] so it can wrap a creation expression. *)
 let attach env =
-  if !enabled then begin
-    ignore (Env.enable_obs ~trace_capacity:!trace_capacity env);
+  if !enabled || !explain_on then begin
+    if !enabled then
+      ignore (Env.enable_obs ~trace_capacity:!trace_capacity env);
+    if !explain_on then ignore (Env.enable_explain env);
     envs := env :: !envs
   end;
   env
@@ -93,6 +101,53 @@ let profile_text () =
       end)
     (observed ());
   Buffer.contents b
+
+(** [explain_text ()] renders every attached environment's retained query
+    plans, one block per environment that recorded any. *)
+let explain_text () =
+  let b = Buffer.create 1024 in
+  List.iteri
+    (fun i env ->
+      let e = Env.explain env in
+      if Lsm_obs.Explain.plans e <> [] then begin
+        Buffer.add_string b
+          (Printf.sprintf "\n--- explain: env-%d (%s) ---\n" i
+             (device_name env));
+        Buffer.add_string b (Lsm_obs.Explain.to_text e)
+      end)
+    (observed ());
+  Buffer.contents b
+
+(** [explain_json ()] is the same as one schema-tagged document: each
+    environment that recorded plans contributes an entry. *)
+let explain_json () =
+  let envs_json =
+    List.concat
+      (List.mapi
+         (fun i env ->
+           let e = Env.explain env in
+           if Lsm_obs.Explain.plans e = [] then []
+           else
+             [
+               Lsm_obs.Json.Obj
+                 [
+                   ("env", Lsm_obs.Json.Str (Printf.sprintf "env-%d" i));
+                   ("device", Lsm_obs.Json.Str (device_name env));
+                   ( "plans",
+                     match
+                       Lsm_obs.Json.member "plans" (Lsm_obs.Explain.to_json e)
+                     with
+                     | Some p -> p
+                     | None -> Lsm_obs.Json.List [] );
+                 ];
+             ])
+         (observed ()))
+  in
+  Lsm_obs.Json.Obj
+    [
+      ("schema", Lsm_obs.Json.Str Lsm_obs.Explain.schema);
+      ("envs", Lsm_obs.Json.List envs_json);
+    ]
 
 (** [metrics_lines ()] publishes each environment's I/O counters into its
     registry and returns the aligned dump, one block per environment. *)

@@ -206,6 +206,14 @@ module Make (K : KEY) (V : VALUE) = struct
             st.Lsm_sim.Io_stats.bloom_negatives + 1;
         maybe
 
+  (* A positive Bloom answer whose component search then missed was a
+     false positive; lookups report it here. *)
+  let note_bloom_fp t c =
+    if c.bloom <> None then begin
+      let st = Lsm_sim.Env.stats t.env in
+      st.Lsm_sim.Io_stats.bloom_fps <- st.Lsm_sim.Io_stats.bloom_fps + 1
+    end
+
   (* ------------------------------------------------------------------ *)
   (* Flush *)
 
@@ -251,7 +259,10 @@ module Make (K : KEY) (V : VALUE) = struct
           ~range_filter ~repaired_ts:0
       in
       t.disk <- c :: t.disk;
-      t.mem <- fresh_mem ()
+      t.mem <- fresh_mem ();
+      Lsm_obs.Ampstats.on_flush
+        (Lsm_sim.Env.amp t.env)
+        ~bytes:(component_size_bytes t c) ~rows:(Array.length rows)
 
   (* ------------------------------------------------------------------ *)
   (* Merge *)
@@ -272,6 +283,12 @@ module Make (K : KEY) (V : VALUE) = struct
     if not (0 <= first && first <= last && last < n) then
       invalid_arg "Lsm_tree.merge: bad range";
     let inputs = Array.sub comps first (last - first + 1) in
+    let input_bytes =
+      Array.fold_left (fun acc c -> acc + component_size_bytes t c) 0 inputs
+    in
+    let input_rows =
+      Array.fold_left (fun acc c -> acc + component_rows c) 0 inputs
+    in
     let includes_oldest = last = n - 1 in
     let scans =
       Array.map (fun c -> Dbt.Scan.seek t.env c.tree None) inputs
@@ -359,6 +376,11 @@ module Make (K : KEY) (V : VALUE) = struct
       @ [ merged ]
       @ List.filteri (fun i _ -> i > last) t.disk;
     Array.iter (fun c -> Dbt.delete t.env c.tree) inputs;
+    Lsm_obs.Ampstats.on_merge
+      (Lsm_sim.Env.amp t.env)
+      ~bytes_read:input_bytes
+      ~bytes_written:(component_size_bytes t merged)
+      ~rows_in:input_rows ~rows_out:(Array.length rows);
     merged
 
   (** [build_component t rows ...] constructs a disk component from
@@ -442,15 +464,20 @@ module Make (K : KEY) (V : VALUE) = struct
   let lookup_one t key =
     Lsm_sim.Env.span t.env ~cat:(name t) "lsm.lookup" @@ fun () ->
     match mem_find t key with
-    | Some r -> Some r
+    | Some r ->
+        Lsm_sim.Env.explain_count t.env "mem_hits" 1;
+        Some r
     | None ->
         let rec go = function
           | [] -> None
           | c :: rest ->
+              Lsm_sim.Env.explain_count t.env "components_probed" 1;
               if probe_bloom t c key then
                 match Dbt.find t.env c.tree key with
                 | Some (pos, row) -> if row_valid c pos then Some row else None
-                | None -> go rest
+                | None ->
+                    note_bloom_fp t c;
+                    go rest
               else go rest
         in
         go t.disk
@@ -466,7 +493,9 @@ module Make (K : KEY) (V : VALUE) = struct
           if probe_bloom t c key then
             match Dbt.find t.env c.tree key with
             | Some (pos, row) -> Some (c, pos, row)
-            | None -> go rest
+            | None ->
+                note_bloom_fp t c;
+                go rest
           else go rest)
     in
     go t.disk
@@ -506,6 +535,12 @@ module Make (K : KEY) (V : VALUE) = struct
         (if opts.batched then "lsm.lookup.batched" else "lsm.lookup.naive")
       @@ fun () ->
       begin
+      Lsm_sim.Env.explain_annotate t.env
+        [
+          ("keys", string_of_int nq);
+          ("stateful", string_of_bool opts.stateful);
+          ("hints", string_of_bool opts.use_hints);
+        ];
       let comps = Array.of_list t.disk in
       let cursors =
         if opts.stateful then
@@ -540,7 +575,9 @@ module Make (K : KEY) (V : VALUE) = struct
         (* Memory component first. *)
         for i = 0 to bn - 1 do
           match mem_find t qkeys.(!start + i).qkey with
-          | Some r -> resolve i qkeys.(!start + i).qkey (Some r)
+          | Some r ->
+              Lsm_sim.Env.explain_count t.env "mem_hits" 1;
+              resolve i qkeys.(!start + i).qkey (Some r)
           | None -> ()
         done;
         (* Components newest to oldest; each component visited once per
@@ -552,15 +589,20 @@ module Make (K : KEY) (V : VALUE) = struct
             if not resolved.(i) then begin
               let qk = qkeys.(!start + i) in
               let skip = opts.use_hints && c.cmax_ts < qk.hint_ts in
-              if (not skip) && probe_bloom t c qk.qkey then
-                match find_in !ci qk.qkey with
-                | Some (pos, row) ->
-                    (* A bitmap-invalidated hit resolves the key to absent:
-                       any superseding version is strictly newer and was
-                       already searched. *)
-                    if row_valid c pos then resolve i qk.qkey (Some row)
-                    else resolve i qk.qkey None
-                | None -> ()
+              if skip then
+                Lsm_sim.Env.explain_count t.env "hint_skips" 1
+              else begin
+                Lsm_sim.Env.explain_count t.env "components_probed" 1;
+                if probe_bloom t c qk.qkey then
+                  match find_in !ci qk.qkey with
+                  | Some (pos, row) ->
+                      (* A bitmap-invalidated hit resolves the key to absent:
+                         any superseding version is strictly newer and was
+                         already searched. *)
+                      if row_valid c pos then resolve i qk.qkey (Some row)
+                      else resolve i qk.qkey None
+                  | None -> note_bloom_fp t c
+              end
             end
           done;
           incr ci

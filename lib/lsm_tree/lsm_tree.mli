@@ -153,6 +153,11 @@ module Make (K : KEY) (V : VALUE) : sig
   val probe_bloom : t -> disk_component -> K.t -> bool
   (** Probe a component's Bloom filter with full cost accounting. *)
 
+  val note_bloom_fp : t -> disk_component -> unit
+  (** Report a Bloom false positive: a positive {!probe_bloom} answer
+      whose component search then missed.  Bumps [Io_stats.bloom_fps]
+      (no-op for filterless components). *)
+
   (** {1 Point lookups (Sec. 3.2)} *)
 
   type lookup_opts = {

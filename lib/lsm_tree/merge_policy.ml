@@ -102,3 +102,7 @@ let pp fmt = function
   | Lazy_leveling { size_ratio; tier_ratio } ->
       Fmt.pf fmt "lazy-leveling(bottom=%.2f,tier=%.2f)" size_ratio tier_ratio
   | No_merge -> Fmt.string fmt "no-merge"
+
+(** [describe t] is {!pp} as a string — the form the inspection layer
+    embeds in its reports and JSON documents. *)
+let describe t = Fmt.str "%a" pp t

@@ -1,0 +1,95 @@
+(** Write-amplification accounting.
+
+    The LSM engine reports every flush and merge here; from those events
+    this module derives the ingestion side of the amplification triangle
+    (Luo & Carey's survey frames write/read/space amplification as the
+    cost trade-off behind every LSM design decision).  Read and space
+    amplification need a live tree to measure against, so they are
+    computed by the harness ([Lsm_harness.Inspect]) from probe samples
+    and component snapshots; this module only accumulates the event
+    stream, which must stay cheap enough to run unconditionally —
+    flushes and merges are rare next to lookups, so there is no
+    enabled/disabled branch at all. *)
+
+type t = {
+  mutable flushes : int;
+  mutable flush_bytes : int;  (** bytes written by flushes (first writes) *)
+  mutable flush_rows : int;
+  mutable merges : int;
+  mutable merge_read_bytes : int;
+  mutable merge_written_bytes : int;  (** bytes re-written by merges *)
+  mutable merge_rows_in : int;
+  mutable merge_rows_out : int;  (** < rows_in when merges reconcile/drop *)
+}
+
+let create () =
+  {
+    flushes = 0;
+    flush_bytes = 0;
+    flush_rows = 0;
+    merges = 0;
+    merge_read_bytes = 0;
+    merge_written_bytes = 0;
+    merge_rows_in = 0;
+    merge_rows_out = 0;
+  }
+
+let reset t =
+  t.flushes <- 0;
+  t.flush_bytes <- 0;
+  t.flush_rows <- 0;
+  t.merges <- 0;
+  t.merge_read_bytes <- 0;
+  t.merge_written_bytes <- 0;
+  t.merge_rows_in <- 0;
+  t.merge_rows_out <- 0
+
+let on_flush t ~bytes ~rows =
+  t.flushes <- t.flushes + 1;
+  t.flush_bytes <- t.flush_bytes + bytes;
+  t.flush_rows <- t.flush_rows + rows
+
+let on_merge t ~bytes_read ~bytes_written ~rows_in ~rows_out =
+  t.merges <- t.merges + 1;
+  t.merge_read_bytes <- t.merge_read_bytes + bytes_read;
+  t.merge_written_bytes <- t.merge_written_bytes + bytes_written;
+  t.merge_rows_in <- t.merge_rows_in + rows_in;
+  t.merge_rows_out <- t.merge_rows_out + rows_out
+
+(** [write_amplification t] = total bytes written / bytes of first
+    writes; 1.0 when nothing was merged, [nan] before the first flush. *)
+let write_amplification t =
+  if t.flush_bytes = 0 then Float.nan
+  else
+    Float.of_int (t.flush_bytes + t.merge_written_bytes)
+    /. Float.of_int t.flush_bytes
+
+let fields t =
+  [
+    ("flushes", t.flushes);
+    ("flush_bytes", t.flush_bytes);
+    ("flush_rows", t.flush_rows);
+    ("merges", t.merges);
+    ("merge_read_bytes", t.merge_read_bytes);
+    ("merge_written_bytes", t.merge_written_bytes);
+    ("merge_rows_in", t.merge_rows_in);
+    ("merge_rows_out", t.merge_rows_out);
+  ]
+
+(** [publish t m] mirrors the accumulated totals (and the derived write
+    amplification) into [amp.*] gauges of registry [m], so `--metrics`
+    dumps carry them alongside the [io.*] counters. *)
+let publish t m =
+  List.iter
+    (fun (k, v) -> Metrics.set (Metrics.gauge m ("amp." ^ k)) (Float.of_int v))
+    (fields t);
+  let wa = write_amplification t in
+  if not (Float.is_nan wa) then
+    Metrics.set (Metrics.gauge m "amp.write_amplification") wa
+
+let to_lines t =
+  List.map (fun (k, v) -> Printf.sprintf "amp.%s %d" k v) (fields t)
+  @
+  let wa = write_amplification t in
+  if Float.is_nan wa then []
+  else [ Printf.sprintf "amp.write_amplification %.3f" wa ]

@@ -1,0 +1,33 @@
+(** Write-amplification accounting, fed by the LSM engine's flush and
+    merge events.  Always on (flushes/merges are rare next to lookups,
+    so there is no enabled branch); read and space amplification are
+    derived by the harness from probe samples and component snapshots. *)
+
+type t = {
+  mutable flushes : int;
+  mutable flush_bytes : int;
+  mutable flush_rows : int;
+  mutable merges : int;
+  mutable merge_read_bytes : int;
+  mutable merge_written_bytes : int;
+  mutable merge_rows_in : int;
+  mutable merge_rows_out : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val on_flush : t -> bytes:int -> rows:int -> unit
+
+val on_merge :
+  t -> bytes_read:int -> bytes_written:int -> rows_in:int -> rows_out:int -> unit
+
+val write_amplification : t -> float
+(** Total bytes written / bytes of first writes; [nan] before the first
+    flush. *)
+
+val fields : t -> (string * int) list
+
+val publish : t -> Metrics.t -> unit
+(** Mirror the totals into [amp.*] gauges of a metrics registry. *)
+
+val to_lines : t -> string list

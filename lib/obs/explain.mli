@@ -1,0 +1,62 @@
+(** EXPLAIN ANALYZE-style plan recording.
+
+    A recorder turns the engine's instrumented sections into plan trees:
+    one node per section, carrying simulated duration, the I/O counter
+    delta it caused (inclusive and self), free-form properties, and
+    named operation counters (component probes, Bloom outcomes, cursor
+    restarts, validation results).  Per distinct root operation the
+    first completed tree is retained together with an execution count.
+
+    Invariant: a node's inclusive I/O delta equals its self delta plus
+    the sum of its children's inclusive deltas, so [self_io] summed over
+    a tree reproduces the root's top-level delta exactly. *)
+
+type node = {
+  name : string;
+  mutable props : (string * string) list;
+  mutable counts : (string * int) list;
+  mutable dur_us : float;
+  mutable self_us : float;
+  mutable io : (string * int) list;
+  mutable self_io : (string * int) list;
+  mutable children : node list;
+}
+
+type plan = { root : node; executions : int }
+
+type t
+
+val create :
+  clock:(unit -> float) -> counters:(unit -> (string * int) list) -> unit -> t
+(** [create ~clock ~counters ()] — [counters] returns the live I/O
+    counter snapshot (e.g. [Io_stats.fields] of the environment's
+    stats); node deltas are differences of its values. *)
+
+val disabled : t
+(** Inert recorder: [node] reduces to running the thunk. *)
+
+val active : t -> bool
+val reset : t -> unit
+
+val node : t -> ?props:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [node t name f] runs [f] as a plan node (child of the innermost
+    in-flight node, or a new root).  Exception-safe. *)
+
+val annotate : t -> (string * string) list -> unit
+(** Attach properties to the innermost in-flight node; no-op outside
+    any node or when inactive. *)
+
+val count : t -> string -> int -> unit
+(** [count t key by] bumps named counter [key] on the innermost
+    in-flight node; no-op outside any node or when inactive. *)
+
+val plans : t -> plan list
+(** Retained plans in first-arrival order. *)
+
+val schema : string
+(** Schema tag carried by {!to_json} documents ("lsm-repro-explain/1"). *)
+
+val to_text : t -> string
+(** Aligned text tree, one block per retained plan. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,300 @@
+(** A minimal JSON value type with a printer and a recursive-descent
+    parser.  The observability layer emits several machine-readable
+    documents (explain plans, bench snapshots, inspect reports); this
+    module keeps them honest — everything emitted must round-trip through
+    {!of_string} in the test suite — without pulling in an external JSON
+    dependency the container may not have. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    "null" (* JSON has no NaN/inf; these only arise from broken inputs *)
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec add b ~indent ~level v =
+  let nl pad =
+    if indent > 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (indent * pad) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | Str s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (level + 1);
+          add b ~indent ~level:(level + 1) x)
+        xs;
+      nl level;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (level + 1);
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\":";
+          if indent > 0 then Buffer.add_char b ' ';
+          add b ~indent ~level:(level + 1) x)
+        kvs;
+      nl level;
+      Buffer.add_char b '}'
+
+(** [to_string ?indent v] renders [v]; [indent] > 0 pretty-prints with
+    that many spaces per level (default 0 = compact). *)
+let to_string ?(indent = 0) v =
+  let b = Buffer.create 256 in
+  add b ~indent ~level:0 v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Parse_error of string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail ("bad literal (wanted " ^ word ^ ")")
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char b e;
+              go ()
+          | 'n' ->
+              Buffer.add_char b '\n';
+              go ()
+          | 't' ->
+              Buffer.add_char b '\t';
+              go ()
+          | 'r' ->
+              Buffer.add_char b '\r';
+              go ()
+          | 'b' ->
+              Buffer.add_char b '\b';
+              go ()
+          | 'f' ->
+              Buffer.add_char b '\012';
+              go ()
+          | 'u' ->
+              if !pos + 4 > n then fail "short \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* Encode the code point as UTF-8 (surrogates land as-is —
+                 our own emitter never produces them). *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+              end;
+              go ()
+          | _ -> fail "bad escape")
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec go () =
+            items := parse_value () :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          go ();
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let items = ref [] in
+          let rec go () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            items := (k, v) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          go ();
+          Obj (List.rev !items)
+        end
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(** [of_string s] parses one JSON document. *)
+let of_string s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (Float.of_int i)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_list = function List xs -> Some xs | _ -> None
+
+(** [write ~path v] writes [v] pretty-printed, with a trailing newline. *)
+let write ~path v =
+  let oc = open_out path in
+  output_string oc (to_string ~indent:2 v);
+  output_char oc '\n';
+  close_out oc
+
+(** [read ~path] parses the file at [path]. *)
+let read ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      of_string s

@@ -51,6 +51,12 @@ type t = {
           instrumentation below costs one branch per call *)
   mutable published : Io_stats.t;
       (** statistics snapshot at the last {!publish_io_metrics} *)
+  mutable explain : Lsm_obs.Explain.t;
+      (** plan recorder; {!Lsm_obs.Explain.disabled} by default — every
+          {!span} site doubles as a plan node when this is active *)
+  amp : Lsm_obs.Ampstats.t;
+      (** flush/merge amplification accounting; always on — the engine
+          reports every flush and merge here *)
 }
 
 (** [create ?cache_bytes ?cpu device] builds an environment.  The default
@@ -81,6 +87,8 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
     head_page = -1;
     obs = Lsm_obs.Obs.disabled;
     published = Io_stats.create ();
+    explain = Lsm_obs.Explain.disabled;
+    amp = Lsm_obs.Ampstats.create ();
   }
 
 let read_ahead_pages t = t.read_ahead_pages
@@ -192,6 +200,32 @@ let reset_measurement t =
 let obs t = t.obs
 let tracer t = t.obs.Lsm_obs.Obs.tracer
 let metrics t = t.obs.Lsm_obs.Obs.metrics
+let explain t = t.explain
+let amp t = t.amp
+
+(** [enable_explain t] installs (and returns) an active plan recorder
+    stamped with this environment's simulated clock and fed by its
+    {!Io_stats} counters.  Independent of {!enable_obs}: explain can run
+    with tracing off and vice versa. *)
+let enable_explain t =
+  let e =
+    Lsm_obs.Explain.create
+      ~clock:(fun () -> t.now_us)
+      ~counters:(fun () -> Io_stats.fields t.stats)
+      ()
+  in
+  t.explain <- e;
+  e
+
+(** [explain_annotate t props] / [explain_count t key by] attach detail to
+    the innermost in-flight plan node; one branch when explain is off. *)
+let explain_annotate t props =
+  if Lsm_obs.Explain.active t.explain then
+    Lsm_obs.Explain.annotate t.explain props
+
+let explain_count t key by =
+  if Lsm_obs.Explain.active t.explain then
+    Lsm_obs.Explain.count t.explain key by
 
 (** [enable_obs t] installs (and returns) an enabled observability handle
     whose span tracer is stamped with this environment's simulated clock. *)
@@ -202,9 +236,16 @@ let enable_obs ?trace_capacity t =
 
 (** [span t ?cat name f] runs [f] inside a tracer span carrying the
     {!Io_stats} deltas it caused as span arguments, and feeds the span's
-    simulated duration into the [span.<name>] latency histogram.  With
-    observability disabled this is one branch around [f]. *)
+    simulated duration into the [span.<name>] latency histogram.  When a
+    plan recorder is active ({!enable_explain}) the same section also
+    becomes a plan-tree node.  With both disabled this is two predicted
+    branches around [f]. *)
 let span t ?cat name f =
+  let f =
+    if Lsm_obs.Explain.active t.explain then fun () ->
+      Lsm_obs.Explain.node t.explain name f
+    else f
+  in
   let o = t.obs in
   if not o.Lsm_obs.Obs.enabled then f ()
   else begin
@@ -240,5 +281,6 @@ let publish_io_metrics t =
     Lsm_obs.Metrics.set
       (Lsm_obs.Metrics.gauge m "cache.capacity_pages")
       (Float.of_int (Buffer_cache.capacity t.cache));
-    Lsm_obs.Metrics.set (Lsm_obs.Metrics.gauge m "sim.now_us") t.now_us
+    Lsm_obs.Metrics.set (Lsm_obs.Metrics.gauge m "sim.now_us") t.now_us;
+    Lsm_obs.Ampstats.publish t.amp m
   end

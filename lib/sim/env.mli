@@ -77,12 +77,32 @@ val enable_obs : ?trace_capacity:int -> t -> Lsm_obs.Obs.t
 (** Install (and return) an enabled handle whose span tracer is stamped
     with this environment's simulated clock. *)
 
+val explain : t -> Lsm_obs.Explain.t
+
+val enable_explain : t -> Lsm_obs.Explain.t
+(** Install (and return) an active plan recorder stamped with this
+    environment's simulated clock and fed by its {!Io_stats} counters;
+    every {!span} site then doubles as a plan-tree node.  Independent of
+    {!enable_obs}. *)
+
+val explain_annotate : t -> (string * string) list -> unit
+val explain_count : t -> string -> int -> unit
+(** Attach properties / bump a named counter on the innermost in-flight
+    plan node; one branch when explain is off. *)
+
+val amp : t -> Lsm_obs.Ampstats.t
+(** Flush/merge amplification accounting.  Always on, fed by the LSM
+    engine; survives {!reset_measurement} (reset it explicitly with
+    {!Lsm_obs.Ampstats.reset} if a phase boundary should discard it). *)
+
 val span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
 (** Run a thunk inside a tracer span that carries the {!Io_stats} deltas
     it caused as span arguments, and feed its simulated duration into the
-    [span.<name>] latency histogram. *)
+    [span.<name>] latency histogram.  Doubles as a plan node when a
+    recorder is active. *)
 
 val publish_io_metrics : t -> unit
 (** Bridge the {!Io_stats} counters accumulated since the last publish
-    into [io.*] registry counters (via {!Io_stats.diff}), and refresh the
-    cache-occupancy and clock gauges. *)
+    into [io.*] registry counters (via {!Io_stats.diff}), refresh the
+    cache-occupancy and clock gauges, and mirror {!amp} into [amp.*]
+    gauges. *)

@@ -14,8 +14,12 @@ type t = {
   mutable cache_misses : int;
   mutable bloom_probes : int;
   mutable bloom_negatives : int;  (** probes answered "definitely absent" *)
+  mutable bloom_fps : int;
+      (** false positives: positive probes whose component search missed *)
   mutable bloom_cache_lines : int;  (** CPU cache lines touched by probes *)
   mutable comparisons : int;  (** key comparisons in searches and sorts *)
+  mutable cursor_restarts : int;
+      (** stateful B+-tree cursor searches that had to move backwards *)
 }
 
 let create () =
@@ -29,8 +33,10 @@ let create () =
     cache_misses = 0;
     bloom_probes = 0;
     bloom_negatives = 0;
+    bloom_fps = 0;
     bloom_cache_lines = 0;
     comparisons = 0;
+    cursor_restarts = 0;
   }
 
 let reset t =
@@ -43,8 +49,10 @@ let reset t =
   t.cache_misses <- 0;
   t.bloom_probes <- 0;
   t.bloom_negatives <- 0;
+  t.bloom_fps <- 0;
   t.bloom_cache_lines <- 0;
-  t.comparisons <- 0
+  t.comparisons <- 0;
+  t.cursor_restarts <- 0
 
 let copy t =
   {
@@ -57,8 +65,10 @@ let copy t =
     cache_misses = t.cache_misses;
     bloom_probes = t.bloom_probes;
     bloom_negatives = t.bloom_negatives;
+    bloom_fps = t.bloom_fps;
     bloom_cache_lines = t.bloom_cache_lines;
     comparisons = t.comparisons;
+    cursor_restarts = t.cursor_restarts;
   }
 
 (** [diff a b] is the counter-wise difference [a - b]; useful for measuring
@@ -74,8 +84,10 @@ let diff a b =
     cache_misses = a.cache_misses - b.cache_misses;
     bloom_probes = a.bloom_probes - b.bloom_probes;
     bloom_negatives = a.bloom_negatives - b.bloom_negatives;
+    bloom_fps = a.bloom_fps - b.bloom_fps;
     bloom_cache_lines = a.bloom_cache_lines - b.bloom_cache_lines;
     comparisons = a.comparisons - b.comparisons;
+    cursor_restarts = a.cursor_restarts - b.cursor_restarts;
   }
 
 (** [fields t] names every counter — the single source of truth for
@@ -91,13 +103,16 @@ let fields t =
     ("cache_misses", t.cache_misses);
     ("bloom_probes", t.bloom_probes);
     ("bloom_negatives", t.bloom_negatives);
+    ("bloom_fps", t.bloom_fps);
     ("bloom_cache_lines", t.bloom_cache_lines);
     ("comparisons", t.comparisons);
+    ("cursor_restarts", t.cursor_restarts);
   ]
 
 let pp fmt t =
   Fmt.pf fmt
     "reads=%d (seq=%d rand=%d) writes=%d hits=%d misses=%d bloom=%d/%d \
-     cmp=%d"
+     (fp=%d) cmp=%d restarts=%d"
     t.pages_read t.seq_reads t.rand_reads t.pages_written t.cache_hits
-    t.cache_misses t.bloom_negatives t.bloom_probes t.comparisons
+    t.cache_misses t.bloom_negatives t.bloom_probes t.bloom_fps t.comparisons
+    t.cursor_restarts

@@ -12,8 +12,12 @@ type t = {
   mutable cache_misses : int;
   mutable bloom_probes : int;
   mutable bloom_negatives : int;  (** probes answered "definitely absent" *)
+  mutable bloom_fps : int;
+      (** false positives: positive probes whose component search missed *)
   mutable bloom_cache_lines : int;  (** CPU cache lines touched by probes *)
   mutable comparisons : int;  (** key comparisons in searches and sorts *)
+  mutable cursor_restarts : int;
+      (** stateful B+-tree cursor searches that had to move backwards *)
 }
 
 val create : unit -> t

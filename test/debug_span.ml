@@ -1,0 +1,17 @@
+let () =
+  let env = Lsm_sim.Env.create ~cache_bytes:(1024*1024) (Lsm_sim.Device.custom ~name:"x" ~page_size:1024 ~seek_us:1.0 ~read_us_per_page:1.0 ~write_us_per_page:1.0) in
+  let n = 20_000_000 in
+  let sink = ref 0 in
+  let t0 = Sys.time () in
+  for i = 1 to n do
+    sink := !sink + i
+  done;
+  let t1 = Sys.time () in
+  for i = 1 to n do
+    Lsm_sim.Env.span env "noop" (fun () -> sink := !sink + i)
+  done;
+  let t2 = Sys.time () in
+  Printf.printf "bare loop: %.2f ns/iter\nspan loop: %.2f ns/iter\nspan overhead: %.2f ns (sink=%d)\n"
+    ((t1 -. t0) *. 1e9 /. float_of_int n)
+    ((t2 -. t1) *. 1e9 /. float_of_int n)
+    ((t2 -. t1 -. (t1 -. t0)) *. 1e9 /. float_of_int n) !sink

@@ -1,0 +1,50 @@
+(* The installed binary's CLI contract, exercised by shelling out to the
+   real executable: usage errors (unknown subcommand, unknown flag,
+   missing required argument) exit 2; success exits 0.
+
+   Tests run with the build directory as cwd, so the executable lives at
+   ../bin/ relative to us (declared as a dune dep). *)
+
+let exe = "../bin/lsm_repro.exe"
+
+let run args =
+  Sys.command
+    (Filename.quote_command exe ~stdout:"/dev/null" ~stderr:"/dev/null" args)
+
+let test_unknown_subcommand () =
+  Alcotest.(check int) "exit 2" 2 (run [ "definitely-not-a-subcommand" ])
+
+let test_unknown_flag () =
+  Alcotest.(check int) "exit 2" 2 (run [ "list"; "--no-such-flag" ])
+
+let test_missing_required_arg () =
+  (* `run` requires an experiment id. *)
+  Alcotest.(check int) "exit 2" 2 (run [ "run" ])
+
+let test_bad_scale_value () =
+  Alcotest.(check int)
+    "unknown flag on inspect" 2
+    (run [ "inspect"; "--no-such-flag" ])
+
+let test_list_ok () = Alcotest.(check int) "exit 0" 0 (run [ "list" ])
+
+let test_help_ok () = Alcotest.(check int) "exit 0" 0 (run [ "--help" ])
+
+let () =
+  if not (Sys.file_exists exe) then (
+    Printf.eprintf "test_cli: %s not found (run under dune)\n" exe;
+    exit 1);
+  Alcotest.run "lsm_repro_cli"
+    [
+      ( "exit codes",
+        [
+          Alcotest.test_case "unknown subcommand" `Quick test_unknown_subcommand;
+          Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
+          Alcotest.test_case "missing required arg" `Quick
+            test_missing_required_arg;
+          Alcotest.test_case "unknown flag on inspect" `Quick
+            test_bad_scale_value;
+          Alcotest.test_case "list succeeds" `Quick test_list_ok;
+          Alcotest.test_case "--help succeeds" `Quick test_help_ok;
+        ] );
+    ]

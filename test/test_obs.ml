@@ -307,6 +307,342 @@ let test_disabled_records_nothing () =
   Alcotest.(check (list string)) "no metrics" [] (M.to_lines (Env.metrics env))
 
 (* ------------------------------------------------------------------ *)
+(* Json: every machine-readable document we emit must parse back. *)
+
+module J = Lsm_obs.Json
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("int", J.Int 42);
+        ("neg", J.Int (-7));
+        ("float", J.Float 2.5);
+        ("str", J.Str "quote\" back\\ newline\n tab\t");
+        ("null", J.Null);
+        ("flags", J.List [ J.Bool true; J.Bool false ]);
+        ("nested", J.Obj [ ("k", J.Str "v"); ("l", J.List [ J.Int 1 ]) ]);
+        ("empty_obj", J.Obj []);
+        ("empty_list", J.List []);
+      ]
+  in
+  (match J.of_string (J.to_string doc) with
+  | Error e -> Alcotest.fail ("compact: " ^ e)
+  | Ok d -> Alcotest.(check bool) "compact round-trip" true (d = doc));
+  match J.of_string (J.to_string ~indent:2 doc) with
+  | Error e -> Alcotest.fail ("pretty: " ^ e)
+  | Ok d -> Alcotest.(check bool) "pretty round-trip" true (d = doc)
+
+let test_json_errors () =
+  let bad s =
+    match J.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted invalid JSON: " ^ s)
+  in
+  List.iter bad [ "{"; "[1,"; "{\"a\" 1}"; "1 trailing"; ""; "{'a':1}"; "nul" ]
+
+let test_json_access () =
+  let doc = J.Obj [ ("a", J.Int 3); ("b", J.Float 1.5); ("s", J.Str "x") ] in
+  Alcotest.(check (option int)) "member int" (Some 3)
+    (Option.bind (J.member "a" doc) J.to_int);
+  Alcotest.(check bool)
+    "to_float accepts Int" true
+    (Option.bind (J.member "a" doc) J.to_float = Some 3.0);
+  Alcotest.(check (option string))
+    "member str" (Some "x")
+    (Option.bind (J.member "s" doc) J.to_string_opt);
+  Alcotest.(check bool) "missing member" true (J.member "zzz" doc = None)
+
+(* ------------------------------------------------------------------ *)
+(* Io_stats: diff/copy/reset/fields arithmetic *)
+
+let populated_stats () =
+  let env =
+    Env.create ~cache_bytes:(16 * 1024)
+      (Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+         ~read_us_per_page:100.0 ~write_us_per_page:100.0)
+  in
+  let d =
+    D.create ~filter_key:Tweet.created_at ~secondaries env
+      { D.default_config with mem_budget = 2048 }
+  in
+  for i = 0 to 300 do
+    D.upsert d (tw ~user:(i mod 10) i)
+  done;
+  ignore (D.point_query d 17);
+  (env, d)
+
+let test_io_stats_roundtrips () =
+  let env, d = populated_stats () in
+  let s = Env.stats env in
+  (* copy is a detached snapshot: diff against it is all zeros... *)
+  let snap = Io_stats.copy s in
+  List.iter
+    (fun (k, v) -> Alcotest.(check int) ("zero " ^ k) 0 v)
+    (Io_stats.fields (Io_stats.diff s snap));
+  (* ...and after more work, diff = new fields - snapshot fields. *)
+  for i = 301 to 400 do
+    D.upsert d (tw ~user:(i mod 10) i)
+  done;
+  ignore (D.point_query d 42);
+  let delta = Io_stats.fields (Io_stats.diff s snap) in
+  let now = Io_stats.fields s and before = Io_stats.fields snap in
+  List.iter
+    (fun (k, v) ->
+      let n = List.assoc k now and b = List.assoc k before in
+      Alcotest.(check int) ("delta " ^ k) (n - b) v)
+    delta;
+  Alcotest.(check bool)
+    "something happened" true
+    (List.exists (fun (_, v) -> v > 0) delta);
+  (* reset zeroes every field. *)
+  Io_stats.reset s;
+  List.iter
+    (fun (k, v) -> Alcotest.(check int) ("reset " ^ k) 0 v)
+    (Io_stats.fields s)
+
+(* ------------------------------------------------------------------ *)
+(* Ampstats *)
+
+let test_ampstats_math () =
+  let a = Lsm_obs.Ampstats.create () in
+  Alcotest.(check bool)
+    "nan before first flush" true
+    (Float.is_nan (Lsm_obs.Ampstats.write_amplification a));
+  Lsm_obs.Ampstats.on_flush a ~bytes:1000 ~rows:10;
+  Lsm_obs.Ampstats.on_flush a ~bytes:1000 ~rows:10;
+  Lsm_obs.Ampstats.on_merge a ~bytes_read:2000 ~bytes_written:1500 ~rows_in:20
+    ~rows_out:15;
+  Alcotest.(check (float 1e-9))
+    "wa = (flushed + rewritten) / flushed"
+    ((2000.0 +. 1500.0) /. 2000.0)
+    (Lsm_obs.Ampstats.write_amplification a);
+  let f = Lsm_obs.Ampstats.fields a in
+  Alcotest.(check int) "flushes" 2 (List.assoc "flushes" f);
+  Alcotest.(check int) "merges" 1 (List.assoc "merges" f);
+  Alcotest.(check int) "flush_bytes" 2000 (List.assoc "flush_bytes" f);
+  Alcotest.(check int) "merge_written" 1500
+    (List.assoc "merge_written_bytes" f);
+  (* publish mirrors into amp.* gauges *)
+  let m = M.create () in
+  Lsm_obs.Ampstats.publish a m;
+  Alcotest.(check bool)
+    "amp.* gauges present" true
+    (List.exists (fun l -> contains l "amp.write_amplification")
+       (M.to_lines m));
+  Lsm_obs.Ampstats.reset a;
+  Alcotest.(check int) "reset" 0 (List.assoc "flushes" (Lsm_obs.Ampstats.fields a))
+
+let test_ampstats_fed_by_engine () =
+  (* The engine actually feeds the accountant: enough upserts to force
+     flushes (tiny budget) must leave non-trivial write amplification. *)
+  let env, _d = populated_stats () in
+  let a = Env.amp env in
+  Alcotest.(check bool) "flushed" true (a.Lsm_obs.Ampstats.flushes > 0);
+  let wa = Lsm_obs.Ampstats.write_amplification a in
+  Alcotest.(check bool) "wa >= 1" true (wa >= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Explain *)
+
+module E = Lsm_obs.Explain
+
+let explain_fixture () =
+  let env =
+    Env.create ~cache_bytes:(16 * 1024)
+      (Lsm_sim.Device.custom ~name:"test" ~page_size:1024 ~seek_us:1000.0
+         ~read_us_per_page:100.0 ~write_us_per_page:100.0)
+  in
+  ignore (Env.enable_explain env);
+  let d =
+    D.create ~filter_key:Tweet.created_at ~secondaries env
+      { D.default_config with mem_budget = 2048 }
+  in
+  for i = 0 to 300 do
+    D.upsert d (tw ~user:(i mod 10) i)
+  done;
+  ignore (D.query_secondary d ~sec:"user_id" ~lo:0 ~hi:5 ~mode:`Timestamp ());
+  ignore (D.query_secondary d ~sec:"user_id" ~lo:0 ~hi:5 ~mode:`Direct ());
+  ignore (D.point_query d 17);
+  env
+
+(* The interface invariant: a node's inclusive I/O delta equals its self
+   delta plus the sum of its children's inclusive deltas — so self_io
+   summed over the whole tree reproduces the root's (= the operation's
+   top-level) delta. *)
+let rec check_io_invariant (n : E.node) =
+  let get k kvs = try List.assoc k kvs with Not_found -> 0 in
+  let keys =
+    List.sort_uniq compare
+      (List.map fst n.E.io
+      @ List.map fst n.E.self_io
+      @ List.concat_map (fun c -> List.map fst c.E.io) n.E.children)
+  in
+  List.iter
+    (fun k ->
+      let children_sum =
+        List.fold_left (fun acc c -> acc + get k c.E.io) 0 n.E.children
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: io = self + children (%s)" n.E.name k)
+        (get k n.E.io)
+        (get k n.E.self_io + children_sum))
+    keys;
+  List.iter check_io_invariant n.E.children
+
+let test_explain_plans_and_invariant () =
+  let env = explain_fixture () in
+  let e = Env.explain env in
+  let plans = E.plans e in
+  Alcotest.(check bool) "recorded plans" true (plans <> []);
+  List.iter
+    (fun (p : E.plan) ->
+      Alcotest.(check bool)
+        (p.E.root.E.name ^ " executions >= 1")
+        true (p.E.executions >= 1);
+      check_io_invariant p.E.root)
+    plans;
+  (* One plan per distinct root name. *)
+  let names = List.map (fun p -> p.E.root.E.name) plans in
+  Alcotest.(check int)
+    "distinct roots"
+    (List.length (List.sort_uniq compare names))
+    (List.length names);
+  (* A query plan was retained and the ingest plan executed many times. *)
+  Alcotest.(check bool)
+    "query plan present" true
+    (List.mem "query.secondary" names);
+  let ingest =
+    List.find (fun p -> p.E.root.E.name = "ingest.upsert") plans
+  in
+  Alcotest.(check bool) "ingest executions" true (ingest.E.executions > 100)
+
+let test_explain_text_and_json () =
+  let env = explain_fixture () in
+  let e = Env.explain env in
+  let text = E.to_text e in
+  Alcotest.(check bool) "text has plans" true (contains text "plan: ");
+  Alcotest.(check bool) "text has io" true (contains text "io(total):");
+  let j = E.to_json e in
+  Alcotest.(check (option string))
+    "schema tag" (Some E.schema)
+    (Option.bind (J.member "schema" j) J.to_string_opt);
+  (* The emitted document parses back. *)
+  match J.of_string (J.to_string ~indent:2 j) with
+  | Error err -> Alcotest.fail ("explain json does not parse: " ^ err)
+  | Ok j' -> (
+      match Option.bind (J.member "plans" j') J.to_list with
+      | None -> Alcotest.fail "no plans list"
+      | Some ps ->
+          Alcotest.(check bool) "plans non-empty" true (ps <> []);
+          List.iter
+            (fun p ->
+              Alcotest.(check bool)
+                "plan has name" true
+                (Option.bind (J.member "name" p) J.to_string_opt <> None);
+              Alcotest.(check bool)
+                "plan has root" true
+                (J.member "root" p <> None))
+            ps)
+
+let test_explain_disabled_inert () =
+  let e = E.disabled in
+  Alcotest.(check bool) "inactive" false (E.active e);
+  Alcotest.(check int) "thunk runs" 7 (E.node e "x" (fun () -> 7));
+  Alcotest.(check bool) "no plans" true (E.plans e = [])
+
+(* ------------------------------------------------------------------ *)
+(* Bench_json *)
+
+module B = Lsm_harness.Bench_json
+
+let test_bench_percentiles () =
+  let samples = Array.init 100 (fun i -> Float.of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (B.percentile samples 50.0);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (B.percentile samples 95.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (B.percentile samples 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (B.percentile samples 100.0);
+  Alcotest.(check bool) "empty -> nan" true (Float.is_nan (B.percentile [||] 50.0))
+
+let bench_doc () =
+  {
+    B.kind = "micro";
+    scale = None;
+    entries =
+      [
+        { B.name = "a"; unit_ = "ns/run"; samples = [| 3.0; 1.0; 2.0 |] };
+        { B.name = "b"; unit_ = "ns/run"; samples = [| 10.0 |] };
+      ];
+  }
+
+let test_bench_roundtrip () =
+  let d = bench_doc () in
+  let j = B.to_json d in
+  Alcotest.(check (option string))
+    "schema" (Some B.schema)
+    (Option.bind (J.member "schema" j) J.to_string_opt);
+  match J.of_string (J.to_string ~indent:2 j) with
+  | Error e -> Alcotest.fail e
+  | Ok j' -> (
+      match B.of_json j' with
+      | Error e -> Alcotest.fail e
+      | Ok d' ->
+          Alcotest.(check string) "kind" d.B.kind d'.B.kind;
+          Alcotest.(check int) "entries" 2 (List.length d'.B.entries);
+          List.iter2
+            (fun (a : B.entry) (b : B.entry) ->
+              Alcotest.(check string) "name" a.B.name b.B.name;
+              Alcotest.(check string) "unit" a.B.unit_ b.B.unit_;
+              Alcotest.(check bool) "samples" true (a.B.samples = b.B.samples))
+            d.B.entries d'.B.entries)
+
+let test_bench_schema_rejected () =
+  match B.of_json (J.Obj [ ("schema", J.Str "something/else") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong schema"
+
+let test_bench_compare () =
+  let old_d = bench_doc () in
+  let new_d =
+    {
+      old_d with
+      B.entries =
+        [
+          (* p50 2.0 -> 2.2: within a 15% threshold *)
+          { B.name = "a"; unit_ = "ns/run"; samples = [| 2.2 |] };
+          (* 10.0 -> 20.0: regression *)
+          { B.name = "b"; unit_ = "ns/run"; samples = [| 20.0 |] };
+          { B.name = "c"; unit_ = "ns/run"; samples = [| 1.0 |] };
+        ];
+    }
+  in
+  let regs, compared, only_old, only_new =
+    B.compare_docs ~threshold:0.15 old_d new_d
+  in
+  Alcotest.(check int) "compared" 2 compared;
+  Alcotest.(check (list string)) "only old" [] only_old;
+  Alcotest.(check (list string)) "only new" [ "c" ] only_new;
+  match regs with
+  | [ r ] ->
+      Alcotest.(check string) "regressed entry" "b" r.B.r_name;
+      Alcotest.(check (float 1e-9)) "ratio" 2.0 r.B.r_ratio
+  | _ -> Alcotest.failf "expected 1 regression, got %d" (List.length regs)
+
+let test_bench_of_reports () =
+  let r =
+    Lsm_harness.Report.make ~id:"figX" ~title:"t"
+      ~header:[ "row"; "colA"; "colB" ]
+      [ [ "r1"; "1.5"; "not-a-number" ]; [ "r2"; "2.5"; "3.5" ] ]
+  in
+  let doc = B.of_reports ~scale:Lsm_harness.Scale.tiny [ r ] in
+  Alcotest.(check string) "kind" "figures" doc.B.kind;
+  let names = List.map (fun (e : B.entry) -> e.B.name) doc.B.entries in
+  Alcotest.(check (list string))
+    "numeric cells only"
+    [ "figX/r1/colA"; "figX/r2/colA"; "figX/r2/colB" ]
+    names
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "lsm_obs"
@@ -342,5 +678,39 @@ let () =
           prop_span_io_reconciles;
           Alcotest.test_case "disabled records nothing" `Quick
             test_disabled_records_nothing;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects invalid" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_access;
+        ] );
+      ( "io_stats",
+        [
+          Alcotest.test_case "diff/copy/reset/fields" `Quick
+            test_io_stats_roundtrips;
+        ] );
+      ( "ampstats",
+        [
+          Alcotest.test_case "arithmetic + publish" `Quick test_ampstats_math;
+          Alcotest.test_case "fed by engine" `Quick test_ampstats_fed_by_engine;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "plans + io invariant" `Quick
+            test_explain_plans_and_invariant;
+          Alcotest.test_case "text + json parse" `Quick
+            test_explain_text_and_json;
+          Alcotest.test_case "disabled inert" `Quick test_explain_disabled_inert;
+        ] );
+      ( "bench_json",
+        [
+          Alcotest.test_case "percentiles" `Quick test_bench_percentiles;
+          Alcotest.test_case "round-trip" `Quick test_bench_roundtrip;
+          Alcotest.test_case "wrong schema rejected" `Quick
+            test_bench_schema_rejected;
+          Alcotest.test_case "compare flags regressions" `Quick
+            test_bench_compare;
+          Alcotest.test_case "reports -> entries" `Quick test_bench_of_reports;
         ] );
     ]
