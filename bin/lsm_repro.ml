@@ -161,6 +161,88 @@ let inspect_cmd =
           amplification plus per-component state")
     Term.(const run $ scale_arg $ json_arg $ queries_arg)
 
+let faultsim_cmd =
+  let module F = Lsm_faultsim.Fault in
+  let module Sc = Lsm_faultsim.Scenario in
+  let module H = Lsm_faultsim.Harness in
+  let module C = Lsm_faultsim.Checker in
+  let seed_arg =
+    let doc = "Workload seed; a failure reproduces from this alone." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let txns_arg =
+    let doc = "Transactions per scenario run." in
+    Arg.(value & opt int Sc.default_config.Sc.txns & info [ "txns" ] ~docv:"N" ~doc)
+  in
+  let points_arg =
+    let doc = "Crash-plan budget: distinct (point, hit) crashes to inject." in
+    Arg.(value & opt int 500 & info [ "points" ] ~docv:"N" ~doc)
+  in
+  let io_arg =
+    let doc = "Transient I/O-error plan budget (page-I/O points only)." in
+    Arg.(value & opt int 24 & info [ "io" ] ~docv:"N" ~doc)
+  in
+  let validation_arg =
+    let doc = "Run the Validation strategy instead of Mutable-bitmap." in
+    Arg.(value & flag & info [ "validation" ] ~doc)
+  in
+  let point_arg =
+    let doc = "Reproduce a single plan: fault point name (with --hit)." in
+    Arg.(value & opt (some string) None & info [ "point" ] ~docv:"POINT" ~doc)
+  in
+  let hit_arg =
+    let doc = "Which occurrence of --point fails (1-based)." in
+    Arg.(value & opt int 1 & info [ "hit" ] ~docv:"K" ~doc)
+  in
+  let kind_arg =
+    let doc = "Fault kind for --point: $(b,crash) or $(b,io)." in
+    Arg.(
+      value
+      & opt (enum [ ("crash", F.Crash); ("io", F.Io_error) ]) F.Crash
+      & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let run seed txns points io validation point hit kind =
+    let cfg = { Sc.default_config with Sc.seed; txns; validation } in
+    match point with
+    | Some p ->
+        (* Single-plan reproduction: run it, print the checker verdict. *)
+        let plan = { F.kind; point = p; hit } in
+        let inj, st = Sc.run ~plan cfg in
+        if not (F.fired inj) then begin
+          Printf.printf "plan did not fire: %s\n" (F.describe plan);
+          exit 1
+        end;
+        let msgs = C.check st in
+        let msgs =
+          if msgs = [] then (Sc.smoke st; C.check st) else msgs
+        in
+        if msgs = [] then
+          Printf.printf "recovered and checker-accepted: %s\n" (F.describe plan)
+        else begin
+          Printf.printf "FAILED: %s\n" (F.describe plan);
+          List.iter (fun m -> Printf.printf "  %s\n" m) msgs;
+          exit 1
+        end
+    | None -> (
+        match H.run ~crash_budget:points ~io_budget:io cfg with
+        | r ->
+            H.print_report Format.std_formatter r;
+            if not (H.ok r) then exit 1
+        | exception H.Baseline_failure msgs ->
+            Printf.printf "BASELINE FAILURE (no fault injected):\n";
+            List.iter (fun m -> Printf.printf "  %s\n" m) msgs;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Enumerate crash and I/O-error injection points over a seeded \
+          transactional workload, crash at each, and verify recovery \
+          against a committed-state model")
+    Term.(
+      const run $ seed_arg $ txns_arg $ points_arg $ io_arg $ validation_arg
+      $ point_arg $ hit_arg $ kind_arg)
+
 let () =
   let doc =
     "Reproduction of 'Efficient Data Ingestion and Query Processing for \
@@ -170,7 +252,7 @@ let () =
     Cmd.eval
       (Cmd.group
          (Cmd.info "lsm_repro" ~version:"1.0.0" ~doc)
-         [ list_cmd; run_cmd; all_cmd; inspect_cmd ])
+         [ list_cmd; run_cmd; all_cmd; inspect_cmd; faultsim_cmd ])
   in
   (* Cmdliner reports CLI misuse (unknown subcommand or flag) with its
      own exit code; map it to the conventional 2. *)

@@ -7,6 +7,15 @@ set -eux
 dune build @all
 dune runtest
 
+# --- crash-consistency gate --------------------------------------------
+# Deterministic fault matrix: enumerate the fault points of a seeded
+# transactional workload and crash at >=50 of them (plus transient I/O
+# errors), requiring recovery to a checker-accepted state every time.
+# A failure prints the (seed, point, hit) plan and the one-line command
+# that reproduces it.
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 --validation
+
 # --- advisory bench check (non-gating) ---------------------------------
 # Compare a quick microbench run against the committed baseline.  Host
 # timings on CI machines are too noisy to gate on, so regressions here

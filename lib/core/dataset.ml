@@ -180,7 +180,12 @@ module Make (R : Record.S) = struct
     Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.flush" @@ fun () ->
     let t0 = Lsm_sim.Env.now_us t.env in
     let flushed = Prim.mem_count t.primary > 0 in
+    if flushed then Lsm_sim.Env.fault_point t.env "dataset.flush.begin";
     Prim.flush t.primary;
+    (* The most delicate crash window: the primary's flush is durable but
+       the primary-key index's is not yet (recovery rolls the primary back
+       to the aligned cut; see Txn_dataset.recover). *)
+    if flushed then Lsm_sim.Env.fault_point t.env "dataset.flush.pair";
     (match t.pk_index with Some pk -> Pk.flush pk | None -> ());
     Array.iter
       (fun s ->
@@ -284,6 +289,9 @@ module Make (R : Record.S) = struct
           bump ();
           match t.pk_index with
           | Some pk when Strategy.correlates_primary_pair t.cfg.strategy -> (
+              (* Crash here leaves the merged primary without its lockstep
+                 pk-index merge; recovery redoes the pk side. *)
+              Lsm_sim.Env.fault_point t.env "dataset.merge.pair";
               let lo, hi = Prim.component_id pc in
               match
                 merge_id_range

@@ -13,9 +13,19 @@
       bitmap pages dirtied by live transactions are held back until
       {!checkpoint} flushes them;
     - {b crash} loses memory components and post-checkpoint bitmap flips;
-      {b recover} replays committed transactions — memory redo from the
-      maximum flushed LSN (the paper's "maximum component LSN"), bitmap
-      redo from the checkpoint LSN.  No undo is ever needed.
+      {b recover} replays committed transactions — memory redo from each
+      tree's maximum component timestamp (the paper's "maximum component
+      LSN", per index), bitmap redo from the checkpoint LSN.  No undo is
+      ever needed.
+
+    Crashes need not land between operations: a crash may interrupt a
+    multi-tree flush or a correlated merge halfway (see [lib/faultsim]).
+    Recovery therefore (1) replays bitmap updates onto the surviving
+    pre-crash components, (2) realigns the correlated primary /
+    primary-key pair — redoing an interrupted lockstep pk-index merge, or
+    rolling an orphaned primary flush back to the aligned cut (its
+    entries are still in the WAL) — and (3) redoes memory per tree, gated
+    on that tree's own durable frontier.
 
     Restrictions (documented, asserted): flushes and merges must happen at
     transaction-quiescent points, and recovery applies to the component
@@ -46,7 +56,6 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     d : D.t;
     wal : Wal.t;
     mutable redo : log_op list;  (** all logged ops, newest first *)
-    mutable flushed_lsn : int;  (** ops up to here live in disk components *)
     mutable checkpoint_lsn : int;  (** bitmap pages durable up to here *)
     mutable checkpoint_bitmaps : (int * Lsm_util.Bitset.t) list;
         (** durable copies, keyed by pk-index component seq *)
@@ -69,13 +78,13 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
       d;
       wal;
       redo = [];
-      flushed_lsn = 0;
       checkpoint_lsn = 0;
       checkpoint_bitmaps = [];
       live_txns = 0;
     }
 
   let dataset t = t.d
+  let wal t = t.wal
 
   let pk_index t = Option.get (D.pk_index t.d)
 
@@ -125,6 +134,8 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
 
   let apply t txn op =
     let d = t.d in
+    (* Crash here: nothing logged, nothing written — the op vanishes. *)
+    Lsm_sim.Env.fault_point (D.env d) "txn.op.begin";
     let pkt = pk_index t in
     let pk, r_opt =
       match op with
@@ -163,7 +174,10 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
       { lsn; txn_id = txn.id; op; ts; update; prior_prim; prior_pk; prior_sec }
     in
     txn.ops <- lop :: txn.ops;
-    t.redo <- lop :: t.redo
+    t.redo <- lop :: t.redo;
+    (* Crash here: the op's WAL record exists but its transaction has not
+       committed — recovery must make the op invisible. *)
+    Lsm_sim.Env.fault_point (D.env d) "txn.op.logged"
 
   (* ------------------------------------------------------------------ *)
   (* Transactions *)
@@ -172,12 +186,19 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     t.live_txns <- t.live_txns + 1;
     { id = Wal.begin_txn t.wal; ops = [] }
 
+  let txn_id (txn : txn) = txn.id
+
   let upsert t txn r = apply t txn (Op_upsert r)
   let delete t txn ~pk = apply t txn (Op_delete pk)
 
   let commit t txn =
+    (* Crash before the commit record is durable: the transaction aborts. *)
+    Lsm_sim.Env.fault_point (D.env t.d) "txn.commit.pre";
     Wal.commit t.wal ~txn:txn.id;
-    t.live_txns <- t.live_txns - 1
+    t.live_txns <- t.live_txns - 1;
+    (* Crash after: the transaction is committed and must survive even
+       though [commit] never returned to the caller. *)
+    Lsm_sim.Env.fault_point (D.env t.d) "txn.commit.durable"
 
   (** [abort t txn] applies inverse operations in reverse order: restore
       memory bindings, unset update bits. *)
@@ -228,26 +249,45 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     if t.live_txns > 0 then
       invalid_arg (Printf.sprintf "Txn_dataset.%s: live transactions" what)
 
+  let snapshot_bitmaps t =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           ( c.D.Pk.seq,
+             match c.D.Pk.bitmap with
+             | Some b -> Lsm_util.Bitset.copy b
+             | None -> Lsm_util.Bitset.create (D.Pk.component_rows c) ))
+         (D.Pk.components (pk_index t)))
+
+  (* A checkpoint has two durable effects: the bitmap-page snapshot and
+     the checkpoint LSN.  The snapshot must become durable *first*: a
+     crash in between then leaves (new snapshot, old LSN), and replaying
+     from the old LSN merely re-sets bits the snapshot already has —
+     idempotent.  The opposite order loses every bit flipped between the
+     two LSNs: restore yields the old snapshot, but replay starts after
+     the new LSN.  The [txn.ckpt.mid] fault point exists to keep this
+     ordering honest. *)
+  let anchor_checkpoint t =
+    Lsm_sim.Env.fault_point (D.env t.d) "txn.ckpt.begin";
+    t.checkpoint_bitmaps <- snapshot_bitmaps t;
+    Lsm_sim.Env.fault_point (D.env t.d) "txn.ckpt.mid";
+    t.checkpoint_lsn <- t.wal.Wal.next_lsn - 1;
+    Lsm_sim.Env.fault_point (D.env t.d) "txn.ckpt.end"
+
   (** [flush t] makes all memory components durable (and runs merges);
-      redo for operations up to this LSN is no longer needed.  Requires
+      redo for operations up to this point is no longer needed.  Requires
       quiescence. *)
   let flush t =
     assert_quiescent t "flush";
     D.flush_now t.d;
-    t.flushed_lsn <- t.wal.Wal.next_lsn - 1;
     (* Flushes/merges rewrite components; the checkpointed bitmap state is
        superseded (components are durable via shadowing), so checkpoint
-       now to re-anchor. *)
-    t.checkpoint_lsn <- t.flushed_lsn;
-    t.checkpoint_bitmaps <-
-      Array.to_list
-        (Array.map
-           (fun c ->
-             ( c.D.Pk.seq,
-               match c.D.Pk.bitmap with
-               | Some b -> Lsm_util.Bitset.copy b
-               | None -> Lsm_util.Bitset.create (D.Pk.component_rows c) ))
-           (D.Pk.components (pk_index t)))
+       now to re-anchor.  A crash before the re-anchor is safe: restore
+       gives unknown (post-merge) components all-valid bitmaps — correct,
+       because the merge physically applied their bits — and replayed
+       update records that target merged-away seqs are no-ops. *)
+    Lsm_sim.Env.fault_point (D.env t.d) "txn.flush.anchor";
+    anchor_checkpoint t
 
   (** [checkpoint t] durably flushes the bitmap pages (Sec. 5.2: "regular
       checkpointing can be performed to flush dirty pages of bitmaps").
@@ -256,16 +296,7 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
   let checkpoint t =
     Lsm_sim.Env.span (D.env t.d) ~cat:"txn" "txn.checkpoint" @@ fun () ->
     assert_quiescent t "checkpoint";
-    t.checkpoint_lsn <- t.wal.Wal.next_lsn - 1;
-    t.checkpoint_bitmaps <-
-      Array.to_list
-        (Array.map
-           (fun c ->
-             ( c.D.Pk.seq,
-               match c.D.Pk.bitmap with
-               | Some b -> Lsm_util.Bitset.copy b
-               | None -> Lsm_util.Bitset.create (D.Pk.component_rows c) ))
-           (D.Pk.components (pk_index t)))
+    anchor_checkpoint t
 
   (** [crash t] simulates failure: memory components vanish; bitmaps
       revert to the last checkpoint.  (Disk components are durable.) *)
@@ -273,67 +304,176 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     D.Prim.reset_memory (D.primary t.d);
     D.Pk.reset_memory (pk_index t);
     Array.iter (fun s -> D.Sec.reset_memory s.D.tree) (D.secondaries t.d);
-    let pkt = pk_index t in
-    Array.iter
-      (fun c ->
-        match List.assoc_opt c.D.Pk.seq t.checkpoint_bitmaps with
-        | Some snap -> c.D.Pk.bitmap <- Some (Lsm_util.Bitset.copy snap)
-        | None ->
-            c.D.Pk.bitmap <-
-              Some (Lsm_util.Bitset.create (D.Pk.component_rows c)))
-      (D.Pk.components pkt);
-    (* Re-share bitmaps with the primary components (aligned layouts). *)
-    let pcs = D.Prim.components (D.primary t.d) in
-    let kcs = D.Pk.components pkt in
-    if Array.length pcs = Array.length kcs then
-      Array.iteri (fun i p -> p.D.Prim.bitmap <- kcs.(i).D.Pk.bitmap) pcs;
+    (* Validity bitmaps exist only under the Mutable-bitmap strategy;
+       a Validation pair is not lockstep-aligned, so sharing a pk-index
+       bitmap onto a primary component there would mismatch its rows. *)
+    if Strategy.uses_primary_bitmap (D.strategy t.d) then begin
+      let pkt = pk_index t in
+      Array.iter
+        (fun c ->
+          match List.assoc_opt c.D.Pk.seq t.checkpoint_bitmaps with
+          | Some snap -> c.D.Pk.bitmap <- Some (Lsm_util.Bitset.copy snap)
+          | None ->
+              c.D.Pk.bitmap <-
+                Some (Lsm_util.Bitset.create (D.Pk.component_rows c)))
+        (D.Pk.components pkt);
+      (* Re-share bitmaps with the primary components (aligned layouts). *)
+      let pcs = D.Prim.components (D.primary t.d) in
+      let kcs = D.Pk.components pkt in
+      if Array.length pcs = Array.length kcs then
+        Array.iteri (fun i p -> p.D.Prim.bitmap <- kcs.(i).D.Pk.bitmap) pcs
+    end;
     t.live_txns <- 0
 
-  (** [recover t] replays committed work: memory redo for operations past
-      the flushed LSN, bitmap redo past the checkpoint LSN. *)
+  (* The durable frontier of one tree: the maximum entry timestamp any of
+     its disk components covers.  Timestamps are handed out monotonically
+     at write time, so every committed write at or below this frontier was
+     in memory at — and therefore included in — some flush; everything
+     above it needs memory redo.  Unlike a single dataset-wide LSN, this
+     survives a crash that interrupted a multi-tree flush halfway: each
+     tree reports exactly what it managed to make durable. *)
+  let durable_frontier ids = Array.fold_left (fun acc (_, hi) -> max acc hi) 0 ids
+
+  let prim_frontier t =
+    durable_frontier
+      (Array.map D.Prim.component_id (D.Prim.components (D.primary t.d)))
+
+  let pk_frontier t =
+    durable_frontier
+      (Array.map D.Pk.component_id (D.Pk.components (pk_index t)))
+
+  let sec_frontier s =
+    durable_frontier (Array.map D.Sec.component_id (D.Sec.components s.D.tree))
+
+  (* Restore the structural invariant of the correlated primary pair
+     (Mutable-bitmap only): identical component layouts with positionally
+     aligned rows and shared bitmaps.  A crash can break it in exactly two
+     ways, both one step deep because maintenance is sequential:
+
+     - an interrupted lockstep merge: the primary merged but the pk index
+       did not.  Redo the pk side — merge the pk components whose IDs nest
+       inside one primary component.  This runs *after* bitmap redo, so
+       the re-merge drops exactly the rows the original (crashed) merge
+       dropped: merges happen at quiescent points, hence every bit present
+       at merge time was committed and is reproduced by checkpoint
+       restore + replay.
+
+     - an interrupted flush: the primary flushed a component the pk index
+       has no counterpart for.  Roll the primary back to the aligned cut
+       by dropping the orphan — its entries are still in the WAL and the
+       per-tree frontier (computed after the drop) sends them back through
+       memory redo on both trees.
+
+     Finally re-share bitmap objects pairwise so a bit set through either
+     index is seen by both. *)
+  let realign_primary_pair t =
+    if Strategy.uses_primary_bitmap (D.strategy t.d) then begin
+      let prim = D.primary t.d in
+      let pkt = pk_index t in
+      (* Catch-up pk-index merges. *)
+      Array.iter
+        (fun pc ->
+          let lo, hi = D.Prim.component_id pc in
+          let comps = D.Pk.components pkt in
+          let first = ref (-1) and last = ref (-1) in
+          Array.iteri
+            (fun i c ->
+              let cmin, cmax = D.Pk.component_id c in
+              if cmin >= lo && cmax <= hi then begin
+                if !first < 0 then first := i;
+                last := i
+              end)
+            comps;
+          if !first >= 0 && !last > !first then
+            ignore (D.Pk.merge pkt ~first:!first ~last:!last))
+        (D.Prim.components prim);
+      (* Drop orphaned primary components (no pk counterpart). *)
+      let has_pk_counterpart pc =
+        Array.exists
+          (fun kc -> D.Pk.component_id kc = D.Prim.component_id pc)
+          (D.Pk.components pkt)
+      in
+      let orphans = ref [] in
+      Array.iteri
+        (fun i pc -> if not (has_pk_counterpart pc) then orphans := i :: !orphans)
+        (D.Prim.components prim);
+      (* Newest-first indices, removed in descending order to stay valid. *)
+      List.iter (fun i -> D.Prim.remove_component prim ~at:i) !orphans;
+      (* Re-share bitmap objects (pk side is authoritative: it went
+         through checkpoint restore + WAL replay). *)
+      let pcs = D.Prim.components prim and kcs = D.Pk.components pkt in
+      if Array.length pcs = Array.length kcs then
+        Array.iteri (fun i pc -> pc.D.Prim.bitmap <- kcs.(i).D.Pk.bitmap) pcs
+    end
+
+  (** [recover t] replays committed work: bitmap redo past the checkpoint
+      LSN, then structural realignment of the correlated primary pair,
+      then memory redo past each tree's own durable frontier. *)
   let recover t =
     Lsm_sim.Env.span (D.env t.d) ~cat:"txn" "recovery.replay" @@ fun () ->
+    (* A crash can tear the newest WAL record mid-append; drop it, and
+       treat its transaction as uncommitted (its commit record could only
+       have followed the torn record). *)
+    (match Wal.discard_torn_tail t.wal with
+    | Some r when Wal.txn_state t.wal ~txn:r.Wal.txn = Some Wal.Active ->
+        Wal.abort t.wal ~txn:r.Wal.txn
+    | _ -> ());
     let committed txn_id =
       match Wal.txn_state t.wal ~txn:txn_id with
       | Some Wal.Committed -> true
       | _ -> false
     in
-    (* Oldest-first replay. *)
+    (* Oldest-first replay.  (A discarded torn record's op needs no
+       explicit filtering: its transaction is not committed.) *)
     let ops = List.rev t.redo in
+    (* 1. Bitmap redo: "a log record is replayed on the bitmaps only when
+       its update bit is 1".  Runs first, onto the surviving pre-crash
+       components, so a redone merge below sees fully recovered bits. *)
+    List.iter
+      (fun lop ->
+        if committed lop.txn_id && lop.lsn > t.checkpoint_lsn then
+          match lop.update with
+          | Some (comp_seq, pos) ->
+              Array.iter
+                (fun c -> if c.D.Pk.seq = comp_seq then D.Pk.invalidate c pos)
+                (D.Pk.components (pk_index t))
+          | None -> ())
+      ops;
+    (* 2. Structural realignment of the correlated primary pair. *)
+    realign_primary_pair t;
+    (* 3. Memory redo, per tree.  Frontiers are computed after the
+       realignment (a dropped orphan lowers the primary's frontier, which
+       is exactly what routes its entries back through redo). *)
+    let d = t.d in
+    let pkt = pk_index t in
+    let prim_f = prim_frontier t in
+    let pk_f = pk_frontier t in
+    let sec_f =
+      Array.map (fun s -> (s, sec_frontier s)) (D.secondaries d)
+    in
     List.iter
       (fun lop ->
         if committed lop.txn_id then begin
-          (* Memory redo. *)
-          if lop.lsn > t.flushed_lsn then begin
-            let d = t.d in
-            let pkt = pk_index t in
-            match lop.op with
-            | Op_upsert r ->
-                let pk = R.primary_key r in
+          match lop.op with
+          | Op_upsert r ->
+              let pk = R.primary_key r in
+              if lop.ts > prim_f then
                 D.Prim.write (D.primary d) ~key:pk ~ts:lop.ts (Entry.Put r);
+              if lop.ts > pk_f then
                 D.Pk.write pkt ~key:pk ~ts:lop.ts (Entry.Put ());
-                Array.iter
-                  (fun s ->
+              Array.iter
+                (fun (s, f) ->
+                  if lop.ts > f then
                     List.iter
                       (fun sk ->
                         D.Sec.write s.D.tree ~key:(sk, pk) ~ts:lop.ts
                           (Entry.Put ()))
                       (s.D.extract_all r))
-                  (D.secondaries d)
-            | Op_delete pk ->
+                sec_f
+          | Op_delete pk ->
+              if lop.ts > prim_f then
                 D.Prim.write (D.primary d) ~key:pk ~ts:lop.ts Entry.Del;
-                D.Pk.write pkt ~key:pk ~ts:lop.ts Entry.Del
-          end;
-          (* Bitmap redo: "a log record is replayed on the bitmaps only
-             when its update bit is 1". *)
-          if lop.lsn > t.checkpoint_lsn then
-            match lop.update with
-            | Some (comp_seq, pos) ->
-                Array.iter
-                  (fun c ->
-                    if c.D.Pk.seq = comp_seq then D.Pk.invalidate c pos)
-                  (D.Pk.components (pk_index t))
-            | None -> ()
+              if lop.ts > pk_f then D.Pk.write pkt ~key:pk ~ts:lop.ts Entry.Del
         end)
       ops
 end

@@ -15,9 +15,18 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) : sig
 
   val dataset : t -> D.t
 
+  val wal : t -> Lsm_txn.Wal.t
+  (** The write-ahead log — after a {!crash}, the durable commit record
+      is the authority on whether an in-flight transaction committed. *)
+
   (** {1 Transactions} *)
 
   val begin_txn : t -> txn
+
+  val txn_id : txn -> int
+  (** WAL transaction id — crash checkers use it to ask the recovered WAL
+      whether an in-flight transaction's commit record became durable. *)
+
   val upsert : t -> txn -> R.t -> unit
   val delete : t -> txn -> pk:int -> unit
   val commit : t -> txn -> unit
@@ -35,9 +44,10 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) : sig
   (** {1 Durability} *)
 
   val flush : t -> unit
-  (** Make memory components durable (and merge); advances the flushed
-      LSN — the paper's "maximum component LSN" — and re-anchors the
-      bitmap checkpoint (components are durable via shadowing). *)
+  (** Make memory components durable (and merge); advances each tree's
+      durable frontier — the paper's "maximum component LSN", per index —
+      and re-anchors the bitmap checkpoint (components are durable via
+      shadowing). *)
 
   val checkpoint : t -> unit
   (** Durably flush bitmap pages ("regular checkpointing", Sec. 5.2). *)
@@ -47,6 +57,10 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) : sig
       last checkpoint. *)
 
   val recover : t -> unit
-  (** Replay committed work: memory redo past the flushed LSN, bitmap
-      redo past the checkpoint LSN.  No undo is ever needed. *)
+  (** Replay committed work: bitmap redo past the checkpoint LSN, then
+      structural realignment of the correlated primary pair (redo an
+      interrupted lockstep pk-index merge; roll an orphaned primary flush
+      back to the aligned cut), then memory redo past each tree's own
+      durable frontier.  Discards a torn trailing WAL record first.  No
+      undo is ever needed. *)
 end

@@ -1,0 +1,63 @@
+(** Deterministic fault plans over {!Lsm_sim.Env} fault points.
+
+    The engine announces every crash-relevant transition through
+    [Env.fault_point] (page I/O, flush/merge begin and install, WAL
+    append/commit boundaries, checkpoint phases).  An {!injector} counts
+    those announcements; a {!plan} names one of them — the [hit]-th
+    occurrence of [point] — and raises {!Lsm_sim.Env.Injected_fault}
+    there, either as a {e crash} (execution stops; the harness runs
+    recovery) or as a {e transient I/O error} (the injector disarms, so a
+    retry of the same operation succeeds).
+
+    Because workloads are seeded and the simulated environment has no
+    hidden nondeterminism, a counting run and an armed run observe the
+    identical announcement sequence: every failure reproduces from
+    (seed, point, hit) alone. *)
+
+type kind = Lsm_sim.Env.fault_kind = Crash | Io_error
+
+type plan = { kind : kind; point : string; hit : int }
+(** Fail at the [hit]-th (1-based) announcement of [point]. *)
+
+let kind_to_string = function Crash -> "crash" | Io_error -> "io"
+
+let kind_of_string = function
+  | "crash" -> Crash
+  | "io" -> Io_error
+  | s -> invalid_arg ("Fault.kind_of_string: " ^ s ^ " (crash|io)")
+
+let describe p =
+  Printf.sprintf "%s at %s hit %d" (kind_to_string p.kind) p.point p.hit
+
+type injector = {
+  counts : (string, int) Hashtbl.t;
+  plan : plan option;  (** [None] = counting only *)
+  mutable armed : bool;
+  mutable fired : bool;
+}
+
+let injector plan =
+  { counts = Hashtbl.create 32; plan; armed = true; fired = false }
+
+let fired i = i.fired
+
+(** [hits i] is the per-point announcement totals, sorted by point name. *)
+let hits i =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) i.counts [])
+
+let total i = Hashtbl.fold (fun _ v acc -> acc + v) i.counts 0
+
+let hook i point =
+  let n = 1 + try Hashtbl.find i.counts point with Not_found -> 0 in
+  Hashtbl.replace i.counts point n;
+  match i.plan with
+  | Some p when i.armed && p.hit = n && String.equal p.point point ->
+      (* Disarm first: recovery and post-crash checking re-enter the
+         engine, and a (point, hit) pair must fire at most once. *)
+      i.armed <- false;
+      i.fired <- true;
+      raise (Lsm_sim.Env.Injected_fault { kind = p.kind; point; hit = n })
+  | _ -> ()
+
+(** [arm i env] installs the injector as [env]'s fault hook. *)
+let arm i env = Lsm_sim.Env.set_fault_hook env (hook i)

@@ -1,0 +1,36 @@
+(** Deterministic fault plans over {!Lsm_sim.Env} fault points: an
+    injector counts every announced failure site; a plan names the
+    [hit]-th occurrence of one site and raises
+    {!Lsm_sim.Env.Injected_fault} there.  Seeded workloads make the
+    announcement sequence reproducible, so every failure replays from
+    (seed, point, hit) alone. *)
+
+type kind = Lsm_sim.Env.fault_kind = Crash | Io_error
+
+type plan = { kind : kind; point : string; hit : int }
+(** Fail at the [hit]-th (1-based) announcement of [point].  [Crash]
+    aborts execution (the harness then runs recovery); [Io_error] is
+    transient — the injector disarms, so a retry succeeds. *)
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind
+(** ["crash"] or ["io"]. @raise Invalid_argument otherwise. *)
+
+val describe : plan -> string
+
+type injector
+
+val injector : plan option -> injector
+(** [None] = counting only (the enumeration run). *)
+
+val arm : injector -> Lsm_sim.Env.t -> unit
+(** Install as the environment's fault hook. *)
+
+val fired : injector -> bool
+(** Did the plan's fault actually trigger? *)
+
+val hits : injector -> (string * int) list
+(** Per-point announcement totals, sorted by point name. *)
+
+val total : injector -> int

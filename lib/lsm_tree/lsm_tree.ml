@@ -244,6 +244,7 @@ module Make (K : KEY) (V : VALUE) = struct
   let flush t =
     if not (Mbt.is_empty t.mem.table) then
       Lsm_sim.Env.span t.env ~cat:(name t) "lsm.flush" @@ fun () ->
+      Lsm_sim.Env.fault_point t.env "lsm.flush.begin";
       let bindings = Mbt.to_sorted_array t.mem.table in
       let rows =
         Array.map (fun (key, (ts, entry)) -> { key; ts; value = entry }) bindings
@@ -262,7 +263,8 @@ module Make (K : KEY) (V : VALUE) = struct
       t.mem <- fresh_mem ();
       Lsm_obs.Ampstats.on_flush
         (Lsm_sim.Env.amp t.env)
-        ~bytes:(component_size_bytes t c) ~rows:(Array.length rows)
+        ~bytes:(component_size_bytes t c) ~rows:(Array.length rows);
+      Lsm_sim.Env.fault_point t.env "lsm.flush.install"
 
   (* ------------------------------------------------------------------ *)
   (* Merge *)
@@ -283,6 +285,7 @@ module Make (K : KEY) (V : VALUE) = struct
     if not (0 <= first && first <= last && last < n) then
       invalid_arg "Lsm_tree.merge: bad range";
     let inputs = Array.sub comps first (last - first + 1) in
+    Lsm_sim.Env.fault_point t.env "lsm.merge.begin";
     let input_bytes =
       Array.fold_left (fun acc c -> acc + component_size_bytes t c) 0 inputs
     in
@@ -381,6 +384,7 @@ module Make (K : KEY) (V : VALUE) = struct
       ~bytes_read:input_bytes
       ~bytes_written:(component_size_bytes t merged)
       ~rows_in:input_rows ~rows_out:(Array.length rows);
+    Lsm_sim.Env.fault_point t.env "lsm.merge.install";
     merged
 
   (** [build_component t rows ...] constructs a disk component from
@@ -406,6 +410,18 @@ module Make (K : KEY) (V : VALUE) = struct
     for i = first to last do
       Dbt.delete t.env comps.(i).tree
     done
+
+  (** [remove_component t ~at] removes the component at newest-first index
+      [at], deleting its file.  Recovery-only: rolls a tree back to a
+      crash-consistent cut when a correlated index's flush did not survive
+      the crash (the discarded entries are still in the WAL and are redone
+      into memory). *)
+  let remove_component t ~at =
+    let comps = Array.of_list t.disk in
+    let n = Array.length comps in
+    if not (0 <= at && at < n) then invalid_arg "Lsm_tree.remove_component";
+    t.disk <- List.filteri (fun i _ -> i <> at) t.disk;
+    Dbt.delete t.env comps.(at).tree
 
   (** [maybe_merge t policy] applies a merge policy to this tree's own
       components (the paper's default: "each LSM-tree is merged

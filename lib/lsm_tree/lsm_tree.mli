@@ -133,6 +133,12 @@ module Make (K : KEY) (V : VALUE) : sig
   val replace_range : t -> first:int -> last:int -> disk_component -> unit
   (** Atomically replace a component range with a new component. *)
 
+  val remove_component : t -> at:int -> unit
+  (** Remove the component at newest-first index [at], deleting its file.
+      Recovery-only: rolls a tree back to a crash-consistent cut when a
+      correlated index's flush did not survive a crash (the discarded
+      entries are still in the WAL and are redone into memory). *)
+
   (** {1 Bitmaps and repair bookkeeping} *)
 
   val row_valid : disk_component -> int -> bool

@@ -57,7 +57,26 @@ type t = {
   amp : Lsm_obs.Ampstats.t;
       (** flush/merge amplification accounting; always on — the engine
           reports every flush and merge here *)
+  mutable fault : (string -> unit) option;
+      (** fault-injection hook; [None] by default, so every {!fault_point}
+          in the engine costs one branch.  The hook observes the point name
+          and may raise {!Injected_fault} to simulate a crash or a
+          transient I/O error at exactly that point. *)
 }
+
+type fault_kind = Crash | Io_error
+
+exception
+  Injected_fault of { kind : fault_kind; point : string; hit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault { kind; point; hit } ->
+        Some
+          (Printf.sprintf "Injected_fault(%s at %s hit %d)"
+             (match kind with Crash -> "crash" | Io_error -> "io-error")
+             point hit)
+    | _ -> None)
 
 (** [create ?cache_bytes ?cpu device] builds an environment.  The default
     cache is 64MB — a scaled-down analogue of the paper's 2GB buffer cache
@@ -89,7 +108,18 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
     published = Io_stats.create ();
     explain = Lsm_obs.Explain.disabled;
     amp = Lsm_obs.Ampstats.create ();
+    fault = None;
   }
+
+(** [fault_point t name] announces a potential failure site to the
+    installed fault hook (if any).  The engine places these at every
+    crash-relevant transition — page I/O, flush/merge begin and install,
+    WAL append/commit, checkpoint phases — so a fault plan can enumerate
+    and target them deterministically. *)
+let fault_point t name = match t.fault with None -> () | Some f -> f name
+
+let set_fault_hook t f = t.fault <- Some f
+let clear_fault_hook t = t.fault <- None
 
 let read_ahead_pages t = t.read_ahead_pages
 
@@ -151,6 +181,7 @@ let read_page t ~file ~page =
     advance t t.cpu.page_hit_us
   end
   else begin
+    fault_point t "io.read";
     t.stats.Io_stats.cache_misses <- t.stats.Io_stats.cache_misses + 1;
     t.stats.Io_stats.pages_read <- t.stats.Io_stats.pages_read + 1;
     let sequential = t.head_file = file && t.head_page + 1 = page in
@@ -173,6 +204,7 @@ let read_page t ~file ~page =
     OS page cache would). *)
 let write_pages t ~file ~first ~count =
   if count > 0 then begin
+    fault_point t "io.write";
     t.stats.Io_stats.pages_written <- t.stats.Io_stats.pages_written + count;
     t.stats.Io_stats.write_batches <- t.stats.Io_stats.write_batches + 1;
     advance t

@@ -15,6 +15,31 @@ val default_cpu : page_size:int -> cpu_model
 
 type t
 
+(** {1 Fault injection}
+
+    Environments carry an optional fault hook, [None] by default (one
+    predicted branch per {!fault_point}).  The engine announces every
+    crash-relevant transition — cache-missing page reads ([io.read]),
+    page-write batches ([io.write]), flush/merge begin and install, WAL
+    append/commit boundaries, checkpoint phases — and an installed hook
+    may raise {!Injected_fault} to simulate a crash or a transient I/O
+    error at exactly that point.  See [lib/faultsim]. *)
+
+type fault_kind = Crash | Io_error
+
+exception
+  Injected_fault of { kind : fault_kind; point : string; hit : int }
+(** Raised by fault hooks.  [hit] is the 1-based occurrence index of
+    [point] within the run, so a failure reproduces from (seed, point,
+    hit) alone. *)
+
+val fault_point : t -> string -> unit
+(** [fault_point t name] announces the failure site [name] to the
+    installed hook, if any. *)
+
+val set_fault_hook : t -> (string -> unit) -> unit
+val clear_fault_hook : t -> unit
+
 val create :
   ?cache_bytes:int -> ?read_ahead_bytes:int -> ?cpu:cpu_model -> Device.t -> t
 (** [create device]: default cache 64MB; default read-ahead 32 pages (the

@@ -27,6 +27,14 @@ let abort_txn (wal : Wal.t) (store : Bitmap_store.t) ~txn =
 let recover (wal : Wal.t) (store : Bitmap_store.t) =
   Lsm_obs.Tracer.with_span wal.Wal.tracer ~cat:"wal" "recovery.replay"
   @@ fun () ->
+  (* A crash can tear the newest record mid-append; the log scan stops at
+     the first bad checksum, i.e. the record is discarded.  Its transaction
+     cannot have committed (its commit record would have to follow the torn
+     record), so force it to Aborted before consulting states below. *)
+  (match Wal.discard_torn_tail wal with
+  | Some r when Wal.txn_state wal ~txn:r.Wal.txn = Some Wal.Active ->
+      Wal.abort wal ~txn:r.Wal.txn
+  | _ -> ());
   Bitmap_store.crash store;
   List.iter
     (fun (r : Wal.record) ->

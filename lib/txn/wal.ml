@@ -29,6 +29,9 @@ type t = {
   mutable checkpoint_lsn : int;
   txns : (int, txn_state) Hashtbl.t;
   mutable next_txn : int;
+  mutable torn_lsn : int option;
+      (** LSN of a trailing record whose append a crash interrupted; the
+          record exists in [records] but must be treated as never written *)
   mutable tracer : Lsm_obs.Tracer.t;
       (** span tracer for append/checkpoint; disabled by default.  The
           caller that owns the storage environment attaches the
@@ -42,6 +45,7 @@ let create () =
     checkpoint_lsn = 0;
     txns = Hashtbl.create 64;
     next_txn = 1;
+    torn_lsn = None;
     tracer = Lsm_obs.Tracer.disabled;
   }
 
@@ -70,6 +74,32 @@ let log t ~txn ~kind ~pk ~update =
 let commit t ~txn = Hashtbl.replace t.txns txn Committed
 let abort t ~txn = Hashtbl.replace t.txns txn Aborted
 let txn_state t ~txn = Hashtbl.find_opt t.txns txn
+
+(** [tear_tail t] simulates a crash in the middle of appending the newest
+    record: the record occupies log space but is incomplete (on real media,
+    its trailing checksum would not verify).  Recovery must ignore it —
+    see {!discard_torn_tail}.  No-op on an empty log. *)
+let tear_tail t =
+  match t.records with [] -> () | r :: _ -> t.torn_lsn <- Some r.lsn
+
+(** [torn_tail t] is the LSN of the torn trailing record, if any. *)
+let torn_tail t = t.torn_lsn
+
+(** [discard_torn_tail t] drops the torn trailing record, as a real log
+    scan would on a checksum mismatch (truncate-at-first-bad-record).
+    Returns the discarded record.  A torn record implies its transaction
+    never wrote a commit record after it, so the caller must treat that
+    transaction as uncommitted. *)
+let discard_torn_tail t =
+  match t.torn_lsn with
+  | None -> None
+  | Some lsn ->
+      t.torn_lsn <- None;
+      (match t.records with
+      | r :: rest when r.lsn = lsn ->
+          t.records <- rest;
+          Some r
+      | _ -> None)
 
 (** [checkpoint t] records that all bitmap pages dirtied by records up to
     this point have been flushed (regular checkpointing, Sec. 5.2). *)

@@ -24,6 +24,8 @@ type t = {
   mutable checkpoint_lsn : int;
   txns : (int, txn_state) Hashtbl.t;
   mutable next_txn : int;
+  mutable torn_lsn : int option;
+      (** LSN of a trailing record whose append a crash interrupted *)
   mutable tracer : Lsm_obs.Tracer.t;
       (** span tracer for append/checkpoint spans; disabled by default *)
 }
@@ -44,6 +46,24 @@ val log : t -> txn:int -> kind:op_kind -> pk:int -> update:(int * int) option ->
 val commit : t -> txn:int -> unit
 val abort : t -> txn:int -> unit
 val txn_state : t -> txn:int -> txn_state option
+
+(** {1 Torn tails}
+
+    A crash can interrupt the append of the newest record, leaving a
+    partial record on media whose checksum would not verify.  {!tear_tail}
+    simulates that; {!Recovery.recover} discards the torn record
+    (truncate-at-first-bad-record) before replaying. *)
+
+val tear_tail : t -> unit
+(** Mark the newest record as torn (no-op on an empty log). *)
+
+val torn_tail : t -> int option
+(** LSN of the torn trailing record, if any. *)
+
+val discard_torn_tail : t -> record option
+(** Drop the torn trailing record and return it.  A torn record implies
+    its transaction never wrote a commit record after it, so callers must
+    treat that transaction as uncommitted. *)
 
 val checkpoint : t -> unit
 (** Record that all bitmap pages dirtied so far have been flushed. *)

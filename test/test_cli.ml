@@ -30,6 +30,155 @@ let test_list_ok () = Alcotest.(check int) "exit 0" 0 (run [ "list" ])
 
 let test_help_ok () = Alcotest.(check int) "exit 0" 0 (run [ "--help" ])
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output contracts: the JSON documents the binary
+   writes parse with our own parser and keep their schema promises. *)
+
+module J = Lsm_obs.Json
+
+let parse_file path =
+  match J.read ~path with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let member k j =
+  match J.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" k
+
+let str k j =
+  match J.to_string_opt (member k j) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %S not a string" k
+
+let items k j =
+  match J.to_list (member k j) with
+  | Some l -> l
+  | None -> Alcotest.failf "field %S not a list" k
+
+let num k j =
+  (* amplifications may serialize as Int or Float *)
+  match member k j with
+  | J.Int n -> float_of_int n
+  | J.Float f -> f
+  | _ -> Alcotest.failf "field %S not a number" k
+
+let int_fields j =
+  match j with
+  | J.Obj kvs ->
+      List.map
+        (fun (k, v) ->
+          match v with
+          | J.Int n -> (k, n)
+          | _ -> Alcotest.failf "field %S not an int" k)
+        kvs
+  | _ -> Alcotest.fail "expected an object of ints"
+
+let test_inspect_json () =
+  let path = Filename.temp_file "inspect" ".json" in
+  Alcotest.(check int) "inspect exits 0" 0
+    (run [ "inspect"; "-s"; "tiny"; "--json"; path ]);
+  let j = parse_file path in
+  Sys.remove path;
+  Alcotest.(check string) "schema" "lsm-repro-inspect/1" (str "schema" j);
+  Alcotest.(check string) "scale" "tiny" (str "scale" j);
+  let write = member "write" j and space = member "space" j in
+  Alcotest.(check bool) "write amplification >= 1" true
+    (num "amplification" write >= 1.0);
+  Alcotest.(check bool) "read amplification >= 0" true
+    (num "amplification" (member "read" j) >= 0.0);
+  Alcotest.(check bool) "space amplification >= 1" true
+    (num "amplification" space >= 1.0);
+  let write_counters =
+    match write with
+    | J.Obj kvs -> List.filter (fun (k, _) -> k <> "amplification") kvs
+    | _ -> Alcotest.fail "write section not an object"
+  in
+  List.iter
+    (fun (k, v) ->
+      if v < 0 then Alcotest.failf "write counter %s negative" k)
+    (int_fields (J.Obj write_counters));
+  let comps = items "components" j in
+  Alcotest.(check bool) "has components" true (comps <> []);
+  List.iter
+    (fun c ->
+      ignore (str "tree" c);
+      let rows = int_fields (J.Obj [ ("rows", member "rows" c) ]) in
+      Alcotest.(check bool) "rows non-negative" true
+        (List.for_all (fun (_, v) -> v >= 0) rows);
+      let lo = num "min_ts" c and hi = num "max_ts" c in
+      Alcotest.(check bool) "component id ordered" true (lo <= hi))
+    comps
+
+(* In every explain plan node, each inclusive I/O counter equals its own
+   self counter plus the sum over children — missing keys count as 0. *)
+let rec check_io_decomposition name node =
+  let get m k = Option.value ~default:0 (List.assoc_opt k m) in
+  let io = int_fields (member "io" node)
+  and self = int_fields (member "io_self" node) in
+  let children = items "children" node in
+  let child_ios =
+    List.map (fun c -> int_fields (member "io" c)) children
+  in
+  let keys =
+    List.sort_uniq compare
+      (List.map fst io @ List.map fst self
+      @ List.concat_map (fun m -> List.map fst m) child_ios)
+  in
+  List.iter
+    (fun k ->
+      let sum = List.fold_left (fun acc m -> acc + get m k) 0 child_ios in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: io.%s = self + children" name k)
+        (get io k)
+        (get self k + sum))
+    keys;
+  List.iteri
+    (fun i c -> check_io_decomposition (Printf.sprintf "%s/%d" name i) c)
+    children
+
+let test_explain_json () =
+  let path = Filename.temp_file "explain" ".json" in
+  Alcotest.(check int) "run exits 0" 0
+    (run [ "run"; "fig16"; "-s"; "tiny"; "--explain-json"; path ]);
+  let j = parse_file path in
+  Sys.remove path;
+  Alcotest.(check string) "schema" "lsm-repro-explain/1" (str "schema" j);
+  let envs = items "envs" j in
+  Alcotest.(check bool) "has environments" true (envs <> []);
+  List.iter
+    (fun env ->
+      let plans = items "plans" env in
+      Alcotest.(check bool) "env has plans" true (plans <> []);
+      List.iter
+        (fun p ->
+          let name = str "name" p in
+          let execs = num "executions" p in
+          Alcotest.(check bool) (name ^ " executed") true (execs >= 1.0);
+          let root = member "root" p in
+          Alcotest.(check string) "root name matches plan" name
+            (str "name" root);
+          check_io_decomposition name root)
+        plans)
+    envs
+
+(* The faultsim subcommand's exit-code contract. *)
+let test_faultsim_ok () =
+  Alcotest.(check int) "small matrix passes" 0
+    (run [ "faultsim"; "--seed"; "3"; "--txns"; "15"; "--points"; "20"; "--io"; "4" ])
+
+let test_faultsim_single_plan () =
+  Alcotest.(check int) "single-plan repro passes" 0
+    (run
+       [ "faultsim"; "--seed"; "3"; "--txns"; "15"; "--point";
+         "dataset.flush.pair"; "--hit"; "1"; "--kind"; "crash" ])
+
+let test_faultsim_unreachable_plan_fails () =
+  Alcotest.(check int) "unfired plan exits 1" 1
+    (run
+       [ "faultsim"; "--seed"; "3"; "--txns"; "15"; "--point"; "no.such.point";
+         "--hit"; "1" ])
+
 let () =
   if not (Sys.file_exists exe) then (
     Printf.eprintf "test_cli: %s not found (run under dune)\n" exe;
@@ -46,5 +195,19 @@ let () =
             test_bad_scale_value;
           Alcotest.test_case "list succeeds" `Quick test_list_ok;
           Alcotest.test_case "--help succeeds" `Quick test_help_ok;
+        ] );
+      ( "json documents",
+        [
+          Alcotest.test_case "inspect --json schema" `Quick test_inspect_json;
+          Alcotest.test_case "explain-json io decomposition" `Quick
+            test_explain_json;
+        ] );
+      ( "faultsim",
+        [
+          Alcotest.test_case "matrix passes" `Quick test_faultsim_ok;
+          Alcotest.test_case "single plan repro" `Quick
+            test_faultsim_single_plan;
+          Alcotest.test_case "unfired plan fails" `Quick
+            test_faultsim_unreachable_plan_fails;
         ] );
     ]

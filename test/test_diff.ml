@@ -1,0 +1,183 @@
+(* Cross-strategy differential suite: random operation sequences run
+   under every maintenance strategy must produce identical query results
+   in every supported validation mode — and all of them must agree with
+   the in-memory reference model (Lsm_faultsim.Model, the same oracle the
+   crash checker uses).
+
+   This is the paper's core correctness claim stated as a property: the
+   strategies (Eager, Validation, Mutable-bitmap, Deleted-key B-tree)
+   trade maintenance cost, never query answers. *)
+
+module D = Lsm_core.Dataset.Make (Lsm_workload.Tweet.Record)
+module Strategy = Lsm_core.Strategy
+module Tweet = Lsm_workload.Tweet
+
+module M = Lsm_faultsim.Model.Make (struct
+  type t = Tweet.t
+
+  let pk = Tweet.primary_key
+end)
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+type op = Ups of int * int * int | Del of int | Flush
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        ( 5,
+          map3
+            (fun k u at -> Ups (k, u, at))
+            (int_range 1 80) (int_range 0 30) (int_range 1 1000) );
+        (2, map (fun k -> Del k) (int_range 1 80));
+        (1, return Flush);
+      ])
+
+let tw ~pk ~user ~at =
+  { Tweet.id = pk; user_id = user; location = user mod 7; created_at = at;
+    msg_len = 100 }
+
+let mk_env () =
+  let device =
+    Lsm_sim.Device.custom ~name:"diff" ~page_size:1024 ~seek_us:100.0
+      ~read_us_per_page:10.0 ~write_us_per_page:10.0
+  in
+  Lsm_sim.Env.create ~cache_bytes:(32 * 1024) device
+
+let run_real strategy ops =
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      (mk_env ())
+      { D.default_config with strategy; mem_budget = 2048 }
+  in
+  List.iter
+    (function
+      | Ups (k, u, at) -> D.upsert d (tw ~pk:k ~user:u ~at)
+      | Del k -> D.delete d ~pk:k
+      | Flush -> D.flush_now d)
+    ops;
+  d
+
+let run_model ops =
+  let m = M.create () in
+  List.iter
+    (function
+      | Ups (k, u, at) -> M.upsert m (tw ~pk:k ~user:u ~at)
+      | Del k -> M.delete m k
+      | Flush -> ())
+    ops;
+  m
+
+let strategies_under_test =
+  [
+    (Strategy.eager, [ `Assume_valid; `Direct; `Timestamp ]);
+    (Strategy.validation, [ `Direct; `Timestamp ]);
+    (Strategy.validation_no_repair, [ `Direct; `Timestamp ]);
+    (Strategy.mutable_bitmap, [ `Direct; `Timestamp ]);
+    (Strategy.deleted_key_btree, [ `Timestamp ]);
+  ]
+
+let pks rs = List.sort compare (List.map Tweet.primary_key rs)
+
+(* One observation vector per (strategy, dataset): everything a strategy
+   could possibly get wrong, in one comparable value. *)
+type obs = {
+  o_points : (int * bool) list;  (** pk, present? *)
+  o_count : int;
+  o_sec : (string * int list) list;  (** per-mode pks in a user range *)
+  o_keys : (int * int) list;
+  o_time_all : int;
+  o_time_sub : int;
+}
+
+let observe d modes ~ulo ~uhi ~tlo ~thi =
+  {
+    o_points =
+      List.init 80 (fun i ->
+          let pk = i + 1 in
+          (pk, D.point_query d pk <> None));
+    o_count = D.full_scan d ~f:(fun _ -> ());
+    o_sec =
+      List.map
+        (fun mode ->
+          let name =
+            match mode with
+            | `Assume_valid -> "assume_valid"
+            | `Direct -> "direct"
+            | `Timestamp -> "timestamp"
+          in
+          (name, pks (D.query_secondary d ~sec:"user_id" ~lo:ulo ~hi:uhi ~mode ())))
+        modes;
+    o_keys =
+      List.sort compare
+        (D.query_secondary_keys d ~sec:"user_id" ~lo:ulo ~hi:uhi
+           ~mode:`Timestamp ());
+    o_time_all = D.query_time_range d ~tlo:0 ~thi:1000 ~f:(fun _ -> ());
+    o_time_sub = D.query_time_range d ~tlo ~thi ~f:(fun _ -> ());
+  }
+
+let model_obs m modes ~ulo ~uhi ~tlo ~thi =
+  {
+    o_points = List.init 80 (fun i -> (i + 1, M.point m (i + 1) <> None));
+    o_count = M.count m;
+    o_sec =
+      List.map
+        (fun mode ->
+          let name =
+            match mode with
+            | `Assume_valid -> "assume_valid"
+            | `Direct -> "direct"
+            | `Timestamp -> "timestamp"
+          in
+          (name, pks (M.range_by m Tweet.user_id ~lo:ulo ~hi:uhi)))
+        modes;
+    o_keys = M.keys_by m Tweet.user_id ~lo:ulo ~hi:uhi;
+    o_time_all = M.count_by m Tweet.created_at ~lo:0 ~hi:1000;
+    o_time_sub = M.count_by m Tweet.created_at ~lo:tlo ~hi:thi;
+  }
+
+let prop_strategies_match_model =
+  qtest ~count:80 "every strategy/mode = model (point, scan, sec, keys, time)"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 120) op_gen)
+        (pair (pair (int_range 0 30) (int_range 0 30))
+           (pair (int_range 0 1000) (int_range 0 1000))))
+    (fun (ops, ((u1, u2), (t1, t2))) ->
+      let ulo = min u1 u2 and uhi = max u1 u2 in
+      let tlo = min t1 t2 and thi = max t1 t2 in
+      let m = run_model ops in
+      List.for_all
+        (fun (strategy, modes) ->
+          let d = run_real strategy ops in
+          let got = observe d modes ~ulo ~uhi ~tlo ~thi in
+          let want = model_obs m modes ~ulo ~uhi ~tlo ~thi in
+          if got <> want then
+            QCheck2.Test.fail_reportf "strategy %s diverges from model"
+              (Strategy.name strategy)
+          else true)
+        strategies_under_test)
+
+(* Record payloads must agree too, not just presence: the record returned
+   by a point query is the latest upsert. *)
+let prop_point_payloads_match =
+  qtest ~count:60 "point-query payloads = model"
+    QCheck2.Gen.(list_size (int_range 1 100) op_gen)
+    (fun ops ->
+      let m = run_model ops in
+      List.for_all
+        (fun (strategy, _) ->
+          let d = run_real strategy ops in
+          List.for_all
+            (fun pk -> D.point_query d pk = M.point m pk)
+            (M.touched m))
+        strategies_under_test)
+
+let () =
+  Alcotest.run "lsm_diff"
+    [
+      ("differential", [ prop_strategies_match_model; prop_point_payloads_match ]);
+    ]

@@ -1,0 +1,191 @@
+(* Tests for Lsm_faultsim: deterministic enumeration, plan selection,
+   crash matrices under both strategies, and deep checks of the nastiest
+   individual crash points (interrupted lockstep merges, half-flushed
+   primary pairs, torn checkpoints, crashes straddling commit). *)
+
+module F = Lsm_faultsim.Fault
+module Sc = Lsm_faultsim.Scenario
+module Ch = Lsm_faultsim.Checker
+module H = Lsm_faultsim.Harness
+
+let small ?(validation = false) ?(seed = 7) () =
+  { Sc.default_config with Sc.seed; txns = 25; validation }
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the enumeration *)
+
+let test_counting_deterministic () =
+  let inj1, st1 = Sc.run (small ()) in
+  let inj2, st2 = Sc.run (small ()) in
+  Alcotest.(check (list (pair string int)))
+    "announcement totals repeat" (F.hits inj1) (F.hits inj2);
+  Alcotest.(check int)
+    "model state repeats"
+    (Sc.M.count st1.Sc.model)
+    (Sc.M.count st2.Sc.model);
+  Alcotest.(check bool) "counting run completes" true
+    (st1.Sc.outcome = Sc.Completed);
+  Alcotest.(check bool) "nothing fired" false (F.fired inj1)
+
+let test_counting_covers_required_points () =
+  let inj, _ = Sc.run (small ()) in
+  let hits = F.hits inj in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p hits with
+      | Some n when n > 0 -> ()
+      | _ -> Alcotest.failf "fault point %s never announced" p)
+    [
+      "io.read"; "io.write"; "lsm.flush.begin"; "lsm.flush.install";
+      "lsm.merge.begin"; "lsm.merge.install"; "dataset.flush.begin";
+      "dataset.flush.pair"; "dataset.merge.pair"; "txn.op.begin";
+      "txn.op.logged"; "txn.commit.pre"; "txn.commit.durable";
+      "txn.ckpt.begin"; "txn.ckpt.mid"; "txn.ckpt.end"; "txn.flush.anchor";
+    ]
+
+let test_select_plans () =
+  let hits = [ ("a", 100); ("b", 3); ("c", 1) ] in
+  let plans = H.select_plans ~kind:F.Crash ~budget:20 hits in
+  Alcotest.(check bool)
+    "budget roughly met" true
+    (List.length plans >= 20 && List.length plans <= 26);
+  List.iter
+    (fun { F.point; hit; _ } ->
+      let c = List.assoc point hits in
+      if hit < 1 || hit > c then
+        Alcotest.failf "plan hit %d out of range for %s (count %d)" hit point c)
+    plans;
+  (* every point gets at least one plan; hits within a point are unique *)
+  List.iter
+    (fun (p, _) ->
+      let mine = List.filter (fun { F.point; _ } -> point = p) plans in
+      Alcotest.(check bool) (p ^ " covered") true (mine <> []);
+      let hs = List.map (fun { F.hit; _ } -> hit) mine in
+      Alcotest.(check int) (p ^ " hits unique") (List.length hs)
+        (List.length (List.sort_uniq compare hs)))
+    hits;
+  Alcotest.(check (list (pair string int)))
+    "selection is deterministic"
+    (List.map (fun { F.point; hit; _ } -> (point, hit)) plans)
+    (List.map
+       (fun { F.point; hit; _ } -> (point, hit))
+       (H.select_plans ~kind:F.Crash ~budget:20 hits))
+
+(* ------------------------------------------------------------------ *)
+(* Crash matrices *)
+
+let check_report r =
+  if not (H.ok r) then begin
+    H.print_report Format.str_formatter r;
+    Alcotest.failf "fault matrix failed:@.%s" (Format.flush_str_formatter ())
+  end
+
+let test_matrix_mutable_bitmap () =
+  check_report (H.run ~crash_budget:40 ~io_budget:8 (small ()))
+
+let test_matrix_validation () =
+  check_report (H.run ~crash_budget:40 ~io_budget:8 (small ~validation:true ()))
+
+let test_matrix_other_seed () =
+  check_report (H.run ~crash_budget:30 ~io_budget:6 (small ~seed:42 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Deep dives into specific crash points *)
+
+(* Run one plan targeting the middle occurrence of [point]; the fault
+   must fire, recovery must pass the checker, and the system must accept
+   new work afterwards. *)
+let run_point ?validation point =
+  let cfg = small ?validation () in
+  let inj0, _ = Sc.run cfg in
+  match List.assoc_opt point (F.hits inj0) with
+  | None | Some 0 -> Alcotest.failf "point %s never announced" point
+  | Some c ->
+      let plan = { F.kind = F.Crash; point; hit = (c / 2) + 1 } in
+      let inj, st = Sc.run ~plan cfg in
+      Alcotest.(check bool) (point ^ " fired") true (F.fired inj);
+      Alcotest.(check bool)
+        (point ^ " crashed") true
+        (match st.Sc.outcome with Sc.Crashed _ -> true | _ -> false);
+      (match Ch.check st with
+      | [] -> ()
+      | msgs ->
+          Alcotest.failf "%s: post-recovery check failed:@.%s" point
+            (String.concat "\n" msgs));
+      Sc.smoke st;
+      match Ch.check st with
+      | [] -> ()
+      | msgs ->
+          Alcotest.failf "%s: post-smoke check failed:@.%s" point
+            (String.concat "\n" msgs)
+
+let test_crash_between_pair_flush () = run_point "dataset.flush.pair"
+let test_crash_mid_lockstep_merge () = run_point "dataset.merge.pair"
+let test_crash_mid_checkpoint () = run_point "txn.ckpt.mid"
+let test_crash_at_commit_durable () = run_point "txn.commit.durable"
+let test_crash_before_commit () = run_point "txn.commit.pre"
+let test_crash_at_merge_install () = run_point "lsm.merge.install"
+let test_crash_validation_flush () = run_point ~validation:true "dataset.flush.begin"
+
+(* A transient I/O error during a query is retried and the run completes
+   with no crash at all. *)
+let test_transient_io_error_retried () =
+  let cfg = small () in
+  let plan = { F.kind = F.Io_error; point = "io.read"; hit = 3 } in
+  let inj, st = Sc.run ~plan cfg in
+  Alcotest.(check bool) "io error fired" true (F.fired inj);
+  (match st.Sc.outcome with
+  | Sc.Completed -> ()
+  | Sc.Crashed { point; _ } ->
+      (* an io.read during flush/merge escalates to fail-stop: also fine *)
+      Alcotest.(check string) "crashed at the injected point" "io.read" point);
+  match Ch.check st with
+  | [] -> ()
+  | msgs -> Alcotest.failf "io-error run failed:@.%s" (String.concat "\n" msgs)
+
+(* An unreachable plan never fires and the scenario just completes. *)
+let test_unreachable_plan () =
+  let inj, st = Sc.run ~plan:{ F.kind = F.Crash; point = "no.such.point"; hit = 1 }
+      (small ())
+  in
+  Alcotest.(check bool) "not fired" false (F.fired inj);
+  Alcotest.(check bool) "completed" true (st.Sc.outcome = Sc.Completed)
+
+let () =
+  Alcotest.run "lsm_faultsim"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "counting runs repeat" `Quick
+            test_counting_deterministic;
+          Alcotest.test_case "required points announced" `Quick
+            test_counting_covers_required_points;
+          Alcotest.test_case "plan selection" `Quick test_select_plans;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "mutable-bitmap matrix" `Quick
+            test_matrix_mutable_bitmap;
+          Alcotest.test_case "validation matrix" `Quick test_matrix_validation;
+          Alcotest.test_case "other seed" `Quick test_matrix_other_seed;
+        ] );
+      ( "crash points",
+        [
+          Alcotest.test_case "half-flushed primary pair" `Quick
+            test_crash_between_pair_flush;
+          Alcotest.test_case "interrupted lockstep merge" `Quick
+            test_crash_mid_lockstep_merge;
+          Alcotest.test_case "torn checkpoint" `Quick test_crash_mid_checkpoint;
+          Alcotest.test_case "crash after commit durable" `Quick
+            test_crash_at_commit_durable;
+          Alcotest.test_case "crash before commit" `Quick
+            test_crash_before_commit;
+          Alcotest.test_case "crash at merge install" `Quick
+            test_crash_at_merge_install;
+          Alcotest.test_case "validation flush crash" `Quick
+            test_crash_validation_flush;
+          Alcotest.test_case "transient io error" `Quick
+            test_transient_io_error_retried;
+          Alcotest.test_case "unreachable plan" `Quick test_unreachable_plan;
+        ] );
+    ]

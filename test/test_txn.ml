@@ -128,6 +128,56 @@ let test_recovery_idempotent () =
   Rec.recover w store;
   Alcotest.(check bool) "second recovery same" true (Bs.snapshot store = snap1)
 
+(* A crash can tear the last WAL record mid-write; recovery must treat
+   the log as ending just before it: the torn record's effect is
+   discarded, its (necessarily uncommitted) transaction aborted. *)
+let test_recovery_discards_torn_tail () =
+  let w = Wal.create () in
+  let store = Bs.create () in
+  Bs.register store ~comp_seq:0 ~size:8;
+  (* A committed transaction whose record precedes the torn one. *)
+  let t1 = Wal.begin_txn w in
+  Bs.set store ~comp_seq:0 ~pos:1;
+  ignore (Wal.log w ~txn:t1 ~kind:Wal.Upsert ~pk:1 ~update:(Some (0, 1)));
+  Wal.commit w ~txn:t1;
+  (* The in-flight transaction's last record is torn by the crash. *)
+  let t2 = Wal.begin_txn w in
+  Bs.set store ~comp_seq:0 ~pos:2;
+  ignore (Wal.log w ~txn:t2 ~kind:Wal.Upsert ~pk:2 ~update:(Some (0, 2)));
+  Wal.tear_tail w;
+  Alcotest.(check bool) "torn mark set" true (Wal.torn_tail w <> None);
+  Rec.recover w store;
+  Alcotest.(check bool) "torn mark consumed" true (Wal.torn_tail w = None);
+  Alcotest.(check bool) "committed bit survives" true
+    (Bs.get store ~comp_seq:0 ~pos:1);
+  Alcotest.(check bool) "torn record's bit discarded" false
+    (Bs.get store ~comp_seq:0 ~pos:2);
+  Alcotest.(check bool) "torn transaction aborted" true
+    (Wal.txn_state w ~txn:t2 = Some Wal.Aborted);
+  (* Idempotent: a second recovery does not re-discard anything. *)
+  let snap = Bs.snapshot store in
+  Rec.recover w store;
+  Alcotest.(check bool) "re-recovery stable" true (Bs.snapshot store = snap)
+
+(* Tearing is only meaningful mid-write: an empty log has no tail, and a
+   discard with a stale marker (record already gone) is a no-op. *)
+let test_torn_tail_edge_cases () =
+  let w = Wal.create () in
+  Wal.tear_tail w;
+  Alcotest.(check bool) "empty log: nothing to tear" true
+    (Wal.torn_tail w = None);
+  Alcotest.(check bool) "empty log: nothing to discard" true
+    (Wal.discard_torn_tail w = None);
+  let t1 = Wal.begin_txn w in
+  ignore (Wal.log w ~txn:t1 ~kind:Wal.Upsert ~pk:1 ~update:None);
+  Wal.tear_tail w;
+  (match Wal.discard_torn_tail w with
+  | Some r -> Alcotest.(check int) "discarded the tail record" 1 r.Wal.pk
+  | None -> Alcotest.fail "expected the torn record back");
+  Alcotest.(check bool) "marker cleared" true (Wal.torn_tail w = None);
+  Alcotest.(check bool) "second discard no-op" true
+    (Wal.discard_torn_tail w = None)
+
 (* ------------------------------------------------------------------ *)
 (* Side-file *)
 
@@ -341,6 +391,10 @@ let () =
           Alcotest.test_case "recovery committed-only" `Quick
             test_recovery_replays_committed_only;
           Alcotest.test_case "recovery idempotent" `Quick test_recovery_idempotent;
+          Alcotest.test_case "torn tail discarded" `Quick
+            test_recovery_discards_torn_tail;
+          Alcotest.test_case "torn tail edge cases" `Quick
+            test_torn_tail_edge_cases;
         ] );
       ("side-file", [ Alcotest.test_case "basic" `Quick test_side_file ]);
       ( "concurrent-merge",
