@@ -182,6 +182,24 @@ let faultsim_cmd =
     let doc = "Transient I/O-error plan budget (page-I/O points only)." in
     Arg.(value & opt int 24 & info [ "io" ] ~docv:"N" ~doc)
   in
+  let corrupt_arg =
+    let doc = "Page-corruption plan budget (page-I/O points only)." in
+    Arg.(value & opt int 12 & info [ "corrupt" ] ~docv:"N" ~doc)
+  in
+  let intermittent_arg =
+    let doc =
+      "Intermittent I/O plan budget: half fail 2 consecutive announcements \
+       (absorbed by the engine's retry budget), half fail 6 (exhausting it)."
+    in
+    Arg.(value & opt int 8 & info [ "intermittent" ] ~docv:"N" ~doc)
+  in
+  let list_points_arg =
+    let doc =
+      "Run the fault-free counting run and list every announced fault \
+       point with its occurrence count (valid --point values), then exit."
+    in
+    Arg.(value & flag & info [ "list-points" ] ~doc)
+  in
   let validation_arg =
     let doc = "Run the Validation strategy instead of Mutable-bitmap." in
     Arg.(value & flag & info [ "validation" ] ~doc)
@@ -195,18 +213,44 @@ let faultsim_cmd =
     Arg.(value & opt int 1 & info [ "hit" ] ~docv:"K" ~doc)
   in
   let kind_arg =
-    let doc = "Fault kind for --point: $(b,crash) or $(b,io)." in
+    let doc =
+      "Fault kind for --point: $(b,crash), $(b,io) (alias $(b,io-error)), \
+       or $(b,corrupt)."
+    in
     Arg.(
       value
-      & opt (enum [ ("crash", F.Crash); ("io", F.Io_error) ]) F.Crash
+      & opt
+          (enum
+             [
+               ("crash", F.Crash);
+               ("io", F.Io_error);
+               ("io-error", F.Io_error);
+               ("corrupt", F.Corrupt);
+             ])
+          F.Crash
       & info [ "kind" ] ~docv:"KIND" ~doc)
   in
-  let run seed txns points io validation point hit kind =
+  let fails_arg =
+    let doc =
+      "Consecutive announcements of --point to fail (intermittent fault)."
+    in
+    Arg.(value & opt int 1 & info [ "fails" ] ~docv:"K" ~doc)
+  in
+  let run seed txns points io corrupt intermittent validation list_points
+      point hit kind fails =
     let cfg = { Sc.default_config with Sc.seed; txns; validation } in
+    if list_points then begin
+      let inj, _ = Sc.run cfg in
+      Printf.printf "fault points announced (drive phase, seed %d):\n" seed;
+      List.iter
+        (fun (p, c) -> Printf.printf "  %-22s %6d\n" p c)
+        (F.hits inj)
+    end
+    else
     match point with
     | Some p ->
         (* Single-plan reproduction: run it, print the checker verdict. *)
-        let plan = { F.kind; point = p; hit } in
+        let plan = { F.kind; point = p; hit; fails } in
         let inj, st = Sc.run ~plan cfg in
         if not (F.fired inj) then begin
           Printf.printf "plan did not fire: %s\n" (F.describe plan);
@@ -224,7 +268,10 @@ let faultsim_cmd =
           exit 1
         end
     | None -> (
-        match H.run ~crash_budget:points ~io_budget:io cfg with
+        match
+          H.run ~crash_budget:points ~io_budget:io ~corrupt_budget:corrupt
+            ~intermittent_budget:intermittent cfg
+        with
         | r ->
             H.print_report Format.std_formatter r;
             if not (H.ok r) then exit 1
@@ -236,12 +283,14 @@ let faultsim_cmd =
   Cmd.v
     (Cmd.info "faultsim"
        ~doc:
-         "Enumerate crash and I/O-error injection points over a seeded \
-          transactional workload, crash at each, and verify recovery \
-          against a committed-state model")
+         "Enumerate crash, I/O-error, corruption, and intermittent fault \
+          injection points over a seeded transactional workload, fail at \
+          each, and verify recovery (and healing) against a \
+          committed-state model")
     Term.(
-      const run $ seed_arg $ txns_arg $ points_arg $ io_arg $ validation_arg
-      $ point_arg $ hit_arg $ kind_arg)
+      const run $ seed_arg $ txns_arg $ points_arg $ io_arg $ corrupt_arg
+      $ intermittent_arg $ validation_arg $ list_points_arg $ point_arg
+      $ hit_arg $ kind_arg $ fails_arg)
 
 let () =
   let doc =

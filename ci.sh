@@ -7,14 +7,19 @@ set -eux
 dune build @all
 dune runtest
 
-# --- crash-consistency gate --------------------------------------------
-# Deterministic fault matrix: enumerate the fault points of a seeded
-# transactional workload and crash at >=50 of them (plus transient I/O
-# errors), requiring recovery to a checker-accepted state every time.
-# A failure prints the (seed, point, hit) plan and the one-line command
-# that reproduces it.
-dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12
-dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 --validation
+# --- crash + resilience gate -------------------------------------------
+# Deterministic mixed fault matrix: enumerate the fault points of a
+# seeded transactional workload and run >=50 plans per strategy mixing
+# crashes, one-shot transient I/O errors, silent page corruption, and
+# intermittent "fail k times" windows (some absorbed by retry/backoff,
+# some exhausting the budget).  Every plan must recover or degrade to a
+# checker-accepted state that also heals fully.  A failure prints the
+# (seed, point, hit, fails) plan and the one-line command that
+# reproduces it.
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
+  --corrupt 12 --intermittent 8
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
+  --corrupt 12 --intermittent 8 --validation
 
 # --- advisory bench check (non-gating) ---------------------------------
 # Compare a quick microbench run against the committed baseline.  Host

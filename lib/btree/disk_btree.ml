@@ -75,7 +75,13 @@ module Make (K : Lsm_util.Intf.ORDERED) = struct
       if nleaves <= 1 then 0 else (interior_bytes + page_size - 1) / page_size
     in
     let file = Lsm_sim.Sfile.create env in
-    Lsm_sim.Sfile.append_pages env file (nleaves + interior_pages);
+    (* If the append dies (retry exhaustion mid-build), delete the file so
+       no partially-written component leaks — the supervisor reschedules
+       the whole build from its still-intact inputs. *)
+    (try Lsm_sim.Sfile.append_pages env file (nleaves + interior_pages)
+     with e ->
+       Lsm_sim.Sfile.delete env file;
+       raise e);
     { file; keys; rows; leaf_starts; fences; leaf_pages = nleaves; interior_pages }
 
   (** [delete env t] releases the underlying file. *)

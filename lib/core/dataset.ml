@@ -192,9 +192,13 @@ module Make (R : Record.S) = struct
         Sec.flush s.tree;
         match s.del_tree with Some d -> Pk.flush d | None -> ())
       t.secondaries;
+    (* Unconditional (idempotent, cheap): a supervised retry after a
+       partial flush — primary flushed, pk-index flush died — re-enters
+       with an empty primary memory, and the newest pair must still end
+       up sharing one bitmap object. *)
+    unify_newest_bitmaps t;
     if flushed then begin
       t.stats.n_flushes <- t.stats.n_flushes + 1;
-      unify_newest_bitmaps t;
       Log.debug (fun m ->
           m "flush #%d: %d primary components, %d disk bytes"
             t.stats.n_flushes
@@ -265,6 +269,32 @@ module Make (R : Record.S) = struct
     Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.merge" @@ fun () ->
     let t0 = Lsm_sim.Env.now_us t.env in
     let policy = t.cfg.merge_policy in
+    (* Catch-up realignment: a supervised retry may re-enter after a
+       primary merge completed but its lockstep pk-index merge died (the
+       retry exhaustion hit mid-pair).  The rerun would never redo the pk
+       side — the lockstep merge only triggers on a fresh primary merge —
+       so complete any pending catch-up first, exactly as recovery does.
+       The old pk components' bitmaps are still the ones the primary
+       merge dropped rows against, so the catch-up merge reproduces the
+       same survivor sequence; then re-share the fresh bitmap. *)
+    (match t.pk_index with
+    | Some pk when Strategy.correlates_primary_pair t.cfg.strategy ->
+        Array.iter
+          (fun pc ->
+            let lo, hi = Prim.component_id pc in
+            match
+              merge_id_range
+                ~components:(fun () -> Pk.components pk)
+                ~id:Pk.component_id
+                ~merge:(fun ~first ~last -> Pk.merge pk ~first ~last)
+                ~lo ~hi
+            with
+            | Some kc ->
+                if Strategy.uses_primary_bitmap t.cfg.strategy then
+                  kc.Pk.bitmap <- pc.Prim.bitmap
+            | None -> ())
+          (Prim.components t.primary)
+    | _ -> ());
     let repair_after_merge s sc =
       match t.cfg.strategy with
       | Strategy.Validation { repair_on_merge = true; _ }
@@ -370,11 +400,43 @@ module Make (R : Record.S) = struct
     done;
     t.stats.merge_us <- t.stats.merge_us +. (Lsm_sim.Env.now_us t.env -. t0)
 
+  (* ------------------------------------------------------------------ *)
+  (* Maintenance supervisor (resilience) *)
+
+  let resil t = Lsm_sim.Env.resil t.env
+
+  (* A maintenance pass (flush, merge sweep, heal) whose I/O retries were
+     exhausted is rescheduled after a backoff instead of failing the
+     engine: the partial component was already discarded (Dbt.build
+     deletes its file when the append dies), the inputs are intact, and a
+     transient fault that has cleared lets the rerun complete.  Bounded
+     by the same policy as the I/O sites; a fault that persists through
+     every reschedule propagates as Unrecoverable (fail-stop). *)
+  let supervised t f =
+    let p = Lsm_sim.Env.retry_policy t.env in
+    let rec go attempt =
+      try f ()
+      with Lsm_sim.Resilience.Unrecoverable _
+      when attempt < p.Lsm_sim.Resilience.max_retries
+      ->
+        let r = resil t in
+        r.Lsm_sim.Env.reschedules <- r.Lsm_sim.Env.reschedules + 1;
+        Lsm_sim.Env.advance t.env (Lsm_sim.Resilience.backoff p ~attempt);
+        go (attempt + 1)
+    in
+    go 0
+
+  (* Self-healing needs the repair machinery defined further down. *)
+  let heal_hook : (t -> unit) ref = ref (fun _ -> ())
+
   (** [flush_now t] forces a flush of all memory components and runs the
-      merge scheduler. *)
+      merge scheduler, both under the maintenance supervisor; if any
+      corruption has been detected, a healing sweep follows. *)
   let flush_now t =
-    flush_all t;
-    run_merges t
+    supervised t (fun () -> flush_all t);
+    supervised t (fun () -> run_merges t);
+    if Lsm_sim.Env.corrupt_page_count t.env > 0 then
+      supervised t (fun () -> !heal_hook t)
 
   (** [flush_memory t] flushes without merging (experiments that need a
       specific component layout drive merges themselves). *)
@@ -818,6 +880,182 @@ module Make (R : Record.S) = struct
           (fun comp -> repair_component ?bloom_opt t s comp ~piggyback:false)
           (Sec.components s.tree))
       t.secondaries
+
+  (* ------------------------------------------------------------------ *)
+  (* Self-healing (resilience): quarantine scan + rebuild/scrub.  The
+     detection side lives in lib/sim (per-page checksums) and lib/lsm_tree
+     (degraded reads); this is the repair side the maintenance supervisor
+     drives. *)
+
+  let quarantined_count t =
+    let count comps quarantined =
+      Array.fold_left (fun a c -> if quarantined c then a + 1 else a) 0 comps
+    in
+    count (Prim.components t.primary) Prim.quarantined
+    + (match t.pk_index with
+      | Some pk -> count (Pk.components pk) Pk.quarantined
+      | None -> 0)
+    + Array.fold_left
+        (fun acc s ->
+          acc
+          + count (Sec.components s.tree) Sec.quarantined
+          + match s.del_tree with
+            | Some d -> count (Pk.components d) Pk.quarantined
+            | None -> 0)
+        0 t.secondaries
+
+  (* Quarantine every component whose backing file holds a page that
+     failed its checksum. *)
+  let quarantine_corrupt t =
+    let env = t.env in
+    let scan comps ~file ~quarantined ~quarantine =
+      Array.iter
+        (fun c ->
+          if (not (quarantined c)) && Lsm_sim.Env.file_corrupt env ~file:(file c)
+          then quarantine c)
+        comps
+    in
+    scan (Prim.components t.primary) ~file:Prim.component_file
+      ~quarantined:Prim.quarantined ~quarantine:(Prim.quarantine t.primary);
+    (match t.pk_index with
+    | Some pk ->
+        scan (Pk.components pk) ~file:Pk.component_file
+          ~quarantined:Pk.quarantined ~quarantine:(Pk.quarantine pk)
+    | None -> ());
+    Array.iter
+      (fun s ->
+        scan (Sec.components s.tree) ~file:Sec.component_file
+          ~quarantined:Sec.quarantined ~quarantine:(Sec.quarantine s.tree);
+        match s.del_tree with
+        | Some d ->
+            scan (Pk.components d) ~file:Pk.component_file
+              ~quarantined:Pk.quarantined ~quarantine:(Pk.quarantine d)
+        | None -> ())
+      t.secondaries
+
+  (* Rebuild one quarantined secondary component from the primary key
+     index, reusing the Sec. 4 standalone-repair path: re-validate its
+     entries against the pk index (fresh bitmap, advanced repairedTS),
+     then rewrite the survivors into a brand-new component with clean
+     pages and, where configured, a fresh Bloom filter.  The component
+     keeps its ID range and repairedTS, so disjointness and the
+     tombstone barrier are untouched; the old file's corruption leaves
+     the system when [replace_range] deletes it. *)
+  let rebuild_secondary t s ~at (comp : Sec.disk_component) =
+    Lsm_sim.Env.span t.env ~cat:s.sec_name "resilience.rebuild" @@ fun () ->
+    repair_component t s comp ~piggyback:false;
+    let rows = Sec.rows_of comp in
+    let live = ref [] in
+    Array.iteri
+      (fun pos r -> if Sec.component_row_valid comp pos then live := r :: !live)
+      rows;
+    let live = Array.of_list (List.rev !live) in
+    Lsm_sim.Env.charge_entry_visits t.env (Array.length live);
+    let c' =
+      Sec.build_component s.tree live ~cmin_ts:comp.Sec.cmin_ts
+        ~cmax_ts:comp.Sec.cmax_ts ~range_filter:comp.Sec.range_filter
+        ~repaired_ts:comp.Sec.repaired_ts
+    in
+    Sec.replace_range s.tree ~first:at ~last:at c';
+    let r = resil t in
+    r.Lsm_sim.Env.rebuilds <- r.Lsm_sim.Env.rebuilds + 1
+
+  (* A quarantined primary-family component is scrubbed: a
+     single-component merge rewrites it onto clean pages (and, like any
+     merge, physically applies its bitmap).  Under Mutable-bitmap the
+     primary and pk-index components share validity bitmaps and must keep
+     identical row sequences, so the pair scrubs in lockstep and the
+     fresh bitmap is re-shared, mirroring run_merges. *)
+  let scrub_primary_pair t =
+    let correlated = Strategy.correlates_primary_pair t.cfg.strategy in
+    let rec pass () =
+      let pcs = Prim.components t.primary in
+      let kcs =
+        match t.pk_index with Some pk -> Pk.components pk | None -> [||]
+      in
+      let doomed = ref (-1) in
+      Array.iteri
+        (fun i c -> if !doomed < 0 && Prim.quarantined c then doomed := i)
+        pcs;
+      if correlated && !doomed < 0 then
+        Array.iteri
+          (fun i c -> if !doomed < 0 && Pk.quarantined c then doomed := i)
+          kcs;
+      if !doomed >= 0 then begin
+        let i = !doomed in
+        update_tombstone_barrier t;
+        let pc = Prim.merge t.primary ~first:i ~last:i in
+        (match t.pk_index with
+        | Some pk when correlated && i < Array.length kcs ->
+            let kc = Pk.merge pk ~first:i ~last:i in
+            if Strategy.uses_primary_bitmap t.cfg.strategy then
+              kc.Pk.bitmap <- pc.Prim.bitmap
+        | _ -> ());
+        let r = resil t in
+        r.Lsm_sim.Env.rebuilds <- r.Lsm_sim.Env.rebuilds + 1;
+        pass ()
+      end
+    in
+    pass ()
+
+  (* Scrub quarantined components of an uncorrelated pk-typed tree (the
+     validation-strategy pk index, deleted-key trees). *)
+  let scrub_solo_pk t tree =
+    let rec pass () =
+      let comps = Pk.components tree in
+      let doomed = ref (-1) in
+      Array.iteri
+        (fun i c -> if !doomed < 0 && Pk.quarantined c then doomed := i)
+        comps;
+      if !doomed >= 0 then begin
+        update_tombstone_barrier t;
+        ignore (Pk.merge tree ~first:!doomed ~last:!doomed);
+        let r = resil t in
+        r.Lsm_sim.Env.rebuilds <- r.Lsm_sim.Env.rebuilds + 1;
+        pass ()
+      end
+    in
+    pass ()
+
+  (** [heal t] is the self-healing sweep: quarantine every component
+      whose backing file holds a checksum-failed page, scrub quarantined
+      primary / primary-key / deleted-key components through
+      single-component merges (lockstep for the shared-bitmap pair), and
+      rebuild quarantined secondary components from the primary key index
+      — Sec. 4's standalone repair reused as the corruption-recovery
+      path.  Rebuilding clears the quarantine (the replacement component
+      is born clean) and deletes the corrupt file.  Idempotent; a no-op
+      when nothing is quarantined and no corruption is recorded. *)
+  let heal t =
+    quarantine_corrupt t;
+    if quarantined_count t > 0 then begin
+      Lsm_sim.Env.span t.env ~cat:"dataset" "resilience.heal" @@ fun () ->
+      (* Primary family first, so secondary rebuilds validate against a
+         clean (fully trusted) primary key index. *)
+      scrub_primary_pair t;
+      (match t.pk_index with
+      | Some pk when not (Strategy.correlates_primary_pair t.cfg.strategy) ->
+          scrub_solo_pk t pk
+      | _ -> ());
+      Array.iter
+        (fun s ->
+          (match s.del_tree with Some d -> scrub_solo_pk t d | None -> ());
+          let rec pass () =
+            let comps = Sec.components s.tree in
+            let doomed = ref (-1) in
+            Array.iteri
+              (fun i c -> if !doomed < 0 && Sec.quarantined c then doomed := i)
+              comps;
+            if !doomed >= 0 then begin
+              rebuild_secondary t s ~at:!doomed comps.(!doomed);
+              pass ()
+            end
+          in
+          pass ())
+        t.secondaries
+    end
+
+  let () = heal_hook := heal
 
   (** [primary_repair t ~with_merge] is the DELI baseline (Tang et al.):
       repair secondary indexes by scanning the *primary index* components,

@@ -105,7 +105,12 @@ module Make (R : Record.S) : sig
   val total_mem_bytes : t -> int
 
   val flush_now : t -> unit
-  (** Flush all memory components and run the merge scheduler. *)
+  (** Flush all memory components and run the merge scheduler, both under
+      the maintenance supervisor: a pass whose I/O retries were exhausted
+      is rescheduled with backoff (the partial component's file is
+      already discarded) before the failure propagates as
+      [Lsm_sim.Resilience.Unrecoverable].  If corruption has been
+      detected, {!heal} follows. *)
 
   val flush_memory : t -> unit
   (** Flush without merging. *)
@@ -121,6 +126,19 @@ module Make (R : Record.S) : sig
   (** The DELI baseline: repair secondaries by scanning primary
       components and anti-mattering superseded versions — reading full
       records, the cost secondary repair avoids. *)
+
+  val heal : t -> unit
+  (** Self-healing sweep: quarantine every component whose backing file
+      holds a checksum-failed page, scrub quarantined primary-family
+      components through single-component merges (lockstep for the
+      Mutable-bitmap pair), and rebuild quarantined secondary components
+      from the primary key index via the Sec. 4 standalone-repair path.
+      Afterwards nothing is quarantined and the corruption is physically
+      gone.  Idempotent; cheap when there is nothing to do. *)
+
+  val quarantined_count : t -> int
+  (** Number of disk components currently quarantined (degraded), across
+      all indexes. *)
 
   (** {1 Query processing (Secs. 3.2, 4.3)} *)
 

@@ -10,10 +10,14 @@
     - pair alignment (Mutable-bitmap): the primary index and the primary
       key index hold the same components with the same rows, and share
       the same validity-bitmap objects bit for bit;
+    - eventual healing: after an explicit heal sweep, no component
+      remains quarantined, no corrupt page survives on a live file, and
+      the dataset still agrees with the model (degraded-state
+      correctness is verified by the query checks that run first);
     - repair sanity: repairedTS never regresses across a standalone
       repair pass;
-    - accounting sanity: I/O counters non-negative, write amplification
-      finite.
+    - accounting sanity: I/O and resilience counters non-negative,
+      write amplification finite.
 
     Checks return a list of human-readable failure strings; empty means
     the state is accepted. *)
@@ -165,6 +169,32 @@ let check_repair_monotone acc (st : S.t) =
     before
 
 (* ------------------------------------------------------------------ *)
+(* Eventual healing: post-fault state must be not only correct but
+   fully healable — after the supervisor settles (an explicit heal
+   sweep), no component may remain quarantined, no corrupt page may
+   survive on a live file, and the dataset must still agree with the
+   model.  Runs AFTER the query checks above, which verified that
+   *degraded* reads were already correct. *)
+
+let check_healed acc (st : S.t) =
+  let had_work =
+    Lsm_sim.Env.corrupt_page_count st.S.env > 0
+    || D.quarantined_count st.S.d > 0
+  in
+  D.heal st.S.d;
+  let q = D.quarantined_count st.S.d in
+  if q <> 0 then failf acc "heal left %d components quarantined" q;
+  let c = Lsm_sim.Env.corrupt_page_count st.S.env in
+  if c <> 0 then failf acc "heal left %d corrupt pages on live files" c;
+  if had_work then begin
+    (* The rebuild/scrub physically rewrote components: recount. *)
+    let want = M.count st.S.model in
+    let scanned = D.full_scan st.S.d ~f:(fun _ -> ()) in
+    if scanned <> want then
+      failf acc "post-heal full_scan: %d rows, model %d" scanned want
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Accounting sanity *)
 
 let check_accounting acc (st : S.t) =
@@ -183,7 +213,20 @@ let check_accounting acc (st : S.t) =
   List.iter
     (fun (name, v) ->
       if v < 0 then failf acc "io counter %s negative: %d" name v)
-    (Lsm_sim.Io_stats.fields (Lsm_sim.Env.stats st.S.env))
+    (Lsm_sim.Io_stats.fields (Lsm_sim.Env.stats st.S.env));
+  let r = Lsm_sim.Env.resil st.S.env in
+  List.iter
+    (fun (name, v) ->
+      if v < 0 then failf acc "resilience counter %s negative: %d" name v)
+    [
+      ("retries", r.Lsm_sim.Env.retries);
+      ("exhausted", r.Lsm_sim.Env.exhausted);
+      ("checksum_failures", r.Lsm_sim.Env.checksum_failures);
+      ("degraded_probes", r.Lsm_sim.Env.degraded_probes);
+      ("quarantines", r.Lsm_sim.Env.quarantines);
+      ("rebuilds", r.Lsm_sim.Env.rebuilds);
+      ("reschedules", r.Lsm_sim.Env.reschedules);
+    ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -195,6 +238,7 @@ let check (st : S.t) =
   check_points acc st;
   check_counts acc st;
   check_secondary acc st;
+  check_healed acc st;
   check_pair_alignment acc st;
   check_repair_monotone acc st;
   check_accounting acc st;

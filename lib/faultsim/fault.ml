@@ -3,31 +3,40 @@
     The engine announces every crash-relevant transition through
     [Env.fault_point] (page I/O, flush/merge begin and install, WAL
     append/commit boundaries, checkpoint phases).  An {!injector} counts
-    those announcements; a {!plan} names one of them — the [hit]-th
-    occurrence of [point] — and raises {!Lsm_sim.Env.Injected_fault}
-    there, either as a {e crash} (execution stops; the harness runs
-    recovery) or as a {e transient I/O error} (the injector disarms, so a
-    retry of the same operation succeeds).
+    those announcements; a {!plan} names a window of them — [fails]
+    consecutive occurrences of [point] starting at the [hit]-th — and
+    raises {!Lsm_sim.Env.Injected_fault} there: as a {e crash}
+    (execution stops; the harness runs recovery), a {e transient I/O
+    error} (the engine's retry/backoff absorbs it, or surfaces
+    [Resilience.Unrecoverable] when the window outlasts the budget), or
+    {e corruption} (the engine flips the page's simulated checksum and
+    carries on; detection happens at read time).
 
     Because workloads are seeded and the simulated environment has no
     hidden nondeterminism, a counting run and an armed run observe the
     identical announcement sequence: every failure reproduces from
-    (seed, point, hit) alone. *)
+    (seed, point, hit, fails) alone. *)
 
-type kind = Lsm_sim.Env.fault_kind = Crash | Io_error
+type kind = Lsm_sim.Env.fault_kind = Crash | Io_error | Corrupt
 
-type plan = { kind : kind; point : string; hit : int }
-(** Fail at the [hit]-th (1-based) announcement of [point]. *)
+type plan = { kind : kind; point : string; hit : int; fails : int }
+(** Fail at announcements [hit .. hit + fails - 1] (1-based) of
+    [point].  [fails = 1] is the classic one-shot fault; [fails > 1]
+    models an intermittent fault that persists across retries. *)
 
-let kind_to_string = function Crash -> "crash" | Io_error -> "io"
+let plan ?(fails = 1) kind ~point ~hit = { kind; point; hit; fails }
+
+let kind_to_string = Lsm_sim.Env.string_of_fault_kind
 
 let kind_of_string = function
   | "crash" -> Crash
-  | "io" -> Io_error
-  | s -> invalid_arg ("Fault.kind_of_string: " ^ s ^ " (crash|io)")
+  | "io" | "io-error" -> Io_error (* both spellings; "io" is canonical *)
+  | "corrupt" -> Corrupt
+  | s -> invalid_arg ("Fault.kind_of_string: " ^ s ^ " (crash|io|io-error|corrupt)")
 
 let describe p =
-  Printf.sprintf "%s at %s hit %d" (kind_to_string p.kind) p.point p.hit
+  Printf.sprintf "%s at %s hit %d%s" (kind_to_string p.kind) p.point p.hit
+    (if p.fails > 1 then Printf.sprintf " x%d" p.fails else "")
 
 type injector = {
   counts : (string, int) Hashtbl.t;
@@ -51,10 +60,14 @@ let hook i point =
   let n = 1 + try Hashtbl.find i.counts point with Not_found -> 0 in
   Hashtbl.replace i.counts point n;
   match i.plan with
-  | Some p when i.armed && p.hit = n && String.equal p.point point ->
-      (* Disarm first: recovery and post-crash checking re-enter the
-         engine, and a (point, hit) pair must fire at most once. *)
-      i.armed <- false;
+  | Some p
+    when i.armed && n >= p.hit
+         && n < p.hit + p.fails
+         && String.equal p.point point ->
+      (* Disarm after the last firing of the window: recovery and
+         post-crash checking re-enter the engine, and a plan must fire a
+         bounded number of times. *)
+      if n = p.hit + p.fails - 1 then i.armed <- false;
       i.fired <- true;
       raise (Lsm_sim.Env.Injected_fault { kind = p.kind; point; hit = n })
   | _ -> ()

@@ -1,21 +1,29 @@
 (** Deterministic fault plans over {!Lsm_sim.Env} fault points: an
-    injector counts every announced failure site; a plan names the
-    [hit]-th occurrence of one site and raises
-    {!Lsm_sim.Env.Injected_fault} there.  Seeded workloads make the
-    announcement sequence reproducible, so every failure replays from
-    (seed, point, hit) alone. *)
+    injector counts every announced failure site; a plan names [fails]
+    consecutive occurrences of one site starting at the [hit]-th and
+    raises {!Lsm_sim.Env.Injected_fault} there.  Seeded workloads make
+    the announcement sequence reproducible, so every failure replays
+    from (seed, point, hit, fails) alone. *)
 
-type kind = Lsm_sim.Env.fault_kind = Crash | Io_error
+type kind = Lsm_sim.Env.fault_kind = Crash | Io_error | Corrupt
 
-type plan = { kind : kind; point : string; hit : int }
-(** Fail at the [hit]-th (1-based) announcement of [point].  [Crash]
-    aborts execution (the harness then runs recovery); [Io_error] is
-    transient — the injector disarms, so a retry succeeds. *)
+type plan = { kind : kind; point : string; hit : int; fails : int }
+(** Fail at announcements [hit .. hit + fails - 1] (1-based) of
+    [point].  [Crash] aborts execution (the harness then runs recovery);
+    [Io_error] is transient — the engine retries under its backoff
+    policy, surfacing [Resilience.Unrecoverable] only when [fails]
+    outlasts the budget; [Corrupt] silently flips the page's simulated
+    checksum instead of raising. *)
+
+val plan : ?fails:int -> kind -> point:string -> hit:int -> plan
+(** [fails] defaults to 1 (a one-shot fault). *)
 
 val kind_to_string : kind -> string
+(** Canonical spellings ["crash"], ["io"], ["corrupt"]. *)
 
 val kind_of_string : string -> kind
-(** ["crash"] or ["io"]. @raise Invalid_argument otherwise. *)
+(** Accepts the canonical spellings plus the legacy ["io-error"].
+    @raise Invalid_argument otherwise. *)
 
 val describe : plan -> string
 

@@ -29,12 +29,14 @@ let ok r = r.r_failures = [] && r.r_not_fired = []
 (* ------------------------------------------------------------------ *)
 (* Plan selection *)
 
-(** [select_plans ~kind ~budget hits] picks ~[budget] plans across the
-    announced points: at least one per point, the rest distributed
+(** [select_plans ~kind ?fails ~budget hits] picks ~[budget] plans across
+    the announced points: at least one per point, the rest distributed
     proportionally to announcement counts, hits stride-sampled across
     each point's range so early, middle, and late occurrences are all
-    covered.  Purely arithmetic — deterministic given the counts. *)
-let select_plans ~kind ~budget hits =
+    covered.  [fails] (default 1) makes every selected plan intermittent:
+    fail that many consecutive announcements.  Purely arithmetic —
+    deterministic given the counts. *)
+let select_plans ~kind ?(fails = 1) ~budget hits =
   let hits = List.filter (fun (_, c) -> c > 0) hits in
   let npts = List.length hits in
   if npts = 0 || budget <= 0 then []
@@ -51,7 +53,7 @@ let select_plans ~kind ~budget hits =
           let h = max 1 (min c h) in
           match !chosen with
           | { Fault.hit; _ } :: _ when hit = h -> ()
-          | _ -> chosen := { Fault.kind; point; hit = h } :: !chosen
+          | _ -> chosen := { Fault.kind; point; hit = h; fails } :: !chosen
         done;
         List.rev !chosen)
       hits
@@ -62,12 +64,18 @@ let select_plans ~kind ~budget hits =
 
 exception Baseline_failure of string list
 
-(** [run cfg ~crash_budget ~io_budget] enumerates (a fault-free counting
-    run, which must itself pass the checker — otherwise the scenario or
-    checker is broken and {!Baseline_failure} is raised), then runs
-    ~[crash_budget] crash plans across every announced point and
-    ~[io_budget] transient-error plans across the page-I/O points. *)
-let run ?(crash_budget = 60) ?(io_budget = 12) cfg =
+(** [run cfg] enumerates (a fault-free counting run, which must itself
+    pass the checker — otherwise the scenario or checker is broken and
+    {!Baseline_failure} is raised), then runs a mixed matrix:
+    ~[crash_budget] crash plans across every announced point,
+    ~[io_budget] transient-error plans across the page-I/O points,
+    ~[corrupt_budget] corruption plans (page checksum flips; the run must
+    degrade, keep answering correctly, and heal), and
+    ~[intermittent_budget] intermittent I/O plans split between windows
+    the engine's retry budget absorbs ([fails = 2]) and windows that
+    exhaust it and exercise the Unrecoverable path ([fails = 6]). *)
+let run ?(crash_budget = 60) ?(io_budget = 12) ?(corrupt_budget = 8)
+    ?(intermittent_budget = 6) cfg =
   let inj0, st0 = Scenario.run cfg in
   (match st0.Scenario.outcome with
   | Scenario.Completed -> ()
@@ -80,9 +88,14 @@ let run ?(crash_budget = 60) ?(io_budget = 12) cfg =
     List.filter (fun (p, _) -> String.length p > 3 && String.sub p 0 3 = "io.")
       points
   in
+  let absorbed = intermittent_budget / 2 in
   let plans =
     select_plans ~kind:Fault.Crash ~budget:crash_budget points
     @ select_plans ~kind:Fault.Io_error ~budget:io_budget io_points
+    @ select_plans ~kind:Fault.Corrupt ~budget:corrupt_budget io_points
+    @ select_plans ~kind:Fault.Io_error ~fails:2 ~budget:absorbed io_points
+    @ select_plans ~kind:Fault.Io_error ~fails:6
+        ~budget:(intermittent_budget - absorbed) io_points
   in
   let crashed = ref 0 in
   let not_fired = ref [] in
@@ -125,11 +138,13 @@ let run ?(crash_budget = 60) ?(io_budget = 12) cfg =
 (** The one command that replays a failing plan exactly. *)
 let repro_command cfg (p : Fault.plan) =
   Printf.sprintf
-    "lsm_repro faultsim --seed %d --txns %d%s --point %s --hit %d --kind %s"
+    "lsm_repro faultsim --seed %d --txns %d%s --point %s --hit %d --kind %s%s"
     cfg.Scenario.seed cfg.Scenario.txns
     (if cfg.Scenario.validation then " --validation" else "")
     p.Fault.point p.Fault.hit
     (Fault.kind_to_string p.Fault.kind)
+    (if p.Fault.fails > 1 then Printf.sprintf " --fails %d" p.Fault.fails
+     else "")
 
 let print_report ppf r =
   let cfg = r.r_cfg in

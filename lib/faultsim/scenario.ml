@@ -133,12 +133,28 @@ let settle_inflight st =
 (* ------------------------------------------------------------------ *)
 (* Queries (transient-I/O-error tolerant) *)
 
-(** Run a side-effect-free query, retrying once on a transient injected
-    I/O error (the injector disarms when it fires, so the retry sees
-    clean I/O).  Crashes propagate to the driver. *)
-let attempt f =
-  try ignore (f ())
-  with Env.Injected_fault { kind = Env.Io_error; _ } -> ignore (f ())
+(** Run a side-effect-free query, retrying on transient injected I/O
+    failures.  The engine already absorbs up to its retry budget of
+    consecutive faults per I/O site (with backoff on the simulated
+    clock); what reaches here is either a legacy [Io_error] raised at a
+    non-I/O point or an [Unrecoverable] from an intermittent window that
+    outlasted one site's budget.  Both are retried under the same engine
+    policy — bounded, so a fault the engine can never clear still fails
+    the run.  Crashes propagate to the driver. *)
+let attempt st f =
+  let budget =
+    (Env.retry_policy st.env).Lsm_sim.Resilience.max_retries
+  in
+  let rec go n =
+    try ignore (f ())
+    with
+    | Env.Injected_fault { kind = Env.Io_error; _ }
+    | Lsm_sim.Resilience.Unrecoverable _
+    when n < budget
+    ->
+      go (n + 1)
+  in
+  go 0
 
 let run_queries st =
   (* Draw every random parameter before calling [attempt]: a retry must
@@ -148,11 +164,11 @@ let run_queries st =
   let uhi = min (st.cfg.user_domain - 1) (ulo + 1 + Rng.int st.rng 5) in
   let tlo = Rng.int st.rng (max 1 st.at) in
   let thi = min st.at (tlo + 1 + Rng.int st.rng (max 1 (st.at / 2))) in
-  attempt (fun () -> D.point_query st.d pk);
+  attempt st (fun () -> D.point_query st.d pk);
   let mode = if st.cfg.validation then `Direct else `Timestamp in
-  attempt (fun () ->
+  attempt st (fun () ->
       D.query_secondary st.d ~sec:"user_id" ~lo:ulo ~hi:uhi ~mode ());
-  attempt (fun () -> D.query_time_range st.d ~tlo ~thi ~f:(fun _ -> ()))
+  attempt st (fun () -> D.query_time_range st.d ~tlo ~thi ~f:(fun _ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* The drive phase *)
@@ -211,7 +227,12 @@ let run ?plan cfg =
   (try
      drive st;
      st.outcome <- Completed
-   with Env.Injected_fault { point; hit; _ } ->
+   with
+  | Env.Injected_fault { point; hit; _ }
+  | Lsm_sim.Resilience.Unrecoverable { point; hit; _ } ->
+     (* A raw injected fault at a non-I/O point, or a transient fault
+        that exhausted the engine's retry budget *and* the supervisor's
+        reschedules: real engines treat both as fail-stop. *)
      settle_inflight st;
      T.crash st.t;
      T.recover st.t;

@@ -47,6 +47,10 @@ module Make (K : KEY) (V : VALUE) = struct
     mutable repaired_ts : int;
         (** entries are valid w.r.t. primary-key-index entries with
             ts <= repaired_ts (Sec. 4.4); 0 = never repaired *)
+    mutable quarantined : bool;
+        (** a page or filter of this component failed its checksum;
+            lookups stop trusting the Bloom filter (degraded reads) until
+            the maintenance supervisor rebuilds or scrubs it *)
     seq : int;  (** unique id, for debugging and cache bookkeeping *)
   }
 
@@ -110,6 +114,17 @@ module Make (K : KEY) (V : VALUE) = struct
   let component_id c = (c.cmin_ts, c.cmax_ts)
   let component_rows c = Dbt.nrows c.tree
   let component_size_bytes t c = Dbt.size_bytes t.env c.tree
+  let component_file c = Lsm_sim.Sfile.id (Dbt.file c.tree)
+  let quarantined c = c.quarantined
+
+  (** [quarantine t c] marks [c] degraded (see {!disk_component}); counted
+      once per component in the environment's resilience stats. *)
+  let quarantine t c =
+    if not c.quarantined then begin
+      c.quarantined <- true;
+      let r = Lsm_sim.Env.resil t.env in
+      r.Lsm_sim.Env.quarantines <- r.Lsm_sim.Env.quarantines + 1
+    end
 
   let disk_size_bytes t =
     List.fold_left (fun acc c -> acc + component_size_bytes t c) 0 t.disk
@@ -194,6 +209,14 @@ module Make (K : KEY) (V : VALUE) = struct
   let probe_bloom t c key =
     match c.bloom with
     | None -> true
+    | Some _ when c.quarantined ->
+        (* Degraded read: the component failed a checksum, so its filter
+           cannot be trusted — a corrupt filter's false negative would
+           silently lose data.  Fall through to the B+-tree probe, which
+           verifies every page it reads. *)
+        let r = Lsm_sim.Env.resil t.env in
+        r.Lsm_sim.Env.degraded_probes <- r.Lsm_sim.Env.degraded_probes + 1;
+        true
     | Some f ->
         let st = Lsm_sim.Env.stats t.env in
         st.Lsm_sim.Io_stats.bloom_probes <- st.Lsm_sim.Io_stats.bloom_probes + 1;
@@ -209,7 +232,9 @@ module Make (K : KEY) (V : VALUE) = struct
   (* A positive Bloom answer whose component search then missed was a
      false positive; lookups report it here. *)
   let note_bloom_fp t c =
-    if c.bloom <> None then begin
+    (* A quarantined component's filter was never consulted, so a miss
+       there is not a false positive. *)
+    if c.bloom <> None && not c.quarantined then begin
       let st = Lsm_sim.Env.stats t.env in
       st.Lsm_sim.Io_stats.bloom_fps <- st.Lsm_sim.Io_stats.bloom_fps + 1
     end
@@ -237,7 +262,17 @@ module Make (K : KEY) (V : VALUE) = struct
     in
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    { tree; bloom; cmin_ts; cmax_ts; range_filter; bitmap; repaired_ts; seq }
+    {
+      tree;
+      bloom;
+      cmin_ts;
+      cmax_ts;
+      range_filter;
+      bitmap;
+      repaired_ts;
+      quarantined = false;
+      seq;
+    }
 
   (** [flush t] turns a non-empty memory component into the newest disk
       component, inheriting the (possibly widened) memory range filter. *)

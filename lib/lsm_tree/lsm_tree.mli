@@ -38,6 +38,9 @@ module Make (K : KEY) (V : VALUE) : sig
     mutable repaired_ts : int;
         (** entries are valid w.r.t. primary-key-index entries with
             ts <= repaired_ts (Sec. 4.4); 0 = never repaired *)
+    mutable quarantined : bool;
+        (** failed a checksum; lookups stop trusting the Bloom filter
+            (degraded reads) until rebuilt or scrubbed *)
     seq : int;  (** unique id *)
   }
 
@@ -98,6 +101,17 @@ module Make (K : KEY) (V : VALUE) : sig
   val component_size_bytes : t -> disk_component -> int
   val disk_size_bytes : t -> int
   val total_rows : t -> int
+
+  val component_file : disk_component -> int
+  (** Id of the component's backing file (to match against
+      {!Lsm_sim.Env.file_corrupt}). *)
+
+  val quarantined : disk_component -> bool
+
+  val quarantine : t -> disk_component -> unit
+  (** Mark a component degraded: its Bloom filter is no longer consulted
+      (every lookup falls through to the checksum-verified B+-tree probe)
+      and the maintenance supervisor will rebuild or scrub it. *)
 
   val flush : t -> unit
   (** Turn a non-empty memory component into the newest disk component,

@@ -86,6 +86,16 @@ let insert t key =
       t.size <- t.size + 1
     end
 
+(** [remove t key] discards one resident page (a checksum-failed copy
+    must not be served from cache).  A no-op if not resident. *)
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key;
+      t.size <- t.size - 1
+
 (** [drop_file t file_id] discards all resident pages of a deleted file so
     they stop occupying capacity (components are deleted after a merge). *)
 let drop_file t file_id =

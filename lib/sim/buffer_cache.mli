@@ -19,6 +19,10 @@ val touch : t -> int * int -> bool
 val insert : t -> int * int -> unit
 (** Make [key] resident at MRU, evicting the LRU page if at capacity. *)
 
+val remove : t -> int * int -> unit
+(** Discard one resident page (e.g. a checksum-failed copy); no-op if
+    absent. *)
+
 val drop_file : t -> int -> unit
 (** Discard all pages of a deleted file. *)
 

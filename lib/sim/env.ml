@@ -60,22 +60,45 @@ type t = {
   mutable fault : (string -> unit) option;
       (** fault-injection hook; [None] by default, so every {!fault_point}
           in the engine costs one branch.  The hook observes the point name
-          and may raise {!Injected_fault} to simulate a crash or a
-          transient I/O error at exactly that point. *)
+          and may raise {!Injected_fault} to simulate a crash, a transient
+          I/O error, or silent corruption at exactly that point. *)
+  mutable retry : Resilience.policy;
+      (** retry budget for transient faults at the I/O sites *)
+  resil : resil_stats;  (** resilience event counters *)
+  corrupt : (int * int, unit) Hashtbl.t;
+      (** (file, page) pairs whose simulated checksum fails *)
+  corrupt_files : (int, int) Hashtbl.t;
+      (** file -> number of corrupt pages on it *)
+  mutable n_corrupt : int;
+      (** total corrupt pages; checksum verification is one branch when 0 *)
 }
 
-type fault_kind = Crash | Io_error
+and resil_stats = {
+  mutable retries : int;
+  mutable exhausted : int;
+  mutable checksum_failures : int;
+  mutable degraded_probes : int;
+  mutable quarantines : int;
+  mutable rebuilds : int;
+  mutable reschedules : int;
+}
+
+type fault_kind = Crash | Io_error | Corrupt
 
 exception
   Injected_fault of { kind : fault_kind; point : string; hit : int }
+
+let string_of_fault_kind = function
+  | Crash -> "crash"
+  | Io_error -> "io"
+  | Corrupt -> "corrupt"
 
 let () =
   Printexc.register_printer (function
     | Injected_fault { kind; point; hit } ->
         Some
           (Printf.sprintf "Injected_fault(%s at %s hit %d)"
-             (match kind with Crash -> "crash" | Io_error -> "io-error")
-             point hit)
+             (string_of_fault_kind kind) point hit)
     | _ -> None)
 
 (** [create ?cache_bytes ?cpu device] builds an environment.  The default
@@ -109,6 +132,20 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
     explain = Lsm_obs.Explain.disabled;
     amp = Lsm_obs.Ampstats.create ();
     fault = None;
+    retry = Resilience.default_policy;
+    resil =
+      {
+        retries = 0;
+        exhausted = 0;
+        checksum_failures = 0;
+        degraded_probes = 0;
+        quarantines = 0;
+        rebuilds = 0;
+        reschedules = 0;
+      };
+    corrupt = Hashtbl.create 7;
+    corrupt_files = Hashtbl.create 7;
+    n_corrupt = 0;
   }
 
 (** [fault_point t name] announces a potential failure site to the
@@ -136,6 +173,74 @@ let now_s t = t.now_us /. 1e6
 
 (** [advance t us] advances the clock by [us] microseconds. *)
 let advance t us = t.now_us <- t.now_us +. us
+
+(* ------------------------------------------------------------------ *)
+(* Resilience: retry/backoff at the I/O sites, page-checksum state *)
+
+let resil t = t.resil
+let retry_policy t = t.retry
+let set_retry_policy t p = t.retry <- p
+
+(** [mark_corrupt t ~file ~page] records that [page] of [file] now fails
+    its checksum (a [Corrupt] fault flipped payload bytes; the write
+    itself "succeeded").  Idempotent. *)
+let mark_corrupt t ~file ~page =
+  if not (Hashtbl.mem t.corrupt (file, page)) then begin
+    Hashtbl.replace t.corrupt (file, page) ();
+    let n = try Hashtbl.find t.corrupt_files file with Not_found -> 0 in
+    Hashtbl.replace t.corrupt_files file (n + 1);
+    t.n_corrupt <- t.n_corrupt + 1
+  end
+
+let corrupt_page_count t = t.n_corrupt
+
+(** [file_corrupt t ~file] is true when any page of [file] fails its
+    checksum. *)
+let file_corrupt t ~file = Hashtbl.mem t.corrupt_files file
+
+(** [announce_io t point ~file ~page] announces an I/O fault site and
+    absorbs transient faults: an injected [Io_error] is retried up to the
+    policy budget with exponential backoff charged to the simulated
+    clock (each retry re-announces the point, so an intermittent plan can
+    fail it again); exhaustion raises {!Resilience.Unrecoverable}.  An
+    injected [Corrupt] silently marks [page] of [file] as failing its
+    checksum and lets the I/O proceed — detection happens at read time.
+    [Crash] propagates untouched. *)
+let announce_io t point ~file ~page =
+  match t.fault with
+  | None -> ()
+  | Some hook ->
+      let rec go attempt =
+        match hook point with
+        | () -> ()
+        | exception Injected_fault { kind = Corrupt; _ } ->
+            mark_corrupt t ~file ~page
+        | exception Injected_fault { kind = Io_error; point = pt; hit } ->
+            if attempt < t.retry.Resilience.max_retries then begin
+              t.resil.retries <- t.resil.retries + 1;
+              advance t (Resilience.backoff t.retry ~attempt);
+              go (attempt + 1)
+            end
+            else begin
+              t.resil.exhausted <- t.resil.exhausted + 1;
+              raise
+                (Resilience.Unrecoverable
+                   { point = pt; hit; attempts = attempt + 1 })
+            end
+      in
+      go 0
+
+(** [verify_page t ~file ~page] simulates checksum verification of a page
+    the caller just read.  Callers guard on [n_corrupt > 0], so the whole
+    resilience layer costs one integer branch per read when the device is
+    clean.  Detection evicts the page so the bad copy is not served from
+    cache, and raises nothing — quarantine is the reader's decision
+    (see {!file_corrupt}). *)
+let verify_page t ~file ~page =
+  if Hashtbl.mem t.corrupt (file, page) then begin
+    t.resil.checksum_failures <- t.resil.checksum_failures + 1;
+    Buffer_cache.remove t.cache (file, page)
+  end
 
 (** [charge_comparisons t n] accounts for [n] key comparisons. *)
 let charge_comparisons t n =
@@ -181,7 +286,7 @@ let read_page t ~file ~page =
     advance t t.cpu.page_hit_us
   end
   else begin
-    fault_point t "io.read";
+    announce_io t "io.read" ~file ~page;
     t.stats.Io_stats.cache_misses <- t.stats.Io_stats.cache_misses + 1;
     t.stats.Io_stats.pages_read <- t.stats.Io_stats.pages_read + 1;
     let sequential = t.head_file = file && t.head_page + 1 = page in
@@ -196,7 +301,8 @@ let read_page t ~file ~page =
     t.head_file <- file;
     t.head_page <- page;
     Buffer_cache.insert t.cache key
-  end
+  end;
+  if t.n_corrupt > 0 then verify_page t ~file ~page
 
 (** [write_pages t ~file ~first ~count] charges for appending [count] pages:
     one positioning plus sequential transfers.  Freshly written pages are
@@ -204,7 +310,7 @@ let read_page t ~file ~page =
     OS page cache would). *)
 let write_pages t ~file ~first ~count =
   if count > 0 then begin
-    fault_point t "io.write";
+    announce_io t "io.write" ~file ~page:first;
     t.stats.Io_stats.pages_written <- t.stats.Io_stats.pages_written + count;
     t.stats.Io_stats.write_batches <- t.stats.Io_stats.write_batches + 1;
     advance t
@@ -217,8 +323,20 @@ let write_pages t ~file ~first ~count =
     done
   end
 
-(** [drop_file t ~file] releases cache residency for a deleted file. *)
-let drop_file t ~file = Buffer_cache.drop_file t.cache file
+(** [drop_file t ~file] releases cache residency for a deleted file and
+    forgets any corruption recorded against it — deleting a component's
+    file (merge, rebuild) is how corrupt pages physically leave the
+    system. *)
+let drop_file t ~file =
+  Buffer_cache.drop_file t.cache file;
+  if t.n_corrupt > 0 && Hashtbl.mem t.corrupt_files file then begin
+    let dropped = Hashtbl.find t.corrupt_files file in
+    Hashtbl.remove t.corrupt_files file;
+    Hashtbl.iter
+      (fun (f, p) () -> if f = file then Hashtbl.remove t.corrupt (f, p))
+      (Hashtbl.copy t.corrupt);
+    t.n_corrupt <- t.n_corrupt - dropped
+  end
 
 (** [reset_measurement t] clears statistics without touching the clock,
     cache, or any files; use between measured phases. *)
@@ -314,5 +432,21 @@ let publish_io_metrics t =
       (Lsm_obs.Metrics.gauge m "cache.capacity_pages")
       (Float.of_int (Buffer_cache.capacity t.cache));
     Lsm_obs.Metrics.set (Lsm_obs.Metrics.gauge m "sim.now_us") t.now_us;
+    let r = t.resil in
+    List.iter
+      (fun (k, v) ->
+        Lsm_obs.Metrics.set
+          (Lsm_obs.Metrics.gauge m ("resilience." ^ k))
+          (Float.of_int v))
+      [
+        ("retries", r.retries);
+        ("exhausted", r.exhausted);
+        ("checksum_failures", r.checksum_failures);
+        ("degraded_probes", r.degraded_probes);
+        ("quarantines", r.quarantines);
+        ("rebuilds", r.rebuilds);
+        ("reschedules", r.reschedules);
+        ("corrupt_pages", t.n_corrupt);
+      ];
     Lsm_obs.Ampstats.publish t.amp m
   end

@@ -22,10 +22,11 @@ type t
     crash-relevant transition — cache-missing page reads ([io.read]),
     page-write batches ([io.write]), flush/merge begin and install, WAL
     append/commit boundaries, checkpoint phases — and an installed hook
-    may raise {!Injected_fault} to simulate a crash or a transient I/O
-    error at exactly that point.  See [lib/faultsim]. *)
+    may raise {!Injected_fault} to simulate a crash, a transient I/O
+    error, or silent page corruption at exactly that point.  See
+    [lib/faultsim]. *)
 
-type fault_kind = Crash | Io_error
+type fault_kind = Crash | Io_error | Corrupt
 
 exception
   Injected_fault of { kind : fault_kind; point : string; hit : int }
@@ -33,12 +34,54 @@ exception
     [point] within the run, so a failure reproduces from (seed, point,
     hit) alone. *)
 
+val string_of_fault_kind : fault_kind -> string
+(** Canonical spellings: ["crash"], ["io"], ["corrupt"]. *)
+
 val fault_point : t -> string -> unit
 (** [fault_point t name] announces the failure site [name] to the
     installed hook, if any. *)
 
 val set_fault_hook : t -> (string -> unit) -> unit
 val clear_fault_hook : t -> unit
+
+(** {1 Resilience}
+
+    The I/O announcement sites ([io.read], [io.write]) absorb transient
+    injected faults: an [Io_error] is retried under the environment's
+    {!Resilience.policy} with exponential backoff charged to the
+    simulated clock, and each retry re-announces the point (so an
+    intermittent "fail [k] times" plan composes with the budget).
+    Exhaustion raises {!Resilience.Unrecoverable}.  A [Corrupt] fault
+    does not raise at all: it marks the page under I/O as failing its
+    simulated per-page checksum, and the next read of that page detects
+    the mismatch, evicts the cached copy, and counts a
+    [checksum_failure] — readers then consult {!file_corrupt} to
+    quarantine the owning component.  With no corrupt pages recorded the
+    verification is one integer branch per read. *)
+
+type resil_stats = {
+  mutable retries : int;  (** transient faults absorbed by backoff *)
+  mutable exhausted : int;  (** retry budgets exhausted (Unrecoverable) *)
+  mutable checksum_failures : int;  (** corrupt pages detected at read *)
+  mutable degraded_probes : int;  (** Bloom probes skipped on quarantine *)
+  mutable quarantines : int;  (** components quarantined *)
+  mutable rebuilds : int;  (** components rebuilt or scrubbed by heal *)
+  mutable reschedules : int;  (** maintenance passes rescheduled *)
+}
+
+val resil : t -> resil_stats
+val retry_policy : t -> Resilience.policy
+val set_retry_policy : t -> Resilience.policy -> unit
+
+val mark_corrupt : t -> file:int -> page:int -> unit
+(** Record that a page fails its checksum (idempotent). *)
+
+val corrupt_page_count : t -> int
+
+val file_corrupt : t -> file:int -> bool
+(** True when any page of [file] fails its checksum.  Cleared by
+    {!drop_file} — deleting the file is how corruption physically leaves
+    the system. *)
 
 val create :
   ?cache_bytes:int -> ?read_ahead_bytes:int -> ?cpu:cpu_model -> Device.t -> t

@@ -28,8 +28,14 @@ let sort env g ~cmp a =
     let bytes = n * g.row_bytes in
     let pages = 1 + ((bytes - 1) / Env.page_size env) in
     let scratch = Sfile.create env in
-    Sfile.append_pages env scratch pages;
-    Sfile.scan_all env scratch;
+    (* Scratch must not outlive the sort even when the spill I/O fails:
+       an orphaned file would keep its (possibly corrupt) pages alive. *)
+    (try
+       Sfile.append_pages env scratch pages;
+       Sfile.scan_all env scratch
+     with e ->
+       Sfile.delete env scratch;
+       raise e);
     Sfile.delete env scratch
   end;
   Env.charge_entry_visits env n
