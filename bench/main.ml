@@ -158,6 +158,80 @@ let test_lsm_merge =
          L.flush t;
          ignore (L.merge t ~first:0 ~last:1)))
 
+(* Range-scan benches: the same overlapping-component tree served by the
+   k-way heap merge vs the REMIX sorted view.  One fixture per side so
+   toggling never happens inside a measured run. *)
+let scan_tree ~views ~ncomps =
+  let env = quiet_env () in
+  let t =
+    L.create env
+      (Lsm_tree.Config.make ~bloom:(Some Lsm_tree.Config.default_bloom) "bench")
+  in
+  let ts = ref 0 in
+  for c = 0 to ncomps - 1 do
+    for i = 0 to 1_999 do
+      incr ts;
+      (* ~50% of keys collide across components, so reconciliation works *)
+      let key = ((i * 4) + (c * 2)) mod 4_000 in
+      L.write t ~key ~ts:!ts (Lsm_tree.Entry.Put ((key * 1000) + !ts))
+    done;
+    L.flush t
+  done;
+  L.set_sorted_views t views;
+  (* Warm the cache and, on the view side, build the view: steady-state
+     is what both the bechamel and the sim series measure. *)
+  L.scan t L.full_scan_spec ~f:(fun _ ~src_repaired:_ -> ());
+  (env, t)
+
+let range_fixture_heap = lazy (scan_tree ~views:false ~ncomps:8)
+let range_fixture_view = lazy (scan_tree ~views:true ~ncomps:8)
+
+let range_scan_bench name fixture =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let _env, t = Lazy.force fixture in
+         let n = ref 0 in
+         L.scan t L.full_scan_spec ~f:(fun _ ~src_repaired:_ -> incr n)))
+
+(* The simulated-cost series the CI gates on: deterministic (engine cost
+   model only, no host timing), one sample per entry, so a >10% change
+   is a real cost-model or algorithm change, not noise. *)
+let sim_range_scan_entries () =
+  let measure ~views ~ncomps =
+    let env, t = scan_tree ~views ~ncomps in
+    let before_cmp = (Lsm_sim.Env.stats env).Lsm_sim.Io_stats.comparisons in
+    let before_us = Lsm_sim.Env.now_us env in
+    let rows = ref 0 in
+    L.scan t L.full_scan_spec ~f:(fun _ ~src_repaired:_ -> incr rows);
+    ( !rows,
+      (Lsm_sim.Env.stats env).Lsm_sim.Io_stats.comparisons - before_cmp,
+      Lsm_sim.Env.now_us env -. before_us )
+  in
+  List.concat_map
+    (fun ncomps ->
+      let rows_h, cmp_h, us_h = measure ~views:false ~ncomps in
+      let rows_v, cmp_v, us_v = measure ~views:true ~ncomps in
+      assert (rows_h = rows_v);
+      Printf.printf
+        "sim.range_scan c%d: heap %7.0fus %7d cmp | view %7.0fus %7d cmp  \
+         (%.1fx / %.1fx)\n"
+        ncomps us_h cmp_h us_v cmp_v (us_h /. us_v)
+        (float_of_int cmp_h /. float_of_int cmp_v);
+      let e name unit_ v =
+        { Lsm_harness.Bench_json.name; unit_; samples = [| v |] }
+      in
+      [
+        e (Printf.sprintf "sim.range_scan.c%d.heap.sim_us" ncomps) "us/scan" us_h;
+        e
+          (Printf.sprintf "sim.range_scan.c%d.heap.comparisons" ncomps)
+          "cmp/scan" (float_of_int cmp_h);
+        e (Printf.sprintf "sim.range_scan.c%d.view.sim_us" ncomps) "us/scan" us_v;
+        e
+          (Printf.sprintf "sim.range_scan.c%d.view.comparisons" ncomps)
+          "cmp/scan" (float_of_int cmp_v);
+      ])
+    [ 8; 16 ]
+
 (* Query-plan benches share one prepared update-heavy dataset. *)
 let query_fixture =
   lazy
@@ -244,6 +318,8 @@ let micro_tests =
       test_dbt_cursor;
       test_lsm_write;
       test_lsm_scan;
+      range_scan_bench "lsm.range_scan(16k,8comps,heap)" range_fixture_heap;
+      range_scan_bench "lsm.range_scan(16k,8comps,view)" range_fixture_view;
       test_lsm_merge;
       upsert_bench "dataset.upsert(eager,2k)" Strategy.eager;
       upsert_bench "dataset.upsert(validation,2k)" Strategy.validation;
@@ -264,6 +340,10 @@ let run_micro ?(quota = 0.4) ?json_path () =
   ignore (Lazy.force query_fixture);
   ignore (Lazy.force obs_fixture_off);
   ignore (Lazy.force obs_fixture_on);
+  ignore (Lazy.force range_fixture_heap);
+  ignore (Lazy.force range_fixture_view);
+  (* Deterministic simulated-cost series first — the CI gate reads these. *)
+  let sim_entries = sim_range_scan_entries () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -290,7 +370,7 @@ let run_micro ?(quota = 0.4) ?json_path () =
         List.sort
           (fun a b ->
             compare a.Lsm_harness.Bench_json.name b.Lsm_harness.Bench_json.name)
-          entries
+          (sim_entries @ entries)
       in
       Lsm_harness.Bench_json.write ~path
         { Lsm_harness.Bench_json.kind = "micro"; scale = None; entries };
@@ -343,7 +423,7 @@ let run_figures ?json_path scale =
       Printf.printf "wrote %s (%d entries)\n" path
         (List.length doc.Lsm_harness.Bench_json.entries)
 
-let run_compare old_path new_path threshold =
+let run_compare ?only old_path new_path threshold =
   let load path =
     match Lsm_harness.Bench_json.read ~path with
     | Ok d -> d
@@ -351,14 +431,33 @@ let run_compare old_path new_path threshold =
         Printf.eprintf "bench compare: %s: %s\n" path e;
         exit 2
   in
-  let old_d = load old_path and new_d = load new_path in
+  (* [--only PREFIX] narrows the comparison to matching entry names — the
+     CI gate runs on the deterministic sim.range_scan series, where any
+     threshold break is a real cost change rather than host noise. *)
+  let restrict (d : Lsm_harness.Bench_json.doc) =
+    match only with
+    | None -> d
+    | Some prefix ->
+        {
+          d with
+          Lsm_harness.Bench_json.entries =
+            List.filter
+              (fun (e : Lsm_harness.Bench_json.entry) ->
+                String.length e.name >= String.length prefix
+                && String.sub e.name 0 (String.length prefix) = prefix)
+              d.Lsm_harness.Bench_json.entries;
+        }
+  in
+  let old_d = restrict (load old_path) and new_d = restrict (load new_path) in
   let regs, compared, only_old, only_new =
     Lsm_harness.Bench_json.compare_docs ~threshold old_d new_d
   in
   Printf.printf
-    "bench compare: %d entries compared (threshold %+.0f%%), %d only in \
+    "bench compare: %d entries compared%s (threshold %+.0f%%), %d only in \
      baseline, %d new\n"
-    compared (threshold *. 100.0) (List.length only_old) (List.length only_new);
+    compared
+    (match only with None -> "" | Some p -> Printf.sprintf " [only %s*]" p)
+    (threshold *. 100.0) (List.length only_old) (List.length only_new);
   List.iter
     (fun r ->
       Format.printf "REGRESSION %a@." Lsm_harness.Bench_json.pp_regression r)
@@ -369,17 +468,21 @@ let run_compare old_path new_path threshold =
 let usage () =
   prerr_endline
     "usage: main.exe [micro|figures [SCALE]|compare OLD NEW] [--json FILE] \
-     [--quota SECONDS] [--threshold FRACTION]";
+     [--quota SECONDS] [--threshold FRACTION] [--only PREFIX]";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Split flags (with their values) from positional words. *)
   let json = ref None and quota = ref None and threshold = ref 0.15 in
+  let only = ref None in
   let rec split pos = function
     | [] -> List.rev pos
     | "--json" :: v :: tl ->
         json := Some v;
+        split pos tl
+    | "--only" :: v :: tl ->
+        only := Some v;
         split pos tl
     | "--quota" :: v :: tl -> (
         match float_of_string_opt v with
@@ -400,7 +503,8 @@ let () =
   | [ "micro" ] -> run_micro ?quota:!quota ?json_path:!json ()
   | [ "figures" ] -> run_figures ?json_path:!json Lsm_harness.Scale.small
   | [ "figures"; s ] -> run_figures ?json_path:!json (Lsm_harness.Scale.of_string s)
-  | [ "compare"; old_path; new_path ] -> run_compare old_path new_path !threshold
+  | [ "compare"; old_path; new_path ] ->
+      run_compare ?only:!only old_path new_path !threshold
   | [] ->
       run_figures Lsm_harness.Scale.small;
       run_micro ?quota:!quota ?json_path:!json ()

@@ -99,6 +99,18 @@ module Make (K : Lsm_util.Intf.ORDERED) = struct
 
   let read_leaf env t l = Lsm_sim.Sfile.read_page env t.file l
 
+  (** [leaf_of_row t i] is the leaf holding row [i] (largest [l] with
+      [leaf_starts.(l) <= i]); no I/O charged — callers fetch the leaf
+      themselves.  Scans use it to detect leaf crossings; the sorted-view
+      layer uses it to charge the same page fetches a scan would. *)
+  let leaf_of_row t i =
+    let cost = ref 0 in
+    let l =
+      Lsm_util.Search.upper_bound ~cmp:compare ~cost t.leaf_starts ~lo:0
+        ~hi:(Array.length t.leaf_starts) i
+    in
+    l - 1
+
   (** [lower_bound_row env t key] is the index of the first row with key >=
       [key] (or [nrows]); charges the interior descent and one leaf read. *)
   let lower_bound_row env t key =
@@ -222,15 +234,6 @@ module Make (K : Lsm_util.Intf.ORDERED) = struct
         Lsm_sim.Sfile.read_range env t.file ~first:l ~count:(last - l + 1);
         s.prefetched_until <- last
       end
-
-    let leaf_of_row t i =
-      (* Largest l with leaf_starts.(l) <= i. *)
-      let cost = ref 0 in
-      let l =
-        Lsm_util.Search.upper_bound ~cmp:compare ~cost t.leaf_starts ~lo:0
-          ~hi:(Array.length t.leaf_starts) i
-      in
-      l - 1
 
     (** [seek env t key] positions at the first row with key >= [key]
         ([None] = start of tree). *)

@@ -45,6 +45,11 @@ module Make (K : Lsm_util.Intf.ORDERED) : sig
   (** Index of the first row with key >= the bound (or [nrows]); charges
       the interior descent and one leaf read. *)
 
+  val leaf_of_row : 'row t -> int -> int
+  (** Leaf index holding a row (no I/O charged; callers fetch the leaf
+      themselves).  Lets the sorted-view layer charge exactly the page
+      fetches a sequential scan of the same rows would. *)
+
   val find : Lsm_sim.Env.t -> 'row t -> K.t -> (int * 'row) option
   (** Stateless point lookup: first row equal to the key, with its index. *)
 

@@ -1406,6 +1406,21 @@ module Make (R : Record.S) = struct
   let primary t = t.primary
   let pk_index t = t.pk_index
   let secondaries t = t.secondaries
+
+  (** [set_sorted_views t on] toggles REMIX-style sorted-view scans on
+      every index of the dataset (primary, primary-key, secondary and
+      deleted-key trees).  On by default; the heap merge is the fallback
+      and the differential-test oracle. *)
+  let set_sorted_views t on =
+    Prim.set_sorted_views t.primary on;
+    (match t.pk_index with Some pk -> Pk.set_sorted_views pk on | None -> ());
+    Array.iter
+      (fun s ->
+        Sec.set_sorted_views s.tree on;
+        match s.del_tree with
+        | Some d -> Pk.set_sorted_views d on
+        | None -> ())
+      t.secondaries
   let filter_key_fn t = t.filter_key
 
   let set_auto_maintenance t v = t.auto_maintenance <- v

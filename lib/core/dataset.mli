@@ -195,6 +195,12 @@ module Make (R : Record.S) : sig
   val primary : t -> Prim.t
   val pk_index : t -> Pk.t option
   val secondaries : t -> sec_index array
+
+  (** [set_sorted_views t on] toggles REMIX-style sorted-view scans on
+      every index of the dataset; on by default; the heap merge remains
+      the fallback. *)
+  val set_sorted_views : t -> bool -> unit
+
   val filter_key_fn : t -> (R.t -> int) option
   val total_disk_bytes : t -> int
 end

@@ -26,13 +26,20 @@ type doc = {
 (* ------------------------------------------------------------------ *)
 (* Statistics *)
 
-(** Nearest-rank percentile over a copy of [samples]; nan when empty. *)
+(** Nearest-rank percentile over the finite values of [samples]; nan
+    samples are dropped first (a timer glitch must not poison the
+    statistic), and the result is nan only when no finite sample
+    remains.  Sorting uses [Float.compare] — polymorphic [compare] on
+    floats boxes every element and gives nan an arbitrary order. *)
 let percentile samples p =
-  let n = Array.length samples in
+  let s =
+    Array.of_seq
+      (Seq.filter (fun v -> not (Float.is_nan v)) (Array.to_seq samples))
+  in
+  let n = Array.length s in
   if n = 0 then Float.nan
   else begin
-    let s = Array.copy samples in
-    Array.sort compare s;
+    Array.sort Float.compare s;
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     s.(max 0 (min (n - 1) (rank - 1)))
   end
@@ -179,9 +186,13 @@ let compare_docs ~threshold old_d new_d =
           Hashtbl.remove tbl e.name;
           incr compared;
           let ov = p50 o and nv = p50 e in
+          (* A zero baseline (e.g. the sorted view's zero scan
+             comparisons) can't regress by ratio, so any move off zero
+             is flagged outright. *)
           if
-            Float.is_finite ov && Float.is_finite nv && ov > 0.0
-            && nv > ov *. (1.0 +. threshold)
+            Float.is_finite ov && Float.is_finite nv
+            && ((ov > 0.0 && nv > ov *. (1.0 +. threshold))
+               || (ov = 0.0 && nv > 0.0))
           then
             regs :=
               { r_name = e.name; r_old = ov; r_new = nv; r_ratio = nv /. ov }

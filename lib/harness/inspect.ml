@@ -163,6 +163,17 @@ let run ?(queries = 200) (scale : Scale.t) =
          ~mode:`Timestamp ())
   in
   let sq = Io.diff (Env.stats env) before in
+  (* --- sorted views: the full scan and secondary probe above ran
+     through them, so the counters describe this workload's read path *)
+  let vs = Env.view_stats env in
+  let view_note =
+    Printf.sprintf
+      "sorted views: %d built (%d rows, %d pages); %d scans touched %d \
+       segments, skipped %d rows; %d invalidations, %d heap fallbacks"
+      vs.Env.builds vs.Env.build_rows vs.Env.build_pages vs.Env.view_scans
+      vs.Env.segments vs.Env.rows_skipped vs.Env.invalidations
+      vs.Env.fallbacks
+  in
   let comps = dataset_components d in
   let amp_rows =
     [
@@ -202,6 +213,7 @@ let run ?(queries = 200) (scale : Scale.t) =
               "secondary 1%% query (ts-validated): %d records, %d pages read, \
                %d bloom probes"
               sec_hits sq.Io.pages_read sq.Io.bloom_probes;
+            view_note;
           ];
       Report.make ~id:"inspect-components" ~title:"Component state"
         ~header:comp_columns
@@ -240,6 +252,19 @@ let run ?(queries = 200) (scale : Scale.t) =
               ("disk_bytes", J.Int disk_bytes);
               ("live_bytes", J.Int !live_bytes);
               ("live_records", J.Int live);
+            ] );
+        ( "views",
+          J.Obj
+            [
+              ("builds", J.Int vs.Env.builds);
+              ("build_rows", J.Int vs.Env.build_rows);
+              ("build_pages", J.Int vs.Env.build_pages);
+              ("scans", J.Int vs.Env.view_scans);
+              ("segments", J.Int vs.Env.segments);
+              ("rows_skipped", J.Int vs.Env.rows_skipped);
+              ("rows_emitted", J.Int vs.Env.rows_emitted);
+              ("invalidations", J.Int vs.Env.invalidations);
+              ("fallbacks", J.Int vs.Env.fallbacks);
             ] );
         ("components", J.List (List.map comp_json comps));
       ]

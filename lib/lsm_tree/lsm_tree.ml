@@ -23,6 +23,7 @@ module type VALUE = Lsm_util.Intf.SIZED
 module Make (K : KEY) (V : VALUE) = struct
   module Mbt = Lsm_btree.Mem_btree.Make (K)
   module Dbt = Lsm_btree.Disk_btree.Make (K)
+  module View = Sorted_view.Make (K)
 
   type row = { key : K.t; ts : int; value : V.t Entry.t }
 
@@ -61,6 +62,13 @@ module Make (K : KEY) (V : VALUE) = struct
         (** extracts the range-filter key from a value; [None] = no filter *)
     mutable mem : mem_component;
     mutable disk : disk_component list;  (** newest first *)
+    mutable view : (row View.t * disk_component array) option;
+        (** REMIX-style sorted view over the *current* [disk] list (the
+            array snapshot it was built from), built lazily by the first
+            full reconciling scan and dropped — atomically, in the same
+            step — whenever [disk] changes, so a view can never outlive
+            the component set it orders *)
+    mutable views_enabled : bool;
     mutable next_seq : int;
     mutable tombstone_drop_ts : int;
         (** bottom merges may physically drop an anti-matter entry only if
@@ -88,6 +96,8 @@ module Make (K : KEY) (V : VALUE) = struct
       filter_of;
       mem = fresh_mem ();
       disk = [];
+      view = None;
+      views_enabled = true;
       next_seq = 0;
       tombstone_drop_ts = max_int;
     }
@@ -134,6 +144,81 @@ module Make (K : KEY) (V : VALUE) = struct
 
   let charge_mem_cmps t =
     Lsm_sim.Env.charge_comparisons t.env (Mbt.take_comparisons t.mem.table)
+
+  (* ------------------------------------------------------------------ *)
+  (* Sorted views (REMIX): lifecycle *)
+
+  (** Views only pay off when a scan would otherwise merge multiple
+      streams. *)
+  let view_min_components = 2
+
+  (** [invalidate_view t] drops the sorted view, if any.  Called
+      immediately before *every* assignment of [t.disk] (flush, merge,
+      replace_range, remove_component): the drop and the list mutation
+      are adjacent non-raising stores, so a crash — which in this
+      simulator is an exception at a fault point — can never observe a
+      view describing a component set that no longer exists.  Recovery
+      needs no view repair: a rebuilt tree starts with [view = None] and
+      the next reconciling scan rebuilds it from the surviving
+      components. *)
+  let invalidate_view t =
+    match t.view with
+    | None -> ()
+    | Some (v, _) ->
+        t.view <- None;
+        View.release t.env v;
+        let vs = Lsm_sim.Env.view_stats t.env in
+        vs.Lsm_sim.Env.invalidations <- vs.Lsm_sim.Env.invalidations + 1
+
+  (** [set_sorted_views t on] toggles the subsystem at runtime (the heap
+      merge remains the fallback and the differential-test oracle). *)
+  let set_sorted_views t on =
+    if not on then invalidate_view t;
+    t.views_enabled <- on
+
+  let sorted_views_enabled t = t.views_enabled
+
+  (** [view_info t] is [(positions, anchors, run count)] of the current
+      view, if one is materialized. *)
+  let view_info t =
+    match t.view with
+    | None -> None
+    | Some (v, _) -> Some (View.positions v, View.anchor_count v, View.run_count v)
+
+  let view_matches comps_a built =
+    Array.length built = Array.length comps_a
+    && begin
+         let ok = ref true in
+         Array.iteri (fun i c -> if built.(i) != c then ok := false) comps_a;
+         !ok
+       end
+
+  (* Build (or reuse) the view covering exactly [comps_a] = the current
+     disk list.  The build is charged through [Env] (merge comparisons +
+     sequential view-page writes) inside its own span, so explain plans
+     and traces show rebuild cost where it happens. *)
+  let ensure_view t comps_a =
+    match t.view with
+    | Some (v, built) when view_matches comps_a built -> v
+    | _ ->
+        invalidate_view t;
+        Lsm_sim.Env.span t.env ~cat:(name t) "lsm.view.build" @@ fun () ->
+        let runs =
+          Array.map
+            (fun c ->
+              {
+                View.keys = Dbt.keys c.tree;
+                rows = Dbt.rows c.tree;
+                file = Dbt.file c.tree;
+                leaf_of_row = (fun i -> Dbt.leaf_of_row c.tree i);
+                leaf_pages = Dbt.leaf_pages c.tree;
+              })
+            comps_a
+        in
+        let v = View.build t.env runs in
+        Lsm_sim.Env.explain_count t.env "view_build_rows" (View.positions v);
+        t.view <- Some (v, comps_a);
+        v
 
   (* ------------------------------------------------------------------ *)
   (* Writes *)
@@ -294,6 +379,7 @@ module Make (K : KEY) (V : VALUE) = struct
         mk_component t rows ~cmin_ts:t.mem.min_ts ~cmax_ts:t.mem.max_ts
           ~range_filter ~repaired_ts:0
       in
+      invalidate_view t;
       t.disk <- c :: t.disk;
       t.mem <- fresh_mem ();
       Lsm_obs.Ampstats.on_flush
@@ -409,6 +495,7 @@ module Make (K : KEY) (V : VALUE) = struct
     let merged =
       mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts
     in
+    invalidate_view t;
     t.disk <-
       List.filteri (fun i _ -> i < first) t.disk
       @ [ merged ]
@@ -438,6 +525,7 @@ module Make (K : KEY) (V : VALUE) = struct
     let n = Array.length comps in
     if not (0 <= first && first <= last && last < n) then
       invalid_arg "Lsm_tree.replace_range: bad range";
+    invalidate_view t;
     t.disk <-
       List.filteri (fun i _ -> i < first) t.disk
       @ [ c ]
@@ -455,6 +543,7 @@ module Make (K : KEY) (V : VALUE) = struct
     let comps = Array.of_list t.disk in
     let n = Array.length comps in
     if not (0 <= at && at < n) then invalid_arg "Lsm_tree.remove_component";
+    invalidate_view t;
     t.disk <- List.filteri (fun i _ -> i <> at) t.disk;
     Dbt.delete t.env comps.(at).tree
 
@@ -729,6 +818,95 @@ module Make (K : KEY) (V : VALUE) = struct
       Array.of_list (List.rev !buf)
     end
 
+  (* Reconciling scan served from the sorted view: one anchor binary
+     search plus bounded per-run gallops to position, then a sequential
+     walk of the selector stream 2-way merged with the memory slice
+     (memory is strictly newer than every disk component, so it wins
+     ties).  Within a disk key group the winner is the first live
+     position — runs are ordered newest-first — which reproduces the heap
+     path's semantics exactly, including "an older valid duplicate wins
+     when the newest is bitmap-invalidated". *)
+  let scan_view t spec ~f =
+    let comps_a = Array.of_list t.disk in
+    let v = ensure_view t comps_a in
+    let mask =
+      match spec.only with
+      | None -> None
+      | Some cs ->
+          let m = Array.make (Array.length comps_a) false in
+          List.iter
+            (fun c ->
+              Array.iteri (fun i c' -> if c' == c then m.(i) <- true) comps_a)
+            cs;
+          Some m
+    in
+    let valid r i = (not spec.respect_bitmap) || row_valid comps_a.(r) i in
+    let it = View.start t.env v ~lo:spec.lo ~hi:spec.hi ~mask ~valid in
+    let mem_rows = mem_slice t spec in
+    let nm = Array.length mem_rows in
+    let mi = ref 0 in
+    let vnext = ref (View.next t.env it) in
+    let emit row ~src_repaired =
+      match row.value with
+      | Entry.Put _ -> f row ~src_repaired
+      | Entry.Del -> if spec.emit_del then f row ~src_repaired
+    in
+    let continue = ref true in
+    while !continue do
+      match (!mi < nm, !vnext) with
+      | false, None -> continue := false
+      | true, None ->
+          emit mem_rows.(!mi) ~src_repaired:0;
+          incr mi
+      | false, Some (_, r, row) ->
+          emit row ~src_repaired:comps_a.(r).repaired_ts;
+          vnext := View.next t.env it
+      | true, Some (vk, r, row) ->
+          let m = mem_rows.(!mi) in
+          Lsm_sim.Env.charge_comparisons t.env 1;
+          let c = K.compare m.key vk in
+          if c < 0 then begin
+            emit m ~src_repaired:0;
+            incr mi
+          end
+          else begin
+            (if c = 0 then begin
+               (* Memory supersedes the whole disk group. *)
+               emit m ~src_repaired:0;
+               incr mi
+             end
+             else emit row ~src_repaired:comps_a.(r).repaired_ts);
+            vnext := View.next t.env it
+          end
+    done;
+    Lsm_sim.Env.explain_count t.env "view_scans" 1;
+    Lsm_sim.Env.explain_count t.env "view_segments" (View.segments it);
+    Lsm_sim.Env.explain_count t.env "view_rows_skipped" (View.skipped it);
+    let vs = Lsm_sim.Env.view_stats t.env in
+    vs.Lsm_sim.Env.segments <- vs.Lsm_sim.Env.segments + View.segments it;
+    vs.Lsm_sim.Env.rows_skipped <-
+      vs.Lsm_sim.Env.rows_skipped + View.skipped it;
+    vs.Lsm_sim.Env.rows_emitted <- vs.Lsm_sim.Env.rows_emitted + View.emitted it
+
+  (* A reconciling scan prefers the sorted view.  A restricted ([only])
+     scan reuses a fresh view through a run mask but never *triggers* a
+     build: repair and time-range scans run right after merges, and
+     rebuilding the whole view to read a component subset would tax
+     ingest.  Anything else falls back to the heap merge. *)
+  let view_usable t spec =
+    spec.reconcile && t.views_enabled
+    && List.length t.disk >= view_min_components
+    &&
+    match spec.only with
+    | None -> true
+    | Some [] -> false
+    | Some cs -> (
+        match t.view with
+        | Some (_, built) ->
+            view_matches (Array.of_list t.disk) built
+            && List.for_all (fun c -> List.memq c t.disk) cs
+        | None -> false)
+
   (** [scan t spec ~f] streams entries to [f row ~src_repaired], where
       [src_repaired] is the [repaired_ts] of the entry's source component
       (0 for the memory component — never repaired).  With [reconcile],
@@ -747,7 +925,12 @@ module Make (K : KEY) (V : VALUE) = struct
           Lsm_sim.Env.charge_comparisons t.env 1;
           K.compare k h <= 0
     in
-    if spec.reconcile then begin
+    if view_usable t spec then scan_view t spec ~f
+    else if spec.reconcile then begin
+      (if t.views_enabled && List.length t.disk >= view_min_components then begin
+         let vs = Lsm_sim.Env.view_stats t.env in
+         vs.Lsm_sim.Env.fallbacks <- vs.Lsm_sim.Env.fallbacks + 1
+       end);
       (* Streams: 0 = memory (newest), then disk components in order. *)
       let mem_rows = mem_slice t spec in
       let mem_pos = ref 0 in

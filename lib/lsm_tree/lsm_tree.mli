@@ -231,5 +231,25 @@ module Make (K : KEY) (V : VALUE) : sig
 
   val scan : t -> scan_spec -> f:(row -> src_repaired:int -> unit) -> unit
   (** Stream entries; [src_repaired] is the source component's repairedTS
-      (0 for memory).  Reconciled output is in ascending key order. *)
+      (0 for memory).  Reconciled output is in ascending key order.
+
+      Reconciling scans over >= 2 disk components are served from a
+      REMIX-style persistent sorted view ({!Sorted_view}): built lazily by
+      the first unrestricted reconciling scan, reused (through a run mask)
+      by [only]-restricted scans while fresh, and invalidated atomically
+      whenever the component list changes, so crash recovery simply
+      rebuilds on the next scan.  Output is byte-identical to the k-way
+      heap merge, which remains the fallback (and can be forced with
+      {!set_sorted_views}). *)
+
+  (** {1 Sorted views (REMIX)} *)
+
+  val set_sorted_views : t -> bool -> unit
+  (** Enable (default) or disable sorted-view-backed reconciling scans;
+      disabling drops any materialized view. *)
+
+  val sorted_views_enabled : t -> bool
+
+  val view_info : t -> (int * int * int) option
+  (** [(positions, anchors, runs)] of the materialized view, if any. *)
 end

@@ -65,6 +65,7 @@ type t = {
   mutable retry : Resilience.policy;
       (** retry budget for transient faults at the I/O sites *)
   resil : resil_stats;  (** resilience event counters *)
+  view : view_stats;  (** sorted-view (REMIX) event counters *)
   corrupt : (int * int, unit) Hashtbl.t;
       (** (file, page) pairs whose simulated checksum fails *)
   corrupt_files : (int, int) Hashtbl.t;
@@ -81,6 +82,18 @@ and resil_stats = {
   mutable quarantines : int;
   mutable rebuilds : int;
   mutable reschedules : int;
+}
+
+and view_stats = {
+  mutable builds : int;  (** sorted views (re)built *)
+  mutable build_rows : int;  (** positions written into views *)
+  mutable build_pages : int;  (** view pages appended *)
+  mutable view_scans : int;  (** reconciling scans served from a view *)
+  mutable segments : int;  (** anchor segments entered by view scans *)
+  mutable rows_skipped : int;  (** positions passed over (masked/invalid/shadowed) *)
+  mutable rows_emitted : int;  (** key groups resolved by view scans *)
+  mutable invalidations : int;  (** views dropped by a structural change *)
+  mutable fallbacks : int;  (** eligible scans that fell back to the heap *)
 }
 
 type fault_kind = Crash | Io_error | Corrupt
@@ -143,6 +156,18 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
         rebuilds = 0;
         reschedules = 0;
       };
+    view =
+      {
+        builds = 0;
+        build_rows = 0;
+        build_pages = 0;
+        view_scans = 0;
+        segments = 0;
+        rows_skipped = 0;
+        rows_emitted = 0;
+        invalidations = 0;
+        fallbacks = 0;
+      };
     corrupt = Hashtbl.create 7;
     corrupt_files = Hashtbl.create 7;
     n_corrupt = 0;
@@ -178,6 +203,7 @@ let advance t us = t.now_us <- t.now_us +. us
 (* Resilience: retry/backoff at the I/O sites, page-checksum state *)
 
 let resil t = t.resil
+let view_stats t = t.view
 let retry_policy t = t.retry
 let set_retry_policy t p = t.retry <- p
 
@@ -447,6 +473,23 @@ let publish_io_metrics t =
         ("rebuilds", r.rebuilds);
         ("reschedules", r.reschedules);
         ("corrupt_pages", t.n_corrupt);
+      ];
+    let v = t.view in
+    List.iter
+      (fun (k, n) ->
+        Lsm_obs.Metrics.set
+          (Lsm_obs.Metrics.gauge m ("view." ^ k))
+          (Float.of_int n))
+      [
+        ("builds", v.builds);
+        ("build_rows", v.build_rows);
+        ("build_pages", v.build_pages);
+        ("scans", v.view_scans);
+        ("segments", v.segments);
+        ("rows_skipped", v.rows_skipped);
+        ("rows_emitted", v.rows_emitted);
+        ("invalidations", v.invalidations);
+        ("fallbacks", v.fallbacks);
       ];
     Lsm_obs.Ampstats.publish t.amp m
   end

@@ -70,6 +70,28 @@ type resil_stats = {
 }
 
 val resil : t -> resil_stats
+
+(** {1 Sorted views (REMIX)}
+
+    Event counters for the cross-component sorted views maintained by the
+    LSM layer ([Lsm_tree]'s [Sorted_view]); published as [view.*] gauges
+    by {!publish_io_metrics}. *)
+
+type view_stats = {
+  mutable builds : int;  (** sorted views (re)built *)
+  mutable build_rows : int;  (** positions written into views *)
+  mutable build_pages : int;  (** view pages appended *)
+  mutable view_scans : int;  (** reconciling scans served from a view *)
+  mutable segments : int;  (** anchor segments entered by view scans *)
+  mutable rows_skipped : int;
+      (** positions passed over (masked, bitmap-invalid, or shadowed by a
+          newer duplicate) *)
+  mutable rows_emitted : int;  (** key groups resolved by view scans *)
+  mutable invalidations : int;  (** views dropped by a structural change *)
+  mutable fallbacks : int;  (** eligible scans that fell back to the heap *)
+}
+
+val view_stats : t -> view_stats
 val retry_policy : t -> Resilience.policy
 val set_retry_policy : t -> Resilience.policy -> unit
 

@@ -564,6 +564,38 @@ let test_bench_percentiles () =
   Alcotest.(check (float 1e-9)) "p100" 100.0 (B.percentile samples 100.0);
   Alcotest.(check bool) "empty -> nan" true (Float.is_nan (B.percentile [||] 50.0))
 
+let test_bench_percentile_edges () =
+  (* n = 1: every percentile is the sample. *)
+  Alcotest.(check (float 1e-9)) "n=1 p1" 7.0 (B.percentile [| 7.0 |] 1.0);
+  Alcotest.(check (float 1e-9)) "n=1 p50" 7.0 (B.percentile [| 7.0 |] 50.0);
+  Alcotest.(check (float 1e-9)) "n=1 p99" 7.0 (B.percentile [| 7.0 |] 99.0);
+  (* n = 2, unsorted input: nearest-rank p50 = ceil(0.5*2) = rank 1 =
+     smaller sample; p51..p100 land on rank 2. *)
+  Alcotest.(check (float 1e-9)) "n=2 p50" 1.0 (B.percentile [| 3.0; 1.0 |] 50.0);
+  Alcotest.(check (float 1e-9)) "n=2 p51" 3.0 (B.percentile [| 3.0; 1.0 |] 51.0);
+  Alcotest.(check (float 1e-9)) "n=2 p100" 3.0 (B.percentile [| 3.0; 1.0 |] 100.0);
+  (* Even/odd nearest-rank boundaries: with n = 4, p50 is rank 2; with
+     n = 5, rank ceil(2.5) = 3 — the true median. *)
+  let even = [| 4.0; 2.0; 3.0; 1.0 |] in
+  Alcotest.(check (float 1e-9)) "n=4 p50" 2.0 (B.percentile even 50.0);
+  Alcotest.(check (float 1e-9)) "n=4 p75" 3.0 (B.percentile even 75.0);
+  Alcotest.(check (float 1e-9)) "n=4 p76" 4.0 (B.percentile even 76.0);
+  let odd = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "n=5 p50" 3.0 (B.percentile odd 50.0);
+  (* p0 clamps to the minimum rather than indexing below the array. *)
+  Alcotest.(check (float 1e-9)) "p0 clamps" 1.0 (B.percentile odd 0.0)
+
+let test_bench_percentile_nan () =
+  (* nan samples are dropped, not sorted into an arbitrary position (the
+     old polymorphic-compare bug): the statistic comes from the finite
+     values alone, and is nan only when nothing finite remains. *)
+  let noisy = [| Float.nan; 2.0; Float.nan; 1.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "nan dropped p50" 2.0 (B.percentile noisy 50.0);
+  Alcotest.(check (float 1e-9)) "nan dropped p100" 3.0 (B.percentile noisy 100.0);
+  Alcotest.(check bool)
+    "all-nan -> nan" true
+    (Float.is_nan (B.percentile [| Float.nan; Float.nan |] 50.0))
+
 let bench_doc () =
   {
     B.kind = "micro";
@@ -706,6 +738,10 @@ let () =
       ( "bench_json",
         [
           Alcotest.test_case "percentiles" `Quick test_bench_percentiles;
+          Alcotest.test_case "percentile edges" `Quick
+            test_bench_percentile_edges;
+          Alcotest.test_case "percentile nan policy" `Quick
+            test_bench_percentile_nan;
           Alcotest.test_case "round-trip" `Quick test_bench_roundtrip;
           Alcotest.test_case "wrong schema rejected" `Quick
             test_bench_schema_rejected;

@@ -56,6 +56,83 @@ let test_cache_lru_chain_stress () =
   done;
   Alcotest.(check bool) "old gone" false (Buffer_cache.mem c (0, 0))
 
+(* A reference LRU model — MRU-first association list over the same op
+   alphabet — run in lockstep with the real cache.  After every op the
+   sizes must match and every key must agree on residency; [Mem] probes
+   are interleaved to prove residency checks never perturb recency. *)
+type cache_op =
+  | Insert of int * int
+  | Touch of int * int
+  | Mem of int * int
+  | Remove of int * int
+  | Drop_file of int
+  | Clear
+
+let cache_op_gen =
+  QCheck2.Gen.(
+    let key = pair (int_range 0 2) (int_range 0 5) in
+    frequency
+      [
+        (6, map (fun (f, p) -> Insert (f, p)) key);
+        (3, map (fun (f, p) -> Touch (f, p)) key);
+        (2, map (fun (f, p) -> Mem (f, p)) key);
+        (2, map (fun (f, p) -> Remove (f, p)) key);
+        (1, map (fun f -> Drop_file f) (int_range 0 2));
+        (1, return Clear);
+      ])
+
+let model_insert cap model k =
+  if cap = 0 then model
+  else if List.mem k model then k :: List.filter (( <> ) k) model
+  else
+    let model = if List.length model >= cap then List.filteri (fun i _ -> i < List.length model - 1) model else model in
+    k :: model
+
+let prop_cache_matches_model =
+  let open QCheck2 in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:500 ~name:"lru matches reference model"
+       Gen.(pair (int_range 1 4) (list_size (int_range 0 60) cache_op_gen))
+       (fun (cap, ops) ->
+         let c = Buffer_cache.create ~capacity_pages:cap in
+         let model = ref [] in
+         let agree () =
+           Buffer_cache.size c = List.length !model
+           && List.for_all
+                (fun f ->
+                  List.for_all
+                    (fun p ->
+                      Buffer_cache.mem c (f, p) = List.mem (f, p) !model)
+                    [ 0; 1; 2; 3; 4; 5 ])
+                [ 0; 1; 2 ]
+         in
+         List.for_all
+           (fun op ->
+             (match op with
+             | Insert (f, p) ->
+                 Buffer_cache.insert c (f, p);
+                 model := model_insert cap !model (f, p)
+             | Touch (f, p) ->
+                 let hit = Buffer_cache.touch c (f, p) in
+                 let mhit = List.mem (f, p) !model in
+                 if mhit then
+                   model := (f, p) :: List.filter (( <> ) (f, p)) !model;
+                 if hit <> mhit then failwith "touch hit mismatch"
+             | Mem (f, p) ->
+                 (* must not touch recency — checked by later evictions *)
+                 ignore (Buffer_cache.mem c (f, p))
+             | Remove (f, p) ->
+                 Buffer_cache.remove c (f, p);
+                 model := List.filter (( <> ) (f, p)) !model
+             | Drop_file f ->
+                 Buffer_cache.drop_file c f;
+                 model := List.filter (fun (f', _) -> f' <> f) !model
+             | Clear ->
+                 Buffer_cache.clear c;
+                 model := []);
+             agree ())
+           ops))
+
 (* ------------------------------------------------------------------ *)
 (* Env cost accounting *)
 
@@ -198,6 +275,7 @@ let () =
           Alcotest.test_case "drop file" `Quick test_cache_drop_file;
           Alcotest.test_case "zero capacity" `Quick test_cache_zero_capacity;
           Alcotest.test_case "lru stress" `Quick test_cache_lru_chain_stress;
+          prop_cache_matches_model;
         ] );
       ( "env",
         [

@@ -199,6 +199,53 @@ let test_binary_find () =
     "miss" None
     (Search.binary_find ~cmp:compare ~cost a 5)
 
+(* Duplicate-heavy arrays (domain 0..20 over up to 200 elements) stress
+   the gallop's handling of equal runs, and a raw start in [-3, n+3]
+   checks the internal clamping to [lo, hi]. *)
+let dup_array_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> Array.of_list (List.sort compare l))
+      (list_size (int_range 0 200) (int_range 0 20)))
+
+let prop_exponential_dups_any_start =
+  qtest ~count:500 "exponential = binary (dups, unclamped start)"
+    QCheck2.Gen.(
+      triple dup_array_gen (int_range (-5) 25) (int_range (-3) 203))
+    (fun (a, key, start) ->
+      let n = Array.length a in
+      let c1 = ref 0 and c2 = ref 0 in
+      let i1 = Search.lower_bound ~cmp:compare ~cost:c1 a ~lo:0 ~hi:n key in
+      let i2 =
+        Search.exponential_lower_bound ~cmp:compare ~cost:c2 a ~lo:0 ~hi:n
+          ~start key
+      in
+      i1 = i2)
+
+let prop_exponential_cost_ceiling =
+  (* Bentley-Yao: the gallop probes O(log d) positions (d = distance from
+     the clamped start to the answer) and finishes with a binary search
+     over a window of at most 2d elements, so total comparisons are
+     bounded by c1*log2(d) + c2*log2(n) + c3 for small constants.  The
+     ceiling below is deliberately generous — it catches an accidental
+     downgrade to linear probing or repeated full binary searches, not
+     constant-factor drift. *)
+  qtest ~count:500 "exponential comparison ceiling"
+    QCheck2.Gen.(
+      triple sorted_array_gen (int_range (-10) 110) (int_range (-3) 203))
+    (fun (a, key, start) ->
+      let n = Array.length a in
+      let cost = ref 0 in
+      let i =
+        Search.exponential_lower_bound ~cmp:compare ~cost a ~lo:0 ~hi:n
+          ~start key
+      in
+      let s = max 0 (min n start) in
+      let d = abs (i - s) in
+      let log2 x = log (float_of_int (x + 2)) /. log 2.0 in
+      let ceiling = (2.0 *. log2 d) +. log2 n +. 6.0 in
+      float_of_int !cost <= ceiling)
+
 (* ------------------------------------------------------------------ *)
 (* Bitset *)
 
@@ -326,6 +373,8 @@ let () =
           prop_lower_bound;
           prop_upper_bound;
           prop_exponential_equals_binary;
+          prop_exponential_dups_any_start;
+          prop_exponential_cost_ceiling;
           Alcotest.test_case "exponential cheap nearby" `Quick
             test_exponential_cheap_nearby;
           Alcotest.test_case "binary_find" `Quick test_binary_find;
