@@ -232,6 +232,33 @@ let sim_range_scan_entries () =
       ])
     [ 8; 16 ]
 
+(* Serving-layer latency series, same contract as sim.range_scan: the
+   engine cost model is deterministic for a fixed seed, so single-sample
+   entries gate real latency changes, not host noise.  A fixed offered
+   rate well below the tiny-scale knee keeps p99 service-dominated and
+   stable run to run. *)
+let sim_serve_entries () =
+  let cfg = Lsm_serve.Driver.config ~partitions:4 Lsm_harness.Scale.tiny in
+  let cfg =
+    { cfg with Lsm_serve.Driver.rate_rps = 1000.0; duration_s = 0.3; seed = 11 }
+  in
+  let r = Lsm_serve.Driver.run cfg in
+  let e name unit_ v = { Lsm_harness.Bench_json.name; unit_; samples = [| v |] } in
+  List.concat_map
+    (fun (c : Lsm_serve.Driver.class_stats) ->
+      Printf.printf "sim.serve %-9s n=%-4d p99 %8.0fus  svc %8.0fus\n"
+        c.Lsm_serve.Driver.cls c.Lsm_serve.Driver.count
+        c.Lsm_serve.Driver.p99_us c.Lsm_serve.Driver.mean_service_us;
+      [
+        e
+          (Printf.sprintf "sim.serve.%s.p99_us" c.Lsm_serve.Driver.cls)
+          "us/req" c.Lsm_serve.Driver.p99_us;
+        e
+          (Printf.sprintf "sim.serve.%s.service_mean_us" c.Lsm_serve.Driver.cls)
+          "us/req" c.Lsm_serve.Driver.mean_service_us;
+      ])
+    r.Lsm_serve.Driver.classes
+
 (* Query-plan benches share one prepared update-heavy dataset. *)
 let query_fixture =
   lazy
@@ -343,7 +370,7 @@ let run_micro ?(quota = 0.4) ?json_path () =
   ignore (Lazy.force range_fixture_heap);
   ignore (Lazy.force range_fixture_view);
   (* Deterministic simulated-cost series first — the CI gate reads these. *)
-  let sim_entries = sim_range_scan_entries () in
+  let sim_entries = sim_range_scan_entries () @ sim_serve_entries () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in

@@ -3,7 +3,9 @@
    lsm_repro list                 — show every experiment
    lsm_repro run fig14 [-s tiny]  — run one experiment
    lsm_repro all [-s medium]      — run the full suite
-   lsm_repro inspect [-s small]   — amplification + component report *)
+   lsm_repro inspect [-s small]   — amplification + component report
+   lsm_repro serve [-s tiny]      — open-loop serving run / load sweep
+   lsm_repro faultsim [--seed 1]  — fault-injection sweep + recovery check *)
 
 open Cmdliner
 
@@ -161,6 +163,113 @@ let inspect_cmd =
           amplification plus per-component state")
     Term.(const run $ scale_arg $ json_arg $ queries_arg)
 
+let serve_cmd =
+  let module Driver = Lsm_serve.Driver in
+  let partitions_arg =
+    let doc = "Number of hash partitions (simulated nodes)." in
+    Arg.(value & opt int 4 & info [ "p"; "partitions" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Offered arrival rate in requests per simulated second; 0 (the \
+       default) picks 70% of an estimated capacity."
+    in
+    Arg.(value & opt float 0.0 & info [ "rate" ] ~docv:"RPS" ~doc)
+  in
+  let sweep_arg =
+    let doc =
+      "Load-sweep mode: run a rate ladder anchored to the capacity \
+       estimate and report the saturation knee."
+    in
+    Arg.(value & flag & info [ "sweep" ] ~doc)
+  in
+  let duration_arg =
+    let doc = "Simulated seconds of open-loop traffic (0 = scale default)." in
+    Arg.(value & opt float 0.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Workload seed; results are deterministic given the seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let users_arg =
+    let doc = "Zipf key-population size (0 = scale default)." in
+    Arg.(value & opt int 0 & info [ "users" ] ~docv:"N" ~doc)
+  in
+  let arrivals_arg =
+    let doc = "Arrival process: $(b,poisson) or $(b,uniform)." in
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("uniform", `Uniform) ]) `Poisson
+      & info [ "arrivals" ] ~docv:"KIND" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the serve document (lsm-repro-serve/1) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run scale partitions rate sweep duration seed users arrivals json metrics
+      =
+    let scale = Lsm_harness.Scale.of_string scale in
+    check_writable json;
+    if metrics then Lsm_harness.Obs_hub.enable ();
+    let cfg = Driver.config ~partitions scale in
+    let cfg =
+      {
+        cfg with
+        Driver.rate_rps = rate;
+        duration_s = (if duration > 0.0 then duration else cfg.Driver.duration_s);
+        users = (if users > 0 then users else cfg.Driver.users);
+        arrivals;
+        seed;
+      }
+    in
+    Printf.printf
+      "serving at scale %s: %d partitions, budget %d bytes, %d users, seed %d...\n%!"
+      scale.Lsm_harness.Scale.name partitions cfg.Driver.budget_bytes
+      cfg.Driver.users seed;
+    let reg = Lsm_obs.Metrics.create () in
+    let doc =
+      if sweep then begin
+        let sw = Driver.sweep cfg in
+        Lsm_harness.Report.print (Lsm_serve.Serve_report.sweep_report sw);
+        List.iter
+          (fun r -> Lsm_harness.Report.print (Lsm_serve.Serve_report.report r))
+          sw.Driver.points;
+        (match sw.Driver.points with
+        | [] -> ()
+        | p -> Lsm_serve.Serve_report.publish (List.nth p (List.length p - 1)) reg);
+        Lsm_serve.Serve_report.sweep_to_json cfg sw
+      end
+      else begin
+        let r = Driver.run cfg in
+        Lsm_harness.Report.print (Lsm_serve.Serve_report.report r);
+        Lsm_serve.Serve_report.publish r reg;
+        Lsm_serve.Serve_report.to_json r
+      end
+    in
+    (match json with
+    | Some path ->
+        Lsm_obs.Json.write ~path doc;
+        Printf.printf "wrote serve document to %s\n" path
+    | None -> ());
+    if metrics then begin
+      print_endline "metrics: serve";
+      List.iter
+        (fun l -> print_endline ("  " ^ l))
+        (Lsm_obs.Metrics.to_lines reg);
+      List.iter print_endline (Lsm_harness.Obs_hub.metrics_lines ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop serving layer: arrival-driven mixed traffic against N \
+          partitions under one global memory budget, with per-class \
+          p50/p95/p99 and a load-sweep mode that finds the saturation knee")
+    Term.(
+      const run $ scale_arg $ partitions_arg $ rate_arg $ sweep_arg
+      $ duration_arg $ seed_arg $ users_arg $ arrivals_arg $ json_arg
+      $ metrics_arg)
+
 let faultsim_cmd =
   let module F = Lsm_faultsim.Fault in
   let module Sc = Lsm_faultsim.Scenario in
@@ -301,7 +410,7 @@ let () =
     Cmd.eval
       (Cmd.group
          (Cmd.info "lsm_repro" ~version:"1.0.0" ~doc)
-         [ list_cmd; run_cmd; all_cmd; inspect_cmd; faultsim_cmd ])
+         [ list_cmd; run_cmd; all_cmd; inspect_cmd; serve_cmd; faultsim_cmd ])
   in
   (* Cmdliner reports CLI misuse (unknown subcommand or flag) with its
      own exit code; map it to the conventional 2. *)

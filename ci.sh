@@ -21,11 +21,19 @@ dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
 dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
   --corrupt 12 --intermittent 8 --validation
 
+# --- serving-layer smoke ----------------------------------------------
+# One tiny open-loop run with a fixed seed: the command must exit 0 and
+# emit a schema-valid JSON document (test_cli.ml checks the schema; this
+# checks the binary end to end, including the budget coordinator).
+dune exec bin/lsm_repro.exe -- serve -s tiny --duration 0.2 --rate 1000 \
+  --seed 7 --json /tmp/serve_smoke.json
+grep -q '"schema": "lsm-repro-serve/1"' /tmp/serve_smoke.json
+
 # --- bench checks ------------------------------------------------------
 # One quick microbench run feeds two comparisons against the committed
 # baseline:
-#   1. GATE: the sim.range_scan series is pure simulated cost
-#      (deterministic, single-sample), so a >10% change is a real
+#   1. GATE: the sim.range_scan and sim.serve series are pure simulated
+#      cost (deterministic, single-sample), so a >10% change is a real
 #      algorithmic or cost-model regression and fails CI.
 #   2. Advisory: host timings on CI machines are too noisy to gate on,
 #      so regressions in the full set only print.
@@ -34,6 +42,8 @@ if [ -f BENCH_micro.json ]; then
     > /dev/null 2>&1
   dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
     --threshold 0.10 --only sim.range_scan
+  dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
+    --threshold 0.10 --only sim.serve
   (
     set +e
     echo "### advisory bench compare (not a gate; failures do not fail CI)"

@@ -77,6 +77,15 @@ module Make (R : Record.S) = struct
         (** flush/merge when the budget fills; disable to drive manually *)
   }
 
+  let total_mem_bytes t =
+    Prim.mem_bytes t.primary
+    + (match t.pk_index with Some pk -> Pk.mem_bytes pk | None -> 0)
+    + Array.fold_left
+        (fun acc s ->
+          acc + Sec.mem_bytes s.tree
+          + (match s.del_tree with Some d -> Pk.mem_bytes d | None -> 0))
+        0 t.secondaries
+
   let create ?filter_key ?(secondaries = []) env cfg =
     let bitmap = Strategy.uses_primary_bitmap cfg.strategy in
     let primary =
@@ -109,29 +118,36 @@ module Make (R : Record.S) = struct
           | _ -> None);
       }
     in
-    {
-      env;
-      cfg;
-      filter_key;
-      primary;
-      pk_index;
-      secondaries = Array.of_list (List.map mk_sec secondaries);
-      clock = 0;
-      stats =
-        {
-          n_inserts = 0;
-          n_upserts = 0;
-          n_deletes = 0;
-          n_duplicates = 0;
-          n_flushes = 0;
-          n_merges = 0;
-          n_repairs = 0;
-          flush_us = 0.0;
-          merge_us = 0.0;
-          repair_us = 0.0;
-        };
-      auto_maintenance = true;
-    }
+    let t =
+      {
+        env;
+        cfg;
+        filter_key;
+        primary;
+        pk_index;
+        secondaries = Array.of_list (List.map mk_sec secondaries);
+        clock = 0;
+        stats =
+          {
+            n_inserts = 0;
+            n_upserts = 0;
+            n_deletes = 0;
+            n_duplicates = 0;
+            n_flushes = 0;
+            n_merges = 0;
+            n_repairs = 0;
+            flush_us = 0.0;
+            merge_us = 0.0;
+            repair_us = 0.0;
+          };
+        auto_maintenance = true;
+      }
+    in
+    (* Make the environment aware of this dataset's in-memory footprint,
+       so a cross-partition coordinator can budget memory globally
+       (Sec. 2.3) without reaching into engine internals. *)
+    Lsm_sim.Env.register_mem_probe env (fun () -> total_mem_bytes t);
+    t
 
   let env t = t.env
   let stats t = t.stats
@@ -155,15 +171,6 @@ module Make (R : Record.S) = struct
 
   (* ------------------------------------------------------------------ *)
   (* Shared flush and merge scheduling *)
-
-  let total_mem_bytes t =
-    Prim.mem_bytes t.primary
-    + (match t.pk_index with Some pk -> Pk.mem_bytes pk | None -> 0)
-    + Array.fold_left
-        (fun acc s ->
-          acc + Sec.mem_bytes s.tree
-          + (match s.del_tree with Some d -> Pk.mem_bytes d | None -> 0))
-        0 t.secondaries
 
   (* Unify the newest primary / primary-key components' bitmaps so that a
      bit set through either index is seen by both (their entries align

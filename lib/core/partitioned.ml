@@ -32,6 +32,7 @@ module Make (R : Record.S) = struct
 
   let partitions t = Array.length t.parts
   let partition t i = t.parts.(i)
+  let env t i = t.envs.(i)
 
   let route t pk =
     Lsm_bloom.Hashing.mix64 pk land max_int mod Array.length t.parts
@@ -48,6 +49,36 @@ module Make (R : Record.S) = struct
 
   (** [point_query t pk] touches exactly the owning partition. *)
   let point_query t pk = D.point_query t.parts.(route t pk) pk
+
+  (** [point_query_batch t pks ~emit] resolves many primary-key point
+      queries through the batched-lookup machinery of Sec. 3.2, fanned
+      out across partitions: keys are grouped by owner, each group
+      sorted locally, and resolved with one [lookup_batch] against the
+      owning partition's primary index.  [emit] fires exactly once per
+      input key, in per-partition fetch order. *)
+  let point_query_batch ?lookup t pks ~emit =
+    let n = Array.length t.parts in
+    let groups = Array.make n [] in
+    Array.iter (fun pk -> let i = route t pk in groups.(i) <- pk :: groups.(i)) pks;
+    Array.iteri
+      (fun i ks ->
+        if ks <> [] then begin
+          let d = t.parts.(i) in
+          let arr = Array.of_list ks in
+          let cmps = ref 0 in
+          Lsm_util.Sorter.sort ~cmp:(fun a b -> compare (a : int) b) ~cost:cmps arr;
+          Lsm_sim.Env.charge_comparisons t.envs.(i) !cmps;
+          let lookup =
+            match lookup with Some l -> l | None -> D.Prim.default_lookup_opts
+          in
+          D.Prim.lookup_batch (D.primary d) lookup (D.Prim.plain_keys arr)
+            ~emit:(fun pk row ->
+              emit pk
+                (match row with
+                | Some { D.Prim.value = Lsm_tree.Entry.Put r; _ } -> Some r
+                | _ -> None))
+        end)
+      groups
 
   (** [query_secondary t ...] fans out to all partitions and concatenates
       (the paper: "returned primary keys are then sorted locally before
@@ -83,4 +114,41 @@ module Make (R : Record.S) = struct
 
   let total_disk_bytes t =
     Array.fold_left (fun acc d -> acc + D.total_disk_bytes d) 0 t.parts
+
+  (* ------------------------------------------------------------------ *)
+  (* Shared memory budget hooks (Sec. 2.3).  By default every partition's
+     dataset budgets independently through its own [maybe_flush]; a
+     global coordinator (Lsm_serve.Budget) instead disables per-partition
+     auto-maintenance and uses these to watch aggregate memory and evict
+     the largest memtable across the cluster. *)
+
+  (** [set_auto_maintenance t on] toggles every partition's own
+      budget-triggered flush/merge. *)
+  let set_auto_maintenance t on =
+    Array.iter (fun d -> D.set_auto_maintenance d on) t.parts
+
+  let mem_bytes_of t i = D.total_mem_bytes t.parts.(i)
+
+  (** [total_mem_bytes t] is the aggregate memory-component footprint
+      across all partitions. *)
+  let total_mem_bytes t =
+    Array.fold_left (fun acc d -> acc + D.total_mem_bytes d) 0 t.parts
+
+  (** [largest_mem_partition t] is the index of the partition currently
+      holding the most memory-component bytes (ties break low). *)
+  let largest_mem_partition t =
+    let best = ref 0 and best_bytes = ref min_int in
+    Array.iteri
+      (fun i d ->
+        let b = D.total_mem_bytes d in
+        if b > !best_bytes then begin
+          best := i;
+          best_bytes := b
+        end)
+      t.parts;
+    !best
+
+  (** [flush_partition t i] flushes partition [i]'s memory components and
+      runs its merge scheduler (the coordinator's eviction primitive). *)
+  let flush_partition t i = D.flush_now t.parts.(i)
 end

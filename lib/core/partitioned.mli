@@ -19,6 +19,7 @@ module Make (R : Record.S) : sig
 
   val partitions : t -> int
   val partition : t -> int -> D.t
+  val env : t -> int -> Lsm_sim.Env.t
   val route : t -> int -> int
 
   (** {1 Ingestion (routed)} *)
@@ -31,6 +32,17 @@ module Make (R : Record.S) : sig
 
   val point_query : t -> int -> R.t option
   (** Touches exactly the owning partition. *)
+
+  val point_query_batch :
+    ?lookup:D.Prim.lookup_opts ->
+    t ->
+    int array ->
+    emit:(int -> R.t option -> unit) ->
+    unit
+  (** Batched cross-partition multi-get: keys grouped by owning
+      partition, sorted locally, resolved through the batched
+      point-lookup machinery of Sec. 3.2.  [emit] fires exactly once per
+      input key, in per-partition fetch order. *)
 
   val query_secondary :
     t ->
@@ -65,4 +77,23 @@ module Make (R : Record.S) : sig
 
   val flush_now : t -> unit
   val total_disk_bytes : t -> int
+
+  (** {1 Shared memory budget hooks (Sec. 2.3)}
+
+      By default each partition's dataset budgets its own memory; a
+      global flush coordinator ([Lsm_serve.Budget]) disables that and
+      drives evictions across the cluster through these. *)
+
+  val set_auto_maintenance : t -> bool -> unit
+  (** Toggle every partition's own budget-triggered flush/merge. *)
+
+  val mem_bytes_of : t -> int -> int
+  val total_mem_bytes : t -> int
+
+  val largest_mem_partition : t -> int
+  (** Index of the partition holding the most memory-component bytes. *)
+
+  val flush_partition : t -> int -> unit
+  (** Flush one partition's memory components and run its merges — the
+      coordinator's eviction primitive. *)
 end

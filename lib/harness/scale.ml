@@ -37,6 +37,17 @@ let max_mergeable_bytes t = max (256 * 1024) (data_bytes t / 30)
 (** The small-cache variant of Fig. 18 (512MB vs 2GB in the paper). *)
 let small_cache_bytes t = cache_bytes t / 4
 
+(** Serving-layer knobs (lib/serve).  The user population is larger than
+    the record count — most users are cold, the Zipf head is hot — and
+    the global memory budget is *half* of what [partitions] independent
+    datasets would claim, so the cross-partition flush coordinator has
+    real work to do. *)
+let serve_users t = t.records * 5 / 2
+
+let serve_preload t = t.records / 2
+let serve_duration_s t = Float.of_int t.records /. 20_000.0
+let serve_budget_bytes t ~partitions = mem_budget t * partitions / 2
+
 (** Scaled device profiles.
 
     Running 500x-smaller datasets against full-size 128KB pages would

@@ -25,6 +25,21 @@ val max_mergeable_bytes : t -> int
 val small_cache_bytes : t -> int
 (** The Fig. 18 small-cache variant (a quarter of the default). *)
 
+(** {1 Serving-layer knobs (lib/serve)} *)
+
+val serve_users : t -> int
+(** Zipf user-population size: 2.5x the record count (most users cold). *)
+
+val serve_preload : t -> int
+(** Records ingested before the open-loop phase starts. *)
+
+val serve_duration_s : t -> float
+(** Simulated seconds of open-loop traffic (1s per 20K records). *)
+
+val serve_budget_bytes : t -> partitions:int -> int
+(** Global memory budget shared by all partitions: half of what
+    [partitions] independent datasets would claim. *)
+
 val hdd_device : Lsm_sim.Device.t
 (** HDD profile scaled 16x: 8KB pages, 531us seek, 78us/page. *)
 

@@ -1,0 +1,45 @@
+(** Open-loop arrival processes on the simulated clock.
+
+    Closed-loop drivers (everything in [lib/harness]) issue the next
+    request when the previous one completes, so the offered load adapts
+    to the system and saturation hides inside lower throughput.  An
+    open-loop source decides arrival instants *in advance*, from a rate
+    — requests keep arriving whether or not the system keeps up, which
+    is what makes queueing delay (and the saturation knee) observable. *)
+
+type kind = [ `Poisson | `Uniform ]
+
+type t = {
+  rng : Lsm_util.Rng.t;
+  mean_gap_us : float;
+  kind : kind;
+  mutable next_us : float;
+}
+
+let create ?(seed = 97) ~rate_rps kind =
+  if rate_rps <= 0.0 then invalid_arg "Arrivals.create: rate_rps must be > 0";
+  {
+    rng = Lsm_util.Rng.create seed;
+    mean_gap_us = 1e6 /. rate_rps;
+    kind;
+    next_us = 0.0;
+  }
+
+let next t =
+  let gap =
+    match t.kind with
+    | `Uniform -> t.mean_gap_us
+    | `Poisson ->
+        (* Inverse-CDF exponential inter-arrival.  [Rng.float] is in
+           [0, 1), so [1 - u] is in (0, 1] and the log stays finite. *)
+        -.t.mean_gap_us *. log (1.0 -. Lsm_util.Rng.float t.rng)
+  in
+  t.next_us <- t.next_us +. gap;
+  t.next_us
+
+let kind_of_string = function
+  | "poisson" -> `Poisson
+  | "uniform" -> `Uniform
+  | s -> invalid_arg ("unknown arrival process: " ^ s ^ " (poisson|uniform)")
+
+let string_of_kind = function `Poisson -> "poisson" | `Uniform -> "uniform"

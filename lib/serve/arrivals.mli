@@ -1,0 +1,21 @@
+(** Open-loop arrival processes on the simulated clock: arrival instants
+    are decided in advance from a configured rate, so offered load does
+    not adapt to the system and saturation shows up as queueing delay. *)
+
+type kind = [ `Poisson | `Uniform ]
+(** [`Poisson]: exponential inter-arrival gaps (memoryless, bursty).
+    [`Uniform]: deterministic gaps of exactly [1/rate]. *)
+
+type t
+
+val create : ?seed:int -> rate_rps:float -> kind -> t
+(** @raise Invalid_argument if [rate_rps <= 0]. *)
+
+val next : t -> float
+(** The next arrival instant, in absolute simulated microseconds since
+    the source was created.  Strictly non-decreasing. *)
+
+val kind_of_string : string -> kind
+(** @raise Invalid_argument for unknown names. *)
+
+val string_of_kind : kind -> string

@@ -1,0 +1,79 @@
+(** The global flush coordinator (paper Sec. 2.3): all partitions share
+    one memory budget for their LSM memory components.
+
+    Out of the box every partition's dataset budgets independently
+    ([Dataset.maybe_flush] against its own [mem_budget]), which is N
+    budgets, not one.  The coordinator instead watches the *aggregate*
+    footprint and, whenever it reaches the shared budget, evicts the
+    largest memtable across partitions — the eviction policy AsterixDB
+    uses for its shared memory-component pool — until the aggregate is
+    back under budget.  Callers disable per-partition auto-maintenance
+    and call {!enforce} after every write. *)
+
+type part = {
+  mem_bytes : unit -> int;  (** partition's current memory-component bytes *)
+  flush : unit -> unit;  (** flush the partition's memory components *)
+}
+
+type t = {
+  budget_bytes : int;
+  parts : part array;
+  mutable evictions : int;
+  mutable peak_bytes : int;  (** max aggregate observed after enforcement *)
+  mutable peak_pre_bytes : int;
+      (** max aggregate observed when enforcement began: how far a single
+          write overshoots before its same-instant eviction *)
+}
+
+let create ~budget_bytes parts =
+  if budget_bytes < 1 then invalid_arg "Budget.create: budget_bytes >= 1";
+  if Array.length parts = 0 then invalid_arg "Budget.create: no partitions";
+  { budget_bytes; parts; evictions = 0; peak_bytes = 0; peak_pre_bytes = 0 }
+
+let budget_bytes t = t.budget_bytes
+let evictions t = t.evictions
+let peak_bytes t = t.peak_bytes
+let peak_pre_bytes t = t.peak_pre_bytes
+
+(** [total t] is the aggregate memory-component footprint in bytes. *)
+let total t =
+  Array.fold_left (fun acc p -> acc + p.mem_bytes ()) 0 t.parts
+
+(** [largest t] is the index of the partition holding the most
+    memory-component bytes (ties break low). *)
+let largest t =
+  let best = ref 0 and best_bytes = ref min_int in
+  Array.iteri
+    (fun i p ->
+      let b = p.mem_bytes () in
+      if b > !best_bytes then begin
+        best := i;
+        best_bytes := b
+      end)
+    t.parts;
+  !best
+
+(** [enforce t] restores the invariant [total t < budget_bytes] by
+    flushing the largest memtable across partitions, repeatedly if one
+    eviction is not enough.  Flushing happens "within" the triggering
+    write's instant: its simulated cost lands on the flushed partition's
+    clock, exactly like a synchronous flush in the single-dataset
+    path. *)
+let enforce t =
+  let pre = total t in
+  if pre > t.peak_pre_bytes then t.peak_pre_bytes <- pre;
+  let rec drain () =
+    if total t >= t.budget_bytes then begin
+      let i = largest t in
+      if t.parts.(i).mem_bytes () > 0 then begin
+        t.parts.(i).flush ();
+        t.evictions <- t.evictions + 1;
+        drain ()
+      end
+      (* else: nothing evictable — all memory already on disk; the
+         budget is smaller than the engine's irreducible footprint. *)
+    end
+  in
+  drain ();
+  let post = total t in
+  if post > t.peak_bytes then t.peak_bytes <- post

@@ -1,0 +1,36 @@
+(** Global flush coordinator (paper Sec. 2.3): one memory budget shared
+    by all partitions' LSM memory components; when the aggregate reaches
+    the budget, the largest memtable across partitions is flushed. *)
+
+type part = {
+  mem_bytes : unit -> int;  (** partition's current memory-component bytes *)
+  flush : unit -> unit;  (** flush the partition's memory components *)
+}
+
+type t
+
+val create : budget_bytes:int -> part array -> t
+(** @raise Invalid_argument on an empty partition set or a budget < 1. *)
+
+val budget_bytes : t -> int
+
+val total : t -> int
+(** Aggregate memory-component footprint, bytes. *)
+
+val largest : t -> int
+(** Index of the partition holding the most memory-component bytes. *)
+
+val enforce : t -> unit
+(** Restore [total t < budget_bytes] by flushing the largest memtable,
+    repeatedly if needed.  Call after every write. *)
+
+val evictions : t -> int
+(** Coordinator-initiated flushes so far. *)
+
+val peak_bytes : t -> int
+(** Largest aggregate footprint observed at an enforcement boundary —
+    the invariant tests assert this stays under the budget. *)
+
+val peak_pre_bytes : t -> int
+(** Largest aggregate observed as enforcement began: how far a single
+    write overshoots before its same-instant eviction. *)

@@ -1,0 +1,366 @@
+(** The open-loop serving driver: arrival-driven traffic against an
+    N-partition cluster on the simulated clock.
+
+    Partitions are modelled as parallel single-server queues (each env
+    has its own device, cache, and clock — Sec. 2.2's shared-nothing
+    nodes).  A request arriving at [a] starts at
+    [max a (free over the partitions it involves)], runs for the max of
+    its per-partition service times, and pushes each involved
+    partition's [free] horizon by that partition's own share.  Queueing
+    delay is [start - a]; when the offered rate exceeds capacity the
+    [free] horizons run away from the arrival clock and queueing delay
+    grows without bound — the saturation knee the load sweep exists to
+    find. *)
+
+module Tweet = Lsm_workload.Tweet
+module Query_gen = Lsm_workload.Query_gen
+module Scale = Lsm_harness.Scale
+module Strategy = Lsm_core.Strategy
+module Rt = Router.Make (Tweet.Record)
+module P = Rt.P
+
+type op_class = Ingest | Point | Secondary | Scan
+
+let class_name = function
+  | Ingest -> "ingest"
+  | Point -> "point"
+  | Secondary -> "secondary"
+  | Scan -> "scan"
+
+let all_classes = [ Ingest; Point; Secondary; Scan ]
+
+type mix = {
+  ingest : float;
+  point : float;
+  secondary : float;
+  scan : float;  (** relative weights; need not sum to 1 *)
+}
+
+(** Write-heavy social-feed mix: mostly ingest and point reads, a tail
+    of secondary-range and recent-time-range queries. *)
+let default_mix = { ingest = 0.5; point = 0.4; secondary = 0.07; scan = 0.03 }
+
+type config = {
+  scale : Scale.t;
+  partitions : int;
+  rate_rps : float;
+      (** offered arrival rate; [<= 0] means auto (70% of estimated
+          capacity) *)
+  duration_s : float;  (** simulated seconds of open-loop traffic *)
+  arrivals : Arrivals.kind;
+  mix : mix;
+  theta : float;  (** Zipf skew of the user/key population *)
+  users : int;  (** key-population size the Zipf head draws from *)
+  preload : int;  (** records ingested (closed-loop) before traffic *)
+  budget_bytes : int;  (** the single global memory budget *)
+  selectivity : float;  (** secondary-range selectivity *)
+  strategy : Strategy.t;
+  seed : int;
+}
+
+let config ?(partitions = 4) scale =
+  {
+    scale;
+    partitions;
+    rate_rps = 0.0;
+    duration_s = Scale.serve_duration_s scale;
+    arrivals = `Poisson;
+    mix = default_mix;
+    theta = 0.99;
+    users = Scale.serve_users scale;
+    preload = Scale.serve_preload scale;
+    budget_bytes = Scale.serve_budget_bytes scale ~partitions;
+    selectivity = 0.001;
+    strategy = Strategy.validation;
+    seed = 42;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* System construction *)
+
+type system = {
+  rt : Rt.t;
+  gen : Tweet.gen;
+  qgen : Query_gen.t;
+  zipf : Lsm_util.Zipf.t;
+  rng : Lsm_util.Rng.t;
+  sec_mode : P.D.validation_mode;
+  mutable now_created : int;  (** newest creation time generated so far *)
+}
+
+let build cfg =
+  if cfg.partitions < 1 then invalid_arg "Driver: partitions >= 1";
+  let cache_bytes =
+    max (256 * 1024) (Scale.cache_bytes cfg.scale / cfg.partitions)
+  in
+  let mk_env _ =
+    Lsm_harness.Obs_hub.attach
+      (Lsm_sim.Env.create ~cache_bytes Scale.hdd_device)
+  in
+  let dcfg =
+    {
+      P.D.strategy = cfg.strategy;
+      (* Per-dataset budget is not enforced (auto-maintenance is off);
+         it still sizes the repair sort grant, so give each partition
+         its fair share of the global budget. *)
+      mem_budget = max 1 (cfg.budget_bytes / cfg.partitions);
+      merge_policy =
+        Lsm_tree.Merge_policy.tiering ~size_ratio:1.2
+          ~max_mergeable_bytes:(Scale.max_mergeable_bytes cfg.scale) ();
+      use_pk_index = true;
+      bloom = Some { Lsm_tree.Config.kind = `Standard; fpr = 0.01 };
+    }
+  in
+  let rt =
+    Rt.create ~filter_key:Tweet.created_at
+      ~secondaries:(Lsm_harness.Setup.secondary_specs 1)
+      ~mk_env ~partitions:cfg.partitions ~budget_bytes:cfg.budget_bytes dcfg
+  in
+  {
+    rt;
+    gen = Tweet.create_gen ~seed:(cfg.seed * 31 + 1) ();
+    qgen = Query_gen.create ~seed:(cfg.seed * 17 + 3) ();
+    zipf = Lsm_util.Zipf.create ~theta:cfg.theta cfg.users;
+    rng = Lsm_util.Rng.create cfg.seed;
+    sec_mode =
+      (match cfg.strategy with
+      | Strategy.Eager -> `Assume_valid
+      | _ -> `Timestamp);
+    now_created = 0;
+  }
+
+(* Preload: ids [0, preload) exist before traffic starts — and since
+   Zipf item 0 is the most popular, the hot head of the population is
+   warm.  Closed-loop, under the global budget coordinator. *)
+let preload sys cfg =
+  for id = 0 to cfg.preload - 1 do
+    let tw = Tweet.with_id sys.gen id in
+    if tw.Tweet.created_at > sys.now_created then
+      sys.now_created <- tw.Tweet.created_at;
+    ignore (Rt.exec sys.rt (Rt.Upsert tw))
+  done
+
+(* One request drawn from the mix; the Zipf population covers ids the
+   preload never wrote, so point queries miss realistically and ingests
+   both update hot keys and create cold ones. *)
+let gen_request sys cfg =
+  let m = cfg.mix in
+  let total = m.ingest +. m.point +. m.secondary +. m.scan in
+  let u = Lsm_util.Rng.float sys.rng *. total in
+  if u < m.ingest then begin
+    let id = Lsm_util.Zipf.sample sys.rng sys.zipf in
+    let tw = Tweet.with_id sys.gen id in
+    if tw.Tweet.created_at > sys.now_created then
+      sys.now_created <- tw.Tweet.created_at;
+    (Ingest, Rt.Upsert tw)
+  end
+  else if u < m.ingest +. m.point then
+    (Point, Rt.Point (Lsm_util.Zipf.sample sys.rng sys.zipf))
+  else if u < m.ingest +. m.point +. m.secondary then begin
+    let lo, hi = Query_gen.user_range sys.qgen ~selectivity:cfg.selectivity in
+    (Secondary, Rt.Secondary { sec = "user_id"; lo; hi; mode = sys.sec_mode })
+  end
+  else begin
+    let tlo, thi =
+      Query_gen.recent_time_range ~now:(max 1 sys.now_created) ~days:1
+        ~day_span:30
+    in
+    (Scan, Rt.Time_range { tlo; thi })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Capacity estimation *)
+
+(** [estimate_capacity cfg] runs a short closed-loop probe on a fresh
+    system and reports the aggregate rate (requests per simulated
+    second) at which the busiest partition saturates — the open-loop
+    sweeps anchor their rate ladders to this. *)
+let estimate_capacity ?(ops = 1500) (cfg : config) =
+  let sys = build cfg in
+  preload sys cfg;
+  let busy = Array.make cfg.partitions 0.0 in
+  for _ = 1 to ops do
+    let _, req = gen_request sys cfg in
+    let o = Rt.exec sys.rt req in
+    Array.iteri (fun i d -> busy.(i) <- busy.(i) +. d) o.Rt.service_us
+  done;
+  let bottleneck = Array.fold_left Float.max 0.0 busy in
+  if bottleneck <= 0.0 then 0.0 else Float.of_int ops *. 1e6 /. bottleneck
+
+(* ------------------------------------------------------------------ *)
+(* The open-loop run *)
+
+type class_stats = {
+  cls : string;
+  count : int;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  mean_queue_us : float;
+  mean_service_us : float;
+}
+
+type result = {
+  r_cfg : config;
+  rate_rps : float;  (** the rate actually offered *)
+  capacity_rps : float;  (** estimate, when one was made (else 0) *)
+  requests : int;
+  classes : class_stats list;  (** one per op class, plus ["all"] *)
+  backlog_frac : float;
+      (** unfinished work at the horizon, as a fraction of the run:
+          [(max free - horizon) / horizon], clamped at 0 *)
+  queue_growth : float;
+      (** mean queueing delay, second half over first half of the run —
+          ~1 below saturation, grows without bound above it *)
+  saturated : bool;
+  budget_bytes : int;
+  peak_mem_bytes : int;  (** aggregate memtable peak after enforcement *)
+  peak_pre_mem_bytes : int;  (** peak overshoot before enforcement *)
+  evictions : int;  (** coordinator-initiated flushes *)
+}
+
+type sample = {
+  s_cls : op_class;
+  arrival_us : float;
+  queue_us : float;
+  service_us : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. Float.of_int (List.length l)
+
+let stats_of name samples =
+  let lat =
+    Array.of_list (List.map (fun s -> s.queue_us +. s.service_us) samples)
+  in
+  let pct p = if Array.length lat = 0 then 0.0 else Lsm_harness.Bench_json.percentile lat p in
+  {
+    cls = name;
+    count = List.length samples;
+    p50_us = pct 50.0;
+    p95_us = pct 95.0;
+    p99_us = pct 99.0;
+    mean_queue_us = mean (List.map (fun s -> s.queue_us) samples);
+    mean_service_us = mean (List.map (fun s -> s.service_us) samples);
+  }
+
+(** [run cfg] executes one open-loop run.  With [cfg.rate_rps <= 0] the
+    rate is set to 70% of a fresh capacity estimate.  Deterministic for
+    a fixed seed. *)
+let run (cfg : config) =
+  let capacity_rps, cfg =
+    if cfg.rate_rps > 0.0 then (0.0, cfg)
+    else begin
+      let cap = estimate_capacity cfg in
+      if cap <= 0.0 then invalid_arg "Driver.run: capacity estimate is zero";
+      (cap, { cfg with rate_rps = 0.7 *. cap })
+    end
+  in
+  let sys = build cfg in
+  preload sys cfg;
+  let arr =
+    Arrivals.create ~seed:((cfg.seed * 131) + 7) ~rate_rps:cfg.rate_rps
+      cfg.arrivals
+  in
+  let horizon_us = cfg.duration_s *. 1e6 in
+  let free = Array.make cfg.partitions 0.0 in
+  let samples = ref [] in
+  let n_req = ref 0 in
+  let rec loop a =
+    if a <= horizon_us then begin
+      let s_cls, req = gen_request sys cfg in
+      let o = Rt.exec sys.rt req in
+      (* Involved = structurally touched plus any partition whose clock
+         moved (a budget-triggered flush on another partition lands
+         there and delays only requests routed to it). *)
+      let involved = ref o.Rt.touched in
+      Array.iteri
+        (fun i d -> if d > 0.0 && not (List.mem i !involved) then involved := i :: !involved)
+        o.Rt.service_us;
+      let start = List.fold_left (fun acc i -> Float.max acc free.(i)) a !involved in
+      let service_us =
+        List.fold_left (fun acc i -> Float.max acc o.Rt.service_us.(i)) 0.0 !involved
+      in
+      List.iter (fun i -> free.(i) <- start +. o.Rt.service_us.(i)) !involved;
+      samples := { s_cls; arrival_us = a; queue_us = start -. a; service_us } :: !samples;
+      incr n_req;
+      loop (Arrivals.next arr)
+    end
+  in
+  loop (Arrivals.next arr);
+  let samples = List.rev !samples in
+  let classes =
+    List.map
+      (fun c ->
+        stats_of (class_name c) (List.filter (fun s -> s.s_cls = c) samples))
+      all_classes
+    @ [ stats_of "all" samples ]
+  in
+  let backlog =
+    Array.fold_left (fun acc f -> Float.max acc (f -. horizon_us)) 0.0 free
+  in
+  let backlog_frac = if horizon_us > 0.0 then backlog /. horizon_us else 0.0 in
+  let half = horizon_us /. 2.0 in
+  let q1 =
+    mean
+      (List.filter_map
+         (fun s -> if s.arrival_us < half then Some s.queue_us else None)
+         samples)
+  in
+  let q2 =
+    mean
+      (List.filter_map
+         (fun s -> if s.arrival_us >= half then Some s.queue_us else None)
+         samples)
+  in
+  let queue_growth = (q2 +. 1.0) /. (q1 +. 1.0) in
+  let b = Rt.budget sys.rt in
+  {
+    r_cfg = cfg;
+    rate_rps = cfg.rate_rps;
+    capacity_rps;
+    requests = !n_req;
+    classes;
+    backlog_frac;
+    queue_growth;
+    saturated = backlog_frac > 0.05;
+    budget_bytes = Budget.budget_bytes b;
+    peak_mem_bytes = Budget.peak_bytes b;
+    peak_pre_mem_bytes = Budget.peak_pre_bytes b;
+    evictions = Budget.evictions b;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Load sweep *)
+
+type sweep_result = {
+  sw_capacity_rps : float;
+  points : result list;  (** one run per rung of the rate ladder *)
+  knee_rps : float option;
+      (** highest offered rate that did not saturate; [None] when every
+          rung saturated *)
+}
+
+(** [sweep cfg] anchors a rate ladder to a capacity estimate, runs each
+    rung on a fresh system (same seed), and reports the knee: the
+    highest rate whose run stayed below saturation.  The default ladder
+    straddles the estimate so the knee is demonstrated from both
+    sides. *)
+let sweep ?(fractions = [ 0.3; 0.6; 0.85; 1.1; 1.5 ]) (cfg : config) =
+  let cap = estimate_capacity cfg in
+  if cap <= 0.0 then invalid_arg "Driver.sweep: capacity estimate is zero";
+  let points =
+    List.map (fun f -> run { cfg with rate_rps = f *. cap }) fractions
+  in
+  let knee_rps =
+    List.fold_left
+      (fun acc r ->
+        if r.saturated then acc
+        else
+          match acc with
+          | Some best when best >= r.rate_rps -> acc
+          | _ -> Some r.rate_rps)
+      None points
+  in
+  { sw_capacity_rps = cap; points; knee_rps }

@@ -1,0 +1,226 @@
+(** Serving-layer reporting: SLO tables, [serve.*] gauges, and the
+    machine-readable ["lsm-repro-serve/1"] JSON document the CLI and CI
+    consume. *)
+
+module Report = Lsm_harness.Report
+module Json = Lsm_obs.Json
+module Metrics = Lsm_obs.Metrics
+
+let schema = "lsm-repro-serve/1"
+
+let fmt_us us = Printf.sprintf "%.2f" (us /. 1000.0)
+let fmt_rate r = Printf.sprintf "%.0f" r
+let fmt_mb b = Printf.sprintf "%.2fMB" (Float.of_int b /. (1024.0 *. 1024.0))
+
+let verdict (r : Driver.result) =
+  if r.Driver.saturated then
+    Printf.sprintf
+      "SATURATED: backlog %.0f%% of the run unfinished; queueing delay grew \
+       %.1fx from first to second half and dominates latency"
+      (100.0 *. r.Driver.backlog_frac)
+      r.Driver.queue_growth
+  else
+    Printf.sprintf
+      "below saturation: p99 bounded per class (queue growth %.2fx, backlog \
+       %.1f%%)"
+      r.Driver.queue_growth
+      (100.0 *. r.Driver.backlog_frac)
+
+let budget_note (r : Driver.result) =
+  Printf.sprintf
+    "global budget %s: aggregate memtable peak %s (pre-eviction overshoot \
+     %s), %d coordinator flushes"
+    (fmt_mb r.Driver.budget_bytes)
+    (fmt_mb r.Driver.peak_mem_bytes)
+    (fmt_mb r.Driver.peak_pre_mem_bytes)
+    r.Driver.evictions
+
+(** [report r] is the per-run SLO table: one row per operation class
+    (latencies in milliseconds), the budget line and saturation verdict
+    as notes. *)
+let report (r : Driver.result) =
+  let cfg = r.Driver.r_cfg in
+  let rows =
+    List.map
+      (fun (c : Driver.class_stats) ->
+        [
+          c.Driver.cls;
+          string_of_int c.Driver.count;
+          fmt_us c.Driver.p50_us;
+          fmt_us c.Driver.p95_us;
+          fmt_us c.Driver.p99_us;
+          fmt_us c.Driver.mean_queue_us;
+          fmt_us c.Driver.mean_service_us;
+        ])
+      r.Driver.classes
+  in
+  Report.make ~id:"serve"
+    ~title:
+      (Printf.sprintf
+         "Open-loop serving: %d partitions, %s arrivals at %s rps, %.1fs \
+          simulated (scale %s, seed %d)"
+         cfg.Driver.partitions
+         (Arrivals.string_of_kind cfg.Driver.arrivals)
+         (fmt_rate r.Driver.rate_rps) cfg.Driver.duration_s
+         cfg.Driver.scale.Lsm_harness.Scale.name cfg.Driver.seed)
+    ~header:
+      [ "class"; "count"; "p50_ms"; "p95_ms"; "p99_ms"; "queue_ms"; "svc_ms" ]
+    ~notes:[ budget_note r; verdict r ]
+    rows
+
+(** [sweep_report sw] is the knee table: one row per rung of the rate
+    ladder, p99 per class, queue growth, backlog, and the verdict. *)
+let sweep_report (sw : Driver.sweep_result) =
+  let class_p99 (r : Driver.result) name =
+    match List.find_opt (fun c -> c.Driver.cls = name) r.Driver.classes with
+    | Some c -> fmt_us c.Driver.p99_us
+    | None -> "-"
+  in
+  let rows =
+    List.map
+      (fun (r : Driver.result) ->
+        [
+          fmt_rate r.Driver.rate_rps;
+          class_p99 r "ingest";
+          class_p99 r "point";
+          class_p99 r "secondary";
+          class_p99 r "scan";
+          Printf.sprintf "%.2f" r.Driver.queue_growth;
+          Printf.sprintf "%.0f%%" (100.0 *. r.Driver.backlog_frac);
+          (if r.Driver.saturated then "SATURATED" else "ok");
+        ])
+      sw.Driver.points
+  in
+  let knee =
+    match sw.Driver.knee_rps with
+    | Some k ->
+        Printf.sprintf "knee: %s rps — the highest offered rate below \
+                        saturation" (fmt_rate k)
+    | None -> "knee: none — every rung of the ladder saturated"
+  in
+  Report.make ~id:"serve-sweep"
+    ~title:
+      (Printf.sprintf "Load sweep (capacity estimate %s rps)"
+         (fmt_rate sw.Driver.sw_capacity_rps))
+    ~header:
+      [
+        "rate_rps";
+        "ingest_p99_ms";
+        "point_p99_ms";
+        "secondary_p99_ms";
+        "scan_p99_ms";
+        "queue_growth";
+        "backlog";
+        "verdict";
+      ]
+    ~notes:[ knee ]
+    rows
+
+(** [publish r m] mirrors a run into [serve.*] gauges. *)
+let publish (r : Driver.result) m =
+  let set name v = Metrics.set (Metrics.gauge m ("serve." ^ name)) v in
+  set "rate_rps" r.Driver.rate_rps;
+  set "requests" (Float.of_int r.Driver.requests);
+  set "partitions" (Float.of_int r.Driver.r_cfg.Driver.partitions);
+  set "backlog_frac" r.Driver.backlog_frac;
+  set "queue_growth" r.Driver.queue_growth;
+  set "saturated" (if r.Driver.saturated then 1.0 else 0.0);
+  set "budget_bytes" (Float.of_int r.Driver.budget_bytes);
+  set "mem_peak_bytes" (Float.of_int r.Driver.peak_mem_bytes);
+  set "mem_peak_pre_bytes" (Float.of_int r.Driver.peak_pre_mem_bytes);
+  set "evictions" (Float.of_int r.Driver.evictions);
+  List.iter
+    (fun (c : Driver.class_stats) ->
+      let pfx = c.Driver.cls ^ "." in
+      set (pfx ^ "count") (Float.of_int c.Driver.count);
+      set (pfx ^ "p50_us") c.Driver.p50_us;
+      set (pfx ^ "p95_us") c.Driver.p95_us;
+      set (pfx ^ "p99_us") c.Driver.p99_us;
+      set (pfx ^ "queue_mean_us") c.Driver.mean_queue_us;
+      set (pfx ^ "service_mean_us") c.Driver.mean_service_us)
+    r.Driver.classes
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_of_classes classes =
+  Json.List
+    (List.map
+       (fun (c : Driver.class_stats) ->
+         Json.Obj
+           [
+             ("class", Json.Str c.Driver.cls);
+             ("count", Json.Int c.Driver.count);
+             ("p50_us", Json.Float c.Driver.p50_us);
+             ("p95_us", Json.Float c.Driver.p95_us);
+             ("p99_us", Json.Float c.Driver.p99_us);
+             ("mean_queue_us", Json.Float c.Driver.mean_queue_us);
+             ("mean_service_us", Json.Float c.Driver.mean_service_us);
+           ])
+       classes)
+
+let json_of_run (r : Driver.result) =
+  Json.Obj
+    [
+      ("rate_rps", Json.Float r.Driver.rate_rps);
+      ("requests", Json.Int r.Driver.requests);
+      ("saturated", Json.Bool r.Driver.saturated);
+      ("backlog_frac", Json.Float r.Driver.backlog_frac);
+      ("queue_growth", Json.Float r.Driver.queue_growth);
+      ("classes", json_of_classes r.Driver.classes);
+      ( "budget",
+        Json.Obj
+          [
+            ("budget_bytes", Json.Int r.Driver.budget_bytes);
+            ("peak_bytes", Json.Int r.Driver.peak_mem_bytes);
+            ("peak_pre_bytes", Json.Int r.Driver.peak_pre_mem_bytes);
+            ("evictions", Json.Int r.Driver.evictions);
+            ("ok", Json.Bool (r.Driver.peak_mem_bytes <= r.Driver.budget_bytes));
+          ] );
+    ]
+
+let json_of_config (cfg : Driver.config) =
+  Json.Obj
+    [
+      ("scale", Json.Str cfg.Driver.scale.Lsm_harness.Scale.name);
+      ("partitions", Json.Int cfg.Driver.partitions);
+      ("duration_s", Json.Float cfg.Driver.duration_s);
+      ("arrivals", Json.Str (Arrivals.string_of_kind cfg.Driver.arrivals));
+      ("theta", Json.Float cfg.Driver.theta);
+      ("users", Json.Int cfg.Driver.users);
+      ("preload", Json.Int cfg.Driver.preload);
+      ("budget_bytes", Json.Int cfg.Driver.budget_bytes);
+      ("selectivity", Json.Float cfg.Driver.selectivity);
+      ("strategy", Json.Str (Lsm_core.Strategy.name cfg.Driver.strategy));
+      ("seed", Json.Int cfg.Driver.seed);
+    ]
+
+(** One-run document ([mode = "run"]). *)
+let to_json (r : Driver.result) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("mode", Json.Str "run");
+      ("config", json_of_config r.Driver.r_cfg);
+      ("capacity_rps", Json.Float r.Driver.capacity_rps);
+      ("run", json_of_run r);
+    ]
+
+(** Sweep document ([mode = "sweep"]). *)
+let sweep_to_json (cfg : Driver.config) (sw : Driver.sweep_result) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("mode", Json.Str "sweep");
+      ("config", json_of_config cfg);
+      ( "sweep",
+        Json.Obj
+          [
+            ("capacity_rps", Json.Float sw.Driver.sw_capacity_rps);
+            ( "knee_rps",
+              match sw.Driver.knee_rps with
+              | Some k -> Json.Float k
+              | None -> Json.Null );
+            ("points", Json.List (List.map json_of_run sw.Driver.points));
+          ] );
+    ]

@@ -66,6 +66,13 @@ type t = {
       (** retry budget for transient faults at the I/O sites *)
   resil : resil_stats;  (** resilience event counters *)
   view : view_stats;  (** sorted-view (REMIX) event counters *)
+  mutable mem_probes : (unit -> int) list;
+      (** registered in-memory-footprint reporters (datasets register
+          their memory-component byte totals); {!mem_bytes} sums them *)
+  mutable mem_budget : int option;
+      (** advisory memory budget for this environment, surfaced as a
+          [mem.budget_bytes] gauge; enforcement lives with the caller
+          (a dataset's own budget, or [Lsm_serve.Budget]'s global one) *)
   corrupt : (int * int, unit) Hashtbl.t;
       (** (file, page) pairs whose simulated checksum fails *)
   corrupt_files : (int, int) Hashtbl.t;
@@ -168,6 +175,8 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
         invalidations = 0;
         fallbacks = 0;
       };
+    mem_probes = [];
+    mem_budget = None;
     corrupt = Hashtbl.create 7;
     corrupt_files = Hashtbl.create 7;
     n_corrupt = 0;
@@ -198,6 +207,22 @@ let now_s t = t.now_us /. 1e6
 
 (** [advance t us] advances the clock by [us] microseconds. *)
 let advance t us = t.now_us <- t.now_us +. us
+
+(* ------------------------------------------------------------------ *)
+(* Memory introspection: who holds how many in-memory bytes against
+   this environment, and against what budget. *)
+
+(** [register_mem_probe t f] registers a reporter of in-memory bytes held
+    against this environment (datasets register the byte total of their
+    memory components at creation); {!mem_bytes} sums all reporters. *)
+let register_mem_probe t f = t.mem_probes <- f :: t.mem_probes
+
+(** [mem_bytes t] is the current in-memory footprint reported by all
+    registered probes, in bytes. *)
+let mem_bytes t = List.fold_left (fun acc f -> acc + f ()) 0 t.mem_probes
+
+let set_mem_budget t b = t.mem_budget <- b
+let mem_budget t = t.mem_budget
 
 (* ------------------------------------------------------------------ *)
 (* Resilience: retry/backoff at the I/O sites, page-checksum state *)
@@ -458,6 +483,16 @@ let publish_io_metrics t =
       (Lsm_obs.Metrics.gauge m "cache.capacity_pages")
       (Float.of_int (Buffer_cache.capacity t.cache));
     Lsm_obs.Metrics.set (Lsm_obs.Metrics.gauge m "sim.now_us") t.now_us;
+    if t.mem_probes <> [] then
+      Lsm_obs.Metrics.set
+        (Lsm_obs.Metrics.gauge m "mem.resident_bytes")
+        (Float.of_int (mem_bytes t));
+    (match t.mem_budget with
+    | Some b ->
+        Lsm_obs.Metrics.set
+          (Lsm_obs.Metrics.gauge m "mem.budget_bytes")
+          (Float.of_int b)
+    | None -> ());
     let r = t.resil in
     List.iter
       (fun (k, v) ->

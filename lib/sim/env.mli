@@ -153,6 +153,29 @@ val drop_file : t -> file:int -> unit
 val reset_measurement : t -> unit
 (** Clear statistics without touching clock, cache, or files. *)
 
+(** {1 Memory introspection}
+
+    Environments know who holds in-memory bytes against them: datasets
+    register a probe reporting their memory-component footprint, so a
+    cross-partition coordinator ([Lsm_serve.Budget]) can ask "how much
+    memory does each partition hold right now" without reaching into
+    engine internals (paper Sec. 2.3's shared memory-component budget). *)
+
+val register_mem_probe : t -> (unit -> int) -> unit
+(** Register a reporter of in-memory bytes held against this
+    environment.  [Dataset.create] registers its memory-component
+    total. *)
+
+val mem_bytes : t -> int
+(** Sum of all registered probes: the environment's current in-memory
+    footprint in bytes. *)
+
+val set_mem_budget : t -> int option -> unit
+(** Stamp an advisory budget, surfaced as a [mem.budget_bytes] gauge by
+    {!publish_io_metrics}.  Enforcement is the caller's job. *)
+
+val mem_budget : t -> int option
+
 (** {1 Observability (lsm_obs)}
 
     Environments carry an {!Lsm_obs.Obs.t} handle, disabled by default.

@@ -49,6 +49,12 @@ let extend t n =
 
 let cardinality t = t.n
 
+(* The incremental-growth invariant tests pin: extending must land on the
+   exact constants a from-scratch [create] computes (same summation
+   order, so bitwise-equal floats). *)
+let zetan t = t.zetan
+let eta t = t.eta
+
 (** [sample rng t] draws an item in [\[0, n)]; item 0 is the most popular. *)
 let sample rng t =
   let u = Rng.float rng in

@@ -14,6 +14,13 @@ val extend : t -> int -> unit
 
 val cardinality : t -> int
 
+val zetan : t -> float
+(** The zeta normalization constant — exposed so tests can pin the
+    incremental-growth invariant: [extend] from [n] to [m] lands on
+    exactly the constant [create ~theta m] computes. *)
+
+val eta : t -> float
+
 val sample : Rng.t -> t -> int
 (** [sample rng t] draws an item in [[0, n)]; item 0 is most popular. *)
 

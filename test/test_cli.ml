@@ -162,6 +162,69 @@ let test_explain_json () =
         plans)
     envs
 
+(* The serve subcommand: exit code and the lsm-repro-serve/1 schema. *)
+let test_serve_json () =
+  let path = Filename.temp_file "serve" ".json" in
+  Alcotest.(check int) "serve exits 0" 0
+    (run
+       [ "serve"; "-s"; "tiny"; "--duration"; "0.2"; "--rate"; "1000";
+         "--seed"; "7"; "--json"; path ]);
+  let j = parse_file path in
+  Sys.remove path;
+  Alcotest.(check string) "schema" "lsm-repro-serve/1" (str "schema" j);
+  Alcotest.(check string) "mode" "run" (str "mode" j);
+  Alcotest.(check string) "scale echoed" "tiny" (str "scale" (member "config" j));
+  let run_o = member "run" j in
+  Alcotest.(check bool) "requests positive" true (num "requests" run_o > 0.0);
+  let classes = items "classes" run_o in
+  Alcotest.(check (list string))
+    "one row per op class plus all"
+    [ "ingest"; "point"; "secondary"; "scan"; "all" ]
+    (List.map (str "class") classes);
+  List.iter
+    (fun c ->
+      let p50 = num "p50_us" c and p99 = num "p99_us" c in
+      Alcotest.(check bool)
+        (str "class" c ^ ": 0 <= p50 <= p99")
+        true
+        (p50 >= 0.0 && p50 <= p99))
+    classes;
+  let b = member "budget" run_o in
+  Alcotest.(check bool) "budget honoured" true (member "ok" b = J.Bool true);
+  Alcotest.(check bool) "peak under budget" true
+    (num "peak_bytes" b <= num "budget_bytes" b);
+  Alcotest.(check bool) "coordinator flushed" true (num "evictions" b > 0.0)
+
+let test_serve_sweep_json () =
+  let path = Filename.temp_file "serve_sweep" ".json" in
+  Alcotest.(check int) "sweep exits 0" 0
+    (run
+       [ "serve"; "-s"; "tiny"; "--sweep"; "--duration"; "0.15"; "--seed"; "7";
+         "--json"; path ]);
+  let j = parse_file path in
+  Sys.remove path;
+  Alcotest.(check string) "schema" "lsm-repro-serve/1" (str "schema" j);
+  Alcotest.(check string) "mode" "sweep" (str "mode" j);
+  let sw = member "sweep" j in
+  Alcotest.(check bool) "capacity positive" true (num "capacity_rps" sw > 0.0);
+  let points = items "points" sw in
+  Alcotest.(check bool) "ladder has rungs" true (List.length points >= 3);
+  (* The default ladder straddles the capacity estimate, so the knee must
+     be visible: at least one rung saturated, at least one not. *)
+  let sat =
+    List.map (fun p -> member "saturated" p = J.Bool true) points
+  in
+  Alcotest.(check bool) "some rung saturated" true (List.mem true sat);
+  Alcotest.(check bool) "some rung below saturation" true (List.mem false sat);
+  match member "knee_rps" sw with
+  | J.Float k -> Alcotest.(check bool) "knee positive" true (k > 0.0)
+  | J.Null -> Alcotest.fail "expected a knee on the default ladder"
+  | _ -> Alcotest.fail "knee_rps must be a number or null"
+
+let test_serve_bad_arrivals () =
+  Alcotest.(check int) "unknown arrival process exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--arrivals"; "bursty" ])
+
 (* The faultsim subcommand's exit-code contract. *)
 let test_faultsim_ok () =
   Alcotest.(check int) "small matrix passes" 0
@@ -201,6 +264,12 @@ let () =
           Alcotest.test_case "inspect --json schema" `Quick test_inspect_json;
           Alcotest.test_case "explain-json io decomposition" `Quick
             test_explain_json;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "serve --json schema" `Quick test_serve_json;
+          Alcotest.test_case "serve --sweep knee" `Quick test_serve_sweep_json;
+          Alcotest.test_case "bad arrivals flag" `Quick test_serve_bad_arrivals;
         ] );
       ( "faultsim",
         [

@@ -429,6 +429,125 @@ let test_deleted_key_strategy_records_deletes () =
         (D.Pk.lookup_one del 1 <> None)
 
 (* ------------------------------------------------------------------ *)
+(* Partitioned cluster (Sec. 2.2): routing, isolation, equivalence *)
+
+module P = Lsm_core.Partitioned.Make (Lsm_workload.Tweet.Record)
+
+let mk_cluster ?(strategy = Strategy.validation) ?(partitions = 4)
+    ?(mem_budget = 4 * 1024) () =
+  P.create ~filter_key:Tweet.created_at ~secondaries
+    ~mk_env:(fun _ -> mk_env ())
+    ~partitions
+    { D.default_config with strategy; mem_budget }
+
+let test_route_stable_and_total () =
+  let p = mk_cluster () in
+  let seen = Array.make 4 false in
+  for pk = 0 to 999 do
+    let r = P.route p pk in
+    Alcotest.(check bool) "partition in range" true (r >= 0 && r < 4);
+    Alcotest.(check int) "route is stable" r (P.route p pk);
+    seen.(r) <- true
+  done;
+  Alcotest.(check bool) "every partition owns some keys" true
+    (Array.for_all Fun.id seen)
+
+(* A point query must touch exactly the owning partition: no simulated
+   time and no I/O-stat movement (reads, cache, bloom, comparisons) on
+   any other node. *)
+let test_point_query_touches_owner_only () =
+  let p = mk_cluster () in
+  for i = 1 to 200 do
+    P.upsert p (tw ~user:i ~at:i i)
+  done;
+  P.flush_now p;
+  let snap i =
+    let s = Lsm_sim.Env.stats (P.env p i) in
+    ( s.Lsm_sim.Io_stats.pages_read + s.Lsm_sim.Io_stats.cache_hits
+      + s.Lsm_sim.Io_stats.cache_misses + s.Lsm_sim.Io_stats.bloom_probes
+      + s.Lsm_sim.Io_stats.comparisons,
+      Lsm_sim.Env.now_us (P.env p i) )
+  in
+  List.iter
+    (fun pk ->
+      let owner = P.route p pk in
+      let before = Array.init 4 snap in
+      ignore (P.point_query p pk);
+      Array.iteri
+        (fun i b ->
+          if i <> owner then
+            Alcotest.(check (pair int (float 0.0)))
+              (Printf.sprintf "partition %d idle for pk %d" i pk)
+              b (snap i))
+        before;
+      Alcotest.(check bool)
+        (Printf.sprintf "owner %d did the work for pk %d" owner pk)
+        true
+        (fst (snap owner) > fst before.(owner)))
+    [ 1; 2; 3; 5; 17; 100 ]
+
+let test_batch_matches_point_queries () =
+  let p = mk_cluster () in
+  for i = 1 to 300 do
+    P.upsert p (tw ~user:(i mod 50) ~at:i i)
+  done;
+  P.flush_now p;
+  (* Present and absent keys, spread over all partitions. *)
+  let keys = Array.init 80 (fun i -> i * 7 mod 320) in
+  let got = Hashtbl.create 64 in
+  P.point_query_batch p keys ~emit:(fun pk r -> Hashtbl.replace got pk r);
+  Alcotest.(check int) "emit fires once per key" (Array.length keys)
+    (Hashtbl.length got);
+  Array.iter
+    (fun pk ->
+      match Hashtbl.find_opt got pk with
+      | None -> Alcotest.failf "emit missed pk %d" pk
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "batch = point for pk %d" pk)
+            true
+            (r = P.point_query p pk))
+    keys
+
+let run_ops_p p ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Ins (k, u, at) -> ignore (P.insert p (tw ~user:u ~loc:(u mod 7) ~at k))
+      | Ups (k, u, at) -> P.upsert p (tw ~user:u ~loc:(u mod 7) ~at k)
+      | Del k -> P.delete p ~pk:k)
+    ops
+
+let prop_partitioned_equals_single =
+  qtest ~count:40 "partitioned N=4 = single dataset (point/sec/time/scan)"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 150) op_gen)
+        (pair (int_range 0 100) (int_range 0 100)))
+    (fun (ops, (b1, b2)) ->
+      let lo = min b1 b2 and hi = max b1 b2 in
+      let env = mk_env () in
+      let d = mk_dataset ~strategy:Strategy.validation ~mem_budget:2048 env in
+      run_ops d ops;
+      let p = mk_cluster ~mem_budget:2048 () in
+      run_ops_p p ops;
+      List.for_all
+        (fun k -> P.point_query p k = D.point_query d k)
+        (List.init 40 (fun i -> i + 1))
+      && pks (P.query_secondary p ~sec:"user_id" ~lo ~hi ~mode:`Timestamp ())
+         = pks (D.query_secondary d ~sec:"user_id" ~lo ~hi ~mode:`Timestamp ())
+      && P.full_scan p ~f:ignore = D.full_scan d ~f:ignore
+      &&
+      let got_p = ref [] and got_d = ref [] in
+      ignore
+        (P.query_time_range p ~tlo:100 ~thi:700 ~f:(fun r ->
+             got_p := Tweet.primary_key r :: !got_p));
+      ignore
+        (D.query_time_range d ~tlo:100 ~thi:700 ~f:(fun r ->
+             got_d := Tweet.primary_key r :: !got_d));
+      List.sort compare !got_p = List.sort compare !got_d)
+
+(* ------------------------------------------------------------------ *)
 (* Ingestion cost sanity: the paper's headline claims, in miniature *)
 
 let ingest_n strategy n =
@@ -491,6 +610,16 @@ let () =
           Alcotest.test_case "merge repair cleans" `Quick test_merge_repair_on_merge;
           Alcotest.test_case "deleted-key records deletes" `Quick
             test_deleted_key_strategy_records_deletes;
+        ] );
+      ( "partitioned",
+        [
+          Alcotest.test_case "route stable and total" `Quick
+            test_route_stable_and_total;
+          Alcotest.test_case "point query touches owner only" `Quick
+            test_point_query_touches_owner_only;
+          Alcotest.test_case "batch = point queries" `Quick
+            test_batch_matches_point_queries;
+          prop_partitioned_equals_single;
         ] );
       ( "cost",
         [

@@ -1,0 +1,230 @@
+(* Tests for lib/serve: the global flush coordinator (budget invariant),
+   open-loop arrival processes, and the driver's saturation/determinism
+   contracts — the knee must be demonstrable: below capacity p99 stays
+   bounded, above it queueing delay dominates. *)
+
+module Budget = Lsm_serve.Budget
+module Arrivals = Lsm_serve.Arrivals
+module Driver = Lsm_serve.Driver
+
+(* ------------------------------------------------------------------ *)
+(* Budget coordinator, against synthetic partitions *)
+
+let synthetic mems =
+  let mem = Array.map ref mems in
+  let flushed = ref [] in
+  let parts =
+    Array.mapi
+      (fun i _ ->
+        {
+          Budget.mem_bytes = (fun () -> !(mem.(i)));
+          flush =
+            (fun () ->
+              flushed := i :: !flushed;
+              mem.(i) := 0);
+        })
+      mem
+  in
+  (flushed, parts)
+
+let test_budget_evicts_largest () =
+  let flushed, parts = synthetic [| 10; 20; 5 |] in
+  let b = Budget.create ~budget_bytes:30 parts in
+  Budget.enforce b;
+  Alcotest.(check (list int)) "largest memtable flushed" [ 1 ] !flushed;
+  Alcotest.(check int) "total back under budget" 15 (Budget.total b);
+  Alcotest.(check int) "one eviction" 1 (Budget.evictions b);
+  Alcotest.(check int) "pre-enforcement peak" 35 (Budget.peak_pre_bytes b);
+  Alcotest.(check int) "post-enforcement peak" 15 (Budget.peak_bytes b);
+  (* Below budget enforce is a no-op. *)
+  Budget.enforce b;
+  Alcotest.(check int) "no spurious eviction" 1 (Budget.evictions b)
+
+let test_budget_cascades () =
+  let flushed, parts = synthetic [| 10; 20; 5 |] in
+  let b = Budget.create ~budget_bytes:12 parts in
+  Budget.enforce b;
+  (* 35 >= 12: flush p1 (20) -> 15 >= 12: flush p0 (10) -> 5 < 12. *)
+  Alcotest.(check (list int)) "argmax order" [ 1; 0 ] (List.rev !flushed);
+  Alcotest.(check int) "two evictions" 2 (Budget.evictions b);
+  Alcotest.(check bool) "invariant restored" true
+    (Budget.total b < Budget.budget_bytes b)
+
+let test_budget_ties_break_low () =
+  let flushed, parts = synthetic [| 7; 7 |] in
+  let b = Budget.create ~budget_bytes:10 parts in
+  Budget.enforce b;
+  Alcotest.(check (list int)) "lowest index wins the tie" [ 0 ] !flushed
+
+let test_budget_validates () =
+  let _, parts = synthetic [| 1 |] in
+  Alcotest.check_raises "budget >= 1"
+    (Invalid_argument "Budget.create: budget_bytes >= 1") (fun () ->
+      ignore (Budget.create ~budget_bytes:0 parts));
+  Alcotest.check_raises "no partitions"
+    (Invalid_argument "Budget.create: no partitions") (fun () ->
+      ignore (Budget.create ~budget_bytes:1 [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes *)
+
+let test_arrivals_uniform_exact () =
+  let a = Arrivals.create ~rate_rps:1000.0 `Uniform in
+  Alcotest.(check (float 1e-9)) "first" 1000.0 (Arrivals.next a);
+  Alcotest.(check (float 1e-9)) "second" 2000.0 (Arrivals.next a);
+  Alcotest.(check (float 1e-9)) "third" 3000.0 (Arrivals.next a)
+
+let test_arrivals_poisson_mean () =
+  let a = Arrivals.create ~seed:3 ~rate_rps:1000.0 `Poisson in
+  let n = 20_000 in
+  let prev = ref 0.0 in
+  for _ = 1 to n do
+    let t = Arrivals.next a in
+    Alcotest.(check bool) "strictly increasing" true (t > !prev);
+    prev := t
+  done;
+  (* Exponential gaps with mean 1000us: the empirical mean over 20k draws
+     sits within a few sigma of 1000 (and the stream is seeded, so this
+     is deterministic regardless). *)
+  let mean_gap = !prev /. Float.of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean gap %.1fus ~ 1000us" mean_gap)
+    true
+    (mean_gap > 950.0 && mean_gap < 1050.0)
+
+let test_arrivals_seeded () =
+  let a = Arrivals.create ~seed:11 ~rate_rps:500.0 `Poisson in
+  let b = Arrivals.create ~seed:11 ~rate_rps:500.0 `Poisson in
+  for _ = 1 to 1000 do
+    Alcotest.(check (float 0.0)) "same stream" (Arrivals.next a)
+      (Arrivals.next b)
+  done
+
+let test_arrivals_validate () =
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Arrivals.create: rate_rps must be > 0") (fun () ->
+      ignore (Arrivals.create ~rate_rps:0.0 `Poisson));
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        "kind roundtrip"
+        (Arrivals.string_of_kind k)
+        (Arrivals.string_of_kind
+           (Arrivals.kind_of_string (Arrivals.string_of_kind k))))
+    [ `Poisson; `Uniform ];
+  match Arrivals.kind_of_string "bursty" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown kind must raise"
+
+(* ------------------------------------------------------------------ *)
+(* The open-loop driver *)
+
+let tiny_cfg ?(rate = 1200.0) ?(duration = 0.25) ?(seed = 5) () =
+  let cfg = Driver.config ~partitions:4 Lsm_harness.Scale.tiny in
+  { cfg with Driver.rate_rps = rate; duration_s = duration; seed }
+
+(* One run shared by the invariant/accounting/determinism checks. *)
+let base_run = lazy (Driver.run (tiny_cfg ()))
+
+let test_budget_invariant_under_load () =
+  let r = Lazy.force base_run in
+  Alcotest.(check bool) "coordinator fired" true (r.Driver.evictions > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d < budget %d" r.Driver.peak_mem_bytes
+       r.Driver.budget_bytes)
+    true
+    (r.Driver.peak_mem_bytes < r.Driver.budget_bytes);
+  (* Since evictions fired, some write overshot the budget before its
+     same-instant eviction pulled the aggregate back under. *)
+  Alcotest.(check bool) "overshoot reached the budget" true
+    (r.Driver.peak_pre_mem_bytes >= r.Driver.budget_bytes)
+
+let test_class_accounting () =
+  let r = Lazy.force base_run in
+  Alcotest.(check (list string))
+    "one row per class plus all"
+    [ "ingest"; "point"; "secondary"; "scan"; "all" ]
+    (List.map (fun (c : Driver.class_stats) -> c.Driver.cls) r.Driver.classes);
+  let counts =
+    List.map (fun (c : Driver.class_stats) -> c.Driver.count) r.Driver.classes
+  in
+  (match counts with
+  | [ a; b; c; d; all ] ->
+      Alcotest.(check int) "classes partition the requests" all (a + b + c + d);
+      Alcotest.(check int) "all = requests" r.Driver.requests all
+  | _ -> Alcotest.fail "expected 5 class rows");
+  List.iter
+    (fun (c : Driver.class_stats) ->
+      Alcotest.(check bool)
+        (c.Driver.cls ^ ": 0 <= p50 <= p95 <= p99")
+        true
+        (c.Driver.p50_us >= 0.0
+        && c.Driver.p50_us <= c.Driver.p95_us
+        && c.Driver.p95_us <= c.Driver.p99_us))
+    r.Driver.classes
+
+let test_run_deterministic () =
+  let r1 = Lazy.force base_run in
+  let r2 = Driver.run (tiny_cfg ()) in
+  Alcotest.(check bool) "same seed, identical result" true (r1 = r2);
+  let r3 = Driver.run (tiny_cfg ~seed:6 ()) in
+  Alcotest.(check bool) "different seed, different traffic" true (r1 <> r3)
+
+let test_auto_rate () =
+  let r = Driver.run (tiny_cfg ~rate:0.0 ~duration:0.15 ()) in
+  Alcotest.(check bool) "capacity estimate recorded" true
+    (r.Driver.capacity_rps > 0.0);
+  Alcotest.(check (float 0.0)) "offered rate = 70% of capacity"
+    (0.7 *. r.Driver.capacity_rps)
+    r.Driver.rate_rps
+
+let test_knee () =
+  let cfg = tiny_cfg ~rate:0.0 ~duration:0.3 () in
+  let cap = Driver.estimate_capacity cfg in
+  Alcotest.(check bool) "capacity positive" true (cap > 0.0);
+  let low = Driver.run { cfg with Driver.rate_rps = 0.3 *. cap } in
+  let high = Driver.run { cfg with Driver.rate_rps = 3.0 *. cap } in
+  Alcotest.(check bool) "30% of capacity: below saturation" false
+    low.Driver.saturated;
+  Alcotest.(check bool) "3x capacity: saturated" true high.Driver.saturated;
+  Alcotest.(check bool)
+    (Printf.sprintf "queueing delay grew %.2fx across the run"
+       high.Driver.queue_growth)
+    true
+    (high.Driver.queue_growth > 1.5);
+  Alcotest.(check bool) "backlog dominates above the knee" true
+    (high.Driver.backlog_frac > low.Driver.backlog_frac
+    && high.Driver.backlog_frac > 0.5)
+
+let () =
+  Alcotest.run "lsm_serve"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "evicts the largest memtable" `Quick
+            test_budget_evicts_largest;
+          Alcotest.test_case "cascades until under budget" `Quick
+            test_budget_cascades;
+          Alcotest.test_case "ties break low" `Quick test_budget_ties_break_low;
+          Alcotest.test_case "validates arguments" `Quick test_budget_validates;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "uniform gaps exact" `Quick
+            test_arrivals_uniform_exact;
+          Alcotest.test_case "poisson mean gap" `Quick test_arrivals_poisson_mean;
+          Alcotest.test_case "seeded streams repeat" `Quick test_arrivals_seeded;
+          Alcotest.test_case "validates arguments" `Quick test_arrivals_validate;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "budget invariant under load" `Quick
+            test_budget_invariant_under_load;
+          Alcotest.test_case "class accounting" `Quick test_class_accounting;
+          Alcotest.test_case "deterministic for a seed" `Quick
+            test_run_deterministic;
+          Alcotest.test_case "auto rate anchors to capacity" `Quick
+            test_auto_rate;
+          Alcotest.test_case "saturation knee" `Quick test_knee;
+        ] );
+    ]

@@ -108,6 +108,35 @@ let test_zipf_extend_matches_fresh () =
     Alcotest.(check int) "same samples" (Zipf.sample r2 z2) (Zipf.sample r1 z1)
   done
 
+let prop_zipf_extend_exact =
+  (* The incremental-zeta invariant, exactly: growing n -> m (possibly in
+     several steps) lands on bit-identical zetan/eta — and therefore an
+     identical sample stream — as create ~theta m from scratch.  zeta_range
+     sums terms in the same order either way, so this is float equality,
+     not approximation. *)
+  qtest ~count:100 "extend n->m = create m (zetan, eta, samples)"
+    QCheck2.Gen.(
+      triple
+        (triple (int_range 1 500) (int_range 0 500) (int_range 0 500))
+        (float_range 0.3 0.99) (int_range 0 1000))
+    (fun ((n, g1, g2), theta, seed) ->
+      let m1 = n + g1 in
+      let m2 = m1 + g2 in
+      let grown = Zipf.create ~theta n in
+      Zipf.extend grown m1;
+      Zipf.extend grown m2;
+      let fresh = Zipf.create ~theta m2 in
+      Zipf.cardinality grown = Zipf.cardinality fresh
+      && Zipf.zetan grown = Zipf.zetan fresh
+      && Zipf.eta grown = Zipf.eta fresh
+      &&
+      let r1 = Rng.create seed and r2 = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        if Zipf.sample r1 grown <> Zipf.sample r2 fresh then ok := false
+      done;
+      !ok)
+
 let test_zipf_latest () =
   let r = Rng.create 17 in
   let z = Zipf.create ~theta:0.99 10_000 in
@@ -366,6 +395,7 @@ let () =
           Alcotest.test_case "bounds" `Quick test_zipf_bounds;
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "extend = fresh" `Quick test_zipf_extend_matches_fresh;
+          prop_zipf_extend_exact;
           Alcotest.test_case "latest skew" `Quick test_zipf_latest;
         ] );
       ( "search",
