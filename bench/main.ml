@@ -317,6 +317,19 @@ let test_obs_span_disabled =
   Test.make ~name:"obs.span(disabled)"
     (Staged.stage (fun () -> Lsm_sim.Env.span env "noop" (fun () -> ())))
 
+(* One timeline observation: window lookup + histogram increment.  The
+   serving driver pays this per completion when --timeline is on, so it
+   must stay cheap next to a simulated request. *)
+let test_obs_timeseries_observe =
+  let ts = Lsm_obs.Timeseries.create ~window_us:100_000.0 () in
+  let i = ref 0 in
+  Test.make ~name:"obs.timeseries.observe"
+    (Staged.stage (fun () ->
+         incr i;
+         Lsm_obs.Timeseries.observe ts
+           ~at_us:(Float.of_int (!i land 0xfffff))
+           "point" 250.0))
+
 let test_standalone_repair =
   Test.make ~name:"dataset.standalone_repair(10k,50%upd)"
     (Staged.stage (fun () ->
@@ -355,6 +368,7 @@ let micro_tests =
       query_bench "dataset.query(direct,0.1%)" `Direct;
       query_bench "dataset.query(assume-valid,0.1%)" `Assume_valid;
       test_obs_span_disabled;
+      test_obs_timeseries_observe;
       obs_point_bench "obs.point_query(off)" obs_fixture_off;
       obs_point_bench "obs.point_query(on)" obs_fixture_on;
       test_standalone_repair;

@@ -206,10 +206,58 @@ let serve_cmd =
     let doc = "Write the serve document (lsm-repro-serve/1) to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run scale partitions rate sweep duration seed users arrivals json metrics
-      =
+  let timeline_arg =
+    let doc =
+      "Collect windowed telemetry during the run and write the timeline \
+       document (lsm-repro-timeline/1) to $(docv): per-window latency \
+       histograms per class, per-partition busy/backlog/memtable series, \
+       and a flight-recorder ring of maintenance events, plus the SLO \
+       evaluation.  Incompatible with $(b,--sweep)."
+    in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
+  let timeline_csv_arg =
+    let doc = "Also write the timeline's windows as a plot-ready CSV." in
+    Arg.(
+      value & opt (some string) None & info [ "timeline-csv" ] ~docv:"FILE" ~doc)
+  in
+  let slo_arg =
+    let doc =
+      "SLO objective evaluated against the timeline, as SERIES:pQ<DUR \
+       (e.g. $(b,point:p99<1500us), $(b,all:p95<2ms)).  Repeatable.  The \
+       default, when a timeline is collected, is $(b,point:p99<1500us)."
+    in
+    Arg.(value & opt_all string [] & info [ "slo" ] ~docv:"SPEC" ~doc)
+  in
+  let window_ms_arg =
+    let doc = "Timeline window width, in simulated milliseconds." in
+    Arg.(value & opt float 100.0 & info [ "window-ms" ] ~docv:"MS" ~doc)
+  in
+  let run scale partitions rate sweep duration seed users arrivals json timeline
+      timeline_csv slos window_ms metrics =
     let scale = Lsm_harness.Scale.of_string scale in
     check_writable json;
+    check_writable timeline;
+    check_writable timeline_csv;
+    if sweep && timeline <> None then begin
+      Printf.eprintf "--timeline records a single run; drop --sweep\n";
+      exit 2
+    end;
+    if window_ms <= 0.0 then begin
+      Printf.eprintf "--window-ms must be positive\n";
+      exit 2
+    end;
+    let objectives =
+      let specs = if slos = [] then [ "point:p99<1500us" ] else slos in
+      List.map
+        (fun s ->
+          match Lsm_obs.Slo.objective_of_string s with
+          | Ok o -> o
+          | Error msg ->
+              Printf.eprintf "%s\n" msg;
+              exit 2)
+        specs
+    in
     if metrics then Lsm_harness.Obs_hub.enable ();
     let cfg = Driver.config ~partitions scale in
     let cfg =
@@ -240,8 +288,33 @@ let serve_cmd =
         Lsm_serve.Serve_report.sweep_to_json cfg sw
       end
       else begin
-        let r = Driver.run cfg in
+        let ts =
+          match timeline with
+          | None -> None
+          | Some _ ->
+              Some
+                (Lsm_obs.Timeseries.create ~window_us:(window_ms *. 1000.0) ())
+        in
+        let r = Driver.run ?timeline:ts cfg in
         Lsm_harness.Report.print (Lsm_serve.Serve_report.report r);
+        (match ts with
+        | Some ts ->
+            Lsm_harness.Report.print
+              (Lsm_serve.Serve_report.timeline_report r ts objectives);
+            (match timeline with
+            | Some path ->
+                Lsm_obs.Json.write ~path
+                  (Lsm_serve.Serve_report.timeline_to_json r ts objectives);
+                Printf.printf "wrote timeline document to %s\n" path
+            | None -> ());
+            (match timeline_csv with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Lsm_obs.Timeseries.to_csv ts);
+                close_out oc;
+                Printf.printf "wrote timeline CSV to %s\n" path
+            | None -> ())
+        | None -> ());
         Lsm_serve.Serve_report.publish r reg;
         Lsm_serve.Serve_report.to_json r
       end
@@ -268,7 +341,7 @@ let serve_cmd =
     Term.(
       const run $ scale_arg $ partitions_arg $ rate_arg $ sweep_arg
       $ duration_arg $ seed_arg $ users_arg $ arrivals_arg $ json_arg
-      $ metrics_arg)
+      $ timeline_arg $ timeline_csv_arg $ slo_arg $ window_ms_arg $ metrics_arg)
 
 let faultsim_cmd =
   let module F = Lsm_faultsim.Fault in

@@ -29,6 +29,21 @@ dune exec bin/lsm_repro.exe -- serve -s tiny --duration 0.2 --rate 1000 \
   --seed 7 --json /tmp/serve_smoke.json
 grep -q '"schema": "lsm-repro-serve/1"' /tmp/serve_smoke.json
 
+# --- timeline determinism ---------------------------------------------
+# The same seeded run collected twice must export byte-identical timeline
+# documents (JSON and CSV): the telemetry path reads the simulated clock
+# and never perturbs it, so any diff here is nondeterminism leaking into
+# the serving layer or its instrumentation.
+dune exec bin/lsm_repro.exe -- serve -s tiny --duration 0.2 --rate 1000 \
+  --seed 7 --slo 'point:p99<1500us' --timeline /tmp/serve_tl_a.json \
+  --timeline-csv /tmp/serve_tl_a.csv
+dune exec bin/lsm_repro.exe -- serve -s tiny --duration 0.2 --rate 1000 \
+  --seed 7 --slo 'point:p99<1500us' --timeline /tmp/serve_tl_b.json \
+  --timeline-csv /tmp/serve_tl_b.csv
+grep -q '"schema": "lsm-repro-timeline/1"' /tmp/serve_tl_a.json
+cmp /tmp/serve_tl_a.json /tmp/serve_tl_b.json
+cmp /tmp/serve_tl_a.csv /tmp/serve_tl_b.csv
+
 # --- bench checks ------------------------------------------------------
 # One quick microbench run feeds two comparisons against the committed
 # baseline:

@@ -26,23 +26,9 @@ type doc = {
 (* ------------------------------------------------------------------ *)
 (* Statistics *)
 
-(** Nearest-rank percentile over the finite values of [samples]; nan
-    samples are dropped first (a timer glitch must not poison the
-    statistic), and the result is nan only when no finite sample
-    remains.  Sorting uses [Float.compare] — polymorphic [compare] on
-    floats boxes every element and gives nan an arbitrary order. *)
-let percentile samples p =
-  let s =
-    Array.of_seq
-      (Seq.filter (fun v -> not (Float.is_nan v)) (Array.to_seq samples))
-  in
-  let n = Array.length s in
-  if n = 0 then Float.nan
-  else begin
-    Array.sort Float.compare s;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    s.(max 0 (min (n - 1) (rank - 1)))
-  end
+(* The one nan-safe nearest-rank percentile, shared with the serving
+   driver — see [Lsm_obs.Stats] for the nan semantics. *)
+let percentile = Lsm_obs.Stats.percentile
 
 let p50 e = percentile e.samples 50.0
 let p95 e = percentile e.samples 95.0

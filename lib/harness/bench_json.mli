@@ -18,7 +18,9 @@ type doc = {
 }
 
 val percentile : float array -> float -> float
-(** Nearest-rank percentile; nan on an empty array. *)
+(** Nearest-rank percentile; nan on an empty array.  An alias of
+    {!Lsm_obs.Stats.percentile} (nan samples dropped first), kept so
+    bench consumers need not import lsm_obs. *)
 
 val p50 : entry -> float
 val p95 : entry -> float

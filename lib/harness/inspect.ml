@@ -174,6 +174,33 @@ let run ?(queries = 200) (scale : Scale.t) =
       vs.Env.segments vs.Env.rows_skipped vs.Env.invalidations
       vs.Env.fallbacks
   in
+  (* --- gauges: the in-memory footprint directly from the env's probes,
+     plus any serve.*/mem.* registry gauges when observability is on
+     (a previous serving run in this process publishes there).  The
+     disabled obs handle is a shared value — never read its registry. *)
+  let gauges =
+    let base =
+      ("mem.resident_bytes", Float.of_int (Env.mem_bytes env))
+      ::
+      (match Env.mem_budget env with
+      | Some b -> [ ("mem.budget_bytes", Float.of_int b) ]
+      | None -> [])
+    in
+    let extra = ref [] in
+    if Lsm_obs.Obs.enabled (Env.obs env) then begin
+      Env.publish_io_metrics env;
+      Lsm_obs.Metrics.iter (Env.metrics env) (fun name labels m ->
+          match m with
+          | `Gauge g
+            when labels = []
+                 && (String.starts_with ~prefix:"serve." name
+                    || String.starts_with ~prefix:"mem." name)
+                 && not (List.mem_assoc name base) ->
+              extra := (name, Lsm_obs.Metrics.gauge_value g) :: !extra
+          | _ -> ())
+    end;
+    base @ List.rev !extra
+  in
   let comps = dataset_components d in
   let amp_rows =
     [
@@ -214,6 +241,11 @@ let run ?(queries = 200) (scale : Scale.t) =
                %d bloom probes"
               sec_hits sq.Io.pages_read sq.Io.bloom_probes;
             view_note;
+            Printf.sprintf "gauges: %s"
+              (String.concat ", "
+                 (List.map
+                    (fun (k, v) -> Printf.sprintf "%s=%.0f" k v)
+                    gauges));
           ];
       Report.make ~id:"inspect-components" ~title:"Component state"
         ~header:comp_columns
@@ -266,6 +298,8 @@ let run ?(queries = 200) (scale : Scale.t) =
               ("invalidations", J.Int vs.Env.invalidations);
               ("fallbacks", J.Int vs.Env.fallbacks);
             ] );
+        ( "gauges",
+          J.Obj (List.map (fun (k, v) -> (k, J.Float v)) gauges) );
         ("components", J.List (List.map comp_json comps));
       ]
   in

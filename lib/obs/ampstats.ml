@@ -44,6 +44,23 @@ let reset t =
   t.merge_rows_in <- 0;
   t.merge_rows_out <- 0
 
+let copy t = { t with flushes = t.flushes }
+
+(** [diff ~since now] — per-field deltas, for windowed sampling: copy
+    before a maintenance step, diff after, attribute the difference to
+    the step. *)
+let diff ~since now =
+  {
+    flushes = now.flushes - since.flushes;
+    flush_bytes = now.flush_bytes - since.flush_bytes;
+    flush_rows = now.flush_rows - since.flush_rows;
+    merges = now.merges - since.merges;
+    merge_read_bytes = now.merge_read_bytes - since.merge_read_bytes;
+    merge_written_bytes = now.merge_written_bytes - since.merge_written_bytes;
+    merge_rows_in = now.merge_rows_in - since.merge_rows_in;
+    merge_rows_out = now.merge_rows_out - since.merge_rows_out;
+  }
+
 let on_flush t ~bytes ~rows =
   t.flushes <- t.flushes + 1;
   t.flush_bytes <- t.flush_bytes + bytes;

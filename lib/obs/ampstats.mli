@@ -16,6 +16,14 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
+val copy : t -> t
+(** Independent snapshot of the current totals. *)
+
+val diff : since:t -> t -> t
+(** [diff ~since now] is the per-field delta — snapshot with {!copy}
+    before a maintenance step, diff after, attribute the difference. *)
+
 val on_flush : t -> bytes:int -> rows:int -> unit
 
 val on_merge :

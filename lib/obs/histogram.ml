@@ -85,6 +85,25 @@ let quantile t q =
     go 0 0
   end
 
+(** [count_above t v] is the number of observations that certainly exceed
+    [v]: the total population of every bucket strictly above the one
+    containing [v] (plus the exact max when it alone exceeds [v]).
+    Observations sharing [v]'s bucket count as not-above — the estimate
+    is conservative within the histogram's ~9% bucket resolution, which
+    keeps SLO burn rates from firing on quantization noise. *)
+let count_above t v =
+  if t.count = 0 then 0
+  else begin
+    let b = bucket_of v in
+    let n = ref 0 in
+    for i = b + 1 to n_buckets - 1 do
+      n := !n + t.buckets.(i)
+    done;
+    (* All mass sits at or below v's bucket, but the tracked exact max
+       may still exceed v (values inside one bucket are ~9% apart). *)
+    if !n = 0 && t.max_v > v then 1 else !n
+  end
+
 let reset t =
   Array.fill t.buckets 0 n_buckets 0;
   t.count <- 0;

@@ -20,6 +20,12 @@ val quantile : t -> float -> float
     maximum; 0 when empty.  Never under-reports by more than the ~9%
     bucket resolution. *)
 
+val count_above : t -> float -> int
+(** [count_above t v] is the number of observations certainly above [v]:
+    the population of all buckets strictly above [v]'s (plus the exact
+    max when it alone exceeds [v]).  Conservative within the ~9% bucket
+    resolution — observations sharing [v]'s bucket count as not-above. *)
+
 val reset : t -> unit
 
 val pp_summary : Format.formatter -> t -> unit

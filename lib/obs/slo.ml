@@ -1,0 +1,250 @@
+(** SLO burn-rate monitoring and maintenance-interference attribution
+    over a {!Timeseries}.
+
+    An objective declares a latency target for one histogram series —
+    "point latency p99 < 1500µs".  The quantile implies an error
+    budget: p99 tolerates 1% of requests over the threshold.  The
+    *burn rate* of a stretch of windows is how fast that budget is
+    being consumed: [violating / (total * budget)]; burn 1.0 exactly
+    spends the budget, burn 10 spends it ten times too fast.
+
+    Alerting follows the multi-window pattern: a window W alerts when
+    BOTH the fast aggregate (the last [fast_windows] windows ending at
+    W, default 5) burns at ≥ [fast_burn] (default 10) AND the slow
+    aggregate (last [slow_windows], default 30) burns at ≥ [slow_burn]
+    (default 2).  The fast window gives quick detection and recovery;
+    the slow window suppresses one-off blips that never endanger the
+    budget.  Burn is computed from aggregate violation counts over the
+    whole stretch, not a mean of per-window ratios, so empty windows
+    (a stalled partition) don't dilute the signal.
+
+    Attribution joins each alert window against the flight-recorder
+    ring: every maintenance event overlapping the window is scored by
+    microseconds of overlap and ranked, turning "p99 spiked in window
+    17" into "p99 spiked in window 17 on partition 2 while a 41ms
+    budget eviction ran there". *)
+
+type objective = {
+  series : string;  (** histogram series in the timeseries, e.g. ["point"] *)
+  quantile : float;  (** e.g. 0.99 *)
+  threshold_us : float;
+}
+
+type config = {
+  fast_windows : int;
+  slow_windows : int;
+  fast_burn : float;
+  slow_burn : float;
+}
+
+let default_config =
+  { fast_windows = 5; slow_windows = 30; fast_burn = 10.0; slow_burn = 2.0 }
+
+(** Error budget implied by the quantile: p99 → 1% of requests may
+    exceed the threshold. *)
+let budget_frac o = 1.0 -. o.quantile
+
+let pp_objective fmt o =
+  Fmt.pf fmt "%s:p%g<%gus" o.series (o.quantile *. 100.0) o.threshold_us
+
+(** [objective_of_string "point:p99<1500us"].  Quantile is given as a
+    percentile (p50..p99.9); duration accepts [us], [ms], [s] suffixes
+    (bare numbers are microseconds). *)
+let objective_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad SLO spec %S (want SERIES:pQ<DUR, e.g. point:p99<1500us)" s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some ci -> (
+      let series = String.sub s 0 ci in
+      let rest = String.sub s (ci + 1) (String.length s - ci - 1) in
+      match String.index_opt rest '<' with
+      | None -> fail ()
+      | Some li ->
+          let q = String.sub rest 0 li in
+          let dur = String.sub rest (li + 1) (String.length rest - li - 1) in
+          if series = "" || String.length q < 2 || q.[0] <> 'p' then fail ()
+          else
+            let pct = float_of_string_opt (String.sub q 1 (String.length q - 1)) in
+            let num, unit =
+              let n = String.length dur in
+              if n > 2 && String.sub dur (n - 2) 2 = "us" then
+                (String.sub dur 0 (n - 2), 1.0)
+              else if n > 2 && String.sub dur (n - 2) 2 = "ms" then
+                (String.sub dur 0 (n - 2), 1e3)
+              else if n > 1 && dur.[n - 1] = 's' then
+                (String.sub dur 0 (n - 1), 1e6)
+              else (dur, 1.0)
+            in
+            let v = float_of_string_opt num in
+            (match (pct, v) with
+            | Some pct, Some v when pct > 0.0 && pct < 100.0 && v > 0.0 ->
+                Ok
+                  {
+                    series;
+                    quantile = pct /. 100.0;
+                    threshold_us = v *. unit;
+                  }
+            | _ -> fail ()))
+
+(* ------------------------------------------------------------------ *)
+(* Burn-rate evaluation *)
+
+type alert = {
+  a_window : int;  (** index of the window whose close fired the alert *)
+  a_objective : objective;
+  a_fast_burn : float;
+  a_slow_burn : float;
+  a_bad : int;  (** violations in the fast stretch *)
+  a_total : int;  (** observations in the fast stretch *)
+}
+
+(* Violations / totals for windows [lo, hi] of the objective's series. *)
+let stretch ts o ~lo ~hi =
+  let bad = ref 0 and total = ref 0 in
+  for i = max 0 lo to hi do
+    match Timeseries.hist ts ~i o.series with
+    | None -> ()
+    | Some h ->
+        bad := !bad + Histogram.count_above h o.threshold_us;
+        total := !total + Histogram.count h
+  done;
+  (!bad, !total)
+
+let burn o ~bad ~total =
+  if total = 0 then 0.0
+  else float_of_int bad /. (float_of_int total *. budget_frac o)
+
+(** [evaluate ?config ts o] slides both burn windows across the whole
+    run and returns every alerting window, in index order. *)
+let evaluate ?(config = default_config) ts o =
+  let alerts = ref [] in
+  for w = 0 to Timeseries.n_windows ts - 1 do
+    let fb, ft = stretch ts o ~lo:(w - config.fast_windows + 1) ~hi:w in
+    let fast = burn o ~bad:fb ~total:ft in
+    if fast >= config.fast_burn then begin
+      let sb, st = stretch ts o ~lo:(w - config.slow_windows + 1) ~hi:w in
+      let slow = burn o ~bad:sb ~total:st in
+      if slow >= config.slow_burn then
+        alerts :=
+          {
+            a_window = w;
+            a_objective = o;
+            a_fast_burn = fast;
+            a_slow_burn = slow;
+            a_bad = fb;
+            a_total = ft;
+          }
+          :: !alerts
+    end
+  done;
+  List.rev !alerts
+
+(* ------------------------------------------------------------------ *)
+(* Interference attribution *)
+
+type finding = {
+  f_alert : alert;
+  f_event : Timeseries.event;
+  f_overlap_us : float;  (** microseconds the event overlapped the window *)
+}
+
+(** [attribute ts alerts] joins each alert window against the
+    flight-recorder ring: every maintenance event overlapping the
+    window, ranked by overlap duration (ties broken by start time, so
+    the ranking is deterministic). *)
+let attribute ts alerts =
+  List.concat_map
+    (fun a ->
+      let w0 = Timeseries.window_start ts a.a_window in
+      let w1 = w0 +. Timeseries.window_us ts in
+      Timeseries.events_between ts ~from_us:w0 ~until_us:w1
+      |> List.map (fun (e : Timeseries.event) ->
+             let overlap =
+               Float.min w1 (e.e_start_us +. e.e_dur_us)
+               -. Float.max w0 e.e_start_us
+             in
+             { f_alert = a; f_event = e; f_overlap_us = Float.max 0.0 overlap })
+      |> List.sort (fun x y ->
+             match Float.compare y.f_overlap_us x.f_overlap_us with
+             | 0 -> Float.compare x.f_event.e_start_us y.f_event.e_start_us
+             | c -> c))
+    alerts
+
+(** [flight_record ?around ts alert] dumps the event ring around the
+    alert window: every event overlapping [a_window ± around] windows
+    (default 2) — the "what was the system doing just then" view. *)
+let flight_record ?(around = 2) ts a =
+  let w0 = Timeseries.window_start ts (max 0 (a.a_window - around)) in
+  let w1 =
+    Timeseries.window_start ts (a.a_window + around) +. Timeseries.window_us ts
+  in
+  Timeseries.events_between ts ~from_us:w0 ~until_us:w1
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let objective_json o =
+  Json.Obj
+    [
+      ("series", Json.Str o.series);
+      ("quantile", Json.Float o.quantile);
+      ("threshold_us", Json.Float o.threshold_us);
+      ("budget_frac", Json.Float (budget_frac o));
+    ]
+
+let alert_json a =
+  Json.Obj
+    [
+      ("window", Json.Int a.a_window);
+      ("objective", objective_json a.a_objective);
+      ("fast_burn", Json.Float a.a_fast_burn);
+      ("slow_burn", Json.Float a.a_slow_burn);
+      ("bad", Json.Int a.a_bad);
+      ("total", Json.Int a.a_total);
+    ]
+
+let finding_json f =
+  Json.Obj
+    [
+      ("window", Json.Int f.f_alert.a_window);
+      ("series", Json.Str f.f_alert.a_objective.series);
+      ("event", Timeseries.event_json f.f_event);
+      ("overlap_us", Json.Float f.f_overlap_us);
+    ]
+
+(** Full monitoring document: objectives, config, alerts, ranked
+    findings, and a flight-recorder dump per alert. *)
+let to_json ?(config = default_config) ts objectives =
+  let alerts = List.concat_map (fun o -> evaluate ~config ts o) objectives in
+  let findings = attribute ts alerts in
+  Json.Obj
+    [
+      ("objectives", Json.List (List.map objective_json objectives));
+      ( "config",
+        Json.Obj
+          [
+            ("fast_windows", Json.Int config.fast_windows);
+            ("slow_windows", Json.Int config.slow_windows);
+            ("fast_burn", Json.Float config.fast_burn);
+            ("slow_burn", Json.Float config.slow_burn);
+          ] );
+      ("alerts", Json.List (List.map alert_json alerts));
+      ("findings", Json.List (List.map finding_json findings));
+      ( "flight_records",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("window", Json.Int a.a_window);
+                   ("series", Json.Str a.a_objective.series);
+                   ( "events",
+                     Json.List
+                       (List.map Timeseries.event_json (flight_record ts a)) );
+                 ])
+             alerts) );
+    ]

@@ -1,0 +1,73 @@
+(** SLO burn-rate monitoring and maintenance-interference attribution
+    over a {!Timeseries}.
+
+    An objective like "point latency p99 < 1500µs" implies an error
+    budget (p99 → 1% of requests may exceed the threshold); the burn
+    rate of a stretch of windows is how fast the budget is consumed.
+    A window alerts when both a fast (default 5-window) and a slow
+    (default 30-window) aggregate burn exceed their thresholds — quick
+    detection without firing on one-off blips.  Attribution joins alert
+    windows against the flight-recorder event ring, ranking overlapping
+    maintenance events (budget evictions, flushes, merges) by overlap
+    duration. *)
+
+type objective = {
+  series : string;  (** histogram series in the timeseries, e.g. ["point"] *)
+  quantile : float;  (** e.g. 0.99 *)
+  threshold_us : float;
+}
+
+type config = {
+  fast_windows : int;
+  slow_windows : int;
+  fast_burn : float;
+  slow_burn : float;
+}
+
+val default_config : config
+(** 5 fast windows at burn ≥ 10, 30 slow windows at burn ≥ 2. *)
+
+val budget_frac : objective -> float
+(** [1 - quantile]: fraction of requests allowed over the threshold. *)
+
+val objective_of_string : string -> (objective, string) result
+(** Parse ["SERIES:pQ<DUR"], e.g. ["point:p99<1500us"]; duration
+    accepts [us]/[ms]/[s] suffixes (bare numbers are µs). *)
+
+val pp_objective : Format.formatter -> objective -> unit
+
+type alert = {
+  a_window : int;  (** index of the window whose close fired the alert *)
+  a_objective : objective;
+  a_fast_burn : float;
+  a_slow_burn : float;
+  a_bad : int;  (** violations in the fast stretch *)
+  a_total : int;  (** observations in the fast stretch *)
+}
+
+val evaluate : ?config:config -> Timeseries.t -> objective -> alert list
+(** Slide both burn windows across the run; alerting windows in index
+    order. *)
+
+type finding = {
+  f_alert : alert;
+  f_event : Timeseries.event;
+  f_overlap_us : float;  (** microseconds the event overlapped the window *)
+}
+
+val attribute : Timeseries.t -> alert list -> finding list
+(** Per alert: every ring event overlapping the alert window, ranked by
+    overlap (ties by start time — deterministic). *)
+
+val flight_record :
+  ?around:int -> Timeseries.t -> alert -> Timeseries.event list
+(** Ring dump around the alert: events overlapping [a_window ± around]
+    windows (default 2). *)
+
+val objective_json : objective -> Json.t
+val alert_json : alert -> Json.t
+val finding_json : finding -> Json.t
+
+val to_json : ?config:config -> Timeseries.t -> objective list -> Json.t
+(** Full monitoring document: objectives, config, alerts, ranked
+    findings, flight records. *)

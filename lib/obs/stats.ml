@@ -1,0 +1,28 @@
+(** Shared sample statistics.
+
+    One nan-safe percentile for every consumer ([Bench_json] snapshots,
+    the serving driver's SLO tables) — the two used to carry separate
+    copies, which is exactly how the PR 5 [Float.compare]/nan bug
+    happened once and could happen again. *)
+
+(** Nearest-rank percentile over the finite values of [samples]; nan
+    samples are dropped first (a timer glitch must not poison the
+    statistic), and the result is nan only when no finite sample
+    remains.  Sorting uses [Float.compare] — polymorphic [compare] on
+    floats boxes every element and gives nan an arbitrary order. *)
+let percentile samples p =
+  let s =
+    Array.of_seq
+      (Seq.filter (fun v -> not (Float.is_nan v)) (Array.to_seq samples))
+  in
+  let n = Array.length s in
+  if n = 0 then Float.nan
+  else begin
+    Array.sort Float.compare s;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    s.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let p50 samples = percentile samples 50.0
+let p95 samples = percentile samples 95.0
+let p99 samples = percentile samples 99.0

@@ -1,0 +1,11 @@
+(** Shared sample statistics: the one nan-safe percentile used by bench
+    snapshots and the serving layer alike. *)
+
+val percentile : float array -> float -> float
+(** [percentile samples p] is the nearest-rank [p]-th percentile (0–100)
+    of the finite values of [samples].  Nan samples are dropped; nan is
+    returned only when no finite sample remains. *)
+
+val p50 : float array -> float
+val p95 : float array -> float
+val p99 : float array -> float

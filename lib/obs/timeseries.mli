@@ -1,0 +1,90 @@
+(** Windowed time-series telemetry on the simulated clock.
+
+    Observations land in fixed-width windows (index = ⌊t / window⌋);
+    each window holds named latency histograms, counters, float
+    accumulators, running maxima, and last-value gauges.  A bounded
+    flight-recorder ring keeps discrete maintenance events (budget
+    evictions, flushes, merges) with full timestamps so {!Slo} can join
+    alert windows back against the maintenance activity that overlapped
+    them.  All timestamps are caller-supplied simulated time, so a
+    deterministic run exports byte-identical JSON/CSV. *)
+
+type t
+
+type event = {
+  e_start_us : float;
+  e_dur_us : float;
+  e_kind : string;  (** e.g. ["eviction"], ["dataset.flush"], ["lsm.merge"] *)
+  e_part : int;  (** partition the event ran on; [-1] = global *)
+  e_detail : (string * int) list;  (** e.g. bytes evicted, amp deltas *)
+}
+
+val create : ?events_capacity:int -> window_us:float -> unit -> t
+(** [create ~window_us ()] with [window_us] > 0; the event ring holds
+    the last [events_capacity] (default 4096) events. *)
+
+val window_us : t -> float
+val index : t -> at_us:float -> int
+val n_windows : t -> int
+(** Highest touched window index + 1 (0 when nothing was observed). *)
+
+val window_start : t -> int -> float
+
+(** {2 Writers} — all take the observation's simulated timestamp. *)
+
+val observe : t -> at_us:float -> string -> float -> unit
+(** Feed a latency sample into [series]'s histogram. *)
+
+val count : t -> at_us:float -> string -> int -> unit
+val add : t -> at_us:float -> string -> float -> unit
+val set_max : t -> at_us:float -> string -> float -> unit
+val set_last : t -> at_us:float -> string -> float -> unit
+(** Sampled gauge; the last sample in the window wins. *)
+
+(** {2 Per-window readers} *)
+
+val hist : t -> i:int -> string -> Histogram.t option
+val count_of : t -> i:int -> string -> int
+val sum_of : t -> i:int -> string -> float
+val max_of : t -> i:int -> string -> float option
+val last_of : t -> i:int -> string -> float option
+
+val hist_names : t -> string list
+val count_names : t -> string list
+val sum_names : t -> string list
+val max_names : t -> string list
+val gauge_names : t -> string list
+(** Sorted unions of series names over all windows. *)
+
+(** {2 Flight-recorder events} *)
+
+val event :
+  t ->
+  start_us:float ->
+  dur_us:float ->
+  kind:string ->
+  part:int ->
+  (string * int) list ->
+  unit
+
+val events : t -> event array
+(** Ring contents, oldest first. *)
+
+val events_between : t -> from_us:float -> until_us:float -> event list
+(** Events whose [start, start+dur] span intersects [[from_us,
+    until_us)], oldest first. *)
+
+val events_recorded : t -> int
+val events_dropped : t -> int
+
+(** {2 Exports} *)
+
+val to_json : t -> Json.t
+(** Dense windows 0 .. max index plus the event ring; deterministic
+    ordering (sorted series names, index-ordered windows). *)
+
+val to_csv : t -> string
+(** Plot-ready table: one row per window; count/p50/p95/p99 columns per
+    histogram series, one column per counter/sum/max/gauge. *)
+
+val event_json : event -> Json.t

@@ -18,6 +18,7 @@ module Scale = Lsm_harness.Scale
 module Strategy = Lsm_core.Strategy
 module Rt = Router.Make (Tweet.Record)
 module P = Rt.P
+module Timeseries = Lsm_obs.Timeseries
 
 type op_class = Ingest | Point | Secondary | Scan
 
@@ -234,7 +235,7 @@ let stats_of name samples =
   let lat =
     Array.of_list (List.map (fun s -> s.queue_us +. s.service_us) samples)
   in
-  let pct p = if Array.length lat = 0 then 0.0 else Lsm_harness.Bench_json.percentile lat p in
+  let pct p = if Array.length lat = 0 then 0.0 else Lsm_obs.Stats.percentile lat p in
   {
     cls = name;
     count = List.length samples;
@@ -245,10 +246,25 @@ let stats_of name samples =
     mean_service_us = mean (List.map (fun s -> s.service_us) samples);
   }
 
-(** [run cfg] executes one open-loop run.  With [cfg.rate_rps <= 0] the
-    rate is set to 70% of a fresh capacity estimate.  Deterministic for
-    a fixed seed. *)
-let run (cfg : config) =
+(* Maintenance span names worth a flight-recorder entry: the budget
+   eviction itself is recorded by the router; these are the engine-level
+   spans it decomposes into (plus view rebuilds, which also steal
+   partition time from foreground requests). *)
+let maintenance_spans =
+  [ "dataset.flush"; "dataset.merge"; "lsm.flush"; "lsm.merge"; "lsm.view.build" ]
+
+(** [run ?timeline cfg] executes one open-loop run.  With
+    [cfg.rate_rps <= 0] the rate is set to 70% of a fresh capacity
+    estimate.  Deterministic for a fixed seed.
+
+    When [timeline] is given, every completion feeds it: per-class
+    latency histograms stamped at the request's *completion* on the
+    arrival timeline, per-partition busy time / backlog / memtable
+    gauges, budget-eviction counters, and flight-recorder events for
+    evictions and the maintenance spans inside them.  All
+    instrumentation is read-only against the simulated clocks, so a
+    run's result is identical with the timeline on or off. *)
+let run ?timeline (cfg : config) =
   let capacity_rps, cfg =
     if cfg.rate_rps > 0.0 then (0.0, cfg)
     else begin
@@ -259,6 +275,25 @@ let run (cfg : config) =
   in
   let sys = build cfg in
   preload sys cfg;
+  (* Timeline plumbing.  Partition clocks are independent of the arrival
+     timeline, and a request's start is only known *after* execution
+     (the free-horizon start depends on which partitions it involved) —
+     so span hooks buffer maintenance spans during execution, and the
+     per-partition clock snapshots in [c0] translate them afterwards:
+     run_ts = start + (span_start − c0).  Hooks go in after the preload;
+     preload maintenance happens before the timeline's time zero. *)
+  let c0 = Array.make cfg.partitions 0.0 in
+  let spanbuf = ref [] in
+  (match timeline with
+  | None -> ()
+  | Some _ ->
+      for i = 0 to cfg.partitions - 1 do
+        Lsm_sim.Env.set_span_hook
+          (P.env (Rt.partitioned sys.rt) i)
+          (fun sp ->
+            if List.mem sp.Lsm_sim.Env.sp_name maintenance_spans then
+              spanbuf := (i, sp) :: !spanbuf)
+      done);
   let arr =
     Arrivals.create ~seed:((cfg.seed * 131) + 7) ~rate_rps:cfg.rate_rps
       cfg.arrivals
@@ -270,6 +305,13 @@ let run (cfg : config) =
   let rec loop a =
     if a <= horizon_us then begin
       let s_cls, req = gen_request sys cfg in
+      (match timeline with
+      | None -> ()
+      | Some _ ->
+          spanbuf := [];
+          for i = 0 to cfg.partitions - 1 do
+            c0.(i) <- Lsm_sim.Env.now_us (P.env (Rt.partitioned sys.rt) i)
+          done);
       let o = Rt.exec sys.rt req in
       (* Involved = structurally touched plus any partition whose clock
          moved (a budget-triggered flush on another partition lands
@@ -283,12 +325,64 @@ let run (cfg : config) =
         List.fold_left (fun acc i -> Float.max acc o.Rt.service_us.(i)) 0.0 !involved
       in
       List.iter (fun i -> free.(i) <- start +. o.Rt.service_us.(i)) !involved;
+      (match timeline with
+      | None -> ()
+      | Some ts ->
+          let done_us = start +. service_us in
+          let lat = (start -. a) +. service_us in
+          Timeseries.observe ts ~at_us:done_us (class_name s_cls) lat;
+          Timeseries.observe ts ~at_us:done_us "all" lat;
+          Timeseries.set_max ts ~at_us:done_us "queue_us" (start -. a);
+          List.iter
+            (fun i ->
+              Timeseries.add ts ~at_us:done_us
+                (Printf.sprintf "p%d.busy_us" i)
+                o.Rt.service_us.(i);
+              Timeseries.set_last ts ~at_us:done_us
+                (Printf.sprintf "p%d.backlog_us" i)
+                (Float.max 0.0 (free.(i) -. a));
+              Timeseries.set_last ts ~at_us:done_us
+                (Printf.sprintf "p%d.mem_bytes" i)
+                (Float.of_int (P.mem_bytes_of (Rt.partitioned sys.rt) i)))
+            !involved;
+          Timeseries.set_last ts ~at_us:done_us "mem_bytes"
+            (Float.of_int (P.total_mem_bytes (Rt.partitioned sys.rt)));
+          List.iter
+            (fun (ev : Rt.eviction) ->
+              let ev_ts = start +. ev.Rt.ev_start_off_us in
+              Timeseries.count ts ~at_us:ev_ts "evictions" 1;
+              Timeseries.count ts ~at_us:ev_ts "flushes" ev.Rt.ev_flushes;
+              Timeseries.count ts ~at_us:ev_ts "merges" ev.Rt.ev_merges;
+              Timeseries.add ts ~at_us:ev_ts "evicted_bytes"
+                (Float.of_int ev.Rt.ev_bytes);
+              Timeseries.event ts ~start_us:ev_ts ~dur_us:ev.Rt.ev_dur_us
+                ~kind:"eviction" ~part:ev.Rt.ev_part
+                [
+                  ("bytes", ev.Rt.ev_bytes);
+                  ("flushes", ev.Rt.ev_flushes);
+                  ("merges", ev.Rt.ev_merges);
+                  ("merge_bytes", ev.Rt.ev_merge_bytes);
+                ])
+            o.Rt.evictions;
+          List.iter
+            (fun (i, (sp : Lsm_sim.Env.span_event)) ->
+              Timeseries.event ts
+                ~start_us:(start +. (sp.Lsm_sim.Env.sp_start_us -. c0.(i)))
+                ~dur_us:sp.Lsm_sim.Env.sp_dur_us ~kind:sp.Lsm_sim.Env.sp_name
+                ~part:i [])
+            (List.rev !spanbuf));
       samples := { s_cls; arrival_us = a; queue_us = start -. a; service_us } :: !samples;
       incr n_req;
       loop (Arrivals.next arr)
     end
   in
   loop (Arrivals.next arr);
+  (match timeline with
+  | None -> ()
+  | Some _ ->
+      for i = 0 to cfg.partitions - 1 do
+        Lsm_sim.Env.clear_span_hook (P.env (Rt.partitioned sys.rt) i)
+      done);
   let samples = List.rev !samples in
   let classes =
     List.map

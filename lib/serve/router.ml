@@ -30,12 +30,29 @@ module Make (R : Lsm_core.Record.S) = struct
     | Found of R.t option
     | Rows of int
 
+  (** One budget-triggered eviction observed during a request, for the
+      telemetry timeline.  [ev_start_off_us] is the offset of the flush
+      start from the victim partition's clock at request entry, so an
+      open-loop driver can place the eviction on its own arrival
+      timeline ([request_start + offset]). *)
+  type eviction = {
+    ev_part : int;
+    ev_start_off_us : float;
+    ev_dur_us : float;
+    ev_bytes : int;  (** memtable bytes released *)
+    ev_flushes : int;  (** component flushes the eviction performed *)
+    ev_merges : int;  (** merges it cascaded into *)
+    ev_merge_bytes : int;  (** bytes rewritten by those merges *)
+  }
+
   type outcome = {
     reply : reply;
     service_us : float array;
         (** simulated time the request consumed on each partition
             (including any budget-triggered flush it caused there) *)
     touched : int list;  (** structurally involved partitions *)
+    evictions : eviction list;
+        (** budget evictions this request triggered, oldest first *)
   }
 
   type t = {
@@ -43,6 +60,7 @@ module Make (R : Lsm_core.Record.S) = struct
     budget : Budget.t;
     lookup : P.D.Prim.lookup_opts;
     before : float array;  (** per-partition clock snapshot scratch *)
+    evlog : eviction list ref;  (** evictions of the current request *)
   }
 
   (** [create ~mk_env ~partitions ~budget_bytes cfg] builds the cluster
@@ -56,12 +74,38 @@ module Make (R : Lsm_core.Record.S) = struct
     for i = 0 to partitions - 1 do
       Lsm_sim.Env.set_mem_budget (P.env p i) (Some budget_bytes)
     done;
+    let before = Array.make partitions 0.0 in
+    let evlog = ref [] in
     let budget =
       Budget.create ~budget_bytes
         (Array.init partitions (fun i ->
              {
                Budget.mem_bytes = (fun () -> P.mem_bytes_of p i);
-               flush = (fun () -> P.flush_partition p i);
+               flush =
+                 (* Instrumented: record what each eviction cost and
+                    released, on the victim partition's clock.  Pure
+                    reads around the flush — the simulated costs are
+                    unchanged. *)
+                 (fun () ->
+                   let env = P.env p i in
+                   let t0 = Lsm_sim.Env.now_us env in
+                   let bytes0 = P.mem_bytes_of p i in
+                   let amp0 = Lsm_obs.Ampstats.copy (Lsm_sim.Env.amp env) in
+                   P.flush_partition p i;
+                   let d =
+                     Lsm_obs.Ampstats.diff ~since:amp0 (Lsm_sim.Env.amp env)
+                   in
+                   evlog :=
+                     {
+                       ev_part = i;
+                       ev_start_off_us = t0 -. before.(i);
+                       ev_dur_us = Lsm_sim.Env.now_us env -. t0;
+                       ev_bytes = max 0 (bytes0 - P.mem_bytes_of p i);
+                       ev_flushes = d.Lsm_obs.Ampstats.flushes;
+                       ev_merges = d.Lsm_obs.Ampstats.merges;
+                       ev_merge_bytes = d.Lsm_obs.Ampstats.merge_written_bytes;
+                     }
+                     :: !evlog);
              }))
     in
     {
@@ -69,7 +113,8 @@ module Make (R : Lsm_core.Record.S) = struct
       budget;
       lookup =
         (match lookup with Some l -> l | None -> P.D.Prim.default_lookup_opts);
-      before = Array.make partitions 0.0;
+      before;
+      evlog;
     }
 
   let partitioned t = t.p
@@ -92,6 +137,7 @@ module Make (R : Lsm_core.Record.S) = struct
       simulated time went. *)
   let exec t req =
     let n = P.partitions t.p in
+    t.evlog := [];
     for i = 0 to n - 1 do
       t.before.(i) <- Lsm_sim.Env.now_us (P.env t.p i)
     done;
@@ -127,5 +173,5 @@ module Make (R : Lsm_core.Record.S) = struct
     let service_us =
       Array.init n (fun i -> Lsm_sim.Env.now_us (P.env t.p i) -. t.before.(i))
     in
-    { reply; service_us; touched }
+    { reply; service_us; touched; evictions = List.rev !(t.evlog) }
 end

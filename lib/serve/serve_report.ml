@@ -5,8 +5,11 @@
 module Report = Lsm_harness.Report
 module Json = Lsm_obs.Json
 module Metrics = Lsm_obs.Metrics
+module Timeseries = Lsm_obs.Timeseries
+module Slo = Lsm_obs.Slo
 
 let schema = "lsm-repro-serve/1"
+let timeline_schema = "lsm-repro-timeline/1"
 
 let fmt_us us = Printf.sprintf "%.2f" (us /. 1000.0)
 let fmt_rate r = Printf.sprintf "%.0f" r
@@ -205,6 +208,87 @@ let to_json (r : Driver.result) =
       ("capacity_rps", Json.Float r.Driver.capacity_rps);
       ("run", json_of_run r);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Timeline: the windowed-telemetry document and its text digest *)
+
+(** Timeline document: run config and summary, the windowed series and
+    event ring, and the SLO evaluation (alerts, ranked interference
+    findings, flight records). *)
+let timeline_to_json ?slo_config (r : Driver.result) ts objectives =
+  Json.Obj
+    [
+      ("schema", Json.Str timeline_schema);
+      ("config", json_of_config r.Driver.r_cfg);
+      ("run", json_of_run r);
+      ("timeline", Timeseries.to_json ts);
+      ("slo", Slo.to_json ?config:slo_config ts objectives);
+    ]
+
+(** [timeline_report r ts objectives] is the human-readable digest: one
+    row per burn-rate alert with its top-ranked interfering maintenance
+    event, plus collection totals as notes. *)
+let timeline_report ?slo_config (r : Driver.result) ts objectives =
+  let alerts =
+    List.concat_map (fun o -> Slo.evaluate ?config:slo_config ts o) objectives
+  in
+  let findings = Slo.attribute ts alerts in
+  let top_for a =
+    List.find_opt (fun (f : Slo.finding) -> f.Slo.f_alert == a) findings
+  in
+  let rows =
+    List.map
+      (fun (a : Slo.alert) ->
+        let culprit =
+          match top_for a with
+          | Some f ->
+              Printf.sprintf "%s on p%d (%.1fms overlap)"
+                f.Slo.f_event.Timeseries.e_kind f.Slo.f_event.Timeseries.e_part
+                (f.Slo.f_overlap_us /. 1000.0)
+          | None -> "none in window"
+        in
+        [
+          string_of_int a.Slo.a_window;
+          Printf.sprintf "%.0f"
+            (Timeseries.window_start ts a.Slo.a_window /. 1000.0);
+          Format.asprintf "%a" Slo.pp_objective a.Slo.a_objective;
+          Printf.sprintf "%.1f" a.Slo.a_fast_burn;
+          Printf.sprintf "%.1f" a.Slo.a_slow_burn;
+          Printf.sprintf "%d/%d" a.Slo.a_bad a.Slo.a_total;
+          culprit;
+        ])
+      alerts
+  in
+  let totals =
+    Printf.sprintf
+      "%d windows of %.0fms; %d maintenance events recorded (%d dropped from \
+       the ring); %d coordinator evictions"
+      (Timeseries.n_windows ts)
+      (Timeseries.window_us ts /. 1000.0)
+      (Timeseries.events_recorded ts)
+      (Timeseries.events_dropped ts)
+      r.Driver.evictions
+  in
+  let verdict =
+    if alerts = [] then
+      "no SLO burn-rate alerts — every objective held over the run"
+    else
+      Printf.sprintf
+        "%d alert window(s); culprits above rank maintenance events by \
+         overlap with the alerting window"
+        (List.length alerts)
+  in
+  Report.make ~id:"serve-timeline"
+    ~title:
+      (Printf.sprintf
+         "Serving timeline: %d windows, objectives [%s]"
+         (Timeseries.n_windows ts)
+         (String.concat "; "
+            (List.map (Format.asprintf "%a" Slo.pp_objective) objectives)))
+    ~header:
+      [ "window"; "t_ms"; "objective"; "fast_burn"; "slow_burn"; "bad/total"; "top culprit" ]
+    ~notes:[ totals; verdict ]
+    rows
 
 (** Sweep document ([mode = "sweep"]). *)
 let sweep_to_json (cfg : Driver.config) (sw : Driver.sweep_result) =

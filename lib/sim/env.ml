@@ -73,12 +73,24 @@ type t = {
       (** advisory memory budget for this environment, surfaced as a
           [mem.budget_bytes] gauge; enforcement lives with the caller
           (a dataset's own budget, or [Lsm_serve.Budget]'s global one) *)
+  mutable span_hook : (span_event -> unit) option;
+      (** telemetry tap fired at every {!span} completion, independent of
+          the obs handle (so a timeline can watch maintenance spans
+          without paying for full tracing); [None] by default — one
+          branch per span *)
   corrupt : (int * int, unit) Hashtbl.t;
       (** (file, page) pairs whose simulated checksum fails *)
   corrupt_files : (int, int) Hashtbl.t;
       (** file -> number of corrupt pages on it *)
   mutable n_corrupt : int;
       (** total corrupt pages; checksum verification is one branch when 0 *)
+}
+
+and span_event = {
+  sp_name : string;
+  sp_cat : string;  (** [""] when the span carried no category *)
+  sp_start_us : float;  (** this environment's clock at span entry *)
+  sp_dur_us : float;
 }
 
 and resil_stats = {
@@ -177,6 +189,7 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
       };
     mem_probes = [];
     mem_budget = None;
+    span_hook = None;
     corrupt = Hashtbl.create 7;
     corrupt_files = Hashtbl.create 7;
     n_corrupt = 0;
@@ -447,22 +460,42 @@ let span t ?cat name f =
       Lsm_obs.Explain.node t.explain name f
     else f
   in
-  let o = t.obs in
-  if not o.Lsm_obs.Obs.enabled then f ()
-  else begin
-    let before = Io_stats.copy t.stats in
-    let t0 = t.now_us in
-    let r =
-      Lsm_obs.Tracer.with_span o.Lsm_obs.Obs.tracer ?cat
-        ~args_of:(fun () -> Io_stats.fields (Io_stats.diff t.stats before))
-        name f
-    in
-    let labels = match cat with Some c when c <> "" -> [ ("src", c) ] | _ -> [] in
-    Lsm_obs.Metrics.observe
-      (Lsm_obs.Metrics.histogram o.Lsm_obs.Obs.metrics ~labels ("span." ^ name))
-      (t.now_us -. t0);
-    r
-  end
+  let run () =
+    let o = t.obs in
+    if not o.Lsm_obs.Obs.enabled then f ()
+    else begin
+      let before = Io_stats.copy t.stats in
+      let t0 = t.now_us in
+      let r =
+        Lsm_obs.Tracer.with_span o.Lsm_obs.Obs.tracer ?cat
+          ~args_of:(fun () -> Io_stats.fields (Io_stats.diff t.stats before))
+          name f
+      in
+      let labels = match cat with Some c when c <> "" -> [ ("src", c) ] | _ -> [] in
+      Lsm_obs.Metrics.observe
+        (Lsm_obs.Metrics.histogram o.Lsm_obs.Obs.metrics ~labels ("span." ^ name))
+        (t.now_us -. t0);
+      r
+    end
+  in
+  (* The telemetry tap is independent of the obs handle: a timeline can
+     watch maintenance spans without paying for full tracing. *)
+  match t.span_hook with
+  | None -> run ()
+  | Some hook ->
+      let t0 = t.now_us in
+      let r = run () in
+      hook
+        {
+          sp_name = name;
+          sp_cat = (match cat with Some c -> c | None -> "");
+          sp_start_us = t0;
+          sp_dur_us = t.now_us -. t0;
+        };
+      r
+
+let set_span_hook t h = t.span_hook <- Some h
+let clear_span_hook t = t.span_hook <- None
 
 (** [publish_io_metrics t] bridges the {!Io_stats} counters accumulated
     since the last publish into the metrics registry ([io.*] counters, via

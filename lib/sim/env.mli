@@ -214,6 +214,22 @@ val span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
     [span.<name>] latency histogram.  Doubles as a plan node when a
     recorder is active. *)
 
+type span_event = {
+  sp_name : string;
+  sp_cat : string;  (** [""] when the span carried no category *)
+  sp_start_us : float;  (** this environment's clock at span entry *)
+  sp_dur_us : float;
+}
+
+val set_span_hook : t -> (span_event -> unit) -> unit
+(** Install a telemetry tap fired at every {!span} completion —
+    independent of {!enable_obs}, so a timeline collector can watch
+    maintenance spans (flush, merge, view builds) without paying for
+    full tracing.  One hook per environment; [None] by default (one
+    branch per span). *)
+
+val clear_span_hook : t -> unit
+
 val publish_io_metrics : t -> unit
 (** Bridge the {!Io_stats} counters accumulated since the last publish
     into [io.*] registry counters (via {!Io_stats.diff}), refresh the

@@ -98,6 +98,9 @@ let test_inspect_json () =
     (fun (k, v) ->
       if v < 0 then Alcotest.failf "write counter %s negative" k)
     (int_fields (J.Obj write_counters));
+  let gauges = member "gauges" j in
+  Alcotest.(check bool) "memory gauge reported" true
+    (num "mem.resident_bytes" gauges >= 0.0);
   let comps = items "components" j in
   Alcotest.(check bool) "has components" true (comps <> []);
   List.iter
@@ -221,6 +224,83 @@ let test_serve_sweep_json () =
   | J.Null -> Alcotest.fail "expected a knee on the default ladder"
   | _ -> Alcotest.fail "knee_rps must be a number or null"
 
+(* The timeline document: lsm-repro-timeline/1 schema, dense indexed
+   windows, the flight-recorder ring, and an SLO section that echoes the
+   requested objective.  The CSV sidecar is a header plus one row per
+   window. *)
+let test_serve_timeline_json () =
+  let path = Filename.temp_file "timeline" ".json" in
+  let csv = Filename.temp_file "timeline" ".csv" in
+  Alcotest.(check int) "serve --timeline exits 0" 0
+    (run
+       [ "serve"; "-s"; "tiny"; "--duration"; "0.2"; "--rate"; "1000";
+         "--seed"; "7"; "--window-ms"; "50"; "--slo"; "point:p99<1500us";
+         "--timeline"; path; "--timeline-csv"; csv ]);
+  let j = parse_file path in
+  Sys.remove path;
+  Alcotest.(check string) "schema" "lsm-repro-timeline/1" (str "schema" j);
+  Alcotest.(check string) "scale echoed" "tiny" (str "scale" (member "config" j));
+  Alcotest.(check bool) "run section present" true
+    (num "requests" (member "run" j) > 0.0);
+  let tl = member "timeline" j in
+  Alcotest.(check (float 0.0)) "window width echoed" 50_000.0
+    (num "window_us" tl);
+  let n = int_of_float (num "n_windows" tl) in
+  Alcotest.(check bool) "windows collected" true (n > 0);
+  let windows = items "windows" tl in
+  Alcotest.(check int) "windows dense" n (List.length windows);
+  List.iteri
+    (fun i w ->
+      Alcotest.(check int) "windows indexed in order" i
+        (int_of_float (num "i" w)))
+    windows;
+  let total =
+    List.fold_left
+      (fun acc w ->
+        match J.member "all" (member "series" w) with
+        | Some s -> acc + int_of_float (num "count" s)
+        | None -> acc)
+      0 windows
+  in
+  Alcotest.(check bool) "the all series counted completions" true (total > 0);
+  let ev = member "events" tl in
+  Alcotest.(check bool) "ring accounting sane" true
+    (num "recorded" ev >= num "dropped" ev);
+  let slo = member "slo" j in
+  (match items "objectives" slo with
+  | [ o ] ->
+      Alcotest.(check string) "objective series" "point" (str "series" o);
+      Alcotest.(check (float 1e-9)) "objective threshold" 1500.0
+        (num "threshold_us" o)
+  | _ -> Alcotest.fail "expected exactly one objective");
+  ignore (items "alerts" slo);
+  ignore (items "findings" slo);
+  ignore (items "flight_records" slo);
+  let ic = open_in csv in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove csv;
+  match List.rev !lines with
+  | header :: rows ->
+      Alcotest.(check bool) "CSV header shape" true
+        (String.length header > 16
+        && String.sub header 0 15 = "window,start_us");
+      Alcotest.(check int) "CSV row per window" n (List.length rows)
+  | [] -> Alcotest.fail "empty timeline CSV"
+
+let test_serve_timeline_rejects_sweep () =
+  Alcotest.(check int) "--timeline with --sweep exits 2" 2
+    (run
+       [ "serve"; "-s"; "tiny"; "--sweep"; "--timeline"; "/dev/null" ]);
+  Alcotest.(check int) "bad --slo spec exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--slo"; "nonsense" ]);
+  Alcotest.(check int) "non-positive --window-ms exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--window-ms"; "0" ])
+
 let test_serve_bad_arrivals () =
   Alcotest.(check int) "unknown arrival process exits 2" 2
     (run [ "serve"; "-s"; "tiny"; "--arrivals"; "bursty" ])
@@ -269,6 +349,10 @@ let () =
         [
           Alcotest.test_case "serve --json schema" `Quick test_serve_json;
           Alcotest.test_case "serve --sweep knee" `Quick test_serve_sweep_json;
+          Alcotest.test_case "serve --timeline schema" `Quick
+            test_serve_timeline_json;
+          Alcotest.test_case "timeline flag validation" `Quick
+            test_serve_timeline_rejects_sweep;
           Alcotest.test_case "bad arrivals flag" `Quick test_serve_bad_arrivals;
         ] );
       ( "faultsim",

@@ -675,6 +675,321 @@ let test_bench_of_reports () =
     names
 
 (* ------------------------------------------------------------------ *)
+(* Histogram.count_above: the SLO violation counter *)
+
+let test_hist_count_above () =
+  let h = H.create () in
+  Alcotest.(check int) "empty" 0 (H.count_above h 5.0);
+  for i = 1 to 100 do
+    H.observe h (Float.of_int i)
+  done;
+  let n = H.count_above h 50.0 in
+  (* Conservative within the ~9% bucket resolution: never over-counts,
+     and misses at most one bucket's worth. *)
+  Alcotest.(check bool) "never over-counts" true (n <= 50);
+  Alcotest.(check bool) "close to truth" true (n >= 40);
+  Alcotest.(check int) "none above the max" 0 (H.count_above h 100.0);
+  Alcotest.(check int) "all above a tiny threshold" 100 (H.count_above h 0.5);
+  (* The exact max alone exceeding v still reports 1, even when the
+     coarse buckets cannot see it. *)
+  let h2 = H.create () in
+  H.observe h2 100.0;
+  Alcotest.(check int) "max alone counts" 1 (H.count_above h2 99.0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats: the shared nan-safe percentile *)
+
+module St = Lsm_obs.Stats
+
+let test_stats_helpers () =
+  let s = Array.init 200 (fun i -> Float.of_int (200 - i)) in
+  Alcotest.(check (float 1e-9)) "p50" 100.0 (St.p50 s);
+  Alcotest.(check (float 1e-9)) "p95" 190.0 (St.p95 s);
+  Alcotest.(check (float 1e-9)) "p99" 198.0 (St.p99 s);
+  (* Bench_json.percentile is this function — one implementation, one
+     nan policy. *)
+  let noisy = [| Float.nan; 5.0; 1.0 |] in
+  Alcotest.(check (float 1e-9))
+    "alias agrees" (B.percentile noisy 50.0) (St.percentile noisy 50.0)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries: windowed collection, the event ring, exports *)
+
+module TS = Lsm_obs.Timeseries
+
+let test_timeseries_windows () =
+  let ts = TS.create ~window_us:100.0 () in
+  Alcotest.(check int) "empty" 0 (TS.n_windows ts);
+  TS.observe ts ~at_us:10.0 "lat" 5.0;
+  TS.observe ts ~at_us:150.0 "lat" 7.0;
+  TS.observe ts ~at_us:950.0 "lat" 9.0;
+  TS.observe ts ~at_us:(-3.0) "lat" 1.0;
+  Alcotest.(check int) "dense to max index" 10 (TS.n_windows ts);
+  let count_in i =
+    match TS.hist ts ~i "lat" with Some h -> H.count h | None -> 0
+  in
+  (* Negative timestamps clamp into window 0. *)
+  Alcotest.(check int) "window 0" 2 (count_in 0);
+  Alcotest.(check int) "window 1" 1 (count_in 1);
+  Alcotest.(check int) "window 9" 1 (count_in 9);
+  Alcotest.(check int) "untouched window empty" 0 (count_in 5);
+  TS.count ts ~at_us:20.0 "evictions" 2;
+  TS.count ts ~at_us:80.0 "evictions" 1;
+  Alcotest.(check int) "counter accumulates" 3 (TS.count_of ts ~i:0 "evictions");
+  Alcotest.(check int) "counter elsewhere 0" 0 (TS.count_of ts ~i:1 "evictions");
+  TS.add ts ~at_us:120.0 "busy" 1.5;
+  TS.add ts ~at_us:130.0 "busy" 2.5;
+  Alcotest.(check (float 1e-9)) "sum" 4.0 (TS.sum_of ts ~i:1 "busy");
+  TS.set_max ts ~at_us:5.0 "q" 3.0;
+  TS.set_max ts ~at_us:6.0 "q" 2.0;
+  Alcotest.(check bool) "max keeps larger" true (TS.max_of ts ~i:0 "q" = Some 3.0);
+  TS.set_last ts ~at_us:5.0 "g" 3.0;
+  TS.set_last ts ~at_us:6.0 "g" 2.0;
+  Alcotest.(check bool) "gauge last wins" true (TS.last_of ts ~i:0 "g" = Some 2.0);
+  Alcotest.(check (list string)) "hist names" [ "lat" ] (TS.hist_names ts);
+  Alcotest.(check (list string)) "count names" [ "evictions" ] (TS.count_names ts)
+
+let test_timeseries_event_ring () =
+  let ts = TS.create ~events_capacity:4 ~window_us:100.0 () in
+  for i = 0 to 5 do
+    TS.event ts
+      ~start_us:(Float.of_int (i * 10))
+      ~dur_us:5.0 ~kind:"flush" ~part:i
+      [ ("bytes", i) ]
+  done;
+  Alcotest.(check int) "recorded all" 6 (TS.events_recorded ts);
+  Alcotest.(check int) "dropped overflow" 2 (TS.events_dropped ts);
+  let evs = TS.events ts in
+  Alcotest.(check int) "ring holds capacity" 4 (Array.length evs);
+  (* Oldest-first: survivors are events 2..5. *)
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check int) (Printf.sprintf "slot %d" i) (i + 2) e.TS.e_part)
+    evs;
+  (* Overlap filtering: event 3 spans [30, 35]. *)
+  let hits = TS.events_between ts ~from_us:32.0 ~until_us:38.0 in
+  Alcotest.(check int) "overlap hit" 1 (List.length hits);
+  Alcotest.(check int) "the right one" 3 (List.hd hits).TS.e_part;
+  Alcotest.(check int) "empty range" 0
+    (List.length (TS.events_between ts ~from_us:500.0 ~until_us:600.0))
+
+let test_timeseries_exports_parse () =
+  let ts = TS.create ~window_us:100.0 () in
+  TS.observe ts ~at_us:10.0 "point" 250.0;
+  TS.observe ts ~at_us:210.0 "point" 450.0;
+  TS.count ts ~at_us:10.0 "evictions" 1;
+  TS.event ts ~start_us:15.0 ~dur_us:20.0 ~kind:"eviction" ~part:1
+    [ ("bytes", 4096) ];
+  let j = TS.to_json ts in
+  (match J.of_string (J.to_string ~indent:2 j) with
+  | Error e -> Alcotest.fail ("timeline json does not parse: " ^ e)
+  | Ok j' ->
+      Alcotest.(check (option int))
+        "n_windows" (Some 3)
+        (Option.bind (J.member "n_windows" j') J.to_int);
+      let windows =
+        Option.value ~default:[]
+          (Option.bind (J.member "windows" j') J.to_list)
+      in
+      Alcotest.(check int) "dense windows" 3 (List.length windows);
+      let ring =
+        Option.bind (J.member "events" j') (fun e ->
+            Option.bind (J.member "ring" e) J.to_list)
+      in
+      Alcotest.(check int) "ring" 1 (List.length (Option.value ~default:[] ring)));
+  let csv = TS.to_csv ts in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row per window" 4 (List.length lines);
+  Alcotest.(check bool) "header names series" true
+    (contains (List.hd lines) "point.p99_us")
+
+(* ------------------------------------------------------------------ *)
+(* Slo: spec parsing, burn-rate alerting, attribution *)
+
+module S = Lsm_obs.Slo
+
+let test_slo_spec_parser () =
+  (match S.objective_of_string "point:p99<1500us" with
+  | Ok o ->
+      Alcotest.(check string) "series" "point" o.S.series;
+      Alcotest.(check (float 1e-9)) "quantile" 0.99 o.S.quantile;
+      Alcotest.(check (float 1e-9)) "threshold" 1500.0 o.S.threshold_us;
+      Alcotest.(check (float 1e-9)) "budget" 0.01 (S.budget_frac o)
+  | Error e -> Alcotest.fail e);
+  (match S.objective_of_string "all:p95<2ms" with
+  | Ok o -> Alcotest.(check (float 1e-9)) "ms suffix" 2000.0 o.S.threshold_us
+  | Error e -> Alcotest.fail e);
+  (match S.objective_of_string "x:p50<1s" with
+  | Ok o -> Alcotest.(check (float 1e-9)) "s suffix" 1e6 o.S.threshold_us
+  | Error e -> Alcotest.fail e);
+  (match S.objective_of_string "x:p90<250" with
+  | Ok o -> Alcotest.(check (float 1e-9)) "bare = us" 250.0 o.S.threshold_us
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match S.objective_of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad spec: " ^ bad))
+    [ "nope"; "x:q99<5us"; "x:p99<"; ":p99<5us"; "x:p0<5us"; "x:p100<5us";
+      "x:p99<-3us" ]
+
+(* Synthetic run: 10 quiet windows, then 3 where 60% of the requests
+   violate — well past the burn thresholds, so float rounding in the
+   budget fraction (1.0 -. 0.99) cannot flip the boundary.  The
+   multi-window burn rate must alert exactly on the violating windows
+   and stay quiet before them. *)
+let violating_timeseries () =
+  let ts = TS.create ~window_us:100.0 () in
+  for w = 0 to 12 do
+    let at = (Float.of_int w *. 100.0) +. 50.0 in
+    for i = 1 to 100 do
+      let bad = w >= 10 && i mod 5 <= 2 in
+      TS.observe ts ~at_us:at "lat" (if bad then 10_000.0 else 100.0)
+    done
+  done;
+  ts
+
+let slo_lat = { S.series = "lat"; quantile = 0.99; threshold_us = 1000.0 }
+
+let test_slo_burn_alerts () =
+  let quiet = TS.create ~window_us:100.0 () in
+  for w = 0 to 12 do
+    for _ = 1 to 100 do
+      TS.observe quiet ~at_us:((Float.of_int w *. 100.0) +. 50.0) "lat" 100.0
+    done
+  done;
+  Alcotest.(check int) "quiet run: no alerts" 0
+    (List.length (S.evaluate quiet slo_lat));
+  let ts = violating_timeseries () in
+  let alerts = S.evaluate ts slo_lat in
+  Alcotest.(check (list int))
+    "alerts exactly on violating windows" [ 10; 11; 12 ]
+    (List.map (fun a -> a.S.a_window) alerts);
+  let a = List.hd alerts in
+  (* Window 10's fast stretch is 6..10: 60 violations of 500 requests
+     against a 1% budget — burn 12. *)
+  Alcotest.(check int) "bad" 60 a.S.a_bad;
+  Alcotest.(check int) "total" 500 a.S.a_total;
+  Alcotest.(check (float 1e-6)) "fast burn" 12.0 a.S.a_fast_burn;
+  (* An unknown series never alerts. *)
+  Alcotest.(check int) "unknown series" 0
+    (List.length (S.evaluate ts { slo_lat with S.series = "ghost" }))
+
+let test_slo_attribution_and_flight_record () =
+  let ts = violating_timeseries () in
+  (* A merge overlapping alert window 10 ([1000, 1100)), an eviction
+     with a smaller overlap, and one far away. *)
+  TS.event ts ~start_us:1010.0 ~dur_us:80.0 ~kind:"lsm.merge" ~part:2 [];
+  TS.event ts ~start_us:1090.0 ~dur_us:30.0 ~kind:"eviction" ~part:0
+    [ ("bytes", 4096) ];
+  TS.event ts ~start_us:100.0 ~dur_us:10.0 ~kind:"eviction" ~part:1 [];
+  let alerts = S.evaluate ts slo_lat in
+  let findings = S.attribute ts alerts in
+  let w10 =
+    List.filter (fun f -> f.S.f_alert.S.a_window = 10) findings
+  in
+  Alcotest.(check int) "two events overlap window 10" 2 (List.length w10);
+  (* Ranked by overlap: the 80us merge beats the 10us eviction tail. *)
+  Alcotest.(check string) "top culprit" "lsm.merge"
+    (List.hd w10).S.f_event.TS.e_kind;
+  Alcotest.(check bool) "overlap measured" true
+    ((List.hd w10).S.f_overlap_us = 80.0);
+  (* The flight record around window 12 still reaches back to window
+     10's events (±2 windows); the window-1 eviction is out of range. *)
+  let a12 = List.find (fun a -> a.S.a_window = 12) alerts in
+  let fr = S.flight_record ts a12 in
+  Alcotest.(check int) "flight record spans the ring" 2 (List.length fr);
+  (* The whole document parses back. *)
+  match J.of_string (J.to_string ~indent:2 (S.to_json ts [ slo_lat ])) with
+  | Error e -> Alcotest.fail ("slo json does not parse: " ^ e)
+  | Ok j ->
+      Alcotest.(check int) "alerts in json" 3
+        (List.length
+           (Option.value ~default:[]
+              (Option.bind (J.member "alerts" j) J.to_list)));
+      Alcotest.(check bool) "findings present" true
+        (Option.bind (J.member "findings" j) J.to_list <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export: round-trip through the Json parser; nesting and
+   aggregates must survive ring wraparound. *)
+
+let test_chrome_trace_roundtrip () =
+  let now = ref 0.0 in
+  let t = T.create ~capacity:4 ~clock:(fun () -> !now) () in
+  (* Three top-level spans, then a nested pair: completion order is
+     t1 t2 t3 inner outer, so the capacity-4 ring drops t1 but keeps
+     the nested pair intact. *)
+  for i = 1 to 3 do
+    T.with_span t (Printf.sprintf "t%d" i) (fun () -> now := !now +. 1.0)
+  done;
+  T.with_span t ~cat:"dataset" "outer" (fun () ->
+      now := !now +. 1.0;
+      T.with_span t "inner" (fun () -> now := !now +. 2.0);
+      now := !now +. 1.0);
+  Alcotest.(check int) "recorded" 5 (T.recorded t);
+  Alcotest.(check int) "dropped" 1 (T.dropped t);
+  match J.of_string (T.to_chrome_json t) with
+  | Error e -> Alcotest.fail ("chrome trace does not parse: " ^ e)
+  | Ok j ->
+      let evs =
+        Option.value ~default:[]
+          (Option.bind (J.member "traceEvents" j) J.to_list)
+      in
+      Alcotest.(check int) "ring survivors exported" 4 (List.length evs);
+      let find name =
+        List.find
+          (fun e ->
+            Option.bind (J.member "name" e) J.to_string_opt = Some name)
+          evs
+      in
+      let ts_of e =
+        Option.value ~default:Float.nan (Option.bind (J.member "ts" e) J.to_float)
+      and dur_of e =
+        Option.value ~default:Float.nan
+          (Option.bind (J.member "dur" e) J.to_float)
+      in
+      (* Nesting survives as ts-containment: inner inside outer. *)
+      let outer = find "outer" and inner = find "inner" in
+      Alcotest.(check bool) "inner starts inside outer" true
+        (ts_of inner >= ts_of outer);
+      Alcotest.(check bool) "inner ends inside outer" true
+        (ts_of inner +. dur_of inner <= ts_of outer +. dur_of outer);
+      Alcotest.(check (float 1e-9)) "inner duration" 2.0 (dur_of inner);
+      (* The evicted span t1 is gone from the export... *)
+      Alcotest.(check bool) "t1 evicted" true
+        (not
+           (List.exists
+              (fun e ->
+                Option.bind (J.member "name" e) J.to_string_opt = Some "t1")
+              evs));
+      (* ...but the aggregates still account for all five spans. *)
+      Alcotest.(check int) "aggregates keep full counts" 5
+        (List.length (T.aggregates t));
+      (* t1..t3 at 1us each plus outer's 4us inclusive. *)
+      Alcotest.(check (float 1e-9)) "coverage includes evicted" 7.0
+        (T.top_level_us t)
+
+(* ------------------------------------------------------------------ *)
+(* Ampstats copy/diff *)
+
+let test_ampstats_copy_diff () =
+  let a = Lsm_obs.Ampstats.create () in
+  Lsm_obs.Ampstats.on_flush a ~bytes:1000 ~rows:10;
+  let s = Lsm_obs.Ampstats.copy a in
+  Lsm_obs.Ampstats.on_flush a ~bytes:500 ~rows:5;
+  Lsm_obs.Ampstats.on_merge a ~bytes_read:2000 ~bytes_written:1500 ~rows_in:20
+    ~rows_out:15;
+  (* copy is detached: the snapshot still shows the old totals. *)
+  Alcotest.(check int) "snapshot detached" 1 s.Lsm_obs.Ampstats.flushes;
+  let d = Lsm_obs.Ampstats.diff ~since:s a in
+  Alcotest.(check int) "flush delta" 1 d.Lsm_obs.Ampstats.flushes;
+  Alcotest.(check int) "flush bytes delta" 500 d.Lsm_obs.Ampstats.flush_bytes;
+  Alcotest.(check int) "merge delta" 1 d.Lsm_obs.Ampstats.merges;
+  Alcotest.(check int) "merge bytes delta" 1500
+    d.Lsm_obs.Ampstats.merge_written_bytes
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "lsm_obs"
@@ -685,7 +1000,24 @@ let () =
           Alcotest.test_case "exact fields" `Quick test_hist_exact_fields;
           Alcotest.test_case "quantiles" `Quick test_hist_quantiles;
           Alcotest.test_case "extremes + reset" `Quick test_hist_extremes;
+          Alcotest.test_case "count_above" `Quick test_hist_count_above;
           prop_hist_quantile_bounds;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "shared percentile" `Quick test_stats_helpers ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "windows" `Quick test_timeseries_windows;
+          Alcotest.test_case "event ring" `Quick test_timeseries_event_ring;
+          Alcotest.test_case "json + csv exports" `Quick
+            test_timeseries_exports_parse;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "spec parser" `Quick test_slo_spec_parser;
+          Alcotest.test_case "burn-rate alerts" `Quick test_slo_burn_alerts;
+          Alcotest.test_case "attribution + flight record" `Quick
+            test_slo_attribution_and_flight_record;
         ] );
       ( "tracer",
         [
@@ -699,6 +1031,8 @@ let () =
           Alcotest.test_case "args accumulate" `Quick
             test_tracer_args_accumulate;
           Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+          Alcotest.test_case "chrome trace round-trip" `Quick
+            test_chrome_trace_roundtrip;
         ] );
       ( "metrics",
         [
@@ -726,6 +1060,7 @@ let () =
         [
           Alcotest.test_case "arithmetic + publish" `Quick test_ampstats_math;
           Alcotest.test_case "fed by engine" `Quick test_ampstats_fed_by_engine;
+          Alcotest.test_case "copy/diff" `Quick test_ampstats_copy_diff;
         ] );
       ( "explain",
         [

@@ -196,6 +196,100 @@ let test_knee () =
     (high.Driver.backlog_frac > low.Driver.backlog_frac
     && high.Driver.backlog_frac > 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* Timelines, burn-rate SLOs, and interference attribution *)
+
+module Timeseries = Lsm_obs.Timeseries
+module Slo = Lsm_obs.Slo
+module Histogram = Lsm_obs.Histogram
+module Serve_report = Lsm_serve.Serve_report
+
+let window_us = 20_000.0
+
+(* The knee pair again, this time instrumented: one capacity probe, then
+   a quiet 0.3x run and a saturated 3x run with timelines attached. *)
+let timeline_pair =
+  lazy
+    (let cfg = tiny_cfg ~rate:0.0 ~duration:0.3 () in
+     let cap = Driver.estimate_capacity cfg in
+     let low_ts = Timeseries.create ~window_us () in
+     let low =
+       Driver.run ~timeline:low_ts { cfg with Driver.rate_rps = 0.3 *. cap }
+     in
+     let high_ts = Timeseries.create ~window_us () in
+     let high =
+       Driver.run ~timeline:high_ts { cfg with Driver.rate_rps = 3.0 *. cap }
+     in
+     (low, low_ts, high, high_ts))
+
+(* Threshold comfortably above everything the quiet run saw: the 0.3x
+   run cannot violate it even once, so any alert can only come from the
+   saturated run's queueing. *)
+let objective_for low_ts =
+  let worst = ref 0.0 in
+  for i = 0 to Timeseries.n_windows low_ts - 1 do
+    match Timeseries.hist low_ts ~i "all" with
+    | Some h -> worst := Float.max !worst (Histogram.max_value h)
+    | None -> ()
+  done;
+  { Slo.series = "all"; quantile = 0.99; threshold_us = !worst *. 1.5 }
+
+let test_saturated_run_alerts_with_culprit () =
+  let _, low_ts, high, high_ts = Lazy.force timeline_pair in
+  let o = objective_for low_ts in
+  Alcotest.(check bool) "3x run saturated" true high.Driver.saturated;
+  let alerts = Slo.evaluate high_ts o in
+  Alcotest.(check bool) "burn-rate alert fired" true (alerts <> []);
+  let findings = Slo.attribute high_ts alerts in
+  Alcotest.(check bool) "attribution joined events" true (findings <> []);
+  Alcotest.(check bool)
+    "a budget eviction or merge is named in a spiking window" true
+    (List.exists
+       (fun (f : Slo.finding) ->
+         match f.Slo.f_event.Timeseries.e_kind with
+         | "eviction" | "lsm.merge" | "lsm.flush" | "dataset.flush"
+         | "dataset.merge" ->
+             true
+         | _ -> false)
+       findings);
+  (* Every finding's overlap stays within one window. *)
+  List.iter
+    (fun (f : Slo.finding) ->
+      Alcotest.(check bool) "overlap bounded by the window" true
+        (f.Slo.f_overlap_us >= 0.0
+        && f.Slo.f_overlap_us <= Timeseries.window_us high_ts))
+    findings
+
+let test_quiet_run_no_alerts () =
+  let low, low_ts, _, _ = Lazy.force timeline_pair in
+  Alcotest.(check bool) "0.3x run below saturation" false low.Driver.saturated;
+  let o = objective_for low_ts in
+  Alcotest.(check (list int))
+    "0.3x capacity: no burn-rate alerts" []
+    (List.map (fun (a : Slo.alert) -> a.Slo.a_window) (Slo.evaluate low_ts o))
+
+let test_timeline_noninvasive () =
+  let r_plain = Lazy.force base_run in
+  let ts = Timeseries.create ~window_us () in
+  let r_instr = Driver.run ~timeline:ts (tiny_cfg ()) in
+  Alcotest.(check bool) "result identical with timeline attached" true
+    (r_plain = r_instr);
+  Alcotest.(check bool) "timeline observed the run" true
+    (Timeseries.n_windows ts > 0)
+
+let test_timeline_byte_identical () =
+  let render () =
+    let ts = Timeseries.create ~window_us () in
+    let r = Driver.run ~timeline:ts (tiny_cfg ()) in
+    let o = { Slo.series = "point"; quantile = 0.99; threshold_us = 1500.0 } in
+    ( Lsm_obs.Json.to_string (Serve_report.timeline_to_json r ts [ o ]),
+      Timeseries.to_csv ts )
+  in
+  let j1, c1 = render () in
+  let j2, c2 = render () in
+  Alcotest.(check string) "timeline JSON byte-identical across runs" j1 j2;
+  Alcotest.(check string) "timeline CSV byte-identical across runs" c1 c2
+
 let () =
   Alcotest.run "lsm_serve"
     [
@@ -226,5 +320,16 @@ let () =
           Alcotest.test_case "auto rate anchors to capacity" `Quick
             test_auto_rate;
           Alcotest.test_case "saturation knee" `Quick test_knee;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "saturated run alerts with culprit" `Quick
+            test_saturated_run_alerts_with_culprit;
+          Alcotest.test_case "quiet run stays silent" `Quick
+            test_quiet_run_no_alerts;
+          Alcotest.test_case "instrumentation is non-invasive" `Quick
+            test_timeline_noninvasive;
+          Alcotest.test_case "exports byte-identical for a seed" `Quick
+            test_timeline_byte_identical;
         ] );
     ]
