@@ -259,6 +259,102 @@ let sim_serve_entries () =
       ])
     r.Lsm_serve.Driver.classes
 
+(* Group-commit series, same contract as sim.range_scan: identical
+   seeded transaction workloads with the WAL batching 1 (serial), 4, and
+   8 commits per fsync.  The gated claim is fsync amortization: simulated
+   WAL sync cost per committed transaction falls strictly below the
+   serial baseline from batch 4 up (one group fsync covers the whole
+   batch; the serial WAL charges one per commit). *)
+module Txn = Lsm_core.Txn_dataset.Make (Lsm_workload.Tweet.Record) (D)
+
+let sim_group_commit_entries () =
+  let measure batch =
+    let env = quiet_env () in
+    let d =
+      dataset ~strategy:Strategy.validation ~mem_budget:(256 * 1024) env
+        Lsm_harness.Scale.tiny
+    in
+    let t = Txn.create d in
+    if batch > 1 then Txn.set_group_commit t ~batch;
+    let gen = Tweet.create_gen ~seed:21 () in
+    let id = ref 0 in
+    for i = 1 to 300 do
+      let txn = Txn.begin_txn t in
+      for _ = 1 to 4 do
+        incr id;
+        Txn.upsert t txn (Tweet.with_id gen (!id mod 2_000))
+      done;
+      Txn.commit t txn;
+      (* Periodic flushes seal any open group (WAL-before-data). *)
+      if i mod 60 = 0 then Txn.flush t
+    done;
+    Txn.flush t;
+    Lsm_txn.Wal.sync_stats (Txn.wal t)
+  in
+  let e name unit_ v = { Lsm_harness.Bench_json.name; unit_; samples = [| v |] } in
+  List.concat_map
+    (fun batch ->
+      let s = measure batch in
+      let per_txn =
+        s.Lsm_txn.Wal.fsync_time_us
+        /. float_of_int (max 1 s.Lsm_txn.Wal.durable_commits)
+      in
+      Printf.printf
+        "sim.group_commit b%d: %4d fsyncs, %4d durable commits, %6.1f us/txn\n"
+        batch s.Lsm_txn.Wal.fsyncs s.Lsm_txn.Wal.durable_commits per_txn;
+      [
+        e
+          (Printf.sprintf "sim.group_commit.b%d.fsync_us_per_txn" batch)
+          "us/txn" per_txn;
+        e
+          (Printf.sprintf "sim.group_commit.b%d.fsyncs" batch)
+          "fsyncs" (float_of_int s.Lsm_txn.Wal.fsyncs);
+      ])
+    [ 1; 4; 8 ]
+
+(* Overlapping-maintenance series: one seeded update-heavy ingest run per
+   worker count.  The two schedulers produce byte-identical trees (the
+   differential suite proves it); what this series gates is the modeled
+   wall-clock spent inside the merge scheduler — with 2 workers the
+   clock is rewound from each round's serial sum to its list-scheduled
+   makespan, so merge_us must not exceed the serial run's. *)
+let sim_parallel_maint_entries () =
+  let measure workers =
+    let env = quiet_env () in
+    let d =
+      dataset ~strategy:Strategy.validation ~mem_budget:(64 * 1024)
+        ~maint_workers:workers env Lsm_harness.Scale.tiny
+    in
+    let stream =
+      Streams.upsert_stream ~seed:17 ~update_ratio:0.5 ~distribution:`Uniform ()
+    in
+    for _ = 1 to 12_000 do
+      apply_op d (Streams.next stream)
+    done;
+    D.flush_now d;
+    (D.total_disk_bytes d, (D.stats d).D.merge_us, D.maint_stats d)
+  in
+  let bytes1, merge1, _ = measure 1 in
+  let bytes2, merge2, m2 = measure 2 in
+  (* The schedulers must agree on the physical result. *)
+  assert (bytes1 = bytes2);
+  let speedup =
+    m2.Lsm_core.Dataset.maint_serial_us
+    /. Float.max 1.0 m2.Lsm_core.Dataset.maint_makespan_us
+  in
+  Printf.printf
+    "sim.parallel_maint: w1 %8.0fus | w2 %8.0fus (%d rounds, %d jobs, \
+     overlap %d, %.2fx)\n"
+    merge1 merge2 m2.Lsm_core.Dataset.maint_rounds
+    m2.Lsm_core.Dataset.maint_jobs m2.Lsm_core.Dataset.maint_max_overlap
+    speedup;
+  let e name unit_ v = { Lsm_harness.Bench_json.name; unit_; samples = [| v |] } in
+  [
+    e "sim.parallel_maint.w1.merge_us" "us/run" merge1;
+    e "sim.parallel_maint.w2.merge_us" "us/run" merge2;
+    e "sim.parallel_maint.w2.speedup" "x" speedup;
+  ]
+
 (* Query-plan benches share one prepared update-heavy dataset. *)
 let query_fixture =
   lazy
@@ -384,7 +480,10 @@ let run_micro ?(quota = 0.4) ?json_path () =
   ignore (Lazy.force range_fixture_heap);
   ignore (Lazy.force range_fixture_view);
   (* Deterministic simulated-cost series first — the CI gate reads these. *)
-  let sim_entries = sim_range_scan_entries () @ sim_serve_entries () in
+  let sim_entries =
+    sim_range_scan_entries () @ sim_serve_entries ()
+    @ sim_group_commit_entries () @ sim_parallel_maint_entries ()
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in

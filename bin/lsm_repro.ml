@@ -233,12 +233,23 @@ let serve_cmd =
     let doc = "Timeline window width, in simulated milliseconds." in
     Arg.(value & opt float 100.0 & info [ "window-ms" ] ~docv:"MS" ~doc)
   in
+  let maint_workers_arg =
+    let doc =
+      "Modeled maintenance workers per partition; with more than one, \
+       independent merges overlap deterministically."
+    in
+    Arg.(value & opt int 1 & info [ "maint-workers" ] ~docv:"N" ~doc)
+  in
   let run scale partitions rate sweep duration seed users arrivals json timeline
-      timeline_csv slos window_ms metrics =
+      timeline_csv slos window_ms maint_workers metrics =
     let scale = Lsm_harness.Scale.of_string scale in
     check_writable json;
     check_writable timeline;
     check_writable timeline_csv;
+    if maint_workers < 1 then begin
+      Printf.eprintf "--maint-workers must be >= 1\n";
+      exit 2
+    end;
     if sweep && timeline <> None then begin
       Printf.eprintf "--timeline records a single run; drop --sweep\n";
       exit 2
@@ -267,6 +278,7 @@ let serve_cmd =
         duration_s = (if duration > 0.0 then duration else cfg.Driver.duration_s);
         users = (if users > 0 then users else cfg.Driver.users);
         arrivals;
+        maint_workers;
         seed;
       }
     in
@@ -341,7 +353,8 @@ let serve_cmd =
     Term.(
       const run $ scale_arg $ partitions_arg $ rate_arg $ sweep_arg
       $ duration_arg $ seed_arg $ users_arg $ arrivals_arg $ json_arg
-      $ timeline_arg $ timeline_csv_arg $ slo_arg $ window_ms_arg $ metrics_arg)
+      $ timeline_arg $ timeline_csv_arg $ slo_arg $ window_ms_arg
+      $ maint_workers_arg $ metrics_arg)
 
 let faultsim_cmd =
   let module F = Lsm_faultsim.Fault in
@@ -386,6 +399,21 @@ let faultsim_cmd =
     let doc = "Run the Validation strategy instead of Mutable-bitmap." in
     Arg.(value & flag & info [ "validation" ] ~doc)
   in
+  let group_commit_arg =
+    let doc =
+      "WAL group-commit batch size: commits enqueue into a group and one \
+       fsync covers the whole group. 1 (default) = serial, one fsync per \
+       commit."
+    in
+    Arg.(value & opt int 1 & info [ "group-commit" ] ~docv:"N" ~doc)
+  in
+  let maint_workers_arg =
+    let doc =
+      "Modeled maintenance workers: with more than one, independent merges \
+       overlap deterministically."
+    in
+    Arg.(value & opt int 1 & info [ "maint-workers" ] ~docv:"N" ~doc)
+  in
   let point_arg =
     let doc = "Reproduce a single plan: fault point name (with --hit)." in
     Arg.(value & opt (some string) None & info [ "point" ] ~docv:"POINT" ~doc)
@@ -418,9 +446,26 @@ let faultsim_cmd =
     in
     Arg.(value & opt int 1 & info [ "fails" ] ~docv:"K" ~doc)
   in
-  let run seed txns points io corrupt intermittent validation list_points
-      point hit kind fails =
-    let cfg = { Sc.default_config with Sc.seed; txns; validation } in
+  let run seed txns points io corrupt intermittent validation group_commit
+      maint_workers list_points point hit kind fails =
+    if group_commit < 1 then begin
+      Printf.eprintf "--group-commit must be >= 1\n";
+      exit 2
+    end;
+    if maint_workers < 1 then begin
+      Printf.eprintf "--maint-workers must be >= 1\n";
+      exit 2
+    end;
+    let cfg =
+      {
+        Sc.default_config with
+        Sc.seed;
+        txns;
+        validation;
+        group_commit;
+        maint_workers;
+      }
+    in
     if list_points then begin
       let inj, _ = Sc.run cfg in
       Printf.printf "fault points announced (drive phase, seed %d):\n" seed;
@@ -471,8 +516,9 @@ let faultsim_cmd =
           committed-state model")
     Term.(
       const run $ seed_arg $ txns_arg $ points_arg $ io_arg $ corrupt_arg
-      $ intermittent_arg $ validation_arg $ list_points_arg $ point_arg
-      $ hit_arg $ kind_arg $ fails_arg)
+      $ intermittent_arg $ validation_arg $ group_commit_arg
+      $ maint_workers_arg $ list_points_arg $ point_arg $ hit_arg $ kind_arg
+      $ fails_arg)
 
 let () =
   let doc =

@@ -21,6 +21,16 @@ dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
 dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
   --corrupt 12 --intermittent 8 --validation
 
+# Same matrices with group commit and overlapping maintenance enabled:
+# the WAL's seal/fsync/ack windows (torn group tail) and the scheduler's
+# job start/install boundaries become enumerable crash points and every
+# plan must still land checker-accepted.
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
+  --corrupt 12 --intermittent 8 --group-commit 4 --maint-workers 2
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
+  --corrupt 12 --intermittent 8 --group-commit 4 --maint-workers 2 \
+  --validation
+
 # --- serving-layer smoke ----------------------------------------------
 # One tiny open-loop run with a fixed seed: the command must exit 0 and
 # emit a schema-valid JSON document (test_cli.ml checks the schema; this
@@ -47,9 +57,10 @@ cmp /tmp/serve_tl_a.csv /tmp/serve_tl_b.csv
 # --- bench checks ------------------------------------------------------
 # One quick microbench run feeds two comparisons against the committed
 # baseline:
-#   1. GATE: the sim.range_scan and sim.serve series are pure simulated
-#      cost (deterministic, single-sample), so a >10% change is a real
-#      algorithmic or cost-model regression and fails CI.
+#   1. GATE: the sim.range_scan, sim.serve, sim.group_commit, and
+#      sim.parallel_maint series are pure simulated cost (deterministic,
+#      single-sample), so a >10% change is a real algorithmic or
+#      cost-model regression and fails CI.
 #   2. Advisory: host timings on CI machines are too noisy to gate on,
 #      so regressions in the full set only print.
 if [ -f BENCH_micro.json ]; then
@@ -59,6 +70,10 @@ if [ -f BENCH_micro.json ]; then
     --threshold 0.10 --only sim.range_scan
   dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
     --threshold 0.10 --only sim.serve
+  dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
+    --threshold 0.10 --only sim.group_commit
+  dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
+    --threshold 0.10 --only sim.parallel_maint
   (
     set +e
     echo "### advisory bench compare (not a gate; failures do not fail CI)"

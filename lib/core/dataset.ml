@@ -10,6 +10,21 @@
 
 module Entry = Lsm_tree.Entry
 
+(** Counters for the overlapping-maintenance scheduler (Sec. 2.3): how
+    many rounds ran, how many merge jobs they dispatched, the widest
+    observed overlap, the serial sum of job busy times versus the modeled
+    W-worker makespan actually charged to the clock, and how often two
+    runnable jobs claimed the same tree (must stay zero — jobs are
+    constructed over disjoint trees). *)
+type maint_stats = {
+  mutable maint_rounds : int;
+  mutable maint_jobs : int;
+  mutable maint_max_overlap : int;
+  mutable maint_shared_claims : int;
+  mutable maint_serial_us : float;
+  mutable maint_makespan_us : float;
+}
+
 module Make (R : Record.S) = struct
   module Rv = struct
     type t = R.t
@@ -38,6 +53,8 @@ module Make (R : Record.S) = struct
     bloom : Lsm_tree.Config.bloom option;
         (** Bloom settings for primary / primary-key / deleted-key
             components (secondary indexes are range-scanned, no filter) *)
+    maint_workers : int;
+        (** modeled maintenance workers; > 1 overlaps independent merges *)
   }
 
   let default_config =
@@ -47,6 +64,7 @@ module Make (R : Record.S) = struct
       merge_policy = Lsm_tree.Merge_policy.tiering ~size_ratio:1.2 ();
       use_pk_index = true;
       bloom = Some Lsm_tree.Config.default_bloom;
+      maint_workers = 1;
     }
 
   type stats = {
@@ -73,6 +91,9 @@ module Make (R : Record.S) = struct
     secondaries : sec_index array;
     mutable clock : int;  (** logical ingestion timestamp (Sec. 4.1) *)
     stats : stats;
+    maint : maint_stats;
+    mutable maint_workers : int;
+        (** > 1: the merge scheduler overlaps independent jobs *)
     mutable auto_maintenance : bool;
         (** flush/merge when the budget fills; disable to drive manually *)
   }
@@ -140,6 +161,16 @@ module Make (R : Record.S) = struct
             merge_us = 0.0;
             repair_us = 0.0;
           };
+        maint =
+          {
+            maint_rounds = 0;
+            maint_jobs = 0;
+            maint_max_overlap = 0;
+            maint_shared_claims = 0;
+            maint_serial_us = 0.0;
+            maint_makespan_us = 0.0;
+          };
+        maint_workers = max 1 cfg.maint_workers;
         auto_maintenance = true;
       }
     in
@@ -153,6 +184,9 @@ module Make (R : Record.S) = struct
   let stats t = t.stats
   let strategy t = t.cfg.strategy
   let config t = t.cfg
+  let maint_stats t = t.maint
+  let maint_workers t = t.maint_workers
+  let set_maint_workers t n = t.maint_workers <- max 1 n
   let secondary t name =
     match Array.find_opt (fun s -> s.sec_name = name) t.secondaries with
     | Some s -> s
@@ -268,23 +302,14 @@ module Make (R : Record.S) = struct
                only ever keep the newest deletion record per key). *)
             ())
 
-  (** Run the merge scheduler to a fixpoint.  Depending on the strategy,
-      the primary pair (and possibly the secondaries) merge under a
-      correlated policy — same component ID ranges everywhere — while the
-      rest merge independently (Sec. 4.4, Sec. 5.1). *)
-  let run_merges t =
-    Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.merge" @@ fun () ->
-    let t0 = Lsm_sim.Env.now_us t.env in
-    let policy = t.cfg.merge_policy in
-    (* Catch-up realignment: a supervised retry may re-enter after a
-       primary merge completed but its lockstep pk-index merge died (the
-       retry exhaustion hit mid-pair).  The rerun would never redo the pk
-       side — the lockstep merge only triggers on a fresh primary merge —
-       so complete any pending catch-up first, exactly as recovery does.
-       The old pk components' bitmaps are still the ones the primary
-       merge dropped rows against, so the catch-up merge reproduces the
-       same survivor sequence; then re-share the fresh bitmap. *)
-    (match t.pk_index with
+  (* Catch-up realignment shared by both merge schedulers: a supervised
+     retry (or recovery) may re-enter after a primary merge completed but
+     its lockstep pk-index merge died.  Complete any pending catch-up
+     first; the old pk components' bitmaps are still the ones the primary
+     merge dropped rows against, so the catch-up merge reproduces the same
+     survivor sequence; then re-share the fresh bitmap. *)
+  let realign_pk_to_primary t =
+    match t.pk_index with
     | Some pk when Strategy.correlates_primary_pair t.cfg.strategy ->
         Array.iter
           (fun pc ->
@@ -301,15 +326,26 @@ module Make (R : Record.S) = struct
                   kc.Pk.bitmap <- pc.Prim.bitmap
             | None -> ())
           (Prim.components t.primary)
-    | _ -> ());
-    let repair_after_merge s sc =
-      match t.cfg.strategy with
-      | Strategy.Validation { repair_on_merge = true; _ }
-      | Strategy.Mutable_bitmap { secondary_repair = true }
-      | Strategy.Deleted_key_btree ->
-          !repair_hook t s sc ~piggyback:true
-      | _ -> ()
-    in
+    | _ -> ()
+
+  let repair_after_merge t s sc =
+    match t.cfg.strategy with
+    | Strategy.Validation { repair_on_merge = true; _ }
+    | Strategy.Mutable_bitmap { secondary_repair = true }
+    | Strategy.Deleted_key_btree ->
+        !repair_hook t s sc ~piggyback:true
+    | _ -> ()
+
+  (** Run the merge scheduler to a fixpoint, one merge at a time.
+      Depending on the strategy, the primary pair (and possibly the
+      secondaries) merge under a correlated policy — same component ID
+      ranges everywhere — while the rest merge independently (Sec. 4.4,
+      Sec. 5.1). *)
+  let run_merges_serial t =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.merge" @@ fun () ->
+    let t0 = Lsm_sim.Env.now_us t.env in
+    let policy = t.cfg.merge_policy in
+    realign_pk_to_primary t;
     let progress = ref true in
     while !progress do
       progress := false;
@@ -395,7 +431,7 @@ module Make (R : Record.S) = struct
             (match Sec.maybe_merge s.tree policy with
             | Some sc ->
                 bump ();
-                repair_after_merge s sc
+                repair_after_merge t s sc
             | None -> ());
             match s.del_tree with
             | Some d -> (
@@ -406,6 +442,327 @@ module Make (R : Record.S) = struct
           t.secondaries
     done;
     t.stats.merge_us <- t.stats.merge_us +. (Lsm_sim.Env.now_us t.env -. t0)
+
+  (* ------------------------------------------------------------------ *)
+  (* Overlapping maintenance (Sec. 2.3): with [maint_workers > 1] the
+     scheduler picks one runnable merge job per tree family each round —
+     the same picks, in the same order, that the serial fixpoint would
+     make, since picks on distinct trees are independent — and interleaves
+     their step phases deterministically on the simulated clock
+     (round-robin quanta, the [concurrent_merge] interleaver pattern).
+     Install/finish phases run strictly in pick order, so every structural
+     mutation, repair, and file-id allocation happens in exactly the
+     serial order and the resulting trees are byte-for-byte identical to
+     serial maintenance.  Each job's busy time is measured from clock
+     deltas; at round end the jobs are list-scheduled onto W modeled
+     workers and the clock is rewound from the serial sum to the modeled
+     makespan, so wall-clock consumers observe pipeline cost. *)
+
+  type maint_job = {
+    job_label : string;
+    job_trees : string list;
+        (** tree names the job mutates; the scheduler never runs two jobs
+            claiming a tree in the same round *)
+    job_step : rows:int -> bool;  (** [false] once inputs are exhausted *)
+    job_finish : unit -> unit;  (** install + correlated post-steps *)
+  }
+
+  (* The policy decision [maybe_merge] would take, without merging:
+     newest-first range [Some (first, last)] or [None]. *)
+  let pick_component_range ~n ~size policy =
+    if n < 2 then None
+    else begin
+      (* Policy works oldest-first. *)
+      let sizes = Array.init n (fun i -> size (n - 1 - i)) in
+      match Lsm_tree.Merge_policy.pick policy ~sizes with
+      | None -> None
+      | Some (f_old, l_old) -> Some (n - 1 - l_old, n - 1 - f_old)
+    end
+
+  (* One scheduler round's runnable jobs, in the serial scheduler's
+     order: primary (with its lockstep pk-index under Mutable-bitmap),
+     then the pk index (driving every secondary under Bloom-opt
+     validation), then each secondary and deleted-key tree. *)
+  let pick_round_jobs t policy bump =
+    let jobs = ref [] in
+    let claimed : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let add_job ~label ~trees make =
+      if List.exists (Hashtbl.mem claimed) trees then
+        t.maint.maint_shared_claims <- t.maint.maint_shared_claims + 1
+      else begin
+        List.iter (fun n -> Hashtbl.replace claimed n ()) trees;
+        jobs := make ~label ~trees :: !jobs
+      end
+    in
+    (* Primary index; under Mutable-bitmap the pk index follows in
+       lockstep inside the finish phase (Sec. 5.1), so the job claims
+       both trees. *)
+    (let comps = Prim.components t.primary in
+     match
+       pick_component_range ~n:(Array.length comps)
+         ~size:(fun i -> Prim.component_size_bytes t.primary comps.(i))
+         policy
+     with
+     | Some (first, last) ->
+         let pair =
+           t.pk_index <> None
+           && Strategy.correlates_primary_pair t.cfg.strategy
+         in
+         let trees = if pair then [ "primary"; "pk-index" ] else [ "primary" ] in
+         add_job ~label:(if pair then "primary+pk" else "primary") ~trees
+           (fun ~label ~trees ->
+             let mj = Prim.merge_start t.primary ~first ~last in
+             {
+               job_label = label;
+               job_trees = trees;
+               job_step = (fun ~rows -> Prim.merge_step t.primary mj ~rows);
+               job_finish =
+                 (fun () ->
+                   let pc = Prim.merge_finish t.primary mj in
+                   bump ();
+                   match t.pk_index with
+                   | Some pk when pair -> (
+                       Lsm_sim.Env.fault_point t.env "dataset.merge.pair";
+                       let lo, hi = Prim.component_id pc in
+                       match
+                         merge_id_range
+                           ~components:(fun () -> Pk.components pk)
+                           ~id:Pk.component_id
+                           ~merge:(fun ~first ~last -> Pk.merge pk ~first ~last)
+                           ~lo ~hi
+                       with
+                       | Some kc ->
+                           if Strategy.uses_primary_bitmap t.cfg.strategy then
+                             kc.Pk.bitmap <- pc.Prim.bitmap
+                       | None -> ())
+                   | _ -> ());
+             })
+     | None -> ());
+    (* Primary key index (when not slaved to the primary above). *)
+    (match t.pk_index with
+    | Some pk when not (Strategy.correlates_primary_pair t.cfg.strategy) -> (
+        let comps = Pk.components pk in
+        match
+          pick_component_range ~n:(Array.length comps)
+            ~size:(fun i -> Pk.component_size_bytes pk comps.(i))
+            policy
+        with
+        | Some (first, last) ->
+            if Strategy.correlates_secondaries t.cfg.strategy then begin
+              (* Bloom-opt validation: this pk merge drives every
+                 secondary (Sec. 4.4), so the job claims them all.  The
+                 finish phase repairs and merges the secondaries *before*
+                 installing the pk merge — the repair must validate
+                 against the pre-merge pk components. *)
+              let lo = fst (Pk.component_id comps.(last)) in
+              let hi = snd (Pk.component_id comps.(first)) in
+              let trees =
+                "pk-index"
+                :: Array.to_list
+                     (Array.map (fun s -> "sec:" ^ s.sec_name) t.secondaries)
+              in
+              add_job ~label:"pk+secondaries" ~trees (fun ~label ~trees ->
+                  let mj = Pk.merge_start pk ~first ~last in
+                  {
+                    job_label = label;
+                    job_trees = trees;
+                    job_step = (fun ~rows -> Pk.merge_step pk mj ~rows);
+                    job_finish =
+                      (fun () ->
+                        bump ();
+                        Array.iter
+                          (fun s ->
+                            match
+                              merge_id_range
+                                ~components:(fun () -> Sec.components s.tree)
+                                ~id:Sec.component_id
+                                ~merge:(fun ~first ~last ->
+                                  Sec.merge s.tree ~first ~last)
+                                ~lo ~hi
+                            with
+                            | Some sc -> !repair_hook t s sc ~piggyback:true
+                            | None -> ())
+                          t.secondaries;
+                        ignore (Pk.merge_finish pk mj));
+                  })
+            end
+            else
+              add_job ~label:"pk-index" ~trees:[ "pk-index" ]
+                (fun ~label ~trees ->
+                  let mj = Pk.merge_start pk ~first ~last in
+                  {
+                    job_label = label;
+                    job_trees = trees;
+                    job_step = (fun ~rows -> Pk.merge_step pk mj ~rows);
+                    job_finish =
+                      (fun () ->
+                        ignore (Pk.merge_finish pk mj);
+                        bump ());
+                  })
+        | None -> ())
+    | _ -> ());
+    (* Secondaries and deleted-key trees (when not correlated above). *)
+    if not (Strategy.correlates_secondaries t.cfg.strategy) then
+      Array.iter
+        (fun s ->
+          (let comps = Sec.components s.tree in
+           match
+             pick_component_range ~n:(Array.length comps)
+               ~size:(fun i -> Sec.component_size_bytes s.tree comps.(i))
+               policy
+           with
+           | Some (first, last) ->
+               add_job ~label:("sec:" ^ s.sec_name)
+                 ~trees:[ "sec:" ^ s.sec_name ] (fun ~label ~trees ->
+                   let mj = Sec.merge_start s.tree ~first ~last in
+                   {
+                     job_label = label;
+                     job_trees = trees;
+                     job_step = (fun ~rows -> Sec.merge_step s.tree mj ~rows);
+                     job_finish =
+                       (fun () ->
+                         let sc = Sec.merge_finish s.tree mj in
+                         bump ();
+                         repair_after_merge t s sc);
+                   })
+           | None -> ());
+          match s.del_tree with
+          | Some d -> (
+              let comps = Pk.components d in
+              match
+                pick_component_range ~n:(Array.length comps)
+                  ~size:(fun i -> Pk.component_size_bytes d comps.(i))
+                  policy
+              with
+              | Some (first, last) ->
+                  add_job ~label:("del:" ^ s.sec_name)
+                    ~trees:[ "del:" ^ s.sec_name ] (fun ~label ~trees ->
+                      let mj = Pk.merge_start d ~first ~last in
+                      {
+                        job_label = label;
+                        job_trees = trees;
+                        job_step = (fun ~rows -> Pk.merge_step d mj ~rows);
+                        job_finish =
+                          (fun () ->
+                            ignore (Pk.merge_finish d mj);
+                            bump ());
+                      })
+              | None -> ())
+          | None -> ())
+        t.secondaries;
+    List.rev !jobs
+
+  (* Interleave one round's jobs: admit up to W in pick order, step each
+     active job a quantum per tick, finish strictly in pick order as
+     leaders complete.  Returns (serial busy sum, modeled makespan);
+     charges the clock with the serial sum during execution, then rewinds
+     to the makespan and emits one modeled [maint.job] span per job. *)
+  let step_quantum = 32
+
+  let execute_round t jobs =
+    let n = Array.length jobs in
+    let w = max 1 (min t.maint_workers n) in
+    let busy = Array.make n 0.0 in
+    let steps_done = Array.make n false in
+    let next = ref 0 in
+    let active = ref [] in
+    let finished = ref 0 in
+    let round_base = Lsm_sim.Env.now_us t.env in
+    while !finished < n do
+      while !next < n && List.length !active < w do
+        Lsm_sim.Env.fault_point t.env "maint.job.start";
+        active := !active @ [ !next ];
+        incr next;
+        let overlap = List.length !active in
+        if overlap > t.maint.maint_max_overlap then
+          t.maint.maint_max_overlap <- overlap
+      done;
+      List.iter
+        (fun i ->
+          if not steps_done.(i) then begin
+            let s0 = Lsm_sim.Env.now_us t.env in
+            let more = jobs.(i).job_step ~rows:step_quantum in
+            busy.(i) <- busy.(i) +. (Lsm_sim.Env.now_us t.env -. s0);
+            if not more then steps_done.(i) <- true
+          end)
+        !active;
+      (* Finish the leader(s): installs stay in pick (= serial) order. *)
+      let rec drain () =
+        match !active with
+        | i :: rest when steps_done.(i) ->
+            let s0 = Lsm_sim.Env.now_us t.env in
+            jobs.(i).job_finish ();
+            busy.(i) <- busy.(i) +. (Lsm_sim.Env.now_us t.env -. s0);
+            Lsm_sim.Env.fault_point t.env "maint.job.install";
+            active := rest;
+            incr finished;
+            drain ()
+        | _ -> ()
+      in
+      drain ()
+    done;
+    (* Model W workers: list-schedule busy times in admission order. *)
+    let free = Array.make w 0.0 in
+    let starts = Array.make n 0.0 in
+    Array.iteri
+      (fun i b ->
+        let k = ref 0 in
+        Array.iteri (fun j f -> if f < free.(!k) then k := j) free;
+        starts.(i) <- free.(!k);
+        free.(!k) <- free.(!k) +. b)
+      busy;
+    let serial = Array.fold_left ( +. ) 0.0 busy in
+    let makespan = Array.fold_left Float.max 0.0 free in
+    Lsm_sim.Env.rewind t.env (serial -. makespan);
+    Array.iteri
+      (fun i b ->
+        Lsm_sim.Env.emit_span t.env ~cat:jobs.(i).job_label "maint.job"
+          ~start_us:(round_base +. starts.(i)) ~dur_us:b)
+      busy;
+    (serial, makespan)
+
+  let publish_maint_gauges t =
+    let o = Lsm_sim.Env.obs t.env in
+    if o.Lsm_obs.Obs.enabled then begin
+      let m = Lsm_sim.Env.metrics t.env in
+      let set name v = Lsm_obs.Metrics.set (Lsm_obs.Metrics.gauge m name) v in
+      set "maint.workers" (float_of_int t.maint_workers);
+      set "maint.rounds" (float_of_int t.maint.maint_rounds);
+      set "maint.jobs" (float_of_int t.maint.maint_jobs);
+      set "maint.max_overlap" (float_of_int t.maint.maint_max_overlap);
+      set "maint.shared_claims" (float_of_int t.maint.maint_shared_claims);
+      set "maint.serial_us" t.maint.maint_serial_us;
+      set "maint.makespan_us" t.maint.maint_makespan_us
+    end
+
+  let run_merges_overlapped t =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.merge" @@ fun () ->
+    let t0 = Lsm_sim.Env.now_us t.env in
+    let policy = t.cfg.merge_policy in
+    realign_pk_to_primary t;
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      update_tombstone_barrier t;
+      let bump () =
+        progress := true;
+        t.stats.n_merges <- t.stats.n_merges + 1
+      in
+      match pick_round_jobs t policy bump with
+      | [] -> ()
+      | jobs ->
+          t.maint.maint_rounds <- t.maint.maint_rounds + 1;
+          t.maint.maint_jobs <- t.maint.maint_jobs + List.length jobs;
+          let serial, makespan = execute_round t (Array.of_list jobs) in
+          t.maint.maint_serial_us <- t.maint.maint_serial_us +. serial;
+          t.maint.maint_makespan_us <- t.maint.maint_makespan_us +. makespan
+    done;
+    publish_maint_gauges t;
+    t.stats.merge_us <- t.stats.merge_us +. (Lsm_sim.Env.now_us t.env -. t0)
+
+  let run_merges t =
+    if t.maint_workers <= 1 then run_merges_serial t
+    else run_merges_overlapped t
 
   (* ------------------------------------------------------------------ *)
   (* Maintenance supervisor (resilience) *)

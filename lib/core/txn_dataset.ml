@@ -73,7 +73,16 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     D.set_auto_maintenance d false;
     let wal = Wal.create () in
     (* WAL spans share the dataset environment's simulated clock. *)
-    Wal.set_tracer wal (Lsm_sim.Env.tracer (D.env d));
+    let env = D.env d in
+    Wal.set_tracer wal (Lsm_sim.Env.tracer env);
+    (* Forcing the log is one positioning plus one page write on the
+       dataset's device; group commit exists to amortize exactly this. *)
+    let dev = Lsm_sim.Env.device env in
+    Wal.set_sync_hooks wal
+      ~fsync_us:
+        (dev.Lsm_sim.Device.seek_us +. dev.Lsm_sim.Device.write_us_per_page)
+      ~charge:(fun us -> Lsm_sim.Env.advance env us)
+      ~fault:(fun p -> Lsm_sim.Env.fault_point env p);
     {
       d;
       wal;
@@ -85,6 +94,14 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
 
   let dataset t = t.d
   let wal t = t.wal
+
+  (** [set_group_commit t ~batch] turns on batched group commit in the
+      WAL: commits enqueue into a group and one simulated fsync makes the
+      whole group durable (Sec. 2.3-style write-path batching).  [batch]
+      <= 1 restores serial commit durability. *)
+  let set_group_commit t ~batch = Wal.set_group_commit t.wal ~batch
+
+  let group_commit_batch t = Wal.group_commit_batch t.wal
 
   let pk_index t = Option.get (D.pk_index t.d)
 
@@ -279,6 +296,12 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
       quiescence. *)
   let flush t =
     assert_quiescent t "flush";
+    (* WAL-before-data: an open commit group must reach media before any
+       memory component does.  Otherwise a flush could advance a tree's
+       durable frontier past operations whose commit record is still
+       volatile — after a crash the data would be durable but the commit
+       undecided, and recovery would surface uncommitted writes. *)
+    Wal.sync t.wal;
     D.flush_now t.d;
     (* Flushes/merges rewrite components; the checkpointed bitmap state is
        superseded (components are durable via shadowing), so checkpoint
@@ -296,11 +319,19 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
   let checkpoint t =
     Lsm_sim.Env.span (D.env t.d) ~cat:"txn" "txn.checkpoint" @@ fun () ->
     assert_quiescent t "checkpoint";
+    (* The checkpoint LSN asserts every record below it is settled; an
+       open commit group would violate that, so force it out first. *)
+    Wal.sync t.wal;
     anchor_checkpoint t
 
   (** [crash t] simulates failure: memory components vanish; bitmaps
       revert to the last checkpoint.  (Disk components are durable.) *)
   let crash t =
+    (* Torn group tail: commits enqueued in the WAL's open group never
+       reached media — the crash demotes them to aborted, so recovery's
+       committed-transaction predicate (and the crash checker's durable
+       authority) exclude them. *)
+    ignore (Wal.crash t.wal);
     D.Prim.reset_memory (D.primary t.d);
     D.Pk.reset_memory (pk_index t);
     Array.iter (fun s -> D.Sec.reset_memory s.D.tree) (D.secondaries t.d);
@@ -418,11 +449,11 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     | Some r when Wal.txn_state t.wal ~txn:r.Wal.txn = Some Wal.Active ->
         Wal.abort t.wal ~txn:r.Wal.txn
     | _ -> ());
-    let committed txn_id =
-      match Wal.txn_state t.wal ~txn:txn_id with
-      | Some Wal.Committed -> true
-      | _ -> false
-    in
+    (* Durably committed only: under group commit a logically committed
+       transaction whose group never fsynced must not be replayed (its
+       demotion happened in {!crash}; the durability check also guards a
+       recover driven without the crash entry point). *)
+    let committed txn_id = Wal.txn_durable t.wal ~txn:txn_id in
     (* Oldest-first replay.  (A discarded torn record's op needs no
        explicit filtering: its transaction is not committed.) *)
     let ops = List.rev t.redo in

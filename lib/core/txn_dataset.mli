@@ -19,6 +19,16 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) : sig
   (** The write-ahead log — after a {!crash}, the durable commit record
       is the authority on whether an in-flight transaction committed. *)
 
+  val set_group_commit : t -> batch:int -> unit
+  (** Batched group commit: commits enqueue into a group and one
+      simulated fsync makes the whole group durable, amortizing the
+      log-force cost ([batch] >= 2; <= 1 restores serial durability).
+      {!flush} and {!checkpoint} force the open group out first
+      (WAL-before-data), and {!crash} demotes a never-fsynced group's
+      commits (torn group tail). *)
+
+  val group_commit_batch : t -> int
+
   (** {1 Transactions} *)
 
   val begin_txn : t -> txn

@@ -138,9 +138,16 @@ let run ?(crash_budget = 60) ?(io_budget = 12) ?(corrupt_budget = 8)
 (** The one command that replays a failing plan exactly. *)
 let repro_command cfg (p : Fault.plan) =
   Printf.sprintf
-    "lsm_repro faultsim --seed %d --txns %d%s --point %s --hit %d --kind %s%s"
+    "lsm_repro faultsim --seed %d --txns %d%s%s%s --point %s --hit %d --kind \
+     %s%s"
     cfg.Scenario.seed cfg.Scenario.txns
     (if cfg.Scenario.validation then " --validation" else "")
+    (if cfg.Scenario.group_commit > 1 then
+       Printf.sprintf " --group-commit %d" cfg.Scenario.group_commit
+     else "")
+    (if cfg.Scenario.maint_workers > 1 then
+       Printf.sprintf " --maint-workers %d" cfg.Scenario.maint_workers
+     else "")
     p.Fault.point p.Fault.hit
     (Fault.kind_to_string p.Fault.kind)
     (if p.Fault.fails > 1 then Printf.sprintf " --fails %d" p.Fault.fails
@@ -148,9 +155,15 @@ let repro_command cfg (p : Fault.plan) =
 
 let print_report ppf r =
   let cfg = r.r_cfg in
-  Format.fprintf ppf "faultsim: seed %d, %d txns, strategy %s@."
+  Format.fprintf ppf "faultsim: seed %d, %d txns, strategy %s%s%s@."
     cfg.Scenario.seed cfg.Scenario.txns
-    (if cfg.Scenario.validation then "validation" else "mutable-bitmap");
+    (if cfg.Scenario.validation then "validation" else "mutable-bitmap")
+    (if cfg.Scenario.group_commit > 1 then
+       Printf.sprintf ", group-commit %d" cfg.Scenario.group_commit
+     else "")
+    (if cfg.Scenario.maint_workers > 1 then
+       Printf.sprintf ", maint-workers %d" cfg.Scenario.maint_workers
+     else "");
   Format.fprintf ppf "fault points announced (drive phase):@.";
   List.iter
     (fun (p, c) -> Format.fprintf ppf "  %-22s %6d@." p c)

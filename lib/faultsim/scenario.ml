@@ -38,6 +38,10 @@ type config = {
   ckpt_every : int;  (** checkpoint after every n txns; 0 = never *)
   query_every : int;  (** run queries after every n txns; 0 = never *)
   validation : bool;  (** Validation strategy instead of Mutable-bitmap *)
+  group_commit : int;
+      (** WAL group-commit batch; <= 1 = serial (one fsync per commit) *)
+  maint_workers : int;
+      (** modeled maintenance workers; > 1 overlaps independent merges *)
 }
 
 let default_config =
@@ -53,6 +57,8 @@ let default_config =
     ckpt_every = 11;
     query_every = 7;
     validation = false;
+    group_commit = 1;
+    maint_workers = 1;
   }
 
 type outcome = Completed | Crashed of { point : string; hit : int }
@@ -69,6 +75,11 @@ type t = {
   mutable at : int;  (** monotone created_at counter *)
   mutable inflight : (int * pending list ref) option;
       (** WAL txn id + its not-yet-committed operations, newest first *)
+  unsettled : (int * pending list) Queue.t;
+      (** committed transactions (oldest first) whose commit records are
+          not yet durable — under group commit, a commit returns with the
+          record still in the open group; the model must not see its
+          operations until the group's fsync makes it durable *)
   mutable outcome : outcome;
 }
 
@@ -89,15 +100,19 @@ let create cfg =
       env
       { D.default_config with strategy; mem_budget = 8 * 1024 }
   in
+  if cfg.maint_workers > 1 then D.set_maint_workers d cfg.maint_workers;
+  let t = T.create d in
+  if cfg.group_commit > 1 then T.set_group_commit t ~batch:cfg.group_commit;
   {
     cfg;
     env;
     d;
-    t = T.create d;
+    t;
     model = M.create ();
     rng = Rng.create cfg.seed;
     at = 0;
     inflight = None;
+    unsettled = Queue.create ();
     outcome = Completed;
   }
 
@@ -112,23 +127,52 @@ let fresh_tweet st ~pk =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Crash settlement *)
+(* Settlement *)
 
-(** Settle an interrupted transaction against the durable WAL: the
-    commit record either became durable before the crash (the model
-    applies the pending operations — recovery will redo them) or it did
-    not (the model discards them — recovery must not resurrect them). *)
-let settle_inflight st =
+let apply_pending st ops =
+  List.iter
+    (function
+      | Op_up r -> M.upsert st.model r
+      | Op_del pk -> M.delete st.model pk)
+    ops
+
+(** Move the current transaction's operations onto the settlement queue
+    (called once its commit returned). *)
+let enqueue_inflight st =
   (match st.inflight with
   | None -> ()
   | Some (txn_id, pending) ->
-      if Wal.txn_state (T.wal st.t) ~txn:txn_id = Some Wal.Committed then
-        List.iter
-          (function
-            | Op_up r -> M.upsert st.model r
-            | Op_del pk -> M.delete st.model pk)
-          (List.rev !pending));
+      Queue.push (txn_id, List.rev !pending) st.unsettled);
   st.inflight <- None
+
+(** Apply every settled transaction whose commit record is durable.
+    Groups seal in FIFO commit order, so durable transactions always form
+    a prefix of the queue: a peek test suffices. *)
+let drain_settled st =
+  let wal = T.wal st.t in
+  let rec go () =
+    match Queue.peek_opt st.unsettled with
+    | Some (txn_id, ops) when Wal.txn_durable wal ~txn:txn_id ->
+        ignore (Queue.pop st.unsettled);
+        apply_pending st ops;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(** Settle everything outstanding against the durable WAL at a crash:
+    each committed-but-unsettled transaction (and the interrupted one, if
+    any) either has a durable commit record — the model applies its
+    operations, recovery will redo them — or it does not (still Active,
+    aborted, or stranded in a torn group): the model discards them, and
+    recovery must not resurrect them. *)
+let settle_crash st =
+  enqueue_inflight st;
+  let wal = T.wal st.t in
+  while not (Queue.is_empty st.unsettled) do
+    let txn_id, ops = Queue.pop st.unsettled in
+    if Wal.txn_durable wal ~txn:txn_id then apply_pending st ops
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Queries (transient-I/O-error tolerant) *)
@@ -176,7 +220,11 @@ let run_queries st =
 let drive st =
   let cfg = st.cfg in
   for i = 1 to cfg.txns do
-    if cfg.flush_every > 0 && i mod cfg.flush_every = 0 then T.flush st.t;
+    if cfg.flush_every > 0 && i mod cfg.flush_every = 0 then begin
+      (* The flush forces a WAL sync, sealing any open commit group. *)
+      T.flush st.t;
+      drain_settled st
+    end;
     if cfg.ckpt_every > 0 && i mod cfg.ckpt_every = 0 then T.checkpoint st.t;
     if cfg.query_every > 0 && i mod cfg.query_every = 0 then run_queries st;
     let txn = T.begin_txn st.t in
@@ -204,11 +252,15 @@ let drive st =
     end
     else begin
       T.commit st.t txn;
-      (* The commit record is durable: the model accepts the writes. *)
-      settle_inflight st
+      (* Serial: the commit record is durable immediately.  Group
+         commit: it may still sit in the open group — the model accepts
+         the writes only once the group's fsync lands. *)
+      enqueue_inflight st;
+      drain_settled st
     end
   done;
-  T.flush st.t
+  T.flush st.t;
+  drain_settled st
 
 (* ------------------------------------------------------------------ *)
 (* Running a scenario *)
@@ -233,7 +285,7 @@ let run ?plan cfg =
      (* A raw injected fault at a non-I/O point, or a transient fault
         that exhausted the engine's retry budget *and* the supervisor's
         reschedules: real engines treat both as fail-stop. *)
-     settle_inflight st;
+     settle_crash st;
      T.crash st.t;
      T.recover st.t;
      st.outcome <- Crashed { point; hit });
@@ -256,7 +308,9 @@ let smoke st =
       pending := Op_up r :: !pending
     done;
     T.commit st.t txn;
-    settle_inflight st
+    enqueue_inflight st;
+    drain_settled st
   done;
   T.flush st.t;
-  T.checkpoint st.t
+  T.checkpoint st.t;
+  drain_settled st

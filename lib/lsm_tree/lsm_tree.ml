@@ -393,69 +393,129 @@ module Make (K : KEY) (V : VALUE) = struct
   let row_valid c i =
     match c.bitmap with None -> true | Some b -> not (Lsm_util.Bitset.get b i)
 
-  (** [merge t ~first ~last] merges the contiguous component range
-      [first..last] (indices into {!components}, 0 = newest) into one new
-      component: a reconciling k-way merge that keeps the newest entry per
-      key, drops bitmap-invalidated entries, and — when the range includes
-      the oldest component — drops anti-matter.  Returns the new
-      component.  The inputs' files are deleted. *)
-  let merge ?(extra_invalid = fun _ _ -> false) t ~first ~last =
-    Lsm_sim.Env.span t.env ~cat:(name t) "lsm.merge" @@ fun () ->
+  (** An in-flight incremental merge: the k-way reconciling merge of
+      {!merge} broken into explicit steps so a scheduler can interleave
+      several independent merges deterministically on one simulated clock
+      (the overlapping-maintenance pipeline).  Between {!merge_start} and
+      {!merge_finish} the job only reads its input components and
+      accumulates rows in memory — [t.disk] is untouched, so jobs on
+      *different* trees (or provably disjoint ranges) never conflict.
+      Two concurrent jobs on overlapping ranges of one tree are a caller
+      bug. *)
+  type merge_job = {
+    mj_first : int;
+    mj_last : int;
+    mj_inputs : disk_component array;
+    mj_scans : row Dbt.Scan.s array;
+    mj_heap : (K.t * int * row) Lsm_util.Heap.t;
+    mutable mj_out : row list;  (** merged rows, newest-emitted first *)
+    mutable mj_last_key : K.t option;
+    mutable mj_rows_done : int;
+    mj_input_bytes : int;
+    mj_input_rows : int;
+    mj_includes_oldest : bool;
+    mj_drop_ts : int;
+        (** tombstone barrier captured at start — a concurrent repair
+            raising a secondary's repairedTS mid-merge must not change
+            this job's output (serial equivalence) *)
+    mj_extra_invalid : disk_component -> int -> bool;
+  }
+
+  let mj_push_from t j p =
+    let rec go () =
+      match Dbt.Scan.next t.env j.mj_scans.(p) with
+      | None -> ()
+      | Some (i, row) ->
+          if
+            row_valid j.mj_inputs.(p) i
+            && not (j.mj_extra_invalid j.mj_inputs.(p) i)
+          then Lsm_util.Heap.push j.mj_heap (row.key, p, row)
+          else go ()
+    in
+    go ()
+
+  (** [merge_start t ~first ~last] opens an incremental merge of the
+      contiguous component range [first..last] (indices into
+      {!components}, 0 = newest).  Announces [lsm.merge.begin]. *)
+  let merge_start ?(extra_invalid = fun _ _ -> false) t ~first ~last =
     let comps = Array.of_list t.disk in
     let n = Array.length comps in
     if not (0 <= first && first <= last && last < n) then
       invalid_arg "Lsm_tree.merge: bad range";
     let inputs = Array.sub comps first (last - first + 1) in
     Lsm_sim.Env.fault_point t.env "lsm.merge.begin";
-    let input_bytes =
-      Array.fold_left (fun acc c -> acc + component_size_bytes t c) 0 inputs
+    let j =
+      {
+        mj_first = first;
+        mj_last = last;
+        mj_inputs = inputs;
+        mj_scans = Array.map (fun c -> Dbt.Scan.seek t.env c.tree None) inputs;
+        mj_heap =
+          (* K-way merge ordered by (key, input priority); input 0 is
+             newest. *)
+          Lsm_util.Heap.create (fun (k1, p1, _) (k2, p2, _) ->
+              Lsm_sim.Env.charge_comparisons t.env 1;
+              let c = K.compare k1 k2 in
+              if c <> 0 then c else compare (p1 : int) p2);
+        mj_out = [];
+        mj_last_key = None;
+        mj_rows_done = 0;
+        mj_input_bytes =
+          Array.fold_left (fun acc c -> acc + component_size_bytes t c) 0 inputs;
+        mj_input_rows =
+          Array.fold_left (fun acc c -> acc + component_rows c) 0 inputs;
+        mj_includes_oldest = last = n - 1;
+        mj_drop_ts = t.tombstone_drop_ts;
+        mj_extra_invalid = extra_invalid;
+      }
     in
-    let input_rows =
-      Array.fold_left (fun acc c -> acc + component_rows c) 0 inputs
-    in
-    let includes_oldest = last = n - 1 in
-    let scans =
-      Array.map (fun c -> Dbt.Scan.seek t.env c.tree None) inputs
-    in
-    (* K-way merge ordered by (key, input priority); input 0 is newest. *)
-    let cmp (k1, p1, _) (k2, p2, _) =
-      Lsm_sim.Env.charge_comparisons t.env 1;
-      let c = K.compare k1 k2 in
-      if c <> 0 then c else compare (p1 : int) p2
-    in
-    let heap = Lsm_util.Heap.create cmp in
-    let push_from p =
-      let rec go () =
-        match Dbt.Scan.next t.env scans.(p) with
-        | None -> ()
-        | Some (i, row) ->
-            if row_valid inputs.(p) i && not (extra_invalid inputs.(p) i) then
-              Lsm_util.Heap.push heap (row.key, p, row)
-            else go ()
-      in
-      go ()
-    in
-    Array.iteri (fun p _ -> push_from p) inputs;
-    let out = ref [] in
-    let last_key = ref None in
-    while not (Lsm_util.Heap.is_empty heap) do
-      let k, p, row = Lsm_util.Heap.pop heap in
-      push_from p;
+    Array.iteri (fun p _ -> mj_push_from t j p) inputs;
+    j
+
+  (** [merge_step t j ~rows] advances the merge by up to [rows] output
+      decisions; [false] once the input streams are exhausted. *)
+  let merge_step t j ~rows =
+    let budget = ref rows in
+    while !budget > 0 && not (Lsm_util.Heap.is_empty j.mj_heap) do
+      decr budget;
+      let k, p, row = Lsm_util.Heap.pop j.mj_heap in
+      mj_push_from t j p;
       let dup =
-        match !last_key with
+        match j.mj_last_key with
         | Some lk -> K.compare lk k = 0
         | None -> false
       in
       Lsm_sim.Env.charge_comparisons t.env 1;
-      last_key := Some k;
+      j.mj_last_key <- Some k;
       if not dup then
         if
-          Entry.is_del row.value && includes_oldest
-          && row.ts <= t.tombstone_drop_ts
+          Entry.is_del row.value && j.mj_includes_oldest
+          && row.ts <= j.mj_drop_ts
         then ()
-        else out := row :: !out
+        else begin
+          j.mj_out <- row :: j.mj_out;
+          j.mj_rows_done <- j.mj_rows_done + 1
+        end
     done;
-    let rows = Array.of_list (List.rev !out) in
+    not (Lsm_util.Heap.is_empty j.mj_heap)
+
+  (** [merge_finish t j] builds and installs the merged component,
+      deletes the inputs' files, and announces [lsm.merge.install].  The
+      job's [first..last] indices must still denote the same components
+      (no other mutation of this tree may have happened since
+      {!merge_start}). *)
+  let merge_finish t j =
+    let inputs = j.mj_inputs in
+    let first = j.mj_first and last = j.mj_last in
+    (let comps = Array.of_list t.disk in
+     let stable =
+       Array.length comps > last
+       && Array.for_all
+            (fun i -> comps.(first + i) == inputs.(i))
+            (Array.init (Array.length inputs) Fun.id)
+     in
+     if not stable then invalid_arg "Lsm_tree.merge_finish: tree changed");
+    let rows = Array.of_list (List.rev j.mj_out) in
     let cmin_ts =
       Array.fold_left (fun acc c -> min acc c.cmin_ts) max_int inputs
     in
@@ -468,7 +528,7 @@ module Make (K : KEY) (V : VALUE) = struct
       match t.filter_of with
       | None -> None
       | Some f ->
-          if includes_oldest then begin
+          if j.mj_includes_oldest then begin
             (* No anti-matter survives a bottom merge: recompute tightly. *)
             let fmin = ref max_int and fmax = ref min_int in
             Array.iter
@@ -503,11 +563,27 @@ module Make (K : KEY) (V : VALUE) = struct
     Array.iter (fun c -> Dbt.delete t.env c.tree) inputs;
     Lsm_obs.Ampstats.on_merge
       (Lsm_sim.Env.amp t.env)
-      ~bytes_read:input_bytes
+      ~bytes_read:j.mj_input_bytes
       ~bytes_written:(component_size_bytes t merged)
-      ~rows_in:input_rows ~rows_out:(Array.length rows);
+      ~rows_in:j.mj_input_rows ~rows_out:(Array.length rows);
     Lsm_sim.Env.fault_point t.env "lsm.merge.install";
     merged
+
+  (** [merge t ~first ~last] merges the contiguous component range
+      [first..last] (indices into {!components}, 0 = newest) into one new
+      component: a reconciling k-way merge that keeps the newest entry per
+      key, drops bitmap-invalidated entries, and — when the range includes
+      the oldest component — drops anti-matter.  Returns the new
+      component.  The inputs' files are deleted.  (Equivalent to running
+      an incremental {!merge_start}/{!merge_step}/{!merge_finish} job to
+      completion without interleaving.) *)
+  let merge ?extra_invalid t ~first ~last =
+    Lsm_sim.Env.span t.env ~cat:(name t) "lsm.merge" @@ fun () ->
+    let j = merge_start ?extra_invalid t ~first ~last in
+    while merge_step t j ~rows:max_int do
+      ()
+    done;
+    merge_finish t j
 
   (** [build_component t rows ...] constructs a disk component from
       pre-merged, key-sorted rows without installing it — the low-level

@@ -133,6 +133,36 @@ module Make (K : KEY) (V : VALUE) : sig
   (** Apply a merge policy to this tree's own components ("each LSM-tree
       is merged independently"). *)
 
+  (** {1 Incremental merges (overlapping maintenance)}
+
+      {!merge} broken into explicit steps so a scheduler can interleave
+      several independent merges deterministically on one simulated
+      clock.  Between {!merge_start} and {!merge_finish} the job only
+      reads its inputs and accumulates rows in memory; the tree itself
+      must not be mutated by anything else until the job finishes
+      ({!merge_finish} verifies this).  The output is byte-for-byte the
+      output {!merge} would have produced — the tombstone barrier is
+      captured at start. *)
+
+  type merge_job
+
+  val merge_start :
+    ?extra_invalid:(disk_component -> int -> bool) ->
+    t ->
+    first:int ->
+    last:int ->
+    merge_job
+  (** Open an incremental merge of [first..last]; announces
+      [lsm.merge.begin]. *)
+
+  val merge_step : t -> merge_job -> rows:int -> bool
+  (** Advance by up to [rows] output decisions; [false] once the input
+      streams are exhausted. *)
+
+  val merge_finish : t -> merge_job -> disk_component
+  (** Build and install the merged component, deleting the inputs' files;
+      announces [lsm.merge.install]. *)
+
   val build_component :
     t ->
     row array ->

@@ -56,6 +56,9 @@ type config = {
   budget_bytes : int;  (** the single global memory budget *)
   selectivity : float;  (** secondary-range selectivity *)
   strategy : Strategy.t;
+  maint_workers : int;
+      (** modeled maintenance workers per partition; > 1 overlaps
+          independent merges (Sec. 2.3) *)
   seed : int;
 }
 
@@ -73,6 +76,7 @@ let config ?(partitions = 4) scale =
     budget_bytes = Scale.serve_budget_bytes scale ~partitions;
     selectivity = 0.001;
     strategy = Strategy.validation;
+    maint_workers = 1;
     seed = 42;
   }
 
@@ -110,6 +114,7 @@ let build cfg =
           ~max_mergeable_bytes:(Scale.max_mergeable_bytes cfg.scale) ();
       use_pk_index = true;
       bloom = Some { Lsm_tree.Config.kind = `Standard; fpr = 0.01 };
+      maint_workers = max 1 cfg.maint_workers;
     }
   in
   let rt =
@@ -251,7 +256,14 @@ let stats_of name samples =
    spans it decomposes into (plus view rebuilds, which also steal
    partition time from foreground requests). *)
 let maintenance_spans =
-  [ "dataset.flush"; "dataset.merge"; "lsm.flush"; "lsm.merge"; "lsm.view.build" ]
+  [
+    "dataset.flush";
+    "dataset.merge";
+    "lsm.flush";
+    "lsm.merge";
+    "lsm.view.build";
+    "maint.job";
+  ]
 
 (** [run ?timeline cfg] executes one open-loop run.  With
     [cfg.rate_rps <= 0] the rate is set to 70% of a fresh capacity

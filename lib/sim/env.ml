@@ -221,6 +221,15 @@ let now_s t = t.now_us /. 1e6
 (** [advance t us] advances the clock by [us] microseconds. *)
 let advance t us = t.now_us <- t.now_us +. us
 
+(** [rewind t us] moves the clock back by [us] >= 0 microseconds (clamped
+    at zero).  The one legitimate caller is the overlapping-maintenance
+    scheduler: it executes concurrent merge jobs interleaved on this
+    single clock — which sums their busy time — and then rewinds by the
+    difference between that serial sum and the modeled W-worker makespan,
+    so downstream consumers (the serving driver's clock deltas, span
+    durations) see the pipeline's wall-clock cost, not the sum. *)
+let rewind t us = if us > 0.0 then t.now_us <- Float.max 0.0 (t.now_us -. us)
+
 (* ------------------------------------------------------------------ *)
 (* Memory introspection: who holds how many in-memory bytes against
    this environment, and against what budget. *)
@@ -496,6 +505,30 @@ let span t ?cat name f =
 
 let set_span_hook t h = t.span_hook <- Some h
 let clear_span_hook t = t.span_hook <- None
+
+(** [emit_span t ?cat name ~start_us ~dur_us] reports a section that was
+    not executed under a {!span} scope — the overlapping-maintenance
+    scheduler interleaves several merge jobs on one clock, so a job's
+    span is only known (start, busy-time) after the fact.  Feeds the
+    same latency histogram and telemetry tap as {!span}. *)
+let emit_span t ?cat name ~start_us ~dur_us =
+  let o = t.obs in
+  if o.Lsm_obs.Obs.enabled then begin
+    let labels = match cat with Some c when c <> "" -> [ ("src", c) ] | _ -> [] in
+    Lsm_obs.Metrics.observe
+      (Lsm_obs.Metrics.histogram o.Lsm_obs.Obs.metrics ~labels ("span." ^ name))
+      dur_us
+  end;
+  match t.span_hook with
+  | None -> ()
+  | Some hook ->
+      hook
+        {
+          sp_name = name;
+          sp_cat = (match cat with Some c -> c | None -> "");
+          sp_start_us = start_us;
+          sp_dur_us = dur_us;
+        }
 
 (** [publish_io_metrics t] bridges the {!Io_stats} counters accumulated
     since the last publish into the metrics registry ([io.*] counters, via

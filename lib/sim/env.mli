@@ -124,6 +124,13 @@ val now_s : t -> float
 val advance : t -> float -> unit
 (** [advance t us] moves the clock forward (cost-model internals). *)
 
+val rewind : t -> float -> unit
+(** [rewind t us] moves the clock back by [us] >= 0 (clamped at zero).
+    Reserved for the overlapping-maintenance scheduler, which interleaves
+    concurrent merge jobs on this single clock (summing their busy time)
+    and then rewinds to the modeled W-worker makespan so wall-clock
+    consumers see pipeline cost, not serial cost. *)
+
 (** {1 CPU charging} *)
 
 val charge_comparisons : t -> int -> unit
@@ -229,6 +236,13 @@ val set_span_hook : t -> (span_event -> unit) -> unit
     branch per span). *)
 
 val clear_span_hook : t -> unit
+
+val emit_span :
+  t -> ?cat:string -> string -> start_us:float -> dur_us:float -> unit
+(** Report a section not executed under a {!span} scope (the
+    overlapping-maintenance scheduler's interleaved merge jobs): feeds
+    the [span.<name>] histogram and the {!set_span_hook} tap with the
+    given coordinates. *)
 
 val publish_io_metrics : t -> unit
 (** Bridge the {!Io_stats} counters accumulated since the last publish

@@ -18,6 +18,13 @@ type record = {
 
 type txn_state = Active | Committed | Aborted
 
+type sync_stats = {
+  mutable fsyncs : int;  (** simulated log fsyncs issued *)
+  mutable fsync_time_us : float;  (** total simulated time inside them *)
+  mutable groups_sealed : int;  (** commit groups made durable together *)
+  mutable durable_commits : int;  (** commits whose record reached media *)
+}
+
 type t = {
   mutable records : record list;  (** newest first *)
   mutable next_lsn : int;
@@ -28,6 +35,16 @@ type t = {
       (** LSN of a trailing record whose append a crash interrupted *)
   mutable tracer : Lsm_obs.Tracer.t;
       (** span tracer for append/checkpoint spans; disabled by default *)
+  mutable group_size : int;
+      (** commits per group-commit batch; <= 1 = serial *)
+  mutable group : int list;
+      (** open group: committed but not yet durable, newest first *)
+  durable : (int, unit) Hashtbl.t;
+      (** transactions whose commit record has been fsynced *)
+  mutable fsync_us : float;
+  mutable charge : float -> unit;
+  mutable fault : string -> unit;
+  sync_stats : sync_stats;
 }
 
 val create : unit -> t
@@ -35,6 +52,14 @@ val create : unit -> t
 val set_tracer : t -> Lsm_obs.Tracer.t -> unit
 (** Attach the storage environment's tracer so WAL spans share the
     simulated clock. *)
+
+val set_sync_hooks :
+  t -> fsync_us:float -> charge:(float -> unit) -> fault:(string -> unit) -> unit
+(** Attach the owning environment's cost model and fault machinery:
+    [charge] advances the simulated clock by [fsync_us] per log fsync,
+    and [fault] announces the [wal.group.*] crash windows. *)
+
+val sync_stats : t -> sync_stats
 
 val begin_txn : t -> int
 (** Open a transaction; returns its id. *)
@@ -44,8 +69,47 @@ val log : t -> txn:int -> kind:op_kind -> pk:int -> update:(int * int) option ->
     the operation set, if any.  Returns the LSN. *)
 
 val commit : t -> txn:int -> unit
+(** Mark the transaction committed.  Serial mode ([group_size <= 1])
+    fsyncs the commit record immediately; group-commit mode enqueues it
+    into the open group, sealing and fsyncing the group — ONE simulated
+    fsync for the whole batch — when it reaches [group_size]. *)
+
 val abort : t -> txn:int -> unit
 val txn_state : t -> txn:int -> txn_state option
+
+(** {1 Group commit (batched durability)}
+
+    Commits enqueue into a group; one simulated fsync per group makes
+    every member durable at once, amortizing the log-force cost across
+    the batch.  The durable frontier advances per group: a transaction
+    can be logically committed yet not durable, and a crash demotes such
+    transactions (torn group tail).  Three fault points —
+    [wal.group.seal], [wal.group.fsync], [wal.group.ack] — bracket the
+    durability transition so the crash checker can enumerate every torn
+    and half-acknowledged group state. *)
+
+val set_group_commit : t -> batch:int -> unit
+(** Switch to batched group commit ([batch] >= 2) or back to serial
+    ([batch] <= 1).  Syncs any open group first. *)
+
+val group_commit_batch : t -> int
+
+val sync : t -> unit
+(** Group-commit barrier: seal and fsync the open group.  Must run
+    before anything that assumes the log is durable (component flushes,
+    checkpoint anchoring). *)
+
+val pending_group : t -> int list
+(** Transactions committed but not yet durable, oldest first. *)
+
+val txn_durable : t -> txn:int -> bool
+(** Committed AND the commit record reached media — the authority that
+    recovery and the crash checker consult. *)
+
+val crash : t -> int list
+(** Apply a crash to commit durability: demote the open group's
+    transactions (commit records never fsynced — a torn group tail) to
+    aborted.  Returns the demoted ids, oldest first. *)
 
 (** {1 Torn tails}
 

@@ -322,6 +322,51 @@ let test_faultsim_unreachable_plan_fails () =
        [ "faultsim"; "--seed"; "3"; "--txns"; "15"; "--point"; "no.such.point";
          "--hit"; "1" ])
 
+(* Group-commit + overlapping-maintenance flags: matrices pass, the
+   repro-command contract reaches the new fault points, and nonsense
+   values are usage errors. *)
+let test_faultsim_grouped_ok () =
+  Alcotest.(check int) "grouped matrix passes" 0
+    (run
+       [ "faultsim"; "--seed"; "5"; "--txns"; "15"; "--group-commit"; "4";
+         "--maint-workers"; "2"; "--points"; "20"; "--io"; "4" ])
+
+let test_faultsim_group_point_repro () =
+  Alcotest.(check int) "crash inside group fsync recovers" 0
+    (run
+       [ "faultsim"; "--seed"; "5"; "--txns"; "15"; "--group-commit"; "4";
+         "--point"; "wal.group.fsync"; "--hit"; "1"; "--kind"; "crash" ]);
+  Alcotest.(check int) "crash at maint job install recovers" 0
+    (run
+       [ "faultsim"; "--seed"; "5"; "--txns"; "15"; "--maint-workers"; "2";
+         "--point"; "maint.job.install"; "--hit"; "1"; "--kind"; "crash" ])
+
+let test_faultsim_group_points_need_flags () =
+  (* Without the flags the points are never announced, so the plan must
+     report as unfired (exit 1), not silently pass. *)
+  Alcotest.(check int) "wal.group.fsync absent in serial mode" 1
+    (run
+       [ "faultsim"; "--seed"; "5"; "--txns"; "15"; "--point";
+         "wal.group.fsync"; "--hit"; "1"; "--kind"; "crash" ])
+
+let test_faultsim_bad_group_flags () =
+  Alcotest.(check int) "--group-commit 0 exits 2" 2
+    (run [ "faultsim"; "--seed"; "5"; "--txns"; "15"; "--group-commit"; "0" ]);
+  Alcotest.(check int) "--maint-workers 0 exits 2" 2
+    (run [ "faultsim"; "--seed"; "5"; "--txns"; "15"; "--maint-workers"; "0" ])
+
+let test_serve_maint_workers () =
+  let path = Filename.temp_file "serve_mw" ".json" in
+  Alcotest.(check int) "serve --maint-workers 2 exits 0" 0
+    (run
+       [ "serve"; "-s"; "tiny"; "--duration"; "0.2"; "--rate"; "1000";
+         "--maint-workers"; "2"; "--seed"; "7"; "--json"; path ]);
+  let j = parse_file path in
+  Sys.remove path;
+  Alcotest.(check string) "schema" "lsm-repro-serve/1" (str "schema" j);
+  Alcotest.(check int) "--maint-workers 0 exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--maint-workers"; "0" ])
+
 let () =
   if not (Sys.file_exists exe) then (
     Printf.eprintf "test_cli: %s not found (run under dune)\n" exe;
@@ -362,5 +407,15 @@ let () =
             test_faultsim_single_plan;
           Alcotest.test_case "unfired plan fails" `Quick
             test_faultsim_unreachable_plan_fails;
+          Alcotest.test_case "grouped matrix passes" `Quick
+            test_faultsim_grouped_ok;
+          Alcotest.test_case "group/maint point repro" `Quick
+            test_faultsim_group_point_repro;
+          Alcotest.test_case "group points gated by flags" `Quick
+            test_faultsim_group_points_need_flags;
+          Alcotest.test_case "bad group flags" `Quick
+            test_faultsim_bad_group_flags;
+          Alcotest.test_case "serve --maint-workers" `Quick
+            test_serve_maint_workers;
         ] );
     ]

@@ -8,8 +8,22 @@ module Sc = Lsm_faultsim.Scenario
 module Ch = Lsm_faultsim.Checker
 module H = Lsm_faultsim.Harness
 
-let small ?(validation = false) ?(seed = 7) () =
-  { Sc.default_config with Sc.seed; txns = 25; validation }
+let small ?(validation = false) ?(seed = 7) ?(group_commit = 1)
+    ?(maint_workers = 1) () =
+  {
+    Sc.default_config with
+    Sc.seed;
+    txns = 25;
+    validation;
+    group_commit;
+    maint_workers;
+  }
+
+(* The group-commit + overlapping-maintenance configuration every new
+   matrix runs under: commits amortize one fsync over groups of 4, and
+   two modeled workers interleave independent merges. *)
+let grouped ?validation ?seed () =
+  small ?validation ?seed ~group_commit:4 ~maint_workers:2 ()
 
 (* ------------------------------------------------------------------ *)
 (* Determinism of the enumeration *)
@@ -42,6 +56,31 @@ let test_counting_covers_required_points () =
       "txn.op.logged"; "txn.commit.pre"; "txn.commit.durable";
       "txn.ckpt.begin"; "txn.ckpt.mid"; "txn.ckpt.end"; "txn.flush.anchor";
     ]
+
+(* Under group commit + overlapped maintenance the enumerator must also
+   surface the group-seal/fsync/ack windows (torn commit groups) and the
+   scheduler's job boundaries — otherwise those crash states are never
+   tested. *)
+let test_counting_covers_group_points () =
+  let inj, _ = Sc.run (grouped ()) in
+  let hits = F.hits inj in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p hits with
+      | Some n when n > 0 -> ()
+      | _ -> Alcotest.failf "fault point %s never announced" p)
+    [
+      "wal.group.seal"; "wal.group.fsync"; "wal.group.ack";
+      "maint.job.start"; "maint.job.install";
+    ];
+  (* The serial configuration must announce none of them. *)
+  let inj0, _ = Sc.run (small ()) in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p (F.hits inj0) with
+      | None -> ()
+      | Some n -> Alcotest.failf "serial run announced %s %d times" p n)
+    [ "wal.group.seal"; "maint.job.start" ]
 
 let test_select_plans () =
   let hits = [ ("a", 100); ("b", 3); ("c", 1) ] in
@@ -89,14 +128,29 @@ let test_matrix_validation () =
 let test_matrix_other_seed () =
   check_report (H.run ~crash_budget:30 ~io_budget:6 (small ~seed:42 ()))
 
+(* The expanded matrices: >= 50 crash points per strategy, with the
+   group-commit and overlapping-merge fault points in the enumeration. *)
+let test_matrix_grouped_mutable_bitmap () =
+  let r = H.run ~crash_budget:50 ~io_budget:8 (grouped ()) in
+  check_report r;
+  Alcotest.(check bool)
+    ">= 50 crash plans" true
+    (List.length r.H.r_plans >= 50)
+
+let test_matrix_grouped_validation () =
+  let r = H.run ~crash_budget:50 ~io_budget:8 (grouped ~validation:true ()) in
+  check_report r;
+  Alcotest.(check bool)
+    ">= 50 crash plans" true
+    (List.length r.H.r_plans >= 50)
+
 (* ------------------------------------------------------------------ *)
 (* Deep dives into specific crash points *)
 
 (* Run one plan targeting the middle occurrence of [point]; the fault
    must fire, recovery must pass the checker, and the system must accept
    new work afterwards. *)
-let run_point ?validation point =
-  let cfg = small ?validation () in
+let run_point_cfg cfg point =
   let inj0, _ = Sc.run cfg in
   match List.assoc_opt point (F.hits inj0) with
   | None | Some 0 -> Alcotest.failf "point %s never announced" point
@@ -119,6 +173,8 @@ let run_point ?validation point =
           Alcotest.failf "%s: post-smoke check failed:@.%s" point
             (String.concat "\n" msgs)
 
+let run_point ?validation point = run_point_cfg (small ?validation ()) point
+
 let test_crash_between_pair_flush () = run_point "dataset.flush.pair"
 let test_crash_mid_lockstep_merge () = run_point "dataset.merge.pair"
 let test_crash_mid_checkpoint () = run_point "txn.ckpt.mid"
@@ -126,6 +182,25 @@ let test_crash_at_commit_durable () = run_point "txn.commit.durable"
 let test_crash_before_commit () = run_point "txn.commit.pre"
 let test_crash_at_merge_install () = run_point "lsm.merge.install"
 let test_crash_validation_flush () = run_point ~validation:true "dataset.flush.begin"
+
+(* Group-commit crash windows: before the group fsync (the whole group is
+   torn — every member must be discarded), after the fsync but before the
+   durable frontier advances, and after durability but before the ack. *)
+let test_crash_at_group_seal () = run_point_cfg (grouped ()) "wal.group.seal"
+let test_crash_at_group_fsync () = run_point_cfg (grouped ()) "wal.group.fsync"
+let test_crash_at_group_ack () = run_point_cfg (grouped ()) "wal.group.ack"
+
+(* Crashes inside the overlapping scheduler: at a job admission (merges
+   in flight but nothing installed) and at a job install (a prefix of the
+   round's merges installed, the rest abandoned). *)
+let test_crash_at_maint_job_start () =
+  run_point_cfg (grouped ()) "maint.job.start"
+
+let test_crash_at_maint_job_install () =
+  run_point_cfg (grouped ()) "maint.job.install"
+
+let test_crash_grouped_lockstep_merge () =
+  run_point_cfg (grouped ()) "dataset.merge.pair"
 
 (* A transient I/O error during a query is retried and the run completes
    with no crash at all. *)
@@ -226,6 +301,8 @@ let () =
             test_counting_deterministic;
           Alcotest.test_case "required points announced" `Quick
             test_counting_covers_required_points;
+          Alcotest.test_case "group-commit points announced" `Quick
+            test_counting_covers_group_points;
           Alcotest.test_case "plan selection" `Quick test_select_plans;
         ] );
       ( "matrix",
@@ -234,6 +311,10 @@ let () =
             test_matrix_mutable_bitmap;
           Alcotest.test_case "validation matrix" `Quick test_matrix_validation;
           Alcotest.test_case "other seed" `Quick test_matrix_other_seed;
+          Alcotest.test_case "group-commit mutable-bitmap matrix" `Quick
+            test_matrix_grouped_mutable_bitmap;
+          Alcotest.test_case "group-commit validation matrix" `Quick
+            test_matrix_grouped_validation;
         ] );
       ( "crash points",
         [
@@ -250,6 +331,18 @@ let () =
             test_crash_at_merge_install;
           Alcotest.test_case "validation flush crash" `Quick
             test_crash_validation_flush;
+          Alcotest.test_case "torn group at seal" `Quick
+            test_crash_at_group_seal;
+          Alcotest.test_case "torn group at fsync" `Quick
+            test_crash_at_group_fsync;
+          Alcotest.test_case "durable group at ack" `Quick
+            test_crash_at_group_ack;
+          Alcotest.test_case "crash at maint job start" `Quick
+            test_crash_at_maint_job_start;
+          Alcotest.test_case "crash at maint job install" `Quick
+            test_crash_at_maint_job_install;
+          Alcotest.test_case "grouped lockstep merge crash" `Quick
+            test_crash_grouped_lockstep_merge;
           Alcotest.test_case "transient io error" `Quick
             test_transient_io_error_retried;
           Alcotest.test_case "unreachable plan" `Quick test_unreachable_plan;
