@@ -259,6 +259,66 @@ let sim_serve_entries () =
       ])
     r.Lsm_serve.Driver.classes
 
+(* Chaos serving series, same contract: a fixed fault matrix (crash +
+   intermittent I/O + slow disk, one partition each) under a fixed
+   offered rate.  The gated numbers are the degradation envelope —
+   availability, per-phase p99, error/shed counts, and the crash's
+   modeled outage — so a cost-model or front-door policy change that
+   shifts graceful degradation by >10% fails CI. *)
+let sim_serve_chaos_entries () =
+  let module Dr = Lsm_serve.Driver in
+  let cfg = Dr.config ~partitions:4 Lsm_harness.Scale.tiny in
+  let faults =
+    match
+      Lsm_serve.Chaos.parse
+        "crash@p1@t60ms;io@p2@t120ms+80ms!6;slow@p3@t220ms+80ms*8"
+    with
+    | Ok fs -> fs
+    | Error e -> failwith ("sim.serve.chaos: " ^ e)
+  in
+  let cfg =
+    {
+      cfg with
+      Dr.rate_rps = 1600.0;
+      duration_s = 0.4;
+      seed = 11;
+      mix = Dr.chaos_mix;
+      chaos = faults;
+      policy =
+        {
+          Lsm_serve.Chaos.deadline_us = 8_000.0;
+          retries = 1;
+          hedge_us = 0.0;
+          shed_backlog_us = 30_000.0;
+        };
+    }
+  in
+  let c = Dr.run_chaos cfg in
+  let phase_p99 ph =
+    match List.assoc_opt ph c.Dr.phase_classes with
+    | Some classes -> (
+        match List.find_opt (fun (cl : Dr.class_stats) -> cl.Dr.cls = "all") classes with
+        | Some cl -> cl.Dr.p99_us
+        | None -> 0.0)
+    | None -> 0.0
+  in
+  Printf.printf
+    "sim.serve.chaos availability %.4f  healthy p99 %8.0fus  degraded p99 \
+     %8.0fus  errors %d  down %.1fms\n"
+    c.Dr.availability (phase_p99 "healthy") (phase_p99 "degraded") c.Dr.failures
+    (c.Dr.down_us /. 1000.0);
+  let e name unit_ v = { Lsm_harness.Bench_json.name; unit_; samples = [| v |] } in
+  [
+    (* The compare gate flags increases (lower is better), so snapshot
+       the unavailable fraction: an availability drop raises it. *)
+    e "sim.serve.chaos.unavailability" "frac" (1.0 -. c.Dr.availability);
+    e "sim.serve.chaos.healthy.p99_us" "us/req" (phase_p99 "healthy");
+    e "sim.serve.chaos.degraded.p99_us" "us/req" (phase_p99 "degraded");
+    e "sim.serve.chaos.errors" "req" (Float.of_int c.Dr.failures);
+    e "sim.serve.chaos.shed" "req" (Float.of_int c.Dr.shed);
+    e "sim.serve.chaos.down_ms" "ms" (c.Dr.down_us /. 1000.0);
+  ]
+
 (* Group-commit series, same contract as sim.range_scan: identical
    seeded transaction workloads with the WAL batching 1 (serial), 4, and
    8 commits per fsync.  The gated claim is fsync amortization: simulated
@@ -482,7 +542,8 @@ let run_micro ?(quota = 0.4) ?json_path () =
   (* Deterministic simulated-cost series first — the CI gate reads these. *)
   let sim_entries =
     sim_range_scan_entries () @ sim_serve_entries ()
-    @ sim_group_commit_entries () @ sim_parallel_maint_entries ()
+    @ sim_serve_chaos_entries () @ sim_group_commit_entries ()
+    @ sim_parallel_maint_entries ()
   in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]

@@ -196,11 +196,68 @@ let serve_cmd =
     Arg.(value & opt int 0 & info [ "users" ] ~docv:"N" ~doc)
   in
   let arrivals_arg =
-    let doc = "Arrival process: $(b,poisson) or $(b,uniform)." in
+    let doc =
+      "Arrival process: $(b,poisson), $(b,uniform), or $(b,bursty) \
+       (on/off-modulated Poisson, same mean rate)."
+    in
     Arg.(
       value
-      & opt (enum [ ("poisson", `Poisson); ("uniform", `Uniform) ]) `Poisson
+      & opt
+          (enum
+             [ ("poisson", `Poisson); ("uniform", `Uniform); ("bursty", `Bursty) ])
+          `Poisson
       & info [ "arrivals" ] ~docv:"KIND" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Chaos fault plan: scheduled partition faults interpreted on the \
+       arrival clock (e.g. $(b,crash\\@p2\\@t150ms); \
+       $(b,io\\@p0\\@t50ms+40ms!6); $(b,slow\\@p3\\@t60ms+50ms*8); \
+       $(b,corrupt\\@p1\\@t80ms)).  Repeatable; elements may also be \
+       ';'-separated.  Runs against the durable (WAL-wrapped) cluster \
+       with the degraded-correctness checker on."
+    in
+    Arg.(value & opt_all string [] & info [ "chaos" ] ~docv:"SPEC" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-request read deadline in simulated microseconds (chaos runs): \
+       later answers are errors, hopeless queueing fails fast.  0 disables."
+    in
+    Arg.(value & opt float 0.0 & info [ "deadline-us" ] ~docv:"US" ~doc)
+  in
+  let shed_backlog_arg =
+    let doc =
+      "Admission-control backlog cap in simulated microseconds (chaos \
+       runs): shed a request when every partition it needs has more \
+       queued work than this.  0 disables."
+    in
+    Arg.(value & opt float 0.0 & info [ "shed-backlog" ] ~docv:"US" ~doc)
+  in
+  let retries_arg =
+    let doc = "Front-door retry budget per partition piece (chaos runs)." in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let hedge_arg =
+    let doc =
+      "Hedging threshold in simulated microseconds (chaos runs): a point \
+       read slower than this gets one hedged re-attempt.  0 derives \
+       deadline/2 when a deadline is set; negative disables."
+    in
+    Arg.(value & opt float 0.0 & info [ "hedge-us" ] ~docv:"US" ~doc)
+  in
+  let strategy_arg =
+    let doc = "Delete-handling strategy: $(b,validation) or $(b,bitmap)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("validation", Lsm_core.Strategy.validation);
+               ("bitmap", Lsm_core.Strategy.mutable_bitmap);
+             ])
+          Lsm_core.Strategy.validation
+      & info [ "strategy" ] ~docv:"KIND" ~doc)
   in
   let json_arg =
     let doc = "Write the serve document (lsm-repro-serve/1) to $(docv)." in
@@ -240,7 +297,8 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "maint-workers" ] ~docv:"N" ~doc)
   in
-  let run scale partitions rate sweep duration seed users arrivals json timeline
+  let run scale partitions rate sweep duration seed users arrivals chaos
+      deadline_us shed_backlog_us retries hedge_us strategy json timeline
       timeline_csv slos window_ms maint_workers metrics =
     let scale = Lsm_harness.Scale.of_string scale in
     check_writable json;
@@ -256,6 +314,32 @@ let serve_cmd =
     end;
     if window_ms <= 0.0 then begin
       Printf.eprintf "--window-ms must be positive\n";
+      exit 2
+    end;
+    let faults =
+      match chaos with
+      | [] -> []
+      | specs -> (
+          match Lsm_serve.Chaos.parse (String.concat ";" specs) with
+          | Ok fs -> fs
+          | Error msg ->
+              Printf.eprintf "%s\n%s\n" msg Lsm_serve.Chaos.usage;
+              exit 2)
+    in
+    List.iter
+      (fun f ->
+        if f.Lsm_serve.Chaos.part >= partitions then begin
+          Printf.eprintf "chaos fault targets p%d but there are %d partitions\n"
+            f.Lsm_serve.Chaos.part partitions;
+          exit 2
+        end)
+      faults;
+    if faults <> [] && sweep then begin
+      Printf.eprintf "--chaos runs a single faulted run; drop --sweep\n";
+      exit 2
+    end;
+    if retries < 0 then begin
+      Printf.eprintf "--retries must be >= 0\n";
       exit 2
     end;
     let objectives =
@@ -280,6 +364,16 @@ let serve_cmd =
         arrivals;
         maint_workers;
         seed;
+        strategy;
+        chaos = faults;
+        mix = (if faults = [] then cfg.Driver.mix else Driver.chaos_mix);
+        policy =
+          {
+            Lsm_serve.Chaos.deadline_us;
+            retries;
+            hedge_us;
+            shed_backlog_us;
+          };
       }
     in
     Printf.printf
@@ -287,6 +381,7 @@ let serve_cmd =
       scale.Lsm_harness.Scale.name partitions cfg.Driver.budget_bytes
       cfg.Driver.users seed;
     let reg = Lsm_obs.Metrics.create () in
+    let checker_failed = ref false in
     let doc =
       if sweep then begin
         let sw = Driver.sweep cfg in
@@ -298,6 +393,54 @@ let serve_cmd =
         | [] -> ()
         | p -> Lsm_serve.Serve_report.publish (List.nth p (List.length p - 1)) reg);
         Lsm_serve.Serve_report.sweep_to_json cfg sw
+      end
+      else if faults <> [] then begin
+        let ts =
+          match timeline with
+          | None -> None
+          | Some _ ->
+              Some
+                (Lsm_obs.Timeseries.create ~window_us:(window_ms *. 1000.0) ())
+        in
+        let checker = Lsm_serve.Chaos_checker.create ~partitions () in
+        let verdict = ref None in
+        let c =
+          Driver.run_chaos ?timeline:ts
+            ~on_preload:(Lsm_serve.Chaos_checker.preload checker)
+            ~observe:(Lsm_serve.Chaos_checker.observe checker)
+            ~probe:(fun lookup ->
+              verdict :=
+                Some (Lsm_serve.Chaos_checker.verify checker ~probe:lookup))
+            cfg
+        in
+        Lsm_harness.Report.print
+          (Lsm_serve.Serve_report.chaos_report ?checker:!verdict c);
+        (match ts with
+        | Some ts ->
+            Lsm_harness.Report.print
+              (Lsm_serve.Serve_report.timeline_report c.Driver.c_base ts
+                 objectives);
+            (match timeline with
+            | Some path ->
+                Lsm_obs.Json.write ~path
+                  (Lsm_serve.Serve_report.timeline_to_json c.Driver.c_base ts
+                     objectives);
+                Printf.printf "wrote timeline document to %s\n" path
+            | None -> ());
+            (match timeline_csv with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Lsm_obs.Timeseries.to_csv ts);
+                close_out oc;
+                Printf.printf "wrote timeline CSV to %s\n" path
+            | None -> ())
+        | None -> ());
+        Lsm_serve.Serve_report.publish c.Driver.c_base reg;
+        (match !verdict with
+        | Some v when not (Lsm_serve.Chaos_checker.ok v) ->
+            checker_failed := true
+        | _ -> ());
+        Lsm_serve.Serve_report.chaos_to_json ?checker:!verdict c
       end
       else begin
         let ts =
@@ -342,19 +485,23 @@ let serve_cmd =
         (fun l -> print_endline ("  " ^ l))
         (Lsm_obs.Metrics.to_lines reg);
       List.iter print_endline (Lsm_harness.Obs_hub.metrics_lines ())
-    end
+    end;
+    if !checker_failed then exit 1
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Open-loop serving layer: arrival-driven mixed traffic against N \
           partitions under one global memory budget, with per-class \
-          p50/p95/p99 and a load-sweep mode that finds the saturation knee")
+          p50/p95/p99, a load-sweep mode that finds the saturation knee, \
+          and a chaos mode that injects partition faults under load and \
+          audits graceful degradation")
     Term.(
       const run $ scale_arg $ partitions_arg $ rate_arg $ sweep_arg
-      $ duration_arg $ seed_arg $ users_arg $ arrivals_arg $ json_arg
-      $ timeline_arg $ timeline_csv_arg $ slo_arg $ window_ms_arg
-      $ maint_workers_arg $ metrics_arg)
+      $ duration_arg $ seed_arg $ users_arg $ arrivals_arg $ chaos_arg
+      $ deadline_arg $ shed_backlog_arg $ retries_arg $ hedge_arg
+      $ strategy_arg $ json_arg $ timeline_arg $ timeline_csv_arg $ slo_arg
+      $ window_ms_arg $ maint_workers_arg $ metrics_arg)
 
 let faultsim_cmd =
   let module F = Lsm_faultsim.Fault in
@@ -471,7 +618,15 @@ let faultsim_cmd =
       Printf.printf "fault points announced (drive phase, seed %d):\n" seed;
       List.iter
         (fun (p, c) -> Printf.printf "  %-22s %6d\n" p c)
-        (F.hits inj)
+        (F.hits inj);
+      print_newline ();
+      print_string
+        "serve-layer chaos faults (lsm_repro serve --chaos, per partition):\n\
+        \  crash                  crash + durable-frontier recovery under load\n\
+        \  io                     intermittent I/O-error window on io.* points\n\
+        \  slow                   device I/O time multiplier window\n\
+        \  corrupt                one-shot page corruption, quarantine + heal\n";
+      print_string Lsm_serve.Chaos.usage
     end
     else
     match point with

@@ -54,11 +54,37 @@ grep -q '"schema": "lsm-repro-timeline/1"' /tmp/serve_tl_a.json
 cmp /tmp/serve_tl_a.json /tmp/serve_tl_b.json
 cmp /tmp/serve_tl_a.csv /tmp/serve_tl_b.csv
 
+# --- chaos gate --------------------------------------------------------
+# The serving layer under a deterministic partition-fault matrix (crash
+# + intermittent I/O + slow disk, one partition each) must keep serving,
+# pass the degraded-correctness checker (exit 0 is the checker verdict),
+# and stay byte-identical across two same-seed runs — fault injection,
+# breakers, hedging, and shedding all run on the simulated clock, so any
+# timeline diff is nondeterminism in the chaos path.  Both WAL-backed
+# strategies are exercised.
+for strategy in validation bitmap; do
+  dune exec bin/lsm_repro.exe -- serve -s tiny --duration 0.3 --rate 1500 \
+    --seed 7 --strategy "$strategy" \
+    --chaos 'crash@p1@t60ms;io@p2@t30ms+30ms!6;slow@p3@t40ms+40ms*8' \
+    --deadline-us 8000 --shed-backlog 30000 \
+    --timeline /tmp/chaos_tl_a.json --json /tmp/chaos_a.json
+  dune exec bin/lsm_repro.exe -- serve -s tiny --duration 0.3 --rate 1500 \
+    --seed 7 --strategy "$strategy" \
+    --chaos 'crash@p1@t60ms;io@p2@t30ms+30ms!6;slow@p3@t40ms+40ms*8' \
+    --deadline-us 8000 --shed-backlog 30000 \
+    --timeline /tmp/chaos_tl_b.json --json /tmp/chaos_b.json
+  grep -q '"mode": "chaos"' /tmp/chaos_a.json
+  grep -q '"ok": true' /tmp/chaos_a.json
+  cmp /tmp/chaos_tl_a.json /tmp/chaos_tl_b.json
+  cmp /tmp/chaos_a.json /tmp/chaos_b.json
+done
+
 # --- bench checks ------------------------------------------------------
 # One quick microbench run feeds two comparisons against the committed
 # baseline:
-#   1. GATE: the sim.range_scan, sim.serve, sim.group_commit, and
-#      sim.parallel_maint series are pure simulated cost (deterministic,
+#   1. GATE: the sim.range_scan, sim.serve, sim.serve.chaos,
+#      sim.group_commit, and sim.parallel_maint series are pure
+#      simulated cost (deterministic,
 #      single-sample), so a >10% change is a real algorithmic or
 #      cost-model regression and fails CI.
 #   2. Advisory: host timings on CI machines are too noisy to gate on,
@@ -70,6 +96,8 @@ if [ -f BENCH_micro.json ]; then
     --threshold 0.10 --only sim.range_scan
   dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
     --threshold 0.10 --only sim.serve
+  dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
+    --threshold 0.10 --only sim.serve.chaos
   dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
     --threshold 0.10 --only sim.group_commit
   dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \

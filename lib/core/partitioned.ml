@@ -50,6 +50,30 @@ module Make (R : Record.S) = struct
   (** [point_query t pk] touches exactly the owning partition. *)
   let point_query t pk = D.point_query t.parts.(route t pk) pk
 
+  (** [point_query_batch_part t i pks ~emit] resolves the point queries
+      of one partition's key group: sorted locally (comparisons charged
+      to that node) and resolved with one [lookup_batch] against the
+      partition's primary index.  Every key must be owned by [i].  A
+      degraded front door uses this to answer a multi-get partition by
+      partition, so one failed node costs only its own slots. *)
+  let point_query_batch_part ?lookup t i pks ~emit =
+    if pks <> [] then begin
+      let d = t.parts.(i) in
+      let arr = Array.of_list pks in
+      let cmps = ref 0 in
+      Lsm_util.Sorter.sort ~cmp:(fun a b -> compare (a : int) b) ~cost:cmps arr;
+      Lsm_sim.Env.charge_comparisons t.envs.(i) !cmps;
+      let lookup =
+        match lookup with Some l -> l | None -> D.Prim.default_lookup_opts
+      in
+      D.Prim.lookup_batch (D.primary d) lookup (D.Prim.plain_keys arr)
+        ~emit:(fun pk row ->
+          emit pk
+            (match row with
+            | Some { D.Prim.value = Lsm_tree.Entry.Put r; _ } -> Some r
+            | _ -> None))
+    end
+
   (** [point_query_batch t pks ~emit] resolves many primary-key point
       queries through the batched-lookup machinery of Sec. 3.2, fanned
       out across partitions: keys are grouped by owner, each group
@@ -60,36 +84,27 @@ module Make (R : Record.S) = struct
     let n = Array.length t.parts in
     let groups = Array.make n [] in
     Array.iter (fun pk -> let i = route t pk in groups.(i) <- pk :: groups.(i)) pks;
-    Array.iteri
-      (fun i ks ->
-        if ks <> [] then begin
-          let d = t.parts.(i) in
-          let arr = Array.of_list ks in
-          let cmps = ref 0 in
-          Lsm_util.Sorter.sort ~cmp:(fun a b -> compare (a : int) b) ~cost:cmps arr;
-          Lsm_sim.Env.charge_comparisons t.envs.(i) !cmps;
-          let lookup =
-            match lookup with Some l -> l | None -> D.Prim.default_lookup_opts
-          in
-          D.Prim.lookup_batch (D.primary d) lookup (D.Prim.plain_keys arr)
-            ~emit:(fun pk row ->
-              emit pk
-                (match row with
-                | Some { D.Prim.value = Lsm_tree.Entry.Put r; _ } -> Some r
-                | _ -> None))
-        end)
-      groups
+    Array.iteri (fun i ks -> point_query_batch_part ?lookup t i ks ~emit) groups
+
+  (** [query_secondary_part t i ...] is one partition's share of a
+      secondary fan-out — the unit a degraded front door can still
+      answer when other partitions are down. *)
+  let query_secondary_part t i ~sec ~lo ~hi ~mode ?lookup () =
+    D.query_secondary t.parts.(i) ~sec ~lo ~hi ~mode ?lookup ()
 
   (** [query_secondary t ...] fans out to all partitions and concatenates
       (the paper: "returned primary keys are then sorted locally before
       retrieving the records in the local partitions"). *)
   let query_secondary t ~sec ~lo ~hi ~mode ?lookup () =
-    Array.to_list t.parts
-    |> List.concat_map (fun d -> D.query_secondary d ~sec ~lo ~hi ~mode ?lookup ())
+    List.init (Array.length t.parts) Fun.id
+    |> List.concat_map (fun i -> query_secondary_part t i ~sec ~lo ~hi ~mode ?lookup ())
 
   let query_secondary_keys t ~sec ~lo ~hi ~mode () =
     Array.to_list t.parts
     |> List.concat_map (fun d -> D.query_secondary_keys d ~sec ~lo ~hi ~mode ())
+
+  let query_time_range_part t i ~tlo ~thi ~f =
+    D.query_time_range t.parts.(i) ~tlo ~thi ~f
 
   let query_time_range t ~tlo ~thi ~f =
     Array.fold_left (fun acc d -> acc + D.query_time_range d ~tlo ~thi ~f) 0 t.parts

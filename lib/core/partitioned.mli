@@ -44,6 +44,30 @@ module Make (R : Record.S) : sig
       point-lookup machinery of Sec. 3.2.  [emit] fires exactly once per
       input key, in per-partition fetch order. *)
 
+  val point_query_batch_part :
+    ?lookup:D.Prim.lookup_opts ->
+    t ->
+    int ->
+    int list ->
+    emit:(int -> R.t option -> unit) ->
+    unit
+  (** One partition's share of a multi-get: every key must be owned by
+      the given partition.  A degraded front door answers a multi-get
+      partition by partition through this, so a failed node costs only
+      its own key slots. *)
+
+  val query_secondary_part :
+    t ->
+    int ->
+    sec:string ->
+    lo:int ->
+    hi:int ->
+    mode:D.validation_mode ->
+    ?lookup:D.Prim.lookup_opts ->
+    unit ->
+    R.t list
+  (** One partition's share of a secondary fan-out. *)
+
   val query_secondary :
     t ->
     sec:string ->
@@ -65,6 +89,11 @@ module Make (R : Record.S) : sig
     (int * int) list
 
   val query_time_range : t -> tlo:int -> thi:int -> f:(R.t -> unit) -> int
+
+  val query_time_range_part :
+    t -> int -> tlo:int -> thi:int -> f:(R.t -> unit) -> int
+  (** One partition's share of a time-range fan-out. *)
+
   val full_scan : t -> f:(R.t -> unit) -> int
 
   (** {1 Timing and maintenance} *)

@@ -194,7 +194,8 @@ let run ?(queries = 200) (scale : Scale.t) =
           | `Gauge g
             when labels = []
                  && (String.starts_with ~prefix:"serve." name
-                    || String.starts_with ~prefix:"mem." name)
+                    || String.starts_with ~prefix:"mem." name
+                    || String.starts_with ~prefix:"resilience." name)
                  && not (List.mem_assoc name base) ->
               extra := (name, Lsm_obs.Metrics.gauge_value g) :: !extra
           | _ -> ())

@@ -203,6 +203,12 @@ let events_between t ~from_us ~until_us =
     (fun e -> e.e_start_us +. e.e_dur_us >= from_us && e.e_start_us < until_us)
     (Array.to_list (events t))
 
+(** [events_of_kind t kind] is every ring event of one kind, oldest
+    first — e.g. a chaos report pulling its ["breaker.open"] or
+    ["chaos.crash"] markers back out of the flight recorder. *)
+let events_of_kind t kind =
+  List.filter (fun e -> e.e_kind = kind) (Array.to_list (events t))
+
 (* ------------------------------------------------------------------ *)
 (* Exports *)
 

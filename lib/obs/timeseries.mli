@@ -74,6 +74,14 @@ val events_between : t -> from_us:float -> until_us:float -> event list
 (** Events whose [start, start+dur] span intersects [[from_us,
     until_us)], oldest first. *)
 
+val events_of_kind : t -> string -> event list
+(** Events of one kind, oldest first.  Beyond the maintenance kinds
+    (["eviction"], ["dataset.flush"], ["lsm.merge"], ...), the serving
+    chaos layer records ["chaos.crash"], ["chaos.recover"],
+    ["chaos.io"], ["chaos.slow"], ["chaos.corrupt"], ["chaos.heal"],
+    ["breaker.open"], ["breaker.half_open"], ["breaker.close"], and
+    ["shed"]. *)
+
 val events_recorded : t -> int
 val events_dropped : t -> int
 

@@ -7,39 +7,93 @@
     — requests keep arriving whether or not the system keeps up, which
     is what makes queueing delay (and the saturation knee) observable. *)
 
-type kind = [ `Poisson | `Uniform ]
+type kind = [ `Poisson | `Uniform | `Bursty ]
+
+(* Bursty modulation constants: an on/off modulated Poisson process
+   (MMPP-2).  The process alternates exponentially-distributed ON and
+   OFF phases; inside a phase arrivals are Poisson at the base rate
+   times the phase multiplier.  With ON occupying [on_frac] of the time
+   at [burst_mult]x and OFF at [off_mult]x, the long-run mean rate is
+   preserved exactly: on_frac*burst + (1-on_frac)*off = 1. *)
+let burst_mult = 4.0
+let on_frac = 0.2
+let off_mult = (1.0 -. (on_frac *. burst_mult)) /. (1.0 -. on_frac)
+
+(* Mean phase lengths, in units of the base mean gap: bursts last ~50
+   base gaps (long enough to pile up a queue), lulls proportionally
+   longer so the time fraction in ON is [on_frac]. *)
+let on_phase_gaps = 50.0
+let off_phase_gaps = on_phase_gaps *. (1.0 -. on_frac) /. on_frac
 
 type t = {
   rng : Lsm_util.Rng.t;
   mean_gap_us : float;
   kind : kind;
   mutable next_us : float;
+  (* Bursty phase state; unused for the other kinds. *)
+  mutable on : bool;
+  mutable phase_end_us : float;
 }
+
+let exp_draw rng mean =
+  (* Inverse-CDF exponential.  [Rng.float] is in [0, 1), so [1 - u] is
+     in (0, 1] and the log stays finite. *)
+  -.mean *. log (1.0 -. Lsm_util.Rng.float rng)
 
 let create ?(seed = 97) ~rate_rps kind =
   if rate_rps <= 0.0 then invalid_arg "Arrivals.create: rate_rps must be > 0";
-  {
-    rng = Lsm_util.Rng.create seed;
-    mean_gap_us = 1e6 /. rate_rps;
-    kind;
-    next_us = 0.0;
-  }
+  let rng = Lsm_util.Rng.create seed in
+  let mean_gap_us = 1e6 /. rate_rps in
+  let t = { rng; mean_gap_us; kind; next_us = 0.0; on = false; phase_end_us = 0.0 } in
+  (match kind with
+  | `Bursty ->
+      (* Start in ON or OFF with the stationary time-fraction odds, and
+         draw the first phase boundary. *)
+      t.on <- Lsm_util.Rng.float rng < on_frac;
+      let mean_phase =
+        mean_gap_us *. if t.on then on_phase_gaps else off_phase_gaps
+      in
+      t.phase_end_us <- exp_draw rng mean_phase
+  | `Poisson | `Uniform -> ());
+  t
 
 let next t =
-  let gap =
-    match t.kind with
-    | `Uniform -> t.mean_gap_us
-    | `Poisson ->
-        (* Inverse-CDF exponential inter-arrival.  [Rng.float] is in
-           [0, 1), so [1 - u] is in (0, 1] and the log stays finite. *)
-        -.t.mean_gap_us *. log (1.0 -. Lsm_util.Rng.float t.rng)
-  in
-  t.next_us <- t.next_us +. gap;
-  t.next_us
+  match t.kind with
+  | `Uniform ->
+      t.next_us <- t.next_us +. t.mean_gap_us;
+      t.next_us
+  | `Poisson ->
+      t.next_us <- t.next_us +. exp_draw t.rng t.mean_gap_us;
+      t.next_us
+  | `Bursty ->
+      (* Exponential gap at the current phase's rate; a draw that would
+         cross the phase boundary is discarded and redrawn in the next
+         phase (memorylessness makes the discard exact, not an
+         approximation). *)
+      let rec go cursor =
+        let mult = if t.on then burst_mult else off_mult in
+        let gap = exp_draw t.rng (t.mean_gap_us /. mult) in
+        if cursor +. gap <= t.phase_end_us then cursor +. gap
+        else begin
+          let cursor = t.phase_end_us in
+          t.on <- not t.on;
+          let mean_phase =
+            t.mean_gap_us *. if t.on then on_phase_gaps else off_phase_gaps
+          in
+          t.phase_end_us <- t.phase_end_us +. exp_draw t.rng mean_phase;
+          go cursor
+        end
+      in
+      t.next_us <- go t.next_us;
+      t.next_us
 
 let kind_of_string = function
   | "poisson" -> `Poisson
   | "uniform" -> `Uniform
-  | s -> invalid_arg ("unknown arrival process: " ^ s ^ " (poisson|uniform)")
+  | "bursty" -> `Bursty
+  | s -> invalid_arg ("unknown arrival process: " ^ s ^ " (poisson|uniform|bursty)")
 
-let string_of_kind = function `Poisson -> "poisson" | `Uniform -> "uniform"
+let string_of_kind = function
+  | `Poisson -> "poisson"
+  | `Uniform -> "uniform"
+  | `Bursty -> "bursty"

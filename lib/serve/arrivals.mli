@@ -2,9 +2,14 @@
     are decided in advance from a configured rate, so offered load does
     not adapt to the system and saturation shows up as queueing delay. *)
 
-type kind = [ `Poisson | `Uniform ]
+type kind = [ `Poisson | `Uniform | `Bursty ]
 (** [`Poisson]: exponential inter-arrival gaps (memoryless, bursty).
-    [`Uniform]: deterministic gaps of exactly [1/rate]. *)
+    [`Uniform]: deterministic gaps of exactly [1/rate].
+    [`Bursty]: on/off modulated Poisson (MMPP-2) — exponential ON/OFF
+    phases, Poisson arrivals at 4x the base rate during ON (20% of the
+    time) and 0.25x during OFF, so the long-run mean rate equals the
+    configured rate exactly.  Load spikes let chaos windows coincide
+    with overload. *)
 
 type t
 

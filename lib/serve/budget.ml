@@ -19,6 +19,7 @@ type t = {
   budget_bytes : int;
   parts : part array;
   mutable evictions : int;
+  evictions_by : int array;  (** per-partition eviction counts *)
   mutable peak_bytes : int;  (** max aggregate observed after enforcement *)
   mutable peak_pre_bytes : int;
       (** max aggregate observed when enforcement began: how far a single
@@ -28,10 +29,22 @@ type t = {
 let create ~budget_bytes parts =
   if budget_bytes < 1 then invalid_arg "Budget.create: budget_bytes >= 1";
   if Array.length parts = 0 then invalid_arg "Budget.create: no partitions";
-  { budget_bytes; parts; evictions = 0; peak_bytes = 0; peak_pre_bytes = 0 }
+  {
+    budget_bytes;
+    parts;
+    evictions = 0;
+    evictions_by = Array.make (Array.length parts) 0;
+    peak_bytes = 0;
+    peak_pre_bytes = 0;
+  }
 
 let budget_bytes t = t.budget_bytes
 let evictions t = t.evictions
+
+(** [evictions_of t i] is how many coordinator evictions partition [i]
+    absorbed — chaos attribution uses it to see eviction pressure shift
+    off a degraded partition. *)
+let evictions_of t i = t.evictions_by.(i)
 let peak_bytes t = t.peak_bytes
 let peak_pre_bytes t = t.peak_pre_bytes
 
@@ -68,6 +81,7 @@ let enforce t =
       if t.parts.(i).mem_bytes () > 0 then begin
         t.parts.(i).flush ();
         t.evictions <- t.evictions + 1;
+        t.evictions_by.(i) <- t.evictions_by.(i) + 1;
         drain ()
       end
       (* else: nothing evictable — all memory already on disk; the

@@ -27,6 +27,11 @@ val enforce : t -> unit
 val evictions : t -> int
 (** Coordinator-initiated flushes so far. *)
 
+val evictions_of : t -> int -> int
+(** [evictions_of t i]: evictions partition [i] absorbed — chaos
+    attribution watches eviction pressure shift off a degraded
+    partition. *)
+
 val peak_bytes : t -> int
 (** Largest aggregate footprint observed at an enforcement boundary —
     the invariant tests assert this stays under the budget. *)

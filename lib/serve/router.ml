@@ -14,6 +14,7 @@
 
 module Make (R : Lsm_core.Record.S) = struct
   module P = Lsm_core.Partitioned.Make (R)
+  module T = Lsm_core.Txn_dataset.Make (R) (P.D)
 
   type request =
     | Insert of R.t
@@ -57,6 +58,9 @@ module Make (R : Lsm_core.Record.S) = struct
 
   type t = {
     p : P.t;
+    txns : T.t array;
+        (** durable per-partition transactional wrappers; [[||]] when
+            the router is not durable *)
     budget : Budget.t;
     lookup : P.D.Prim.lookup_opts;
     before : float array;  (** per-partition clock snapshot scratch *)
@@ -66,11 +70,22 @@ module Make (R : Lsm_core.Record.S) = struct
   (** [create ~mk_env ~partitions ~budget_bytes cfg] builds the cluster
       with per-partition auto-maintenance *disabled*: all flushes and
       merges are driven by the shared-budget coordinator.  [cfg]'s own
-      [mem_budget] is ignored in favour of [budget_bytes]. *)
-  let create ?filter_key ?(secondaries = []) ?lookup ~mk_env ~partitions
-      ~budget_bytes cfg =
+      [mem_budget] is ignored in favour of [budget_bytes].
+
+      With [~durable:true] every partition is wrapped in a
+      {!Lsm_core.Txn_dataset} (serial WAL, one fsync per auto-committed
+      write), so every acknowledged write is durable and a partition can
+      {!crash_partition} and {!recover_partition} mid-run through the
+      durable-frontier recovery path.  Requires a Mutable-bitmap or
+      Validation strategy. *)
+  let create ?filter_key ?(secondaries = []) ?lookup ?(durable = false)
+      ~mk_env ~partitions ~budget_bytes cfg =
     let p = P.create ?filter_key ~secondaries ~mk_env ~partitions cfg in
     P.set_auto_maintenance p false;
+    let txns =
+      if durable then Array.init partitions (fun i -> T.create (P.partition p i))
+      else [||]
+    in
     for i = 0 to partitions - 1 do
       Lsm_sim.Env.set_mem_budget (P.env p i) (Some budget_bytes)
     done;
@@ -85,13 +100,14 @@ module Make (R : Lsm_core.Record.S) = struct
                  (* Instrumented: record what each eviction cost and
                     released, on the victim partition's clock.  Pure
                     reads around the flush — the simulated costs are
-                    unchanged. *)
+                    unchanged.  Durable partitions flush through the
+                    WAL wrapper (log forced before data). *)
                  (fun () ->
                    let env = P.env p i in
                    let t0 = Lsm_sim.Env.now_us env in
                    let bytes0 = P.mem_bytes_of p i in
                    let amp0 = Lsm_obs.Ampstats.copy (Lsm_sim.Env.amp env) in
-                   P.flush_partition p i;
+                   if durable then T.flush txns.(i) else P.flush_partition p i;
                    let d =
                      Lsm_obs.Ampstats.diff ~since:amp0 (Lsm_sim.Env.amp env)
                    in
@@ -110,6 +126,7 @@ module Make (R : Lsm_core.Record.S) = struct
     in
     {
       p;
+      txns;
       budget;
       lookup =
         (match lookup with Some l -> l | None -> P.D.Prim.default_lookup_opts);
@@ -119,6 +136,7 @@ module Make (R : Lsm_core.Record.S) = struct
 
   let partitioned t = t.p
   let budget t = t.budget
+  let durable t = Array.length t.txns > 0
 
   let all_partitions t = List.init (P.partitions t.p) Fun.id
 
@@ -133,6 +151,26 @@ module Make (R : Lsm_core.Record.S) = struct
     | Insert _ | Upsert _ | Delete _ -> true
     | Point _ | Multi_get _ | Secondary _ | Time_range _ -> false
 
+  (* Write primitives, routed through the WAL wrapper when durable (an
+     auto-committed transaction per write: acked = durable). *)
+  let do_insert t r =
+    let i = P.route t.p (R.primary_key r) in
+    if durable t then
+      if P.D.key_exists (P.partition t.p i) (R.primary_key r) then `Duplicate
+      else begin
+        T.upsert_auto t.txns.(i) r;
+        `Inserted
+      end
+    else P.insert t.p r
+
+  let do_upsert t r =
+    if durable t then T.upsert_auto t.txns.(P.route t.p (R.primary_key r)) r
+    else P.upsert t.p r
+
+  let do_delete t ~pk =
+    if durable t then T.delete_auto t.txns.(P.route t.p pk) ~pk
+    else P.delete t.p ~pk
+
   (** [exec t req] runs one request to completion and reports where the
       simulated time went. *)
   let exec t req =
@@ -145,16 +183,16 @@ module Make (R : Lsm_core.Record.S) = struct
       match req with
       | Insert r ->
           let reply =
-            match P.insert t.p r with
+            match do_insert t r with
             | `Inserted -> Wrote
             | `Duplicate -> Rejected
           in
           (reply, [ P.route t.p (R.primary_key r) ])
       | Upsert r ->
-          P.upsert t.p r;
+          do_upsert t r;
           (Wrote, [ P.route t.p (R.primary_key r) ])
       | Delete pk ->
-          P.delete t.p ~pk;
+          do_delete t ~pk;
           (Wrote, [ P.route t.p pk ])
       | Point pk -> (Found (P.point_query t.p pk), [ P.route t.p pk ])
       | Multi_get pks ->
@@ -174,4 +212,94 @@ module Make (R : Lsm_core.Record.S) = struct
       Array.init n (fun i -> Lsm_sim.Env.now_us (P.env t.p i) -. t.before.(i))
     in
     { reply; service_us; touched; evictions = List.rev !(t.evlog) }
+
+  (* ------------------------------------------------------------------ *)
+  (* Chaos session API: the degraded front door executes a request in
+     per-partition pieces (so one failed partition costs only its own
+     slots), with the driver deciding gating, retries, and hedging
+     between pieces.  [snapshot]/[service_since] bracket the whole
+     request exactly like [exec] does internally. *)
+
+  let snapshot t =
+    t.evlog := [];
+    for i = 0 to P.partitions t.p - 1 do
+      t.before.(i) <- Lsm_sim.Env.now_us (P.env t.p i)
+    done
+
+  let service_since t =
+    Array.init (P.partitions t.p) (fun i ->
+        Lsm_sim.Env.now_us (P.env t.p i) -. t.before.(i))
+
+  let evictions_since t = List.rev !(t.evlog)
+
+  let route t pk = P.route t.p pk
+
+  (** [targets t req] is the partition set the request structurally
+      needs (fan-outs: every partition). *)
+  let targets t req =
+    match req with
+    | Insert r | Upsert r -> [ P.route t.p (R.primary_key r) ]
+    | Delete pk | Point pk -> [ P.route t.p pk ]
+    | Multi_get pks -> owners t pks
+    | Secondary _ | Time_range _ -> all_partitions t
+
+  (** [exec_write t req] performs a (single-partition) write — acked
+      means durable when the router is.  Budget enforcement is the
+      caller's separate step: the write is already acknowledged when an
+      eviction it triggers fails, and conflating the two would make an
+      eviction error look like a lost write. *)
+  let exec_write t req =
+    match req with
+    | Insert r -> (
+        match do_insert t r with `Inserted -> Wrote | `Duplicate -> Rejected)
+    | Upsert r ->
+        do_upsert t r;
+        Wrote
+    | Delete pk ->
+        do_delete t ~pk;
+        Wrote
+    | _ -> invalid_arg "Router.exec_write: not a write"
+
+  let point_part t pk = P.point_query t.p pk
+
+  (** [multi_get_part t i pks] answers the multi-get slots owned by
+      partition [i], as (key, record option) pairs in fetch order. *)
+  let multi_get_part t i pks =
+    let out = ref [] in
+    P.point_query_batch_part ~lookup:t.lookup t.p i pks ~emit:(fun pk r ->
+        out := (pk, r) :: !out);
+    List.rev !out
+
+  let secondary_part t i ~sec ~lo ~hi ~mode =
+    P.query_secondary_part t.p i ~sec ~lo ~hi ~mode ~lookup:t.lookup ()
+
+  let time_range_part t i ~tlo ~thi =
+    P.query_time_range_part t.p i ~tlo ~thi ~f:(fun _ -> ())
+
+  (* Partition lifecycle under chaos (durable routers only). *)
+
+  let require_durable t op =
+    if not (durable t) then
+      invalid_arg (Printf.sprintf "Router.%s: requires a durable router" op)
+
+  (** [crash_partition t i] loses partition [i]'s memory state (memory
+      components vanish, bitmaps revert to the last checkpoint). *)
+  let crash_partition t i =
+    require_durable t "crash_partition";
+    T.crash t.txns.(i)
+
+  (** [recover_partition t i] replays the WAL past the durable frontier;
+      its simulated cost lands on partition [i]'s clock. *)
+  let recover_partition t i =
+    require_durable t "recover_partition";
+    T.recover t.txns.(i)
+
+  (** [wal_length t i] is the record count of partition [i]'s WAL
+      (durable routers only): recovery's log-scan cost scales with it. *)
+  let wal_length t i =
+    require_durable t "wal_length";
+    Lsm_txn.Wal.length (T.wal t.txns.(i))
+
+  let heal_partition t i = P.D.heal (P.partition t.p i)
+  let quarantined t i = P.D.quarantined_count (P.partition t.p i)
 end

@@ -38,6 +38,31 @@ let budget_note (r : Driver.result) =
     (fmt_mb r.Driver.peak_pre_mem_bytes)
     r.Driver.evictions
 
+(* Per-partition engine resilience counters: a note line when the run
+   exercised any retry/degradation machinery, "clean" otherwise. *)
+let resil_note (r : Driver.result) =
+  let active =
+    List.filter
+      (fun (pr : Driver.part_resil) ->
+        pr.Driver.pr_retries + pr.Driver.pr_exhausted + pr.Driver.pr_checksum
+        + pr.Driver.pr_quarantines + pr.Driver.pr_rebuilds
+        > 0)
+      r.Driver.resil
+  in
+  if active = [] then "resilience: clean (no retries, no quarantines)"
+  else
+    "resilience: "
+    ^ String.concat "; "
+        (List.map
+           (fun (pr : Driver.part_resil) ->
+             Printf.sprintf
+               "p%d retries=%d exhausted=%d checksum=%d quarantines=%d \
+                rebuilds=%d"
+               pr.Driver.pr_part pr.Driver.pr_retries pr.Driver.pr_exhausted
+               pr.Driver.pr_checksum pr.Driver.pr_quarantines
+               pr.Driver.pr_rebuilds)
+           active)
+
 (** [report r] is the per-run SLO table: one row per operation class
     (latencies in milliseconds), the budget line and saturation verdict
     as notes. *)
@@ -68,7 +93,7 @@ let report (r : Driver.result) =
          cfg.Driver.scale.Lsm_harness.Scale.name cfg.Driver.seed)
     ~header:
       [ "class"; "count"; "p50_ms"; "p95_ms"; "p99_ms"; "queue_ms"; "svc_ms" ]
-    ~notes:[ budget_note r; verdict r ]
+    ~notes:[ budget_note r; resil_note r; verdict r ]
     rows
 
 (** [sweep_report sw] is the knee table: one row per rung of the rate
@@ -141,7 +166,16 @@ let publish (r : Driver.result) m =
       set (pfx ^ "p99_us") c.Driver.p99_us;
       set (pfx ^ "queue_mean_us") c.Driver.mean_queue_us;
       set (pfx ^ "service_mean_us") c.Driver.mean_service_us)
-    r.Driver.classes
+    r.Driver.classes;
+  List.iter
+    (fun (pr : Driver.part_resil) ->
+      let pfx = Printf.sprintf "p%d.resilience." pr.Driver.pr_part in
+      set (pfx ^ "retries") (Float.of_int pr.Driver.pr_retries);
+      set (pfx ^ "exhausted") (Float.of_int pr.Driver.pr_exhausted);
+      set (pfx ^ "checksum_failures") (Float.of_int pr.Driver.pr_checksum);
+      set (pfx ^ "quarantines") (Float.of_int pr.Driver.pr_quarantines);
+      set (pfx ^ "rebuilds") (Float.of_int pr.Driver.pr_rebuilds))
+    r.Driver.resil
 
 (* ------------------------------------------------------------------ *)
 (* JSON *)
@@ -162,6 +196,21 @@ let json_of_classes classes =
            ])
        classes)
 
+let json_of_resil (resil : Driver.part_resil list) =
+  Json.List
+    (List.map
+       (fun (pr : Driver.part_resil) ->
+         Json.Obj
+           [
+             ("part", Json.Int pr.Driver.pr_part);
+             ("retries", Json.Int pr.Driver.pr_retries);
+             ("exhausted", Json.Int pr.Driver.pr_exhausted);
+             ("checksum_failures", Json.Int pr.Driver.pr_checksum);
+             ("quarantines", Json.Int pr.Driver.pr_quarantines);
+             ("rebuilds", Json.Int pr.Driver.pr_rebuilds);
+           ])
+       resil)
+
 let json_of_run (r : Driver.result) =
   Json.Obj
     [
@@ -171,6 +220,7 @@ let json_of_run (r : Driver.result) =
       ("backlog_frac", Json.Float r.Driver.backlog_frac);
       ("queue_growth", Json.Float r.Driver.queue_growth);
       ("classes", json_of_classes r.Driver.classes);
+      ("resilience", json_of_resil r.Driver.resil);
       ( "budget",
         Json.Obj
           [
@@ -308,3 +358,154 @@ let sweep_to_json (cfg : Driver.config) (sw : Driver.sweep_result) =
             ("points", Json.List (List.map json_of_run sw.Driver.points));
           ] );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Chaos runs: degraded-operation report and document *)
+
+let json_of_verdict (v : Chaos_checker.verdict) =
+  Json.Obj
+    [
+      ("ok", Json.Bool (Chaos_checker.ok v));
+      ("arrivals", Json.Int v.Chaos_checker.v_arrivals);
+      ("successes", Json.Int v.Chaos_checker.v_successes);
+      ("failures", Json.Int v.Chaos_checker.v_failures);
+      ("shed", Json.Int v.Chaos_checker.v_shed);
+      ("answers_checked", Json.Int v.Chaos_checker.v_checked);
+      ("keys_probed", Json.Int v.Chaos_checker.v_probed);
+      ("violations_total", Json.Int v.Chaos_checker.v_violations_total);
+      ( "violations",
+        Json.List (List.map (fun s -> Json.Str s) v.Chaos_checker.v_violations)
+      );
+    ]
+
+let json_of_policy (p : Chaos.policy) =
+  Json.Obj
+    [
+      ("deadline_us", Json.Float p.Chaos.deadline_us);
+      ("retries", Json.Int p.Chaos.retries);
+      ("hedge_us", Json.Float p.Chaos.hedge_us);
+      ("shed_backlog_us", Json.Float p.Chaos.shed_backlog_us);
+    ]
+
+(** Chaos-run document ([mode = "chaos"]): the base run plus the
+    degradation ledger and, when the checker ran, its verdict. *)
+let chaos_to_json ?checker (c : Driver.chaos_result) =
+  let base = c.Driver.c_base in
+  Json.Obj
+    ([
+       ("schema", Json.Str schema);
+       ("mode", Json.Str "chaos");
+       ("config", json_of_config base.Driver.r_cfg);
+       ("capacity_rps", Json.Float base.Driver.capacity_rps);
+       ("run", json_of_run base);
+       ( "chaos",
+         Json.Obj
+           [
+             ( "faults",
+               Json.List (List.map (fun s -> Json.Str s) c.Driver.c_faults) );
+             ("policy", json_of_policy c.Driver.c_policy);
+             ("successes", Json.Int c.Driver.successes);
+             ("partials", Json.Int c.Driver.partials);
+             ("failures", Json.Int c.Driver.failures);
+             ("shed", Json.Int c.Driver.shed);
+             ("availability", Json.Float c.Driver.availability);
+             ("shed_rate", Json.Float c.Driver.shed_rate);
+             ( "fail_reasons",
+               Json.Obj
+                 (List.map
+                    (fun (k, v) -> (k, Json.Int v))
+                    c.Driver.fail_reasons) );
+             ( "phase_counts",
+               Json.Obj
+                 (List.map
+                    (fun (k, v) -> (k, Json.Int v))
+                    c.Driver.phase_counts) );
+             ( "phases",
+               Json.Obj
+                 (List.map
+                    (fun (ph, classes) -> (ph, json_of_classes classes))
+                    c.Driver.phase_classes) );
+             ("breaker_opens", Json.Int c.Driver.breaker_opens);
+             ("breaker_transitions", Json.Int c.Driver.breaker_transitions);
+             ("down_us", Json.Float c.Driver.down_us);
+             ( "evictions_by",
+               Json.List (List.map (fun n -> Json.Int n) c.Driver.evictions_by)
+             );
+           ] );
+     ]
+    @ match checker with None -> [] | Some v -> [ ("checker", json_of_verdict v) ])
+
+(** [chaos_report c] is the per-phase SLO table: the ["all"] row for
+    every phase plus per-class rows where the phase saw traffic, with
+    the availability ledger, breaker activity, and the fault plan as
+    notes. *)
+let chaos_report ?checker (c : Driver.chaos_result) =
+  let base = c.Driver.c_base in
+  let cfg = base.Driver.r_cfg in
+  let rows =
+    List.concat_map
+      (fun (ph, classes) ->
+        List.filter_map
+          (fun (cl : Driver.class_stats) ->
+            if cl.Driver.cls <> "all" && cl.Driver.count = 0 then None
+            else
+              Some
+                [
+                  ph;
+                  cl.Driver.cls;
+                  string_of_int cl.Driver.count;
+                  fmt_us cl.Driver.p50_us;
+                  fmt_us cl.Driver.p95_us;
+                  fmt_us cl.Driver.p99_us;
+                  fmt_us cl.Driver.mean_queue_us;
+                ])
+          classes)
+      c.Driver.phase_classes
+  in
+  let ledger =
+    Printf.sprintf
+      "availability %.4f: %d arrivals = %d ok (%d partial) + %d errors + %d \
+       shed (%.1f%% shed)"
+      c.Driver.availability base.Driver.requests c.Driver.successes
+      c.Driver.partials c.Driver.failures c.Driver.shed
+      (100.0 *. c.Driver.shed_rate)
+  in
+  let reasons =
+    if c.Driver.fail_reasons = [] then "no request errors"
+    else
+      "errors: "
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+             c.Driver.fail_reasons)
+  in
+  let breakers =
+    Printf.sprintf
+      "breakers: %d opens, %d transitions; partition down %.1fms total"
+      c.Driver.breaker_opens c.Driver.breaker_transitions
+      (c.Driver.down_us /. 1000.0)
+  in
+  let plan =
+    if c.Driver.c_faults = [] then "fault plan: none (clean chaos run)"
+    else "fault plan: " ^ String.concat "; " c.Driver.c_faults
+  in
+  let checker_note =
+    match checker with
+    | None -> []
+    | Some v -> [ Format.asprintf "%a" Chaos_checker.pp_verdict v ]
+  in
+  Report.make ~id:"serve-chaos"
+    ~title:
+      (Printf.sprintf
+         "Chaos serving: %d partitions, %s arrivals at %s rps, %.1fs \
+          simulated (scale %s, seed %d)"
+         cfg.Driver.partitions
+         (Arrivals.string_of_kind cfg.Driver.arrivals)
+         (fmt_rate base.Driver.rate_rps)
+         cfg.Driver.duration_s cfg.Driver.scale.Lsm_harness.Scale.name
+         cfg.Driver.seed)
+    ~header:
+      [ "phase"; "class"; "count"; "p50_ms"; "p95_ms"; "p99_ms"; "queue_ms" ]
+    ~notes:
+      ([ plan; ledger; reasons; breakers; resil_note base ] @ checker_note)
+    rows

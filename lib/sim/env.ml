@@ -78,6 +78,11 @@ type t = {
           the obs handle (so a timeline can watch maintenance spans
           without paying for full tracing); [None] by default — one
           branch per span *)
+  mutable io_penalty : float;
+      (** multiplier on device I/O transfer/positioning time, >= 1.0;
+          1.0 (the default) is a clean device.  A chaos plan raises it
+          for a window to model a degraded disk (firmware retries, a
+          failing sector remap) without any request erroring. *)
   corrupt : (int * int, unit) Hashtbl.t;
       (** (file, page) pairs whose simulated checksum fails *)
   corrupt_files : (int, int) Hashtbl.t;
@@ -190,6 +195,7 @@ let create ?(cache_bytes = 64 * 1024 * 1024) ?read_ahead_bytes ?cpu device =
     mem_probes = [];
     mem_budget = None;
     span_hook = None;
+    io_penalty = 1.0;
     corrupt = Hashtbl.create 7;
     corrupt_files = Hashtbl.create 7;
     n_corrupt = 0;
@@ -245,6 +251,12 @@ let mem_bytes t = List.fold_left (fun acc f -> acc + f ()) 0 t.mem_probes
 
 let set_mem_budget t b = t.mem_budget <- b
 let mem_budget t = t.mem_budget
+
+(** [set_io_penalty t f] scales device I/O time by [f] >= 1.0 until reset
+    (a slow-I/O fault window); cache hits and CPU charges are unaffected. *)
+let set_io_penalty t f = t.io_penalty <- Float.max 1.0 f
+
+let io_penalty t = t.io_penalty
 
 (* ------------------------------------------------------------------ *)
 (* Resilience: retry/backoff at the I/O sites, page-checksum state *)
@@ -365,11 +377,13 @@ let read_page t ~file ~page =
     let sequential = t.head_file = file && t.head_page + 1 = page in
     if sequential then begin
       t.stats.Io_stats.seq_reads <- t.stats.Io_stats.seq_reads + 1;
-      advance t t.device.Device.read_us_per_page
+      advance t (t.device.Device.read_us_per_page *. t.io_penalty)
     end
     else begin
       t.stats.Io_stats.rand_reads <- t.stats.Io_stats.rand_reads + 1;
-      advance t (t.device.Device.seek_us +. t.device.Device.read_us_per_page)
+      advance t
+        ((t.device.Device.seek_us +. t.device.Device.read_us_per_page)
+        *. t.io_penalty)
     end;
     t.head_file <- file;
     t.head_page <- page;
@@ -387,8 +401,9 @@ let write_pages t ~file ~first ~count =
     t.stats.Io_stats.pages_written <- t.stats.Io_stats.pages_written + count;
     t.stats.Io_stats.write_batches <- t.stats.Io_stats.write_batches + 1;
     advance t
-      (t.device.Device.seek_us
-      +. (Float.of_int count *. t.device.Device.write_us_per_page));
+      ((t.device.Device.seek_us
+       +. (Float.of_int count *. t.device.Device.write_us_per_page))
+      *. t.io_penalty);
     t.head_file <- file;
     t.head_page <- first + count - 1;
     for p = first to first + count - 1 do

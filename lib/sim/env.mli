@@ -95,6 +95,15 @@ val view_stats : t -> view_stats
 val retry_policy : t -> Resilience.policy
 val set_retry_policy : t -> Resilience.policy -> unit
 
+val set_io_penalty : t -> float -> unit
+(** [set_io_penalty t f] scales all device I/O time (positioning and
+    transfer, reads and writes) by [f], clamped to [>= 1.0], until the
+    next call.  Models a degraded device — a chaos plan's slow-I/O
+    window — without any operation erroring.  Cache hits and CPU
+    charges are unaffected. *)
+
+val io_penalty : t -> float
+
 val mark_corrupt : t -> file:int -> page:int -> unit
 (** Record that a page fails its checksum (idempotent). *)
 

@@ -182,7 +182,7 @@ let test_serve_json () =
   let classes = items "classes" run_o in
   Alcotest.(check (list string))
     "one row per op class plus all"
-    [ "ingest"; "point"; "secondary"; "scan"; "all" ]
+    [ "ingest"; "point"; "multi"; "secondary"; "scan"; "all" ]
     (List.map (str "class") classes);
   List.iter
     (fun c ->
@@ -303,7 +303,41 @@ let test_serve_timeline_rejects_sweep () =
 
 let test_serve_bad_arrivals () =
   Alcotest.(check int) "unknown arrival process exits 2" 2
-    (run [ "serve"; "-s"; "tiny"; "--arrivals"; "bursty" ])
+    (run [ "serve"; "-s"; "tiny"; "--arrivals"; "fractal" ])
+
+(* The chaos flag's contract: parse errors and impossible plans are
+   usage errors (exit 2); a good run passes its checker (exit 0) and
+   writes the chaos document. *)
+let test_serve_chaos_bad_specs () =
+  Alcotest.(check int) "unknown fault kind exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--chaos"; "explode@p0@t5ms" ]);
+  Alcotest.(check int) "missing window exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--chaos"; "io@p0@t5ms" ]);
+  Alcotest.(check int) "bad time unit exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--chaos"; "crash@p0@t5parsecs" ]);
+  Alcotest.(check int) "fault beyond partition count exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "-p"; "4"; "--chaos"; "crash@p7@t5ms" ]);
+  Alcotest.(check int) "--chaos with --sweep exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--sweep"; "--chaos"; "crash@p0@t5ms" ]);
+  Alcotest.(check int) "unknown strategy exits 2" 2
+    (run [ "serve"; "-s"; "tiny"; "--strategy"; "eager" ])
+
+let test_serve_chaos_json () =
+  let path = Filename.temp_file "serve_chaos" ".json" in
+  Alcotest.(check int) "chaos run passes its checker" 0
+    (run
+       [ "serve"; "-s"; "tiny"; "--duration"; "0.2"; "--rate"; "800";
+         "--seed"; "7"; "--chaos"; "crash@p1@t50ms"; "--deadline-us"; "8000";
+         "--json"; path ]);
+  let j = parse_file path in
+  Sys.remove path;
+  Alcotest.(check string) "schema" "lsm-repro-serve/1" (str "schema" j);
+  Alcotest.(check string) "mode" "chaos" (str "mode" j);
+  let c = member "chaos" j in
+  Alcotest.(check bool) "availability in (0, 1]" true
+    (num "availability" c > 0.0 && num "availability" c <= 1.0);
+  let v = member "checker" j in
+  Alcotest.(check bool) "checker ok" true (member "ok" v = J.Bool true)
 
 (* The faultsim subcommand's exit-code contract. *)
 let test_faultsim_ok () =
@@ -399,6 +433,10 @@ let () =
           Alcotest.test_case "timeline flag validation" `Quick
             test_serve_timeline_rejects_sweep;
           Alcotest.test_case "bad arrivals flag" `Quick test_serve_bad_arrivals;
+          Alcotest.test_case "chaos flag validation" `Quick
+            test_serve_chaos_bad_specs;
+          Alcotest.test_case "chaos run + document" `Quick
+            test_serve_chaos_json;
         ] );
       ( "faultsim",
         [

@@ -100,6 +100,41 @@ let test_arrivals_seeded () =
       (Arrivals.next b)
   done
 
+let test_arrivals_bursty_mean () =
+  let a = Arrivals.create ~seed:3 ~rate_rps:1000.0 `Bursty in
+  let n = 100_000 in
+  let prev = ref 0.0 in
+  let sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let t = Arrivals.next a in
+    Alcotest.(check bool) "strictly increasing" true (t > !prev);
+    let gap = t -. !prev in
+    sumsq := !sumsq +. (gap *. gap);
+    prev := t
+  done;
+  (* The on/off modulation preserves the long-run mean rate exactly, so
+     the empirical mean gap still sits near 1000us — but the gap
+     distribution is a mixture of two exponentials, so its squared
+     coefficient of variation exceeds Poisson's 1. *)
+  let mean_gap = !prev /. Float.of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean gap %.1fus ~ 1000us" mean_gap)
+    true
+    (mean_gap > 900.0 && mean_gap < 1100.0);
+  let var = (!sumsq /. Float.of_int n) -. (mean_gap *. mean_gap) in
+  let scv = var /. (mean_gap *. mean_gap) in
+  Alcotest.(check bool)
+    (Printf.sprintf "burstier than Poisson: scv %.2f > 1.2" scv)
+    true (scv > 1.2)
+
+let test_arrivals_bursty_seeded () =
+  let a = Arrivals.create ~seed:11 ~rate_rps:500.0 `Bursty in
+  let b = Arrivals.create ~seed:11 ~rate_rps:500.0 `Bursty in
+  for _ = 1 to 1000 do
+    Alcotest.(check (float 0.0)) "same stream" (Arrivals.next a)
+      (Arrivals.next b)
+  done
+
 let test_arrivals_validate () =
   Alcotest.check_raises "rate 0"
     (Invalid_argument "Arrivals.create: rate_rps must be > 0") (fun () ->
@@ -111,8 +146,8 @@ let test_arrivals_validate () =
         (Arrivals.string_of_kind k)
         (Arrivals.string_of_kind
            (Arrivals.kind_of_string (Arrivals.string_of_kind k))))
-    [ `Poisson; `Uniform ];
-  match Arrivals.kind_of_string "bursty" with
+    [ `Poisson; `Uniform; `Bursty ];
+  match Arrivals.kind_of_string "fractal" with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "unknown kind must raise"
 
@@ -143,16 +178,17 @@ let test_class_accounting () =
   let r = Lazy.force base_run in
   Alcotest.(check (list string))
     "one row per class plus all"
-    [ "ingest"; "point"; "secondary"; "scan"; "all" ]
+    [ "ingest"; "point"; "multi"; "secondary"; "scan"; "all" ]
     (List.map (fun (c : Driver.class_stats) -> c.Driver.cls) r.Driver.classes);
   let counts =
     List.map (fun (c : Driver.class_stats) -> c.Driver.count) r.Driver.classes
   in
   (match counts with
-  | [ a; b; c; d; all ] ->
-      Alcotest.(check int) "classes partition the requests" all (a + b + c + d);
+  | [ a; b; c; d; e; all ] ->
+      Alcotest.(check int) "classes partition the requests" all
+        (a + b + c + d + e);
       Alcotest.(check int) "all = requests" r.Driver.requests all
-  | _ -> Alcotest.fail "expected 5 class rows");
+  | _ -> Alcotest.fail "expected 6 class rows");
   List.iter
     (fun (c : Driver.class_stats) ->
       Alcotest.(check bool)
@@ -308,6 +344,10 @@ let () =
             test_arrivals_uniform_exact;
           Alcotest.test_case "poisson mean gap" `Quick test_arrivals_poisson_mean;
           Alcotest.test_case "seeded streams repeat" `Quick test_arrivals_seeded;
+          Alcotest.test_case "bursty preserves mean, adds variance" `Quick
+            test_arrivals_bursty_mean;
+          Alcotest.test_case "bursty seeded streams repeat" `Quick
+            test_arrivals_bursty_seeded;
           Alcotest.test_case "validates arguments" `Quick test_arrivals_validate;
         ] );
       ( "driver",
