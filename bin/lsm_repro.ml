@@ -297,15 +297,26 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "maint-workers" ] ~docv:"N" ~doc)
   in
+  let mem_shards_arg =
+    let doc =
+      "Memory shards per tree: the budget evicts one full shard at a \
+       time, so sibling shards keep absorbing writes during a flush."
+    in
+    Arg.(value & opt int 1 & info [ "mem-shards" ] ~docv:"N" ~doc)
+  in
   let run scale partitions rate sweep duration seed users arrivals chaos
       deadline_us shed_backlog_us retries hedge_us strategy json timeline
-      timeline_csv slos window_ms maint_workers metrics =
+      timeline_csv slos window_ms maint_workers mem_shards metrics =
     let scale = Lsm_harness.Scale.of_string scale in
     check_writable json;
     check_writable timeline;
     check_writable timeline_csv;
     if maint_workers < 1 then begin
       Printf.eprintf "--maint-workers must be >= 1\n";
+      exit 2
+    end;
+    if mem_shards < 1 then begin
+      Printf.eprintf "--mem-shards must be >= 1\n";
       exit 2
     end;
     if sweep && timeline <> None then begin
@@ -363,6 +374,7 @@ let serve_cmd =
         users = (if users > 0 then users else cfg.Driver.users);
         arrivals;
         maint_workers;
+        mem_shards;
         seed;
         strategy;
         chaos = faults;
@@ -501,7 +513,7 @@ let serve_cmd =
       $ duration_arg $ seed_arg $ users_arg $ arrivals_arg $ chaos_arg
       $ deadline_arg $ shed_backlog_arg $ retries_arg $ hedge_arg
       $ strategy_arg $ json_arg $ timeline_arg $ timeline_csv_arg $ slo_arg
-      $ window_ms_arg $ maint_workers_arg $ metrics_arg)
+      $ window_ms_arg $ maint_workers_arg $ mem_shards_arg $ metrics_arg)
 
 let faultsim_cmd =
   let module F = Lsm_faultsim.Fault in
@@ -561,6 +573,13 @@ let faultsim_cmd =
     in
     Arg.(value & opt int 1 & info [ "maint-workers" ] ~docv:"N" ~doc)
   in
+  let mem_shards_arg =
+    let doc =
+      "Memory shards per tree: the drive phase rotates per-shard flushes, \
+       exercising the per-shard flush crash points."
+    in
+    Arg.(value & opt int 1 & info [ "mem-shards" ] ~docv:"N" ~doc)
+  in
   let point_arg =
     let doc = "Reproduce a single plan: fault point name (with --hit)." in
     Arg.(value & opt (some string) None & info [ "point" ] ~docv:"POINT" ~doc)
@@ -594,13 +613,17 @@ let faultsim_cmd =
     Arg.(value & opt int 1 & info [ "fails" ] ~docv:"K" ~doc)
   in
   let run seed txns points io corrupt intermittent validation group_commit
-      maint_workers list_points point hit kind fails =
+      maint_workers mem_shards list_points point hit kind fails =
     if group_commit < 1 then begin
       Printf.eprintf "--group-commit must be >= 1\n";
       exit 2
     end;
     if maint_workers < 1 then begin
       Printf.eprintf "--maint-workers must be >= 1\n";
+      exit 2
+    end;
+    if mem_shards < 1 then begin
+      Printf.eprintf "--mem-shards must be >= 1\n";
       exit 2
     end;
     let cfg =
@@ -611,6 +634,7 @@ let faultsim_cmd =
         validation;
         group_commit;
         maint_workers;
+        mem_shards;
       }
     in
     if list_points then begin
@@ -672,8 +696,8 @@ let faultsim_cmd =
     Term.(
       const run $ seed_arg $ txns_arg $ points_arg $ io_arg $ corrupt_arg
       $ intermittent_arg $ validation_arg $ group_commit_arg
-      $ maint_workers_arg $ list_points_arg $ point_arg $ hit_arg $ kind_arg
-      $ fails_arg)
+      $ maint_workers_arg $ mem_shards_arg $ list_points_arg $ point_arg
+      $ hit_arg $ kind_arg $ fails_arg)
 
 let () =
   let doc =

@@ -31,6 +31,16 @@ dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
   --corrupt 12 --intermittent 8 --group-commit 4 --maint-workers 2 \
   --validation
 
+# Same matrices with sharded memtables: the drive phase rotates
+# per-shard flushes, so every per-shard flush window (dataset pair and
+# tree seal/install) is an enumerable crash point — a crash with one
+# shard durable and its siblings still in memory must recover under
+# both strategies.
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
+  --corrupt 12 --intermittent 8 --mem-shards 4
+dune exec bin/lsm_repro.exe -- faultsim --seed 1 --points 60 --io 12 \
+  --corrupt 12 --intermittent 8 --mem-shards 4 --validation
+
 # --- serving-layer smoke ----------------------------------------------
 # One tiny open-loop run with a fixed seed: the command must exit 0 and
 # emit a schema-valid JSON document (test_cli.ml checks the schema; this
@@ -83,8 +93,8 @@ done
 # One quick microbench run feeds two comparisons against the committed
 # baseline:
 #   1. GATE: the sim.range_scan, sim.serve, sim.serve.chaos,
-#      sim.group_commit, and sim.parallel_maint series are pure
-#      simulated cost (deterministic,
+#      sim.group_commit, sim.parallel_maint, and sim.shard series are
+#      pure simulated cost (deterministic,
 #      single-sample), so a >10% change is a real algorithmic or
 #      cost-model regression and fails CI.
 #   2. Advisory: host timings on CI machines are too noisy to gate on,
@@ -102,6 +112,8 @@ if [ -f BENCH_micro.json ]; then
     --threshold 0.10 --only sim.group_commit
   dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
     --threshold 0.10 --only sim.parallel_maint
+  dune exec bench/main.exe -- compare BENCH_micro.json /tmp/bench_new.json \
+    --threshold 0.10 --only sim.shard
   (
     set +e
     echo "### advisory bench compare (not a gate; failures do not fail CI)"

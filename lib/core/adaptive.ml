@@ -122,7 +122,7 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
               (s.D.extract_all old_r))
           (D.secondaries t.d);
         (match D.filter_key_fn t.d with
-        | Some fk -> D.Prim.widen_filter (D.primary t.d) (fk old_r)
+        | Some fk -> D.Prim.widen_filter (D.primary t.d) pk (fk old_r)
         | None -> ());
         true
     | _ -> false

@@ -55,6 +55,10 @@ module Make (R : Record.S) = struct
             components (secondary indexes are range-scanned, no filter) *)
     maint_workers : int;
         (** modeled maintenance workers; > 1 overlaps independent merges *)
+    mem_shards : int;
+        (** memory shards per tree (Sec. 2.3 flush granularity): > 1
+            lets the budget evict one shard at a time while its siblings
+            keep absorbing writes; 1 = classic whole-memtable flushes *)
   }
 
   let default_config =
@@ -65,6 +69,7 @@ module Make (R : Record.S) = struct
       use_pk_index = true;
       bloom = Some Lsm_tree.Config.default_bloom;
       maint_workers = 1;
+      mem_shards = 1;
     }
 
   type stats = {
@@ -109,16 +114,18 @@ module Make (R : Record.S) = struct
 
   let create ?filter_key ?(secondaries = []) env cfg =
     let bitmap = Strategy.uses_primary_bitmap cfg.strategy in
+    let shards = max 1 cfg.mem_shards in
     let primary =
       Prim.create ?filter_of:filter_key env
-        (Lsm_tree.Config.make ~bloom:cfg.bloom ~validity_bitmap:bitmap "primary")
+        (Lsm_tree.Config.make ~bloom:cfg.bloom ~validity_bitmap:bitmap ~shards
+           "primary")
     in
     let pk_index =
       if cfg.use_pk_index then
         Some
           (Pk.create env
              (Lsm_tree.Config.make ~bloom:cfg.bloom ~validity_bitmap:bitmap
-                "pk-index"))
+                ~shards "pk-index"))
       else None
     in
     let mk_sec (s : R.t Record.secondary) =
@@ -127,7 +134,7 @@ module Make (R : Record.S) = struct
         extract_all = s.Record.extract_all;
         tree =
           Sec.create env
-            (Lsm_tree.Config.make ~bloom:None ~validity_bitmap:false
+            (Lsm_tree.Config.make ~bloom:None ~validity_bitmap:false ~shards
                ("sec:" ^ s.Record.sec_name));
         del_tree =
           (match cfg.strategy with
@@ -135,6 +142,7 @@ module Make (R : Record.S) = struct
               Some
                 (Pk.create env
                    (Lsm_tree.Config.make ~bloom:cfg.bloom ~validity_bitmap:false
+                      ~shards
                       ("del:" ^ s.Record.sec_name)))
           | _ -> None);
       }
@@ -248,6 +256,41 @@ module Make (R : Record.S) = struct
     end;
     t.stats.flush_us <- t.stats.flush_us +. (Lsm_sim.Env.now_us t.env -. t0)
 
+  (* Flush memory shard [s] of every tree (the Sec. 2.3 flush-granularity
+     refinement): one full shard reaches disk while its siblings keep
+     absorbing writes.  The primary pair is Int-keyed identically on both
+     sides, so its two shard-[s] cuts hold the same keys in the same
+     order and the newest bitmaps still unify; secondary / deleted-key
+     trees route by their own keys, so their shard [s] is a different key
+     slice — fine, since no correctness property ever related *which*
+     entries flush together across tree families (the tombstone barrier
+     covers the one exception; see [update_tombstone_barrier]). *)
+  let flush_shard_trees t s =
+    Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.flush" @@ fun () ->
+    let t0 = Lsm_sim.Env.now_us t.env in
+    let flushed = Prim.mem_shard_bytes t.primary s > 0 in
+    if flushed then Lsm_sim.Env.fault_point t.env "dataset.flush.shard.begin";
+    Prim.flush ~shard:s t.primary;
+    (* Same crash window as the whole-memory flush: the primary's shard is
+       durable but the primary-key index's is not yet. *)
+    if flushed then Lsm_sim.Env.fault_point t.env "dataset.flush.shard.pair";
+    (match t.pk_index with Some pk -> Pk.flush ~shard:s pk | None -> ());
+    Array.iter
+      (fun sx ->
+        Sec.flush ~shard:s sx.tree;
+        match sx.del_tree with Some d -> Pk.flush ~shard:s d | None -> ())
+      t.secondaries;
+    unify_newest_bitmaps t;
+    if flushed then begin
+      t.stats.n_flushes <- t.stats.n_flushes + 1;
+      Log.debug (fun m ->
+          m "flush #%d (shard %d): %d primary components, %d disk bytes"
+            t.stats.n_flushes s
+            (Prim.component_count t.primary)
+            (Prim.disk_size_bytes t.primary))
+    end;
+    t.stats.flush_us <- t.stats.flush_us +. (Lsm_sim.Env.now_us t.env -. t0)
+
   (* Forward declaration: repair of a secondary component (defined below,
      needs validation machinery). *)
   let repair_hook :
@@ -271,6 +314,59 @@ module Make (R : Record.S) = struct
     if !first >= 0 && !last > !first then Some (merge ~first:!first ~last:!last)
     else None
 
+  (* Merge the lockstep counterpart of a merged component: find the
+     contiguous run of [components] whose concatenated flush provenance
+     equals [prov].  Per-shard flushes produce components whose ID ranges
+     overlap across shards, so ts-range nesting no longer identifies a
+     merge's inputs (a range can nest a sibling shard's component that
+     was never an input); flush provenance does — the primary pair
+     flushes the same shard cuts in lockstep, so the counterpart side
+     always holds a run with exactly the same origin sequence.  Returns
+     [None] when the counterpart is a single already-aligned component
+     (nothing to merge) or when no run matches (counterpart not flushed
+     yet — recovery redoes it). *)
+  let merge_prov_range (type dc) ~(components : unit -> dc array)
+      ~(prov_of : dc -> Lsm_tree.flush_origin list)
+      ~(merge : first:int -> last:int -> dc) ~prov =
+    match prov with
+    | [] -> None
+    | _ ->
+        let comps = components () in
+        let n = Array.length comps in
+        (* [eat p rem] strips [p] off the front of [rem]. *)
+        let rec eat p rem =
+          match (p, rem) with
+          | [], rest -> Some rest
+          | ph :: pt, rh :: rt when Lsm_tree.flush_origin_equal ph rh ->
+              eat pt rt
+          | _ -> None
+        in
+        (* [run_at j rem] = Some last if comps.(j..last) concatenate to
+           exactly [rem]. *)
+        let rec run_at j rem =
+          match rem with
+          | [] -> Some (j - 1)
+          | _ when j >= n -> None
+          | _ -> (
+              match prov_of comps.(j) with
+              | [] -> None
+              | p -> (
+                  match eat p rem with
+                  | Some rest -> run_at (j + 1) rest
+                  | None -> None))
+        in
+        let found = ref None in
+        let i = ref 0 in
+        while Option.is_none !found && !i < n do
+          (match run_at !i prov with
+          | Some last -> found := Some (!i, last)
+          | None -> ());
+          incr i
+        done;
+        (match !found with
+        | Some (first, last) when last > first -> Some (merge ~first ~last)
+        | _ -> None)
+
   (* Secondary entries validate lazily against the primary key index, so a
      pk-index bottom merge must not drop a delete tombstone until every
      secondary component's repairedTS has passed it — otherwise an obsolete
@@ -288,7 +384,18 @@ module Make (R : Record.S) = struct
               (fun s ->
                 Array.iter
                   (fun c -> barrier := min !barrier c.Sec.repaired_ts)
-                  (Sec.components s.tree))
+                  (Sec.components s.tree);
+                (* Per-shard flushes can persist a pk-index tombstone
+                   while the secondary entries it concerns still sit in a
+                   differently-routed secondary memory shard (the trees
+                   shard-route by different keys); keep tombstones until
+                   those entries have flushed too.  No-op when the
+                   secondary memory is empty — in particular, always a
+                   no-op for unsharded whole-memory flushes. *)
+                if t.cfg.mem_shards > 1 then begin
+                  let mlo, _ = Sec.mem_id s.tree in
+                  if mlo <> max_int then barrier := min !barrier (mlo - 1)
+                end)
               t.secondaries;
             Pk.set_tombstone_drop_ts pkt !barrier;
             (* Under Mutable-bitmap, primary and pk-index components share
@@ -313,13 +420,12 @@ module Make (R : Record.S) = struct
     | Some pk when Strategy.correlates_primary_pair t.cfg.strategy ->
         Array.iter
           (fun pc ->
-            let lo, hi = Prim.component_id pc in
             match
-              merge_id_range
+              merge_prov_range
                 ~components:(fun () -> Pk.components pk)
-                ~id:Pk.component_id
+                ~prov_of:(fun c -> c.Pk.prov)
                 ~merge:(fun ~first ~last -> Pk.merge pk ~first ~last)
-                ~lo ~hi
+                ~prov:pc.Prim.prov
             with
             | Some kc ->
                 if Strategy.uses_primary_bitmap t.cfg.strategy then
@@ -365,13 +471,12 @@ module Make (R : Record.S) = struct
               (* Crash here leaves the merged primary without its lockstep
                  pk-index merge; recovery redoes the pk side. *)
               Lsm_sim.Env.fault_point t.env "dataset.merge.pair";
-              let lo, hi = Prim.component_id pc in
               match
-                merge_id_range
+                merge_prov_range
                   ~components:(fun () -> Pk.components pk)
-                  ~id:Pk.component_id
+                  ~prov_of:(fun c -> c.Pk.prov)
                   ~merge:(fun ~first ~last -> Pk.merge pk ~first ~last)
-                  ~lo ~hi
+                  ~prov:pc.Prim.prov
               with
               | Some kc ->
                   if Strategy.uses_primary_bitmap t.cfg.strategy then
@@ -523,13 +628,12 @@ module Make (R : Record.S) = struct
                    match t.pk_index with
                    | Some pk when pair -> (
                        Lsm_sim.Env.fault_point t.env "dataset.merge.pair";
-                       let lo, hi = Prim.component_id pc in
                        match
-                         merge_id_range
+                         merge_prov_range
                            ~components:(fun () -> Pk.components pk)
-                           ~id:Pk.component_id
+                           ~prov_of:(fun c -> c.Pk.prov)
                            ~merge:(fun ~first ~last -> Pk.merge pk ~first ~last)
-                           ~lo ~hi
+                           ~prov:pc.Prim.prov
                        with
                        | Some kc ->
                            if Strategy.uses_primary_bitmap t.cfg.strategy then
@@ -735,11 +839,12 @@ module Make (R : Record.S) = struct
       set "maint.makespan_us" t.maint.maint_makespan_us
     end
 
-  let run_merges_overlapped t =
+  let run_merges_overlapped ?flush_shard t =
     Lsm_sim.Env.span t.env ~cat:"dataset" "dataset.merge" @@ fun () ->
     let t0 = Lsm_sim.Env.now_us t.env in
     let policy = t.cfg.merge_policy in
     realign_pk_to_primary t;
+    let pending_flush = ref flush_shard in
     let progress = ref true in
     while !progress do
       progress := false;
@@ -748,7 +853,31 @@ module Make (R : Record.S) = struct
         progress := true;
         t.stats.n_merges <- t.stats.n_merges + 1
       in
-      match pick_round_jobs t policy bump with
+      let jobs = pick_round_jobs t policy bump in
+      (* A per-shard flush rides the first round as one more job, so the
+         flush overlaps whatever merges are already runnable (Sec. 2.3:
+         flushes and merges pipeline on the modeled workers).  It claims
+         no trees — merge installs tolerate the concurrent prepend by
+         locating their inputs physically. *)
+      let jobs =
+        match !pending_flush with
+        | Some s ->
+            pending_flush := None;
+            jobs
+            @ [
+                {
+                  job_label = "flush";
+                  job_trees = [];
+                  job_step = (fun ~rows:_ -> false);
+                  job_finish =
+                    (fun () ->
+                      flush_shard_trees t s;
+                      progress := true);
+                };
+              ]
+        | None -> jobs
+      in
+      match jobs with
       | [] -> ()
       | jobs ->
           t.maint.maint_rounds <- t.maint.maint_rounds + 1;
@@ -806,9 +935,61 @@ module Make (R : Record.S) = struct
       specific component layout drive merges themselves). *)
   let flush_memory t = flush_all t
 
+  (** [flush_shard_now t s] flushes memory shard [s] of every tree and
+      runs the merge scheduler, both supervised; with [maint_workers > 1]
+      the flush itself is scheduled as a job so it overlaps runnable
+      merges on the modeled workers. *)
+  let flush_shard_now t s =
+    if t.maint_workers <= 1 then begin
+      supervised t (fun () -> flush_shard_trees t s);
+      supervised t (fun () -> run_merges_serial t)
+    end
+    else supervised t (fun () -> run_merges_overlapped ~flush_shard:s t);
+    if Lsm_sim.Env.corrupt_page_count t.env > 0 then
+      supervised t (fun () -> !heal_hook t)
+
+  let mem_shards t = max 1 t.cfg.mem_shards
+
+  (** Aggregate bytes of memory shard [s] across every tree of the
+      dataset — the budget's eviction unit when sharded. *)
+  let mem_shard_bytes t s =
+    Prim.mem_shard_bytes t.primary s
+    + (match t.pk_index with Some pk -> Pk.mem_shard_bytes pk s | None -> 0)
+    + Array.fold_left
+        (fun acc sx ->
+          acc + Sec.mem_shard_bytes sx.tree s
+          + (match sx.del_tree with
+            | Some d -> Pk.mem_shard_bytes d s
+            | None -> 0))
+        0 t.secondaries
+
+  (** [(shard, bytes)] of the fullest memory shard. *)
+  let largest_mem_shard t =
+    let best = ref 0 and best_bytes = ref (-1) in
+    for s = 0 to mem_shards t - 1 do
+      let b = mem_shard_bytes t s in
+      if b > !best_bytes then begin
+        best := s;
+        best_bytes := b
+      end
+    done;
+    (!best, !best_bytes)
+
   let maybe_flush t =
     if t.auto_maintenance && total_mem_bytes t >= t.cfg.mem_budget then
-      flush_now t
+      if mem_shards t <= 1 then flush_now t
+      else begin
+        (* Evict fullest shards until back under budget: each eviction
+           writes one full shard while the others keep absorbing writes,
+           instead of dumping the whole memory (Budget.enforce's
+           overshoot problem, at dataset scope). *)
+        let guard = ref (2 * mem_shards t) in
+        while total_mem_bytes t >= t.cfg.mem_budget && !guard > 0 do
+          decr guard;
+          let s, b = largest_mem_shard t in
+          if b <= 0 then guard := 0 else flush_shard_now t s
+        done
+      end
 
   (* ------------------------------------------------------------------ *)
   (* Ingestion (Secs. 3.1, 4.2, 5.2) *)
@@ -919,7 +1100,7 @@ module Make (R : Record.S) = struct
         | Some { Prim.value = Entry.Put old_r; _ } ->
             cleanup_secondaries t ~old_r ~new_r:(Some r) ~ts;
             Option.iter
-              (fun fk -> Prim.widen_filter t.primary (fk old_r))
+              (fun fk -> Prim.widen_filter t.primary pk (fk old_r))
               t.filter_key
         | _ -> ())
     | Strategy.Validation _ -> mem_cleanup_opportunity t pk ~new_r:(Some r) ~ts
@@ -951,7 +1132,7 @@ module Make (R : Record.S) = struct
         | Some { Prim.value = Entry.Put old_r; _ } ->
             cleanup_secondaries t ~old_r ~new_r:None ~ts;
             Option.iter
-              (fun fk -> Prim.widen_filter t.primary (fk old_r))
+              (fun fk -> Prim.widen_filter t.primary pk (fk old_r))
               t.filter_key;
             Prim.write t.primary ~key:pk ~ts Entry.Del;
             (match t.pk_index with
@@ -1083,10 +1264,13 @@ module Make (R : Record.S) = struct
            entry need probing, which is the paper's "the unpruned primary
            key index components are always strictly newer than the keys in
            the repairing component".  Outside that regime (the ablation
-           override), the conservative overlap rule applies. *)
+           override), the conservative overlap rule applies.  Sharded
+           memory breaks the regime's era-disjointness premise — a
+           cross-shard merge can combine eras — so strict pruning also
+           requires unsharded memory. *)
         let strict_regime =
           match t.cfg.strategy with
-          | Strategy.Validation { bloom_opt = true; _ } -> true
+          | Strategy.Validation { bloom_opt = true; _ } -> t.cfg.mem_shards <= 1
           | _ -> false
         in
         let could_supersede c ts =
@@ -1316,9 +1500,9 @@ module Make (R : Record.S) = struct
     let live = Array.of_list (List.rev !live) in
     Lsm_sim.Env.charge_entry_visits t.env (Array.length live);
     let c' =
-      Sec.build_component s.tree live ~cmin_ts:comp.Sec.cmin_ts
-        ~cmax_ts:comp.Sec.cmax_ts ~range_filter:comp.Sec.range_filter
-        ~repaired_ts:comp.Sec.repaired_ts
+      Sec.build_component s.tree live ~prov:comp.Sec.prov
+        ~cmin_ts:comp.Sec.cmin_ts ~cmax_ts:comp.Sec.cmax_ts
+        ~range_filter:comp.Sec.range_filter ~repaired_ts:comp.Sec.repaired_ts
     in
     Sec.replace_range s.tree ~first:at ~last:at c';
     let r = resil t in

@@ -65,6 +65,11 @@ module Make (R : Record.S) : sig
             the merge scheduler overlaps independent merge jobs
             deterministically and charges the clock their modeled
             makespan instead of the serial sum (Sec. 2.3) *)
+    mem_shards : int;
+        (** memory shards per tree (default 1): with more, writes
+            hash-route across sub-memtables and the budget can flush one
+            full shard while its siblings keep absorbing writes
+            (Sec. 2.3 flush granularity) *)
   }
 
   val default_config : config
@@ -133,6 +138,38 @@ module Make (R : Record.S) : sig
 
   val flush_memory : t -> unit
   (** Flush without merging. *)
+
+  val flush_shard_now : t -> int -> unit
+  (** [flush_shard_now t s] flushes memory shard [s] of every tree and
+      runs the merge scheduler, both supervised; with [maint_workers > 1]
+      the flush is scheduled as one more job so it overlaps runnable
+      merges on the modeled workers.  Fault points
+      [dataset.flush.shard.begin] / [dataset.flush.shard.pair] mirror the
+      whole-memory flush's crash windows. *)
+
+  val mem_shards : t -> int
+  (** Configured memory shards (>= 1). *)
+
+  val mem_shard_bytes : t -> int -> int
+  (** Aggregate bytes of one memory shard across every tree of the
+      dataset — the budget's eviction unit when sharded. *)
+
+  val largest_mem_shard : t -> int * int
+  (** [(shard, bytes)] of the fullest memory shard. *)
+
+  val merge_prov_range :
+    components:(unit -> 'dc array) ->
+    prov_of:('dc -> Lsm_tree.flush_origin list) ->
+    merge:(first:int -> last:int -> 'dc) ->
+    prov:Lsm_tree.flush_origin list ->
+    'dc option
+  (** Merge the lockstep counterpart of a merged component: find the
+      contiguous run of [components] whose concatenated flush provenance
+      equals [prov] and merge it.  Per-shard flushes produce components
+      whose ID ranges overlap across shards, so ts-range nesting no
+      longer identifies a merge's inputs; provenance does.  [None] when
+      the counterpart is a single already-aligned component or no run
+      matches (recovery redoes it). *)
 
   val set_auto_maintenance : t -> bool -> unit
   (** Default [true]: flush/merge when the shared budget fills. *)

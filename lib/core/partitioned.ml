@@ -171,4 +171,18 @@ module Make (R : Record.S) = struct
   (** [flush_partition t i] flushes partition [i]'s memory components and
       runs its merge scheduler (the coordinator's eviction primitive). *)
   let flush_partition t i = D.flush_now t.parts.(i)
+
+  (** [mem_shards t] is the per-tree memory shard count (uniform across
+      partitions — they share one dataset config). *)
+  let mem_shards t = D.mem_shards t.parts.(0)
+
+  (** [shard_bytes_of t i s] is partition [i]'s aggregate bytes in memory
+      shard [s] — the coordinator's eviction unit when sharded. *)
+  let shard_bytes_of t i s = D.mem_shard_bytes t.parts.(i) s
+
+  (** [flush_partition_shard t i s] flushes only shard [s] of partition
+      [i]'s memory components (and runs its merge scheduler): the
+      finer-grained eviction primitive that avoids dumping a whole
+      partition's memtables when the global budget trips. *)
+  let flush_partition_shard t i s = D.flush_shard_now t.parts.(i) s
 end

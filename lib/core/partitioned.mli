@@ -129,4 +129,17 @@ module Make (R : Record.S) : sig
   val flush_partition : t -> int -> unit
   (** Flush one partition's memory components and run its merges — the
       coordinator's eviction primitive. *)
+
+  val mem_shards : t -> int
+  (** Per-tree memory shard count (uniform across partitions). *)
+
+  val shard_bytes_of : t -> int -> int -> int
+  (** [shard_bytes_of t i s]: partition [i]'s aggregate bytes in memory
+      shard [s] — the coordinator's eviction unit when sharded. *)
+
+  val flush_partition_shard : t -> int -> int -> unit
+  (** [flush_partition_shard t i s] flushes only shard [s] of partition
+      [i]'s memory components (and runs its merges): the finer-grained
+      eviction primitive that avoids dumping whole partition memtables
+      when the global budget trips. *)
 end

@@ -312,6 +312,19 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     Lsm_sim.Env.fault_point (D.env t.d) "txn.flush.anchor";
     anchor_checkpoint t
 
+  (** [flush_shard t s] makes memory shard [s] of every tree durable (and
+      runs merges) while the sibling shards keep their contents; redo for
+      operations routed to shard [s] up to this point is no longer needed
+      (recovery gates redo on per-shard durable frontiers).  Same
+      WAL-before-data and re-anchor discipline as {!flush}.  Requires
+      quiescence. *)
+  let flush_shard t s =
+    assert_quiescent t "flush_shard";
+    Wal.sync t.wal;
+    D.flush_shard_now t.d s;
+    Lsm_sim.Env.fault_point (D.env t.d) "txn.flush.anchor";
+    anchor_checkpoint t
+
   (** [checkpoint t] durably flushes the bitmap pages (Sec. 5.2: "regular
       checkpointing can be performed to flush dirty pages of bitmaps").
       Requires quiescence (pinned pages of live transactions may not be
@@ -356,25 +369,57 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
     end;
     t.live_txns <- 0
 
-  (* The durable frontier of one tree: the maximum entry timestamp any of
-     its disk components covers.  Timestamps are handed out monotonically
-     at write time, so every committed write at or below this frontier was
-     in memory at — and therefore included in — some flush; everything
-     above it needs memory redo.  Unlike a single dataset-wide LSN, this
-     survives a crash that interrupted a multi-tree flush halfway: each
-     tree reports exactly what it managed to make durable. *)
-  let durable_frontier ids = Array.fold_left (fun acc (_, hi) -> max acc hi) 0 ids
+  (* The durable frontier of one tree, per memory shard: the maximum
+     entry timestamp the surviving disk components cover *for that
+     shard's key slice*.  Timestamps are handed out monotonically at
+     write time and a key always routes to the same shard, so every
+     committed write at or below its shard's frontier was in that shard's
+     memory at — and therefore included in — some flush; everything above
+     it needs memory redo.  Unlike a single dataset-wide LSN (or even a
+     single per-tree frontier), this survives a crash that interrupted a
+     multi-tree or per-shard flush halfway: each (tree, shard) reports
+     exactly what it managed to make durable.  Coverage comes from flush
+     provenance: a whole-memory origin ([fo_shard = -1]) covers every
+     shard, a per-shard origin covers its shard (under the same shard
+     count; origins from a different sharding cover nothing — redo is
+     conservative there), and a component with no provenance falls back
+     to covering every shard up to its ID range. *)
+  let shard_frontiers (type dc) ~nshards ~(prov_of : dc -> Lsm_tree.flush_origin list)
+      ~(id_of : dc -> int * int) (comps : dc array) =
+    let f = Array.make nshards 0 in
+    let cover_all hi =
+      for s = 0 to nshards - 1 do
+        f.(s) <- max f.(s) hi
+      done
+    in
+    Array.iter
+      (fun c ->
+        match prov_of c with
+        | [] -> cover_all (snd (id_of c))
+        | prov ->
+            List.iter
+              (fun (o : Lsm_tree.flush_origin) ->
+                if o.Lsm_tree.fo_shard < 0 then cover_all o.Lsm_tree.fo_max_ts
+                else if o.Lsm_tree.fo_shards = nshards then
+                  f.(o.Lsm_tree.fo_shard) <-
+                    max f.(o.Lsm_tree.fo_shard) o.Lsm_tree.fo_max_ts)
+              prov)
+      comps;
+    f
 
-  let prim_frontier t =
-    durable_frontier
-      (Array.map D.Prim.component_id (D.Prim.components (D.primary t.d)))
+  let prim_frontiers t ~nshards =
+    shard_frontiers ~nshards ~prov_of:(fun c -> c.D.Prim.prov)
+      ~id_of:D.Prim.component_id
+      (D.Prim.components (D.primary t.d))
 
-  let pk_frontier t =
-    durable_frontier
-      (Array.map D.Pk.component_id (D.Pk.components (pk_index t)))
+  let pk_frontiers t ~nshards =
+    shard_frontiers ~nshards ~prov_of:(fun c -> c.D.Pk.prov)
+      ~id_of:D.Pk.component_id
+      (D.Pk.components (pk_index t))
 
-  let sec_frontier s =
-    durable_frontier (Array.map D.Sec.component_id (D.Sec.components s.D.tree))
+  let sec_frontiers s ~nshards =
+    shard_frontiers ~nshards ~prov_of:(fun c -> c.D.Sec.prov)
+      ~id_of:D.Sec.component_id (D.Sec.components s.D.tree)
 
   (* Restore the structural invariant of the correlated primary pair
      (Mutable-bitmap only): identical component layouts with positionally
@@ -397,31 +442,35 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
 
      Finally re-share bitmap objects pairwise so a bit set through either
      index is seen by both. *)
+  let prov_eq a b =
+    List.length a = List.length b
+    && List.for_all2 Lsm_tree.flush_origin_equal a b
+
   let realign_primary_pair t =
     if Strategy.uses_primary_bitmap (D.strategy t.d) then begin
       let prim = D.primary t.d in
       let pkt = pk_index t in
-      (* Catch-up pk-index merges. *)
+      (* Catch-up pk-index merges, matched by flush provenance (per-shard
+         flushes make component ID ranges overlap across shards, so
+         ts-range nesting no longer identifies the merge's inputs). *)
       Array.iter
         (fun pc ->
-          let lo, hi = D.Prim.component_id pc in
-          let comps = D.Pk.components pkt in
-          let first = ref (-1) and last = ref (-1) in
-          Array.iteri
-            (fun i c ->
-              let cmin, cmax = D.Pk.component_id c in
-              if cmin >= lo && cmax <= hi then begin
-                if !first < 0 then first := i;
-                last := i
-              end)
-            comps;
-          if !first >= 0 && !last > !first then
-            ignore (D.Pk.merge pkt ~first:!first ~last:!last))
+          ignore
+            (D.merge_prov_range
+               ~components:(fun () -> D.Pk.components pkt)
+               ~prov_of:(fun c -> c.D.Pk.prov)
+               ~merge:(fun ~first ~last -> D.Pk.merge pkt ~first ~last)
+               ~prov:pc.D.Prim.prov))
         (D.Prim.components prim);
-      (* Drop orphaned primary components (no pk counterpart). *)
+      (* Drop orphaned primary components (no pk counterpart).  The pair
+         writes identical key/ts sets, so lockstep counterparts carry
+         identical provenance. *)
       let has_pk_counterpart pc =
         Array.exists
-          (fun kc -> D.Pk.component_id kc = D.Prim.component_id pc)
+          (fun kc ->
+            if pc.D.Prim.prov = [] || kc.D.Pk.prov = [] then
+              D.Pk.component_id kc = D.Prim.component_id pc
+            else prov_eq kc.D.Pk.prov pc.D.Prim.prov)
           (D.Pk.components pkt)
       in
       let orphans = ref [] in
@@ -472,15 +521,17 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
       ops;
     (* 2. Structural realignment of the correlated primary pair. *)
     realign_primary_pair t;
-    (* 3. Memory redo, per tree.  Frontiers are computed after the
-       realignment (a dropped orphan lowers the primary's frontier, which
-       is exactly what routes its entries back through redo). *)
+    (* 3. Memory redo, per (tree, shard).  Frontiers are computed after
+       the realignment (a dropped orphan lowers the primary's frontier,
+       which is exactly what routes its entries back through redo); each
+       write is gated on the frontier of the shard its key routes to. *)
     let d = t.d in
     let pkt = pk_index t in
-    let prim_f = prim_frontier t in
-    let pk_f = pk_frontier t in
+    let nshards = D.mem_shards d in
+    let prim_f = prim_frontiers t ~nshards in
+    let pk_f = pk_frontiers t ~nshards in
     let sec_f =
-      Array.map (fun s -> (s, sec_frontier s)) (D.secondaries d)
+      Array.map (fun s -> (s, sec_frontiers s ~nshards)) (D.secondaries d)
     in
     List.iter
       (fun lop ->
@@ -488,23 +539,24 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) = struct
           match lop.op with
           | Op_upsert r ->
               let pk = R.primary_key r in
-              if lop.ts > prim_f then
+              if lop.ts > prim_f.(D.Prim.shard_of (D.primary d) pk) then
                 D.Prim.write (D.primary d) ~key:pk ~ts:lop.ts (Entry.Put r);
-              if lop.ts > pk_f then
+              if lop.ts > pk_f.(D.Pk.shard_of pkt pk) then
                 D.Pk.write pkt ~key:pk ~ts:lop.ts (Entry.Put ());
               Array.iter
                 (fun (s, f) ->
-                  if lop.ts > f then
-                    List.iter
-                      (fun sk ->
+                  List.iter
+                    (fun sk ->
+                      if lop.ts > f.(D.Sec.shard_of s.D.tree (sk, pk)) then
                         D.Sec.write s.D.tree ~key:(sk, pk) ~ts:lop.ts
                           (Entry.Put ()))
-                      (s.D.extract_all r))
+                    (s.D.extract_all r))
                 sec_f
           | Op_delete pk ->
-              if lop.ts > prim_f then
+              if lop.ts > prim_f.(D.Prim.shard_of (D.primary d) pk) then
                 D.Prim.write (D.primary d) ~key:pk ~ts:lop.ts Entry.Del;
-              if lop.ts > pk_f then D.Pk.write pkt ~key:pk ~ts:lop.ts Entry.Del
+              if lop.ts > pk_f.(D.Pk.shard_of pkt pk) then
+                D.Pk.write pkt ~key:pk ~ts:lop.ts Entry.Del
         end)
       ops
 end

@@ -59,6 +59,13 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) : sig
       and re-anchors the bitmap checkpoint (components are durable via
       shadowing). *)
 
+  val flush_shard : t -> int -> unit
+  (** Make one memory shard of every tree durable (and merge) while the
+      sibling shards keep their contents; recovery gates redo on
+      per-(tree, shard) durable frontiers, derived from component flush
+      provenance.  Same WAL-before-data and re-anchor discipline as
+      {!flush}.  Requires quiescence. *)
+
   val checkpoint : t -> unit
   (** Durably flush bitmap pages ("regular checkpointing", Sec. 5.2). *)
 
@@ -70,7 +77,7 @@ module Make (R : Record.S) (D : module type of Dataset.Make (R)) : sig
   (** Replay committed work: bitmap redo past the checkpoint LSN, then
       structural realignment of the correlated primary pair (redo an
       interrupted lockstep pk-index merge; roll an orphaned primary flush
-      back to the aligned cut), then memory redo past each tree's own
-      durable frontier.  Discards a torn trailing WAL record first.  No
-      undo is ever needed. *)
+      back to the aligned cut), then memory redo past each (tree, shard)'s
+      own durable frontier.  Discards a torn trailing WAL record first.
+      No undo is ever needed. *)
 end

@@ -138,8 +138,8 @@ let run ?(crash_budget = 60) ?(io_budget = 12) ?(corrupt_budget = 8)
 (** The one command that replays a failing plan exactly. *)
 let repro_command cfg (p : Fault.plan) =
   Printf.sprintf
-    "lsm_repro faultsim --seed %d --txns %d%s%s%s --point %s --hit %d --kind \
-     %s%s"
+    "lsm_repro faultsim --seed %d --txns %d%s%s%s%s --point %s --hit %d \
+     --kind %s%s"
     cfg.Scenario.seed cfg.Scenario.txns
     (if cfg.Scenario.validation then " --validation" else "")
     (if cfg.Scenario.group_commit > 1 then
@@ -148,6 +148,9 @@ let repro_command cfg (p : Fault.plan) =
     (if cfg.Scenario.maint_workers > 1 then
        Printf.sprintf " --maint-workers %d" cfg.Scenario.maint_workers
      else "")
+    (if cfg.Scenario.mem_shards > 1 then
+       Printf.sprintf " --mem-shards %d" cfg.Scenario.mem_shards
+     else "")
     p.Fault.point p.Fault.hit
     (Fault.kind_to_string p.Fault.kind)
     (if p.Fault.fails > 1 then Printf.sprintf " --fails %d" p.Fault.fails
@@ -155,7 +158,7 @@ let repro_command cfg (p : Fault.plan) =
 
 let print_report ppf r =
   let cfg = r.r_cfg in
-  Format.fprintf ppf "faultsim: seed %d, %d txns, strategy %s%s%s@."
+  Format.fprintf ppf "faultsim: seed %d, %d txns, strategy %s%s%s%s@."
     cfg.Scenario.seed cfg.Scenario.txns
     (if cfg.Scenario.validation then "validation" else "mutable-bitmap")
     (if cfg.Scenario.group_commit > 1 then
@@ -163,6 +166,9 @@ let print_report ppf r =
      else "")
     (if cfg.Scenario.maint_workers > 1 then
        Printf.sprintf ", maint-workers %d" cfg.Scenario.maint_workers
+     else "")
+    (if cfg.Scenario.mem_shards > 1 then
+       Printf.sprintf ", mem-shards %d" cfg.Scenario.mem_shards
      else "");
   Format.fprintf ppf "fault points announced (drive phase):@.";
   List.iter

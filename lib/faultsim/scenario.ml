@@ -42,6 +42,9 @@ type config = {
       (** WAL group-commit batch; <= 1 = serial (one fsync per commit) *)
   maint_workers : int;
       (** modeled maintenance workers; > 1 overlaps independent merges *)
+  mem_shards : int;
+      (** memory shards per tree; > 1 flushes one shard at a time during
+          the drive phase, exercising the per-shard flush crash points *)
 }
 
 let default_config =
@@ -59,6 +62,7 @@ let default_config =
     validation = false;
     group_commit = 1;
     maint_workers = 1;
+    mem_shards = 1;
   }
 
 type outcome = Completed | Crashed of { point : string; hit : int }
@@ -98,7 +102,12 @@ let create cfg =
     D.create ~filter_key:Tweet.created_at
       ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
       env
-      { D.default_config with strategy; mem_budget = 8 * 1024 }
+      {
+        D.default_config with
+        strategy;
+        mem_budget = 8 * 1024;
+        mem_shards = max 1 cfg.mem_shards;
+      }
   in
   if cfg.maint_workers > 1 then D.set_maint_workers d cfg.maint_workers;
   let t = T.create d in
@@ -221,8 +230,13 @@ let drive st =
   let cfg = st.cfg in
   for i = 1 to cfg.txns do
     if cfg.flush_every > 0 && i mod cfg.flush_every = 0 then begin
-      (* The flush forces a WAL sync, sealing any open commit group. *)
-      T.flush st.t;
+      (* The flush forces a WAL sync, sealing any open commit group.
+         Sharded scenarios rotate one shard per period — deterministic in
+         the txn counter, so every shard's crash points get announced —
+         while the final drain below still flushes whole. *)
+      if cfg.mem_shards > 1 then
+        T.flush_shard st.t ((i / cfg.flush_every) mod cfg.mem_shards)
+      else T.flush st.t;
       drain_settled st
     end;
     if cfg.ckpt_every > 0 && i mod cfg.ckpt_every = 0 then T.checkpoint st.t;

@@ -38,7 +38,7 @@ let secondary_specs n =
 
 let dataset ?(strategy = Strategy.eager) ?(n_secondaries = 1)
     ?(use_pk_index = true) ?mem_budget ?max_mergeable_bytes
-    ?(bloom_kind = `Standard) ?(maint_workers = 1) env scale =
+    ?(bloom_kind = `Standard) ?(maint_workers = 1) ?(mem_shards = 1) env scale =
   let mem_budget =
     match mem_budget with Some b -> b | None -> Scale.mem_budget scale
   in
@@ -57,6 +57,7 @@ let dataset ?(strategy = Strategy.eager) ?(n_secondaries = 1)
       use_pk_index;
       bloom = Some { Lsm_tree.Config.kind = bloom_kind; fpr = 0.01 };
       maint_workers;
+      mem_shards;
     }
 
 let apply_op d = function

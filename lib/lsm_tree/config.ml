@@ -17,9 +17,14 @@ type t = {
       (** allocate a mutable validity bitmap per disk component
           (Mutable-bitmap strategy, Sec. 5; also written by merge repair,
           Sec. 4.4) *)
+  shards : int;
+      (** memory-component shards: writes hash-route to one of [shards]
+          sub-memtables, and a full shard can flush while its siblings
+          keep absorbing writes (Sec. 2.3's fine-grained flush
+          granularity).  1 = the classic single memory component. *)
 }
 
 let default_bloom = { kind = `Standard; fpr = 0.01 }
 
-let make ?(bloom = None) ?(validity_bitmap = false) name =
-  { name; bloom; validity_bitmap }
+let make ?(bloom = None) ?(validity_bitmap = false) ?(shards = 1) name =
+  { name; bloom; validity_bitmap; shards = max 1 shards }

@@ -16,6 +16,25 @@ module Entry = Entry
 module Config = Config
 module Merge_policy = Merge_policy
 
+(** Provenance of a disk component w.r.t. memory-shard flushes: which
+    flush operation(s) produced its rows.  Lives outside the functor so
+    the provenance of components from *different* [Make] instances (the
+    primary / primary-key pair of a dataset, whose flush histories are
+    identical by construction) can be compared, and so recovery can
+    compute per-shard durable frontiers.  A merged component carries the
+    concatenation of its inputs' origins, newest first. *)
+type flush_origin = {
+  fo_shards : int;  (** the tree's shard count when the flush ran *)
+  fo_shard : int;  (** flushed shard index; [-1] = whole-memory flush *)
+  fo_min_ts : int;  (** component ID bounds of the flushed component *)
+  fo_max_ts : int;
+}
+
+let flush_origin_equal (a : flush_origin) (b : flush_origin) =
+  a.fo_shards = b.fo_shards && a.fo_shard = b.fo_shard
+  && a.fo_min_ts = b.fo_min_ts
+  && a.fo_max_ts = b.fo_max_ts
+
 module type KEY = Lsm_util.Intf.ORDERED
 
 module type VALUE = Lsm_util.Intf.SIZED
@@ -53,6 +72,9 @@ module Make (K : KEY) (V : VALUE) = struct
             lookups stop trusting the Bloom filter (degraded reads) until
             the maintenance supervisor rebuilds or scrubs it *)
     seq : int;  (** unique id, for debugging and cache bookkeeping *)
+    prov : flush_origin list;
+        (** flush provenance, newest first; [[]] for components built by
+            machinery that does not track it *)
   }
 
   type t = {
@@ -60,7 +82,9 @@ module Make (K : KEY) (V : VALUE) = struct
     config : Config.t;
     filter_of : (V.t -> int) option;
         (** extracts the range-filter key from a value; [None] = no filter *)
-    mutable mem : mem_component;
+    mems : mem_component array;
+        (** memory shards; writes hash-route by key.  Length 1 behaves
+            exactly like the classic single memory component. *)
     mutable disk : disk_component list;  (** newest first *)
     mutable view : (row View.t * disk_component array) option;
         (** REMIX-style sorted view over the *current* [disk] list (the
@@ -94,13 +118,22 @@ module Make (K : KEY) (V : VALUE) = struct
       env;
       config;
       filter_of;
-      mem = fresh_mem ();
+      mems = Array.init (max 1 config.Config.shards) (fun _ -> fresh_mem ());
       disk = [];
       view = None;
       views_enabled = true;
       next_seq = 0;
       tombstone_drop_ts = max_int;
     }
+
+  let mem_shards t = Array.length t.mems
+
+  (** [shard_of t key] is the memory shard [key] routes to.  The hash is
+      re-mixed so shard routing stays independent of any outer
+      partition-by-key routing that used [K.hash] directly. *)
+  let shard_of t key =
+    let n = Array.length t.mems in
+    if n = 1 then 0 else Lsm_bloom.Hashing.mix64 (K.hash key) land max_int mod n
 
   (** [set_tombstone_drop_ts t ts]: see the field documentation. *)
   let set_tombstone_drop_ts t ts = t.tombstone_drop_ts <- ts
@@ -112,10 +145,17 @@ module Make (K : KEY) (V : VALUE) = struct
   (* ------------------------------------------------------------------ *)
   (* Accessors *)
 
-  let mem_bytes t = t.mem.bytes
-  let mem_count t = Mbt.length t.mem.table
-  let mem_is_empty t = Mbt.is_empty t.mem.table
-  let mem_id t = (t.mem.min_ts, t.mem.max_ts)
+  let mem_bytes t = Array.fold_left (fun acc m -> acc + m.bytes) 0 t.mems
+  let mem_shard_bytes t s = t.mems.(s).bytes
+  let mem_count t =
+    Array.fold_left (fun acc m -> acc + Mbt.length m.table) 0 t.mems
+
+  let mem_is_empty t = Array.for_all (fun m -> Mbt.is_empty m.table) t.mems
+
+  let mem_id t =
+    Array.fold_left
+      (fun (lo, hi) m -> (min lo m.min_ts, max hi m.max_ts))
+      (max_int, -1) t.mems
 
   (** [components t] is the disk components, newest first. *)
   let components t = Array.of_list t.disk
@@ -143,7 +183,10 @@ module Make (K : KEY) (V : VALUE) = struct
     mem_count t + List.fold_left (fun acc c -> acc + component_rows c) 0 t.disk
 
   let charge_mem_cmps t =
-    Lsm_sim.Env.charge_comparisons t.env (Mbt.take_comparisons t.mem.table)
+    Lsm_sim.Env.charge_comparisons t.env
+      (Array.fold_left
+         (fun acc m -> acc + Mbt.take_comparisons m.table)
+         0 t.mems)
 
   (* ------------------------------------------------------------------ *)
   (* Sorted views (REMIX): lifecycle *)
@@ -223,34 +266,38 @@ module Make (K : KEY) (V : VALUE) = struct
   (* ------------------------------------------------------------------ *)
   (* Writes *)
 
-  (** [widen_filter t fkey] widens the memory component's range filter to
-      cover [fkey].  The Eager strategy calls this with the *old* record's
-      filter key on upserts and deletes so that queries do not erroneously
-      prune the memory component (Sec. 3.1); Validation and Mutable-bitmap
-      deliberately do not (Secs. 4.2, 5.2). *)
-  let widen_filter t fkey =
+  (** [widen_filter t key fkey] widens the range filter of the memory
+      shard owning [key] to cover [fkey].  The Eager strategy calls this
+      with the *old* record's filter key on upserts and deletes so that
+      queries do not erroneously prune the memory component (Sec. 3.1);
+      Validation and Mutable-bitmap deliberately do not (Secs. 4.2,
+      5.2).  [key] routes the widening to the shard that received the
+      same-key write, so a per-shard flush carries its filter. *)
+  let widen_filter t key fkey =
     if t.filter_of <> None then begin
-      if fkey < t.mem.fmin then t.mem.fmin <- fkey;
-      if fkey > t.mem.fmax then t.mem.fmax <- fkey
+      let m = t.mems.(shard_of t key) in
+      if fkey < m.fmin then m.fmin <- fkey;
+      if fkey > m.fmax then m.fmax <- fkey
     end
 
   (** [write t ~key ~ts entry] adds an entry to the memory component.  A
       same-key write replaces the previous in-memory entry (newest wins
       within a component).  [Put] values widen the range filter. *)
   let write t ~key ~ts entry =
-    let old = Mbt.put t.mem.table key (ts, entry) in
+    let m = t.mems.(shard_of t key) in
+    let old = Mbt.put m.table key (ts, entry) in
     charge_mem_cmps t;
     let new_size = K.byte_size key + 8 + Entry.byte_size V.byte_size entry in
     (match old with
     | Some (_, old_e) ->
-        t.mem.bytes <-
-          t.mem.bytes - (K.byte_size key + 8 + Entry.byte_size V.byte_size old_e)
+        m.bytes <-
+          m.bytes - (K.byte_size key + 8 + Entry.byte_size V.byte_size old_e)
     | None -> ());
-    t.mem.bytes <- t.mem.bytes + new_size;
-    if ts < t.mem.min_ts then t.mem.min_ts <- ts;
-    if ts > t.mem.max_ts then t.mem.max_ts <- ts;
+    m.bytes <- m.bytes + new_size;
+    if ts < m.min_ts then m.min_ts <- ts;
+    if ts > m.max_ts then m.max_ts <- ts;
     (match (entry, t.filter_of) with
-    | Entry.Put v, Some f -> widen_filter t (f v)
+    | Entry.Put v, Some f -> widen_filter t key (f v)
     | _ -> ());
     Lsm_sim.Env.charge_entry_visits t.env 1
 
@@ -261,26 +308,28 @@ module Make (K : KEY) (V : VALUE) = struct
       if any — is restored.  Byte accounting follows; the component ID and
       filter bounds remain conservatively widened, which is safe. *)
   let mem_rollback t ~key ~prior =
-    (match Mbt.remove t.mem.table key with
+    let m = t.mems.(shard_of t key) in
+    (match Mbt.remove m.table key with
     | Some (_, old_e) ->
-        t.mem.bytes <-
-          t.mem.bytes - (K.byte_size key + 8 + Entry.byte_size V.byte_size old_e)
+        m.bytes <-
+          m.bytes - (K.byte_size key + 8 + Entry.byte_size V.byte_size old_e)
     | None -> ());
     (match prior with
     | Some ((ts : int), entry) ->
-        ignore (Mbt.put t.mem.table key (ts, entry));
-        t.mem.bytes <-
-          t.mem.bytes + K.byte_size key + 8 + Entry.byte_size V.byte_size entry
+        ignore (Mbt.put m.table key (ts, entry));
+        m.bytes <-
+          m.bytes + K.byte_size key + 8 + Entry.byte_size V.byte_size entry
     | None -> ());
     charge_mem_cmps t
 
   (** [reset_memory t] discards the memory component (crash simulation:
       under no-steal/no-force, everything unflushed is volatile). *)
-  let reset_memory t = t.mem <- fresh_mem ()
+  let reset_memory t =
+    Array.iteri (fun i _ -> t.mems.(i) <- fresh_mem ()) t.mems
 
   (** [mem_find t key] searches only the memory component. *)
   let mem_find t key =
-    let r = Mbt.find t.mem.table key in
+    let r = Mbt.find t.mems.(shard_of t key).table key in
     charge_mem_cmps t;
     match r with
     | None -> None
@@ -337,7 +386,7 @@ module Make (K : KEY) (V : VALUE) = struct
         Lsm_sim.Env.charge_hashes t.env (2 * n);
         Some f
 
-  let mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts =
+  let mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts ~prov =
     let tree = Dbt.build t.env ~key_of:(fun r -> r.key) ~size_of:row_size rows in
     let bloom = build_bloom t rows in
     let bitmap =
@@ -357,35 +406,110 @@ module Make (K : KEY) (V : VALUE) = struct
       repaired_ts;
       quarantined = false;
       seq;
+      prov;
     }
 
+  let shard_rows m =
+    Array.map
+      (fun (key, (ts, entry)) -> { key; ts; value = entry })
+      (Mbt.to_sorted_array m.table)
+
+  (* Flush pre-sorted rows into a fresh newest component.  [fault] is the
+     fault-point prefix — "lsm.flush" for whole-memory flushes,
+     "lsm.flush.shard" for per-shard ones — so the crash harness
+     enumerates both windows. *)
+  let flush_shard_rows t rows ~cmin_ts ~cmax_ts ~range_filter ~prov ~fault
+      ~reset =
+    Lsm_sim.Env.span t.env ~cat:(name t) "lsm.flush" @@ fun () ->
+    Lsm_sim.Env.fault_point t.env (fault ^ ".begin");
+    Lsm_sim.Env.charge_entry_visits t.env (Array.length rows);
+    let c =
+      mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts:0 ~prov
+    in
+    invalidate_view t;
+    t.disk <- c :: t.disk;
+    reset ();
+    Lsm_obs.Ampstats.on_flush
+      (Lsm_sim.Env.amp t.env)
+      ~bytes:(component_size_bytes t c) ~rows:(Array.length rows);
+    Lsm_sim.Env.fault_point t.env (fault ^ ".install")
+
   (** [flush t] turns a non-empty memory component into the newest disk
-      component, inheriting the (possibly widened) memory range filter. *)
-  let flush t =
-    if not (Mbt.is_empty t.mem.table) then
-      Lsm_sim.Env.span t.env ~cat:(name t) "lsm.flush" @@ fun () ->
-      Lsm_sim.Env.fault_point t.env "lsm.flush.begin";
-      let bindings = Mbt.to_sorted_array t.mem.table in
-      let rows =
-        Array.map (fun (key, (ts, entry)) -> { key; ts; value = entry }) bindings
-      in
-      Lsm_sim.Env.charge_entry_visits t.env (Array.length rows);
-      let range_filter =
-        if t.filter_of <> None && t.mem.fmin <= t.mem.fmax then
-          Some (t.mem.fmin, t.mem.fmax)
-        else None
-      in
-      let c =
-        mk_component t rows ~cmin_ts:t.mem.min_ts ~cmax_ts:t.mem.max_ts
-          ~range_filter ~repaired_ts:0
-      in
-      invalidate_view t;
-      t.disk <- c :: t.disk;
-      t.mem <- fresh_mem ();
-      Lsm_obs.Ampstats.on_flush
-        (Lsm_sim.Env.amp t.env)
-        ~bytes:(component_size_bytes t c) ~rows:(Array.length rows);
-      Lsm_sim.Env.fault_point t.env "lsm.flush.install"
+      component, inheriting the (possibly widened) memory range filter:
+      every shard drains into one component (byte-identical to the
+      unsharded tree's flush).  [flush ~shard:s t] flushes only shard
+      [s] — its siblings keep their contents — announcing the
+      [lsm.flush.shard.*] fault points and stamping the component with a
+      per-shard {!flush_origin}. *)
+  let flush ?shard t =
+    match shard with
+    | Some s ->
+        let m = t.mems.(s) in
+        if not (Mbt.is_empty m.table) then begin
+          let range_filter =
+            if t.filter_of <> None && m.fmin <= m.fmax then
+              Some (m.fmin, m.fmax)
+            else None
+          in
+          let prov =
+            [
+              {
+                fo_shards = Array.length t.mems;
+                fo_shard = s;
+                fo_min_ts = m.min_ts;
+                fo_max_ts = m.max_ts;
+              };
+            ]
+          in
+          flush_shard_rows t (shard_rows m) ~cmin_ts:m.min_ts
+            ~cmax_ts:m.max_ts ~range_filter ~prov ~fault:"lsm.flush.shard"
+            ~reset:(fun () -> t.mems.(s) <- fresh_mem ())
+        end
+    | None ->
+        if not (mem_is_empty t) then begin
+          let rows =
+            if Array.length t.mems = 1 then shard_rows t.mems.(0)
+            else begin
+              (* Shard key sets are disjoint, so sorting the concatenation
+                 reproduces exactly the rows a single memtable would have
+                 held (differential byte-identity). *)
+              let all =
+                Array.concat (Array.to_list (Array.map shard_rows t.mems))
+              in
+              Array.sort
+                (fun a b ->
+                  Lsm_sim.Env.charge_comparisons t.env 1;
+                  K.compare a.key b.key)
+                all;
+              all
+            end
+          in
+          let cmin_ts, cmax_ts = mem_id t in
+          let range_filter =
+            if t.filter_of = None then None
+            else
+              Array.fold_left
+                (fun acc m ->
+                  if m.fmin <= m.fmax then
+                    match acc with
+                    | None -> Some (m.fmin, m.fmax)
+                    | Some (a, b) -> Some (min a m.fmin, max b m.fmax)
+                  else acc)
+                None t.mems
+          in
+          let prov =
+            [
+              {
+                fo_shards = Array.length t.mems;
+                fo_shard = -1;
+                fo_min_ts = cmin_ts;
+                fo_max_ts = cmax_ts;
+              };
+            ]
+          in
+          flush_shard_rows t rows ~cmin_ts ~cmax_ts ~range_filter ~prov
+            ~fault:"lsm.flush" ~reset:(fun () -> reset_memory t)
+        end
 
   (* ------------------------------------------------------------------ *)
   (* Merge *)
@@ -403,8 +527,6 @@ module Make (K : KEY) (V : VALUE) = struct
       Two concurrent jobs on overlapping ranges of one tree are a caller
       bug. *)
   type merge_job = {
-    mj_first : int;
-    mj_last : int;
     mj_inputs : disk_component array;
     mj_scans : row Dbt.Scan.s array;
     mj_heap : (K.t * int * row) Lsm_util.Heap.t;
@@ -446,8 +568,6 @@ module Make (K : KEY) (V : VALUE) = struct
     Lsm_sim.Env.fault_point t.env "lsm.merge.begin";
     let j =
       {
-        mj_first = first;
-        mj_last = last;
         mj_inputs = inputs;
         mj_scans = Array.map (fun c -> Dbt.Scan.seek t.env c.tree None) inputs;
         mj_heap =
@@ -501,20 +621,30 @@ module Make (K : KEY) (V : VALUE) = struct
 
   (** [merge_finish t j] builds and installs the merged component,
       deletes the inputs' files, and announces [lsm.merge.install].  The
-      job's [first..last] indices must still denote the same components
-      (no other mutation of this tree may have happened since
-      {!merge_start}). *)
+      input components must still be present as a contiguous run —
+      located by physical identity, so flushes that *prepend* components
+      while the merge was in flight (per-shard flushes overlapping
+      merges) are tolerated; any other mutation of the inputs is
+      rejected. *)
   let merge_finish t j =
     let inputs = j.mj_inputs in
-    let first = j.mj_first and last = j.mj_last in
-    (let comps = Array.of_list t.disk in
-     let stable =
-       Array.length comps > last
-       && Array.for_all
-            (fun i -> comps.(first + i) == inputs.(i))
-            (Array.init (Array.length inputs) Fun.id)
-     in
-     if not stable then invalid_arg "Lsm_tree.merge_finish: tree changed");
+    let k = Array.length inputs in
+    let comps = Array.of_list t.disk in
+    let n = Array.length comps in
+    let found = ref (-1) in
+    Array.iteri
+      (fun i c -> if !found < 0 && c == inputs.(0) then found := i)
+      comps;
+    let stable =
+      !found >= 0
+      && !found + k <= n
+      && Array.for_all
+           (fun i -> comps.(!found + i) == inputs.(i))
+           (Array.init k Fun.id)
+    in
+    if not stable then invalid_arg "Lsm_tree.merge_finish: tree changed";
+    let first = !found in
+    let last = first + k - 1 in
     let rows = Array.of_list (List.rev j.mj_out) in
     let cmin_ts =
       Array.fold_left (fun acc c -> min acc c.cmin_ts) max_int inputs
@@ -552,8 +682,9 @@ module Make (K : KEY) (V : VALUE) = struct
                 | Some (a, b), Some (c', d) -> Some (min a c', max b d))
               None inputs
     in
+    let prov = List.concat_map (fun c -> c.prov) (Array.to_list inputs) in
     let merged =
-      mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts
+      mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts ~prov
     in
     invalidate_view t;
     t.disk <-
@@ -590,8 +721,9 @@ module Make (K : KEY) (V : VALUE) = struct
       piece used by the incremental concurrent-merge machinery (Sec. 5.3),
       which interleaves writers with the component builder and therefore
       cannot use the atomic {!merge}. *)
-  let build_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts =
-    mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts
+  let build_component ?(prov = []) t rows ~cmin_ts ~cmax_ts ~range_filter
+      ~repaired_ts =
+    mk_component t rows ~cmin_ts ~cmax_ts ~range_filter ~repaired_ts ~prov
 
   (** [replace_range t ~first ~last c] atomically replaces the component
       range [first..last] (newest-first indices) with [c], deleting the
@@ -732,11 +864,19 @@ module Make (K : KEY) (V : VALUE) = struct
     Lsm_sim.Env.charge_entry_visits t.env (Dbt.nrows c.tree)
 
   (** [mem_filter t] is the memory component's current range-filter
-      bounds, if the tree has a filter and the component is non-empty. *)
+      bounds (the union over shards), if the tree has a filter and the
+      component is non-empty. *)
   let mem_filter t =
-    if t.filter_of <> None && t.mem.fmin <= t.mem.fmax then
-      Some (t.mem.fmin, t.mem.fmax)
-    else None
+    if t.filter_of = None then None
+    else
+      Array.fold_left
+        (fun acc m ->
+          if m.fmin <= m.fmax then
+            match acc with
+            | None -> Some (m.fmin, m.fmax)
+            | Some (a, b) -> Some (min a m.fmin, max b m.fmax)
+          else acc)
+        None t.mems
 
   (** [lookup_batch t opts qkeys ~emit] resolves many point lookups.
       [qkeys] must be sorted ascending by key.  [emit key row_opt] is
@@ -861,12 +1001,13 @@ module Make (K : KEY) (V : VALUE) = struct
       only = None;
     }
 
-  (* Materialize the in-range slice of the memory component. *)
+  (* Materialize the in-range slice of the memory component: each shard
+     contributes its sorted in-range rows; shard key sets are disjoint,
+     so sorting the concatenation reproduces the single-memtable slice
+     byte for byte. *)
   let mem_slice t spec =
     if not spec.include_mem then [||]
     else begin
-      let buf = ref [] in
-      let count = ref 0 in
       let hi_ok k =
         match spec.hi with
         | None -> true
@@ -874,24 +1015,43 @@ module Make (K : KEY) (V : VALUE) = struct
             Lsm_sim.Env.charge_comparisons t.env 1;
             K.compare k h <= 0
       in
-      (match spec.lo with
-      | None ->
-          Mbt.iter t.mem.table (fun k (ts, e) ->
-              if hi_ok k then begin
-                buf := { key = k; ts; value = e } :: !buf;
-                incr count
-              end)
-      | Some lo ->
-          Mbt.iter_from t.mem.table lo (fun k (ts, e) ->
-              if hi_ok k then begin
-                buf := { key = k; ts; value = e } :: !buf;
-                incr count;
-                true
-              end
-              else false));
+      let count = ref 0 in
+      let slice_one m =
+        let buf = ref [] in
+        (match spec.lo with
+        | None ->
+            Mbt.iter m.table (fun k (ts, e) ->
+                if hi_ok k then begin
+                  buf := { key = k; ts; value = e } :: !buf;
+                  incr count
+                end)
+        | Some lo ->
+            Mbt.iter_from m.table lo (fun k (ts, e) ->
+                if hi_ok k then begin
+                  buf := { key = k; ts; value = e } :: !buf;
+                  incr count;
+                  true
+                end
+                else false));
+        Array.of_list (List.rev !buf)
+      in
+      let rows =
+        if Array.length t.mems = 1 then slice_one t.mems.(0)
+        else begin
+          let all =
+            Array.concat (Array.to_list (Array.map slice_one t.mems))
+          in
+          Array.sort
+            (fun a b ->
+              Lsm_sim.Env.charge_comparisons t.env 1;
+              K.compare a.key b.key)
+            all;
+          all
+        end
+      in
       charge_mem_cmps t;
       Lsm_sim.Env.charge_entry_visits t.env !count;
-      Array.of_list (List.rev !buf)
+      rows
     end
 
   (* Reconciling scan served from the sorted view: one anchor binary

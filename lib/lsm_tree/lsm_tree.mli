@@ -15,6 +15,22 @@ module Entry = Entry
 module Config = Config
 module Merge_policy = Merge_policy
 
+(** Provenance of a disk component w.r.t. memory-shard flushes.  Lives
+    outside the functor so origins of components from different [Make]
+    instances (a dataset's primary / primary-key pair, whose flush
+    histories are identical by construction) can be compared, and so
+    recovery can compute per-shard durable frontiers.  A merged
+    component carries the concatenation of its inputs' origins, newest
+    first. *)
+type flush_origin = {
+  fo_shards : int;  (** the tree's shard count when the flush ran *)
+  fo_shard : int;  (** flushed shard index; [-1] = whole-memory flush *)
+  fo_min_ts : int;  (** component ID bounds of the flushed component *)
+  fo_max_ts : int;
+}
+
+val flush_origin_equal : flush_origin -> flush_origin -> bool
+
 module type KEY = Lsm_util.Intf.ORDERED
 module type VALUE = Lsm_util.Intf.SIZED
 
@@ -42,6 +58,9 @@ module Make (K : KEY) (V : VALUE) : sig
         (** failed a checksum; lookups stop trusting the Bloom filter
             (degraded reads) until rebuilt or scrubbed *)
     seq : int;  (** unique id *)
+    prov : flush_origin list;
+        (** flush provenance, newest first; [[]] for components built by
+            machinery that does not track it *)
   }
 
   type t
@@ -67,15 +86,27 @@ module Make (K : KEY) (V : VALUE) : sig
   val mem_count : t -> int
   val mem_is_empty : t -> bool
 
+  val mem_shards : t -> int
+  (** Number of memory shards ([Config.shards]; 1 = classic single
+      memtable). *)
+
+  val shard_of : t -> K.t -> int
+  (** The memory shard a key routes to (0 when unsharded). *)
+
+  val mem_shard_bytes : t -> int -> int
+  (** In-memory bytes of one shard. *)
+
   val mem_id : t -> int * int
-  (** (minTS, maxTS) of the memory component; [(max_int, -1)] if empty. *)
+  (** (minTS, maxTS) of the memory component (union over shards);
+      [(max_int, -1)] if empty. *)
 
   val mem_filter : t -> (int * int) option
-  (** Current memory range-filter bounds, if any. *)
+  (** Current memory range-filter bounds (union over shards), if any. *)
 
-  val widen_filter : t -> int -> unit
-  (** Widen the memory filter to cover a key — the Eager strategy calls
-      this with *old* records' filter keys (Sec. 3.1). *)
+  val widen_filter : t -> K.t -> int -> unit
+  (** [widen_filter t key fkey] widens the filter of the shard owning
+      [key] to cover [fkey] — the Eager strategy calls this with *old*
+      records' filter keys (Sec. 3.1). *)
 
   val write : t -> key:K.t -> ts:int -> V.t Entry.t -> unit
   (** Add an entry; a same-key write replaces the in-memory entry (newest
@@ -113,9 +144,13 @@ module Make (K : KEY) (V : VALUE) : sig
       (every lookup falls through to the checksum-verified B+-tree probe)
       and the maintenance supervisor will rebuild or scrub it. *)
 
-  val flush : t -> unit
+  val flush : ?shard:int -> t -> unit
   (** Turn a non-empty memory component into the newest disk component,
-      inheriting the (possibly widened) memory range filter. *)
+      inheriting the (possibly widened) memory range filter.  Without
+      [?shard], every shard drains into one component (byte-identical to
+      the unsharded tree) under the [lsm.flush.*] fault points; with
+      [~shard:s], only shard [s] flushes — siblings keep absorbing
+      writes — under [lsm.flush.shard.begin] / [lsm.flush.shard.install]. *)
 
   val merge :
     ?extra_invalid:(disk_component -> int -> bool) ->
@@ -138,11 +173,12 @@ module Make (K : KEY) (V : VALUE) : sig
       {!merge} broken into explicit steps so a scheduler can interleave
       several independent merges deterministically on one simulated
       clock.  Between {!merge_start} and {!merge_finish} the job only
-      reads its inputs and accumulates rows in memory; the tree itself
-      must not be mutated by anything else until the job finishes
-      ({!merge_finish} verifies this).  The output is byte-for-byte the
-      output {!merge} would have produced — the tombstone barrier is
-      captured at start. *)
+      reads its inputs and accumulates rows in memory; the input
+      components must survive untouched as a contiguous run, which
+      {!merge_finish} verifies by physical identity — so per-shard
+      flushes may *prepend* new components while the job is in flight.
+      The output is byte-for-byte the output {!merge} would have
+      produced — the tombstone barrier is captured at start. *)
 
   type merge_job
 
@@ -164,6 +200,7 @@ module Make (K : KEY) (V : VALUE) : sig
       announces [lsm.merge.install]. *)
 
   val build_component :
+    ?prov:flush_origin list ->
     t ->
     row array ->
     cmin_ts:int ->
@@ -172,7 +209,8 @@ module Make (K : KEY) (V : VALUE) : sig
     repaired_ts:int ->
     disk_component
   (** Construct a component from pre-merged, key-sorted rows without
-      installing it (the incremental concurrent-merge machinery). *)
+      installing it (the incremental concurrent-merge machinery).
+      [?prov] (default [[]]) stamps flush provenance through. *)
 
   val replace_range : t -> first:int -> last:int -> disk_component -> unit
   (** Atomically replace a component range with a new component. *)

@@ -4,16 +4,47 @@
     Out of the box every partition's dataset budgets independently
     ([Dataset.maybe_flush] against its own [mem_budget]), which is N
     budgets, not one.  The coordinator instead watches the *aggregate*
-    footprint and, whenever it reaches the shared budget, evicts the
-    largest memtable across partitions — the eviction policy AsterixDB
-    uses for its shared memory-component pool — until the aggregate is
-    back under budget.  Callers disable per-partition auto-maintenance
-    and call {!enforce} after every write. *)
+    footprint and, whenever it reaches the shared budget, evicts across
+    partitions until the aggregate is back under budget.  Callers disable
+    per-partition auto-maintenance and call {!enforce} after every write.
+
+    The eviction unit depends on what the partitions offer:
+
+    - unsharded partitions ([shards = 1] everywhere): flush the largest
+      memtable across partitions — the policy AsterixDB uses for its
+      shared memory-component pool;
+    - sharded partitions: a budget trip typically overshoots by one
+      write's worth of bytes, so dumping a whole partition's memtables
+      evicts far more memory than the deficit requires.  Instead, evict
+      the smallest-sufficient *set of shards*, greedily largest shard
+      first across partitions: one shard usually covers the deficit, so
+      each eviction stalls O(memtable/shards) bytes instead of a whole
+      partition, while still releasing enough headroom that evictions
+      never degenerate into one per write (which is what picking the
+      minimum covering shard would do — the deficit is one write's
+      worth, so the smallest shard always "suffices" and the budget
+      thrashes tiny flushes). *)
 
 type part = {
   mem_bytes : unit -> int;  (** partition's current memory-component bytes *)
   flush : unit -> unit;  (** flush the partition's memory components *)
+  shards : int;  (** memory shards the partition can evict singly *)
+  shard_bytes : int -> int;  (** current bytes of one memory shard *)
+  flush_shard : int -> unit;  (** flush one memory shard *)
 }
+
+(** [part ~mem_bytes ~flush ()] builds a partition handle; the shard
+    hooks default to whole-partition granularity ([shards = 1]). *)
+let part ?(shards = 1) ?shard_bytes ?flush_shard ~mem_bytes ~flush () =
+  {
+    mem_bytes;
+    flush;
+    shards = max 1 shards;
+    shard_bytes =
+      (match shard_bytes with Some f -> f | None -> fun _ -> mem_bytes ());
+    flush_shard =
+      (match flush_shard with Some f -> f | None -> fun _ -> flush ());
+  }
 
 type t = {
   budget_bytes : int;
@@ -66,28 +97,58 @@ let largest t =
     t.parts;
   !best
 
+let record_eviction t i =
+  t.evictions <- t.evictions + 1;
+  t.evictions_by.(i) <- t.evictions_by.(i) + 1
+
+(* Whole-memtable eviction: flush the largest partition until under
+   budget (the original policy; the only one available unsharded). *)
+let rec drain_partitions t =
+  if total t >= t.budget_bytes then begin
+    let i = largest t in
+    if t.parts.(i).mem_bytes () > 0 then begin
+      t.parts.(i).flush ();
+      record_eviction t i;
+      drain_partitions t
+    end
+    (* else: nothing evictable — all memory already on disk; the budget
+       is smaller than the engine's irreducible footprint. *)
+  end
+
+(* Shard-granular eviction: flush the largest shard across partitions
+   (ties break low partition, then low shard) and recurse — greedily
+   building the smallest-sufficient shard set.  One shard usually covers
+   the deficit, so this never dumps a whole partition's memtables. *)
+let rec drain_shards t =
+  if total t >= t.budget_bytes then begin
+    let best = ref None in
+    Array.iteri
+      (fun i p ->
+        for s = 0 to p.shards - 1 do
+          let b = p.shard_bytes s in
+          if b > 0 then
+            match !best with
+            | Some (bb, _, _) when bb >= b -> ()
+            | _ -> best := Some (b, i, s)
+        done)
+      t.parts;
+    match !best with
+    | Some (_, i, s) ->
+        t.parts.(i).flush_shard s;
+        record_eviction t i;
+        drain_shards t
+    | None -> ()
+  end
+
 (** [enforce t] restores the invariant [total t < budget_bytes] by
-    flushing the largest memtable across partitions, repeatedly if one
-    eviction is not enough.  Flushing happens "within" the triggering
-    write's instant: its simulated cost lands on the flushed partition's
-    clock, exactly like a synchronous flush in the single-dataset
-    path. *)
+    evicting across partitions, repeatedly if one eviction is not
+    enough.  Flushing happens "within" the triggering write's instant:
+    its simulated cost lands on the flushed partition's clock, exactly
+    like a synchronous flush in the single-dataset path. *)
 let enforce t =
   let pre = total t in
   if pre > t.peak_pre_bytes then t.peak_pre_bytes <- pre;
-  let rec drain () =
-    if total t >= t.budget_bytes then begin
-      let i = largest t in
-      if t.parts.(i).mem_bytes () > 0 then begin
-        t.parts.(i).flush ();
-        t.evictions <- t.evictions + 1;
-        t.evictions_by.(i) <- t.evictions_by.(i) + 1;
-        drain ()
-      end
-      (* else: nothing evictable — all memory already on disk; the
-         budget is smaller than the engine's irreducible footprint. *)
-    end
-  in
-  drain ();
+  if Array.exists (fun p -> p.shards > 1) t.parts then drain_shards t
+  else drain_partitions t;
   let post = total t in
   if post > t.peak_bytes then t.peak_bytes <- post

@@ -1,11 +1,30 @@
 (** Global flush coordinator (paper Sec. 2.3): one memory budget shared
-    by all partitions' LSM memory components; when the aggregate reaches
-    the budget, the largest memtable across partitions is flushed. *)
+    by all partitions' LSM memory components.  When the aggregate reaches
+    the budget, the coordinator evicts at the finest granularity the
+    partitions offer: whole memtables when unsharded, or single memory
+    shards — smallest shard covering the deficit first — when sharded,
+    which bounds the eviction overshoot by a shard instead of a whole
+    partition. *)
 
-type part = {
+type part = private {
   mem_bytes : unit -> int;  (** partition's current memory-component bytes *)
   flush : unit -> unit;  (** flush the partition's memory components *)
+  shards : int;  (** memory shards the partition can evict singly *)
+  shard_bytes : int -> int;  (** current bytes of one memory shard *)
+  flush_shard : int -> unit;  (** flush one memory shard *)
 }
+
+val part :
+  ?shards:int ->
+  ?shard_bytes:(int -> int) ->
+  ?flush_shard:(int -> unit) ->
+  mem_bytes:(unit -> int) ->
+  flush:(unit -> unit) ->
+  unit ->
+  part
+(** Build a partition handle.  The shard hooks default to
+    whole-partition granularity ([shards = 1]); pass all three to let
+    the coordinator evict one shard at a time. *)
 
 type t
 
@@ -21,8 +40,10 @@ val largest : t -> int
 (** Index of the partition holding the most memory-component bytes. *)
 
 val enforce : t -> unit
-(** Restore [total t < budget_bytes] by flushing the largest memtable,
-    repeatedly if needed.  Call after every write. *)
+(** Restore [total t < budget_bytes]: unsharded, flush the largest
+    memtable repeatedly; sharded, flush the smallest single shard that
+    covers the deficit (or the largest shard when none does),
+    repeatedly.  Call after every write. *)
 
 val evictions : t -> int
 (** Coordinator-initiated flushes so far. *)

@@ -68,7 +68,8 @@ let pp_opt = function
   | None -> "none"
   | Some r -> Fmt.str "%a" Tweet.pp r
 
-let by_id = List.sort (fun a b -> compare (Tweet.primary_key a) (Tweet.primary_key b))
+let by_id =
+  List.sort (fun a b -> Int.compare (Tweet.primary_key a) (Tweet.primary_key b))
 
 (** [observe t obs] consumes one arrival's client-visible outcome, in
     arrival order. *)

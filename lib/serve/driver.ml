@@ -68,6 +68,9 @@ type config = {
   maint_workers : int;
       (** modeled maintenance workers per partition; > 1 overlaps
           independent merges (Sec. 2.3) *)
+  mem_shards : int;
+      (** memory shards per tree; > 1 lets the budget evict one full
+          shard at a time instead of whole partition memtables *)
   seed : int;
   chaos : Chaos.fault list;  (** scheduled fault plan; [[]] = clean run *)
   policy : Chaos.policy;  (** front-door degradation policy (chaos runs) *)
@@ -88,6 +91,7 @@ let config ?(partitions = 4) scale =
     selectivity = 0.001;
     strategy = Strategy.validation;
     maint_workers = 1;
+    mem_shards = 1;
     seed = 42;
     chaos = [];
     policy = Chaos.default_policy;
@@ -128,6 +132,7 @@ let build ?(durable = false) cfg =
       use_pk_index = true;
       bloom = Some { Lsm_tree.Config.kind = `Standard; fpr = 0.01 };
       maint_workers = max 1 cfg.maint_workers;
+      mem_shards = max 1 cfg.mem_shards;
     }
   in
   let rt =
@@ -1034,7 +1039,7 @@ let run_chaos ?timeline ?(on_preload = fun (_ : Tweet.t) -> ())
                             Chaos.Breaker.record breakers.(i) ~now:a ~ok:false;
                             err_parts := i :: !err_parts)
                       go;
-                    let err_parts = List.sort_uniq compare !err_parts in
+                    let err_parts = List.sort_uniq Int.compare !err_parts in
                     if List.length err_parts >= List.length targets then
                       Error "unavailable"
                     else
@@ -1061,7 +1066,7 @@ let run_chaos ?timeline ?(on_preload = fun (_ : Tweet.t) -> ())
                             Chaos.Breaker.record breakers.(i) ~now:a ~ok:false;
                             err_parts := i :: !err_parts)
                       go;
-                    let err_parts = List.sort_uniq compare !err_parts in
+                    let err_parts = List.sort_uniq Int.compare !err_parts in
                     if List.length err_parts >= List.length targets then
                       Error "unavailable"
                     else
@@ -1088,7 +1093,7 @@ let run_chaos ?timeline ?(on_preload = fun (_ : Tweet.t) -> ())
                             Chaos.Breaker.record breakers.(i) ~now:a ~ok:false;
                             err_parts := i :: !err_parts)
                       go;
-                    let err_parts = List.sort_uniq compare !err_parts in
+                    let err_parts = List.sort_uniq Int.compare !err_parts in
                     if List.length err_parts >= List.length targets then
                       Error "unavailable"
                     else
@@ -1262,7 +1267,11 @@ let run_chaos ?timeline ?(on_preload = fun (_ : Tweet.t) -> ())
   in
   let failures = Hashtbl.fold (fun _ v acc -> acc + v) fail_tbl 0 in
   let fail_reasons =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) fail_tbl [] |> List.sort compare
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) fail_tbl []
+    |> List.sort (fun (k1, v1) (k2, v2) ->
+           match String.compare k1 k2 with
+           | 0 -> Int.compare v1 v2
+           | c -> c)
   in
   let phase_counts =
     List.map

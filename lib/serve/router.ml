@@ -91,38 +91,45 @@ module Make (R : Lsm_core.Record.S) = struct
     done;
     let before = Array.make partitions 0.0 in
     let evlog = ref [] in
+    (* Instrumented eviction: record what the flush cost and released,
+       on the victim partition's clock.  Pure reads around the flush —
+       the simulated costs are unchanged.  Durable partitions flush
+       through the WAL wrapper (log forced before data). *)
+    let instrumented i do_flush =
+      let env = P.env p i in
+      let t0 = Lsm_sim.Env.now_us env in
+      let bytes0 = P.mem_bytes_of p i in
+      let amp0 = Lsm_obs.Ampstats.copy (Lsm_sim.Env.amp env) in
+      do_flush ();
+      let d = Lsm_obs.Ampstats.diff ~since:amp0 (Lsm_sim.Env.amp env) in
+      evlog :=
+        {
+          ev_part = i;
+          ev_start_off_us = t0 -. before.(i);
+          ev_dur_us = Lsm_sim.Env.now_us env -. t0;
+          ev_bytes = max 0 (bytes0 - P.mem_bytes_of p i);
+          ev_flushes = d.Lsm_obs.Ampstats.flushes;
+          ev_merges = d.Lsm_obs.Ampstats.merges;
+          ev_merge_bytes = d.Lsm_obs.Ampstats.merge_written_bytes;
+        }
+        :: !evlog
+    in
     let budget =
       Budget.create ~budget_bytes
         (Array.init partitions (fun i ->
-             {
-               Budget.mem_bytes = (fun () -> P.mem_bytes_of p i);
-               flush =
-                 (* Instrumented: record what each eviction cost and
-                    released, on the victim partition's clock.  Pure
-                    reads around the flush — the simulated costs are
-                    unchanged.  Durable partitions flush through the
-                    WAL wrapper (log forced before data). *)
-                 (fun () ->
-                   let env = P.env p i in
-                   let t0 = Lsm_sim.Env.now_us env in
-                   let bytes0 = P.mem_bytes_of p i in
-                   let amp0 = Lsm_obs.Ampstats.copy (Lsm_sim.Env.amp env) in
-                   if durable then T.flush txns.(i) else P.flush_partition p i;
-                   let d =
-                     Lsm_obs.Ampstats.diff ~since:amp0 (Lsm_sim.Env.amp env)
-                   in
-                   evlog :=
-                     {
-                       ev_part = i;
-                       ev_start_off_us = t0 -. before.(i);
-                       ev_dur_us = Lsm_sim.Env.now_us env -. t0;
-                       ev_bytes = max 0 (bytes0 - P.mem_bytes_of p i);
-                       ev_flushes = d.Lsm_obs.Ampstats.flushes;
-                       ev_merges = d.Lsm_obs.Ampstats.merges;
-                       ev_merge_bytes = d.Lsm_obs.Ampstats.merge_written_bytes;
-                     }
-                     :: !evlog);
-             }))
+             Budget.part
+               ~shards:(P.mem_shards p)
+               ~shard_bytes:(fun s -> P.shard_bytes_of p i s)
+               ~flush_shard:(fun s ->
+                 instrumented i (fun () ->
+                     if durable then T.flush_shard txns.(i) s
+                     else P.flush_partition_shard p i s))
+               ~mem_bytes:(fun () -> P.mem_bytes_of p i)
+               ~flush:(fun () ->
+                 instrumented i (fun () ->
+                     if durable then T.flush txns.(i)
+                     else P.flush_partition p i))
+               ()))
     in
     {
       p;

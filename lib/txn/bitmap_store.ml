@@ -66,7 +66,9 @@ let crash t =
 (** [snapshot t] captures current live state (for test comparison). *)
 let snapshot t =
   Hashtbl.fold (fun seq b acc -> (seq, Lsm_util.Bitset.copy b) :: acc) t.live []
-  |> List.sort compare
+  (* Sort by the (unique) component seq only: a typed int comparison, not
+     a polymorphic compare that would descend into the bitset payloads. *)
+  |> List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2)
 
 let equal_state a b =
   let norm t = snapshot t in

@@ -176,8 +176,120 @@ let prop_point_payloads_match =
             (M.touched m))
         strategies_under_test)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded-memtable differential: sharding the memory component is a
+   routing detail, never an answer change.  Two claims:
+
+   - whole-memory flushes reconcile the shards at flush time, so a
+     sharded dataset's output — reconciling scans, point payloads, and
+     the disk layout itself (component ids and row counts) — is
+     identical to the unsharded one after the same trace;
+   - per-shard flush traces produce a different layout (one component
+     per shard flush) but still the same answers, checked against the
+     reference model. *)
+
+let run_shards ~strategy ~shards ~per_shard ops =
+  let d =
+    D.create ~filter_key:Tweet.created_at
+      ~secondaries:[ Lsm_core.Record.secondary "user_id" Tweet.user_id ]
+      (mk_env ())
+      (* A budget far above any trace's footprint: auto-maintenance never
+         fires, so the only flushes are the trace's own Flush ops and
+         every shard count sees the identical flush sequence. *)
+      {
+        D.default_config with
+        strategy;
+        mem_budget = 1 lsl 20;
+        mem_shards = shards;
+      }
+  in
+  let next = ref 0 in
+  List.iter
+    (function
+      | Ups (k, u, at) -> D.upsert d (tw ~pk:k ~user:u ~at)
+      | Del k -> D.delete d ~pk:k
+      | Flush ->
+          if per_shard then begin
+            D.flush_shard_now d (!next mod shards);
+            incr next
+          end
+          else D.flush_now d)
+    ops;
+  d
+
+let prim_components d =
+  Array.to_list
+    (Array.map
+       (fun c -> (D.Prim.component_id c, D.Prim.component_rows c))
+       (D.Prim.components (D.primary d)))
+
+let scan_rows d =
+  let acc = ref [] in
+  ignore (D.full_scan d ~f:(fun r -> acc := r :: !acc));
+  List.rev !acc
+
+let shard_counts = [ 2; 4; 8 ]
+let sharded_strategies = [ Strategy.validation; Strategy.mutable_bitmap ]
+
+let prop_shards_invisible =
+  qtest ~count:40 "mem_shards N = unsharded (scan, points, component ids)"
+    QCheck2.Gen.(list_size (int_range 1 120) op_gen)
+    (fun ops ->
+      List.for_all
+        (fun strategy ->
+          let base = run_shards ~strategy ~shards:1 ~per_shard:false ops in
+          let want_scan = scan_rows base in
+          let want_comps = prim_components base in
+          let want_points = List.init 80 (fun i -> D.point_query base (i + 1)) in
+          List.for_all
+            (fun n ->
+              let d = run_shards ~strategy ~shards:n ~per_shard:false ops in
+              if scan_rows d <> want_scan then
+                QCheck2.Test.fail_reportf "scan diverges at %d shards (%s)" n
+                  (Strategy.name strategy)
+              else if prim_components d <> want_comps then
+                QCheck2.Test.fail_reportf
+                  "component layout diverges at %d shards (%s)" n
+                  (Strategy.name strategy)
+              else if
+                List.init 80 (fun i -> D.point_query d (i + 1)) <> want_points
+              then
+                QCheck2.Test.fail_reportf
+                  "point payloads diverge at %d shards (%s)" n
+                  (Strategy.name strategy)
+              else true)
+            shard_counts)
+        sharded_strategies)
+
+let prop_shard_flush_matches_model =
+  qtest ~count:40 "per-shard flush traces = model"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 120) op_gen)
+        (pair (pair (int_range 0 30) (int_range 0 30))
+           (pair (int_range 0 1000) (int_range 0 1000))))
+    (fun (ops, ((u1, u2), (t1, t2))) ->
+      let ulo = min u1 u2 and uhi = max u1 u2 in
+      let tlo = min t1 t2 and thi = max t1 t2 in
+      let m = run_model ops in
+      let want = model_obs m [ `Direct; `Timestamp ] ~ulo ~uhi ~tlo ~thi in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun n ->
+              let d = run_shards ~strategy ~shards:n ~per_shard:true ops in
+              let got = observe d [ `Direct; `Timestamp ] ~ulo ~uhi ~tlo ~thi in
+              if got <> want then
+                QCheck2.Test.fail_reportf
+                  "per-shard flushes diverge from model at %d shards (%s)" n
+                  (Strategy.name strategy)
+              else true)
+            shard_counts)
+        sharded_strategies)
+
 let () =
   Alcotest.run "lsm_diff"
     [
       ("differential", [ prop_strategies_match_model; prop_point_payloads_match ]);
+      ("sharded", [ prop_shards_invisible; prop_shard_flush_matches_model ]);
     ]

@@ -9,7 +9,7 @@ module Ch = Lsm_faultsim.Checker
 module H = Lsm_faultsim.Harness
 
 let small ?(validation = false) ?(seed = 7) ?(group_commit = 1)
-    ?(maint_workers = 1) () =
+    ?(maint_workers = 1) ?(mem_shards = 1) () =
   {
     Sc.default_config with
     Sc.seed;
@@ -17,6 +17,7 @@ let small ?(validation = false) ?(seed = 7) ?(group_commit = 1)
     validation;
     group_commit;
     maint_workers;
+    mem_shards;
   }
 
 (* The group-commit + overlapping-maintenance configuration every new
@@ -24,6 +25,11 @@ let small ?(validation = false) ?(seed = 7) ?(group_commit = 1)
    two modeled workers interleave independent merges. *)
 let grouped ?validation ?seed () =
   small ?validation ?seed ~group_commit:4 ~maint_workers:2 ()
+
+(* The sharded-memtable configuration: four memory shards per tree, so
+   the drive phase rotates per-shard flushes and the enumerator surfaces
+   every per-shard flush window as a crash point. *)
+let sharded ?validation ?seed () = small ?validation ?seed ~mem_shards:4 ()
 
 (* ------------------------------------------------------------------ *)
 (* Determinism of the enumeration *)
@@ -81,6 +87,30 @@ let test_counting_covers_group_points () =
       | None -> ()
       | Some n -> Alcotest.failf "serial run announced %s %d times" p n)
     [ "wal.group.seal"; "maint.job.start" ]
+
+(* Sharded memtables expose per-shard flush windows: the dataset-level
+   shard flush (each tree pair flushed for one shard) and the tree-level
+   shard seal/install.  The unsharded configuration must announce none —
+   it always flushes whole memtables. *)
+let test_counting_covers_shard_points () =
+  let inj, _ = Sc.run (sharded ()) in
+  let hits = F.hits inj in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p hits with
+      | Some n when n > 0 -> ()
+      | _ -> Alcotest.failf "fault point %s never announced" p)
+    [
+      "dataset.flush.shard.begin"; "dataset.flush.shard.pair";
+      "lsm.flush.shard.begin"; "lsm.flush.shard.install";
+    ];
+  let inj0, _ = Sc.run (small ()) in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p (F.hits inj0) with
+      | None -> ()
+      | Some n -> Alcotest.failf "unsharded run announced %s %d times" p n)
+    [ "dataset.flush.shard.begin"; "lsm.flush.shard.begin" ]
 
 let test_select_plans () =
   let hits = [ ("a", 100); ("b", 3); ("c", 1) ] in
@@ -144,6 +174,17 @@ let test_matrix_grouped_validation () =
     ">= 50 crash plans" true
     (List.length r.H.r_plans >= 50)
 
+(* The per-shard fault matrix: with four memory shards the rotating
+   drive-phase flushes announce every per-shard crash point, and crashes
+   anywhere in a shard flush — one shard durable, siblings still in
+   memory — must recover to a checker-accepted state under both WAL
+   strategies. *)
+let test_matrix_sharded_mutable_bitmap () =
+  check_report (H.run ~crash_budget:40 ~io_budget:8 (sharded ()))
+
+let test_matrix_sharded_validation () =
+  check_report (H.run ~crash_budget:40 ~io_budget:8 (sharded ~validation:true ()))
+
 (* ------------------------------------------------------------------ *)
 (* Deep dives into specific crash points *)
 
@@ -201,6 +242,19 @@ let test_crash_at_maint_job_install () =
 
 let test_crash_grouped_lockstep_merge () =
   run_point_cfg (grouped ()) "dataset.merge.pair"
+
+(* Per-shard flush crash windows: between the two trees of a shard flush
+   (primary durable for the shard, a secondary not), and at the tree-level
+   shard install (the shard's component on disk but the in-memory shard
+   not yet cleared at crash time). *)
+let test_crash_between_shard_pair () =
+  run_point_cfg (sharded ()) "dataset.flush.shard.pair"
+
+let test_crash_at_shard_install () =
+  run_point_cfg (sharded ()) "lsm.flush.shard.install"
+
+let test_crash_at_shard_begin_validation () =
+  run_point_cfg (sharded ~validation:true ()) "dataset.flush.shard.begin"
 
 (* A transient I/O error during a query is retried and the run completes
    with no crash at all. *)
@@ -303,6 +357,8 @@ let () =
             test_counting_covers_required_points;
           Alcotest.test_case "group-commit points announced" `Quick
             test_counting_covers_group_points;
+          Alcotest.test_case "per-shard points announced" `Quick
+            test_counting_covers_shard_points;
           Alcotest.test_case "plan selection" `Quick test_select_plans;
         ] );
       ( "matrix",
@@ -315,6 +371,10 @@ let () =
             test_matrix_grouped_mutable_bitmap;
           Alcotest.test_case "group-commit validation matrix" `Quick
             test_matrix_grouped_validation;
+          Alcotest.test_case "sharded mutable-bitmap matrix" `Quick
+            test_matrix_sharded_mutable_bitmap;
+          Alcotest.test_case "sharded validation matrix" `Quick
+            test_matrix_sharded_validation;
         ] );
       ( "crash points",
         [
@@ -343,6 +403,12 @@ let () =
             test_crash_at_maint_job_install;
           Alcotest.test_case "grouped lockstep merge crash" `Quick
             test_crash_grouped_lockstep_merge;
+          Alcotest.test_case "half-flushed shard pair" `Quick
+            test_crash_between_shard_pair;
+          Alcotest.test_case "crash at shard install" `Quick
+            test_crash_at_shard_install;
+          Alcotest.test_case "validation shard flush crash" `Quick
+            test_crash_at_shard_begin_validation;
           Alcotest.test_case "transient io error" `Quick
             test_transient_io_error_retried;
           Alcotest.test_case "unreachable plan" `Quick test_unreachable_plan;

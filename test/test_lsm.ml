@@ -352,7 +352,7 @@ let test_widen_filter_covers_old_values () =
   let env = mk_env () in
   let t = mk_tree ~filter_of:(fun v -> v) env in
   L.write t ~key:101 ~ts:1 (Entry.Put 2018);
-  L.widen_filter t 2015;
+  L.widen_filter t 101 2015;
   L.flush t;
   let c = (L.components t).(0) in
   Alcotest.(check (option (pair int int))) "widened" (Some (2015, 2018))

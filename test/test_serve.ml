@@ -16,13 +16,12 @@ let synthetic mems =
   let parts =
     Array.mapi
       (fun i _ ->
-        {
-          Budget.mem_bytes = (fun () -> !(mem.(i)));
-          flush =
-            (fun () ->
-              flushed := i :: !flushed;
-              mem.(i) := 0);
-        })
+        Budget.part
+          ~mem_bytes:(fun () -> !(mem.(i)))
+          ~flush:(fun () ->
+            flushed := i :: !flushed;
+            mem.(i) := 0)
+          ())
       mem
   in
   (flushed, parts)
@@ -64,6 +63,85 @@ let test_budget_validates () =
   Alcotest.check_raises "no partitions"
     (Invalid_argument "Budget.create: no partitions") (fun () ->
       ignore (Budget.create ~budget_bytes:1 [||]))
+
+(* Sharded partitions: eviction flushes the largest *shard*, never a
+   whole partition's memtables — the overshoot fix.  Mirrors
+   [synthetic] with per-shard byte counters. *)
+let synthetic_sharded parts_shards =
+  let mem = Array.map Array.copy parts_shards in
+  let flushed = ref [] in
+  let parts =
+    Array.mapi
+      (fun i shards ->
+        Budget.part ~shards:(Array.length shards)
+          ~mem_bytes:(fun () -> Array.fold_left ( + ) 0 mem.(i))
+          ~shard_bytes:(fun s -> mem.(i).(s))
+          ~flush_shard:(fun s ->
+            flushed := (i, s) :: !flushed;
+            mem.(i).(s) <- 0)
+          ~flush:(fun () -> Array.fill mem.(i) 0 (Array.length mem.(i)) 0)
+          ())
+      mem
+  in
+  (flushed, parts)
+
+let test_budget_evicts_largest_shard () =
+  let flushed, parts = synthetic_sharded [| [| 8; 12 |]; [| 6; 9 |] |] in
+  let b = Budget.create ~budget_bytes:30 parts in
+  Budget.enforce b;
+  Alcotest.(check (list (pair int int)))
+    "largest shard only" [ (0, 1) ] !flushed;
+  Alcotest.(check int) "sibling shards untouched" 23 (Budget.total b);
+  Alcotest.(check int) "one eviction" 1 (Budget.evictions b)
+
+let test_budget_shard_cascade () =
+  let flushed, parts = synthetic_sharded [| [| 8; 12 |]; [| 6; 9 |] |] in
+  let b = Budget.create ~budget_bytes:12 parts in
+  Budget.enforce b;
+  (* 35 >= 12: evict (0,1)=12 -> 23 >= 12: (1,1)=9 -> 14 >= 12: (0,0)=8
+     -> 6 < 12.  Greedy largest-first crosses partitions freely. *)
+  Alcotest.(check (list (pair int int)))
+    "greedy largest-first across partitions"
+    [ (0, 1); (1, 1); (0, 0) ]
+    (List.rev !flushed);
+  Alcotest.(check int) "three evictions" 3 (Budget.evictions b)
+
+(* The overshoot regression this PR fixes: on an identical write
+   sequence the shard-granular policy must not raise the
+   pre-enforcement peak.  peak_pre is the budget plus whichever write
+   trips it, so with aligned write sizes the two policies peak at
+   exactly the same byte — while the sharded one evicts in smaller
+   units (more, cheaper evictions instead of whole-memtable dumps). *)
+let test_budget_shard_peak_pre_no_regress () =
+  let drive ~shards =
+    let n = max 1 shards in
+    let mem = Array.make n 0 in
+    let parts =
+      [|
+        Budget.part ~shards:n
+          ~mem_bytes:(fun () -> Array.fold_left ( + ) 0 mem)
+          ~shard_bytes:(fun s -> mem.(s))
+          ~flush_shard:(fun s -> mem.(s) <- 0)
+          ~flush:(fun () -> Array.fill mem 0 n 0)
+          ();
+      |]
+    in
+    let b = Budget.create ~budget_bytes:100 parts in
+    for i = 0 to 39 do
+      mem.(i mod n) <- mem.(i mod n) + 10;
+      Budget.enforce b
+    done;
+    b
+  in
+  let b1 = drive ~shards:1 in
+  let b4 = drive ~shards:4 in
+  Alcotest.(check bool) "both configurations evicted" true
+    (Budget.evictions b1 > 0 && Budget.evictions b4 > 0);
+  Alcotest.(check int) "sharded peak_pre no worse"
+    (Budget.peak_pre_bytes b1)
+    (Budget.peak_pre_bytes b4);
+  Alcotest.(check bool) "sharded evicts in smaller units" true
+    (Budget.evictions b4 > Budget.evictions b1)
 
 (* ------------------------------------------------------------------ *)
 (* Arrival processes *)
@@ -337,6 +415,12 @@ let () =
             test_budget_cascades;
           Alcotest.test_case "ties break low" `Quick test_budget_ties_break_low;
           Alcotest.test_case "validates arguments" `Quick test_budget_validates;
+          Alcotest.test_case "evicts the largest shard" `Quick
+            test_budget_evicts_largest_shard;
+          Alcotest.test_case "shard cascade crosses partitions" `Quick
+            test_budget_shard_cascade;
+          Alcotest.test_case "sharded peak_pre does not regress" `Quick
+            test_budget_shard_peak_pre_no_regress;
         ] );
       ( "arrivals",
         [
